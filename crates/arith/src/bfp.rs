@@ -1,0 +1,602 @@
+//! 8-bit block floating point (bfp8) blocks and their arithmetic
+//! (paper Eqns. 1–3).
+//!
+//! A [`BfpBlock`] is an 8×8 tile whose 64 elements share one 8-bit
+//! two's-complement exponent; each element stores its own 8-bit
+//! two's-complement mantissa. `val_ij = 2^exp × man_ij`.
+//!
+//! * Block MatMul ([`BfpBlock::matmul`]) adds exponents and performs an int8
+//!   matrix multiply, yielding a [`WideBlock`] whose mantissas are at most
+//!   18 bits — exactly what the systolic array's column cascade produces.
+//! * Partial blocks are combined with exponent alignment in a [`BlockAcc`],
+//!   mirroring the shifter + PSU-buffer + ACC path at the bottom of each
+//!   column.
+
+use crate::error::ArithError;
+use crate::int8::round_i8_rne;
+
+/// Side length of the two-dimensional bfp block (the paper fixes 8×8, which
+/// also sets the systolic array to 8 rows × 8 columns).
+pub const BLOCK: usize = 8;
+
+/// Width of the PSU/ACC accumulator datapath in bits (the DSP48E2 P register).
+pub const ACC_BITS: u32 = 48;
+
+/// One 8×8 bfp8 block: shared exponent + int8 mantissas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BfpBlock {
+    /// Shared exponent (8-bit two's complement in hardware).
+    pub exp: i8,
+    /// Row-major 8-bit mantissas; `man[i][j]` is row `i`, column `j`.
+    pub man: [[i8; BLOCK]; BLOCK],
+}
+
+impl BfpBlock {
+    /// The all-zero block.
+    pub const ZERO: BfpBlock = BfpBlock {
+        exp: 0,
+        man: [[0; BLOCK]; BLOCK],
+    };
+
+    /// Quantize an 8×8 tile of finite `f32` values to bfp8 with
+    /// round-to-nearest-even mantissas.
+    ///
+    /// The shared exponent is the smallest `e` such that every
+    /// `round(v / 2^e)` fits in `[-127, 127]` (symmetric clamp, so the
+    /// round-trip is sign-symmetric, as the paper's quantizer unit does).
+    ///
+    /// # Panics
+    /// Panics on non-finite input; use [`BfpBlock::try_quantize`] to get an
+    /// error instead.
+    pub fn quantize(tile: &[[f32; BLOCK]; BLOCK]) -> BfpBlock {
+        Self::try_quantize(tile).expect("bfp8 quantization failed")
+    }
+
+    /// Fallible version of [`BfpBlock::quantize`].
+    pub fn try_quantize(tile: &[[f32; BLOCK]; BLOCK]) -> Result<BfpBlock, ArithError> {
+        let mut max_abs = 0f64;
+        for (i, row) in tile.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(ArithError::NonFinite { at: (i, j) });
+                }
+                max_abs = max_abs.max((v as f64).abs());
+            }
+        }
+        if max_abs == 0.0 {
+            return Ok(BfpBlock::ZERO);
+        }
+        // Initial guess: place max_abs around the top of the mantissa range.
+        let mut exp = (max_abs.log2().floor() as i32) - 6;
+        // log2/floor can be off by one at binade edges; fix up exactly.
+        while (max_abs * pow2(-exp)).round() > 127.0 {
+            exp += 1;
+        }
+        while exp > i8::MIN as i32 + 1 && (max_abs * pow2(-(exp - 1))).round() <= 127.0 {
+            exp -= 1;
+        }
+        if exp > i8::MAX as i32 {
+            return Err(ArithError::ExponentOverflow { exp });
+        }
+        let exp = exp.max(i8::MIN as i32) as i8;
+        let scale = pow2(-(exp as i32));
+        let mut man = [[0i8; BLOCK]; BLOCK];
+        for i in 0..BLOCK {
+            for j in 0..BLOCK {
+                man[i][j] = round_i8_rne(tile[i][j] as f64 * scale);
+            }
+        }
+        Ok(BfpBlock { exp, man })
+    }
+
+    /// Decode back to `f32` values.
+    pub fn to_f32(&self) -> [[f32; BLOCK]; BLOCK] {
+        let scale = pow2(self.exp as i32);
+        let mut out = [[0f32; BLOCK]; BLOCK];
+        for i in 0..BLOCK {
+            for j in 0..BLOCK {
+                out[i][j] = (self.man[i][j] as f64 * scale) as f32;
+            }
+        }
+        out
+    }
+
+    /// Block matrix multiply (paper Eqn. 2): int8 exponent addition plus an
+    /// int8 8×8×8 MatMul. Exact — the wide mantissas are ≤ 2^17 in magnitude.
+    pub fn matmul(&self, rhs: &BfpBlock) -> WideBlock {
+        let mut man = [[0i32; BLOCK]; BLOCK];
+        for i in 0..BLOCK {
+            for j in 0..BLOCK {
+                let mut acc = 0i32;
+                for k in 0..BLOCK {
+                    acc += self.man[i][k] as i32 * rhs.man[k][j] as i32;
+                }
+                man[i][j] = acc;
+            }
+        }
+        WideBlock {
+            exp: self.exp as i32 + rhs.exp as i32,
+            man: man.map(|r| r.map(|v| v as i64)),
+        }
+    }
+
+    /// Element-wise block addition with exponent alignment (paper Eqn. 3).
+    /// The smaller-exponent operand's mantissas are shifted right
+    /// (truncating), exactly like the column shifter.
+    pub fn add(&self, rhs: &BfpBlock) -> WideBlock {
+        let (hi, lo) = if self.exp >= rhs.exp {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let shift = (hi.exp - lo.exp) as u32;
+        let mut man = [[0i64; BLOCK]; BLOCK];
+        for i in 0..BLOCK {
+            for j in 0..BLOCK {
+                let aligned = shift_right_trunc(lo.man[i][j] as i64, shift);
+                man[i][j] = hi.man[i][j] as i64 + aligned;
+            }
+        }
+        WideBlock {
+            exp: hi.exp as i32,
+            man,
+        }
+    }
+}
+
+/// A block with wide (accumulator-width) mantissas: the product of a block
+/// MatMul or the running value inside the PSU buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WideBlock {
+    /// Exponent of the wide mantissas (sum of operand exponents for MatMul).
+    pub exp: i32,
+    /// Row-major wide mantissas.
+    pub man: [[i64; BLOCK]; BLOCK],
+}
+
+impl WideBlock {
+    /// The all-zero wide block.
+    pub const ZERO: WideBlock = WideBlock {
+        exp: 0,
+        man: [[0; BLOCK]; BLOCK],
+    };
+
+    /// Decode to `f32` values.
+    pub fn to_f32(&self) -> [[f32; BLOCK]; BLOCK] {
+        let scale = pow2(self.exp);
+        let mut out = [[0f32; BLOCK]; BLOCK];
+        for i in 0..BLOCK {
+            for j in 0..BLOCK {
+                out[i][j] = (self.man[i][j] as f64 * scale) as f32;
+            }
+        }
+        out
+    }
+
+    /// Requantize the wide mantissas back into a bfp8 block (what the
+    /// quantizer unit does before results re-enter the X/Y buffers).
+    pub fn requantize(&self) -> BfpBlock {
+        let mut max_abs = 0i64;
+        for row in &self.man {
+            for &v in row {
+                max_abs = max_abs.max(v.abs());
+            }
+        }
+        if max_abs == 0 {
+            return BfpBlock::ZERO;
+        }
+        // Smallest extra shift s with round(max_abs / 2^s) <= 127.
+        let mut s = 0u32;
+        while rounded_shift(max_abs, s) > 127 {
+            s += 1;
+        }
+        let exp = (self.exp + s as i32).clamp(i8::MIN as i32, i8::MAX as i32) as i8;
+        let mut man = [[0i8; BLOCK]; BLOCK];
+        for i in 0..BLOCK {
+            for j in 0..BLOCK {
+                man[i][j] = rounded_shift(self.man[i][j], s).clamp(-127, 127) as i8;
+            }
+        }
+        BfpBlock { exp, man }
+    }
+}
+
+/// Accumulator over a stream of [`WideBlock`] partial products: the shifter +
+/// PSU buffer + ACC at the bottom of the systolic columns.
+///
+/// Alignment keeps the larger exponent and shifts the smaller operand right,
+/// truncating — the hardware shifter does not keep guard bits. Overflow
+/// beyond the 48-bit datapath is reported, never silently wrapped.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockAcc {
+    value: WideBlock,
+    any: bool,
+}
+
+impl Default for BlockAcc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockAcc {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        BlockAcc {
+            value: WideBlock::ZERO,
+            any: false,
+        }
+    }
+
+    /// Add one partial block, aligning exponents (Eqn. 3 applied to the wide
+    /// datapath).
+    pub fn add(&mut self, block: &WideBlock) -> Result<(), ArithError> {
+        if !self.any {
+            self.value = *block;
+            self.any = true;
+            return Ok(());
+        }
+        let (hi_exp, shift_self, shift_other) = if self.value.exp >= block.exp {
+            (self.value.exp, 0u32, (self.value.exp - block.exp) as u32)
+        } else {
+            (block.exp, (block.exp - self.value.exp) as u32, 0u32)
+        };
+        let limit = 1i64 << (ACC_BITS - 1);
+        for i in 0..BLOCK {
+            for j in 0..BLOCK {
+                let a = shift_right_trunc(self.value.man[i][j], shift_self);
+                let b = shift_right_trunc(block.man[i][j], shift_other);
+                let sum = a + b;
+                if sum >= limit || sum < -limit {
+                    return Err(ArithError::AccumulatorOverflow);
+                }
+                self.value.man[i][j] = sum;
+            }
+        }
+        self.value.exp = hi_exp;
+        Ok(())
+    }
+
+    /// The accumulated block so far.
+    pub fn value(&self) -> WideBlock {
+        self.value
+    }
+
+    /// Whether anything has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        !self.any
+    }
+
+    /// Reset to empty (new output tile).
+    pub fn clear(&mut self) {
+        *self = BlockAcc::new();
+    }
+}
+
+/// Arithmetic shift right with truncation toward negative infinity for
+/// non-negative shifts; shifts ≥ 63 collapse to the sign.
+#[inline]
+pub fn shift_right_trunc(v: i64, shift: u32) -> i64 {
+    if shift >= 63 {
+        if v < 0 {
+            -1 // arithmetic shift keeps the sign bit
+        } else {
+            0
+        }
+    } else {
+        v >> shift
+    }
+}
+
+/// Exact `2^e` as `f64` for block scaling.
+#[inline]
+fn pow2(e: i32) -> f64 {
+    (e as f64).exp2()
+}
+
+/// `round(v / 2^s)` with round-half-away semantics on the integer grid,
+/// matching the quantizer's shift-and-round datapath.
+#[inline]
+fn rounded_shift(v: i64, s: u32) -> i64 {
+    if s == 0 {
+        return v;
+    }
+    if s >= 62 {
+        return 0;
+    }
+    let half = 1i64 << (s - 1);
+    if v >= 0 {
+        (v + half) >> s
+    } else {
+        -((-v + half) >> s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile(f: impl Fn(usize, usize) -> f32) -> [[f32; BLOCK]; BLOCK] {
+        let mut t = [[0f32; BLOCK]; BLOCK];
+        for (i, row) in t.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = f(i, j);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn zero_tile_quantizes_to_zero_block() {
+        let b = BfpBlock::quantize(&[[0.0; 8]; 8]);
+        assert_eq!(b, BfpBlock::ZERO);
+        assert_eq!(b.to_f32(), [[0.0; 8]; 8]);
+    }
+
+    #[test]
+    fn quantize_uses_full_mantissa_range() {
+        let t = tile(|i, j| (i * 8 + j) as f32 - 32.0);
+        let b = BfpBlock::quantize(&t);
+        let max_man = b
+            .man
+            .iter()
+            .flatten()
+            .map(|&m| (m as i32).abs())
+            .max()
+            .unwrap();
+        assert!(
+            max_man >= 64,
+            "mantissa range underused: max |man| = {max_man}"
+        );
+        assert!(max_man <= 127);
+    }
+
+    #[test]
+    fn quantize_roundtrip_error_is_half_step() {
+        let t = tile(|i, j| (i as f32 * 1.7 - j as f32 * 0.3).sin() * 5.0);
+        let b = BfpBlock::quantize(&t);
+        let step = (b.exp as f64).exp2();
+        let back = b.to_f32();
+        for i in 0..8 {
+            for j in 0..8 {
+                let err = (back[i][j] as f64 - t[i][j] as f64).abs();
+                assert!(
+                    err <= step / 2.0 + 1e-12,
+                    "err {err} > step/2 {}",
+                    step / 2.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_exact_for_representable_values() {
+        // Integers up to 127 are exactly representable with exp = 0.
+        let t = tile(|i, j| (i as f32) * (j as f32));
+        let b = BfpBlock::quantize(&t);
+        assert_eq!(b.to_f32(), t);
+    }
+
+    #[test]
+    fn quantize_rejects_nan() {
+        let mut t = [[1.0f32; 8]; 8];
+        t[3][4] = f32::NAN;
+        assert_eq!(
+            BfpBlock::try_quantize(&t).unwrap_err(),
+            ArithError::NonFinite { at: (3, 4) }
+        );
+    }
+
+    #[test]
+    fn quantize_handles_full_f32_range() {
+        // The 8-bit shared exponent covers all of fp32's dynamic range
+        // (2^127 / 2^7 = 2^120 <= 127), so even f32::MAX quantizes cleanly.
+        let t = [[f32::MAX; 8]; 8];
+        let b = BfpBlock::quantize(&t);
+        // Decode in f64: rounding up at the top binade (man 128 -> exp+1,
+        // man 64) can land one step above f32::MAX, which is fine for the
+        // exponent range but saturates an f32 decode.
+        let back = b.man[0][0] as f64 * (b.exp as f64).exp2();
+        assert!((back - f32::MAX as f64).abs() / (f32::MAX as f64) < 0.01);
+        let t = [[f32::MIN_POSITIVE; 8]; 8];
+        let b = BfpBlock::quantize(&t);
+        // Tiny values may flush toward zero but must never blow up.
+        assert!(b.to_f32()[0][0].abs() <= f32::MIN_POSITIVE * 2.0);
+    }
+
+    #[test]
+    fn matmul_matches_float_reference_for_exact_inputs() {
+        // Small integers are exact under quantization, so the block product
+        // must match the real product exactly.
+        let ta = tile(|i, j| ((i + j) % 5) as f32 - 2.0);
+        let tb = tile(|i, j| ((i * 3 + j) % 7) as f32 - 3.0);
+        let (a, b) = (BfpBlock::quantize(&ta), BfpBlock::quantize(&tb));
+        let prod = a.matmul(&b).to_f32();
+        for i in 0..8 {
+            for j in 0..8 {
+                let want: f32 = (0..8).map(|k| ta[i][k] * tb[k][j]).sum();
+                assert_eq!(prod[i][j], want, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_exponents_add() {
+        let a = BfpBlock {
+            exp: 3,
+            man: [[1; 8]; 8],
+        };
+        let b = BfpBlock {
+            exp: -5,
+            man: [[1; 8]; 8],
+        };
+        let w = a.matmul(&b);
+        assert_eq!(w.exp, -2);
+        assert_eq!(w.man[0][0], 8);
+    }
+
+    #[test]
+    fn matmul_worst_case_fits_wide_mantissa() {
+        let a = BfpBlock {
+            exp: 0,
+            man: [[-128; 8]; 8],
+        };
+        let b = BfpBlock {
+            exp: 0,
+            man: [[-128; 8]; 8],
+        };
+        let w = a.matmul(&b);
+        assert_eq!(w.man[0][0], 131072);
+        assert!(w.man[0][0] < 1 << 18);
+    }
+
+    #[test]
+    fn block_add_aligns_exponents() {
+        let a = BfpBlock {
+            exp: 2,
+            man: [[16; 8]; 8],
+        }; // 64.0 each
+        let b = BfpBlock {
+            exp: 0,
+            man: [[12; 8]; 8],
+        }; // 12.0 each
+        let s = a.add(&b);
+        assert_eq!(s.exp, 2);
+        // 12 >> 2 = 3 -> 16 + 3 = 19 -> 19 * 4 = 76 = 64 + 12 exactly here.
+        assert_eq!(s.man[0][0], 19);
+        assert_eq!(s.to_f32()[0][0], 76.0);
+    }
+
+    #[test]
+    fn block_add_truncates_shifted_bits() {
+        let a = BfpBlock {
+            exp: 3,
+            man: [[1; 8]; 8],
+        };
+        let b = BfpBlock {
+            exp: 0,
+            man: [[7; 8]; 8],
+        }; // 7 >> 3 = 0: lost
+        let s = a.add(&b);
+        assert_eq!(s.man[0][0], 1, "shifted-out bits must truncate");
+    }
+
+    #[test]
+    fn block_add_is_commutative() {
+        let a = BfpBlock {
+            exp: 1,
+            man: [[-7; 8]; 8],
+        };
+        let b = BfpBlock {
+            exp: 4,
+            man: [[9; 8]; 8],
+        };
+        assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn accumulator_sums_partial_products() {
+        // Simulate C = A1*B1 + A2*B2 with exact integer tiles.
+        let ta = tile(|i, j| ((i + 2 * j) % 4) as f32);
+        let tb = tile(|i, j| ((3 * i + j) % 4) as f32 - 1.0);
+        let (a, b) = (BfpBlock::quantize(&ta), BfpBlock::quantize(&tb));
+        let mut acc = BlockAcc::new();
+        acc.add(&a.matmul(&b)).unwrap();
+        acc.add(&a.matmul(&b)).unwrap();
+        let got = acc.value().to_f32();
+        for i in 0..8 {
+            for j in 0..8 {
+                let want: f32 = (0..8).map(|k| ta[i][k] * tb[k][j]).sum::<f32>() * 2.0;
+                assert_eq!(got[i][j], want);
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_alignment_across_exponents() {
+        let mut acc = BlockAcc::new();
+        acc.add(&WideBlock {
+            exp: 0,
+            man: [[100; 8]; 8],
+        })
+        .unwrap();
+        acc.add(&WideBlock {
+            exp: 2,
+            man: [[5; 8]; 8],
+        })
+        .unwrap();
+        let v = acc.value();
+        assert_eq!(v.exp, 2);
+        assert_eq!(v.man[0][0], 100 / 4 + 5);
+    }
+
+    #[test]
+    fn accumulator_detects_overflow() {
+        // 2^46 + 2^46 = 2^47 exceeds the signed 48-bit range [-2^47, 2^47).
+        let mut acc = BlockAcc::new();
+        let big = WideBlock {
+            exp: 0,
+            man: [[(1i64 << 46); 8]; 8],
+        };
+        acc.add(&big).unwrap();
+        assert_eq!(acc.add(&big).unwrap_err(), ArithError::AccumulatorOverflow);
+
+        // 2^45 + 2^45 = 2^46 still fits.
+        let mut acc = BlockAcc::new();
+        let mid = WideBlock {
+            exp: 0,
+            man: [[(1i64 << 45); 8]; 8],
+        };
+        acc.add(&mid).unwrap();
+        acc.add(&mid).unwrap();
+        assert_eq!(acc.value().man[0][0], 1i64 << 46);
+    }
+
+    #[test]
+    fn accumulator_clear_resets() {
+        let mut acc = BlockAcc::new();
+        acc.add(&WideBlock {
+            exp: 0,
+            man: [[1; 8]; 8],
+        })
+        .unwrap();
+        assert!(!acc.is_empty());
+        acc.clear();
+        assert!(acc.is_empty());
+        assert_eq!(acc.value(), WideBlock::ZERO);
+    }
+
+    #[test]
+    fn requantize_recovers_block_scale() {
+        let w = WideBlock {
+            exp: -3,
+            man: [[1000; 8]; 8],
+        };
+        let b = w.requantize();
+        let back = b.to_f32();
+        let want = 1000.0 * 0.125;
+        assert!((back[0][0] - want).abs() / want < 0.01);
+    }
+
+    #[test]
+    fn requantize_zero() {
+        assert_eq!(WideBlock::ZERO.requantize(), BfpBlock::ZERO);
+    }
+
+    #[test]
+    fn requantize_negative_values_round_symmetrically() {
+        let mut man = [[0i64; 8]; 8];
+        man[0][0] = 1000;
+        man[0][1] = -1000;
+        let b = WideBlock { exp: 0, man }.requantize();
+        assert_eq!(b.man[0][0], -b.man[0][1]);
+    }
+
+    #[test]
+    fn shift_right_trunc_extremes() {
+        assert_eq!(shift_right_trunc(-1, 100), -1);
+        assert_eq!(shift_right_trunc(12345, 100), 0);
+        assert_eq!(shift_right_trunc(-8, 3), -1);
+        assert_eq!(shift_right_trunc(8, 3), 1);
+    }
+}

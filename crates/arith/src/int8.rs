@@ -1,0 +1,159 @@
+//! int8 primitives underlying both bfp8 MatMul and sliced fp32 arithmetic.
+//!
+//! Everything the systolic array computes bottoms out in these operations:
+//! an 8-bit multiply, a widening accumulate, and float→int8 rounding for the
+//! quantizer. The DSP48E2 packing tricks live in `bfp-dsp48`; this module is
+//! the pure integer semantics they must match.
+
+/// Multiply-accumulate: `acc + x * y` with full-width (i32) products, the
+/// semantics of one PE issue slot.
+#[inline]
+pub fn mac8(acc: i32, x: i8, y: i8) -> i32 {
+    acc + (x as i32) * (y as i32)
+}
+
+/// Dot product of two length-8 int8 vectors — one column-worth of systolic
+/// accumulation. The sum of eight `i8 × i8` products is at most
+/// `8 × 128 × 128 = 131072`, well inside 18 bits, which is why the paper's
+/// 8-row array never overflows the packed-MAC low lanes.
+#[inline]
+pub fn dot8(x: &[i8; 8], y: &[i8; 8]) -> i32 {
+    let mut acc = 0i32;
+    for k in 0..8 {
+        acc = mac8(acc, x[k], y[k]);
+    }
+    acc
+}
+
+/// Maximum possible magnitude of [`dot8`]: the headroom bound the combined
+/// MAC optimisation relies on (§II-B: "accumulation of up to 7 product terms
+/// without overflow ... configuring the row numbers as 8").
+pub const DOT8_MAX_MAG: i32 = 8 * 128 * 128;
+
+/// Round a finite `f64` to the nearest `i8`, ties to even, saturating.
+#[inline]
+pub fn round_i8_rne(x: f64) -> i8 {
+    let r = round_ties_even(x);
+    r.clamp(i8::MIN as f64, i8::MAX as f64) as i8
+}
+
+/// Round a finite `f64` toward zero to `i8`, saturating (ablation mode).
+#[inline]
+pub fn round_i8_trunc(x: f64) -> i8 {
+    x.trunc().clamp(i8::MIN as f64, i8::MAX as f64) as i8
+}
+
+/// Stochastic rounding to `i8`: round up with probability equal to the
+/// fractional part, using the caller-supplied hash as the (deterministic)
+/// random source. Unbiased in expectation — the property quantization-aware
+/// training pipelines care about.
+#[inline]
+pub fn round_i8_stochastic(x: f64, hash: u32) -> i8 {
+    let floor = x.floor();
+    let frac = x - floor; // in [0, 1)
+    let threshold = hash as f64 / (u32::MAX as f64 + 1.0);
+    let v = if threshold < frac { floor + 1.0 } else { floor };
+    v.clamp(i8::MIN as f64, i8::MAX as f64) as i8
+}
+
+/// A tiny deterministic mixer for per-element stochastic-rounding hashes
+/// (splitmix-style; position + value bits in, well-spread 32 bits out).
+#[inline]
+pub fn mix_hash(row: usize, col: usize, value_bits: u32) -> u32 {
+    let mut z = (row as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((col as u64) << 32)
+        .wrapping_add(value_bits as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as u32
+}
+
+/// Round-half-to-even on `f64` (stable replacement for unstable
+/// `f64::round_ties_even` on older toolchains; exact for our magnitudes).
+#[inline]
+pub fn round_ties_even(x: f64) -> f64 {
+    let r = x.round(); // half away from zero
+    if (x - x.trunc()).abs() == 0.5 {
+        // A tie: pick the even neighbour.
+        let down = x.trunc();
+        let up = down + x.signum();
+        if (down as i64) % 2 == 0 {
+            down
+        } else {
+            up
+        }
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac8_is_widening() {
+        assert_eq!(mac8(0, -128, -128), 16384);
+        assert_eq!(mac8(100, 127, 127), 100 + 16129);
+        assert_eq!(mac8(0, -128, 127), -16256);
+    }
+
+    #[test]
+    fn dot8_matches_naive() {
+        let x = [1i8, -2, 3, -4, 5, -6, 7, -8];
+        let y = [8i8, 7, -6, 5, -4, 3, -2, 1];
+        let want: i32 = x.iter().zip(&y).map(|(&a, &b)| a as i32 * b as i32).sum();
+        assert_eq!(dot8(&x, &y), want);
+    }
+
+    #[test]
+    fn dot8_extremes_stay_in_18_bits() {
+        // The unclamped -128 x -128 corner is exactly 2^17, one past the
+        // signed 18-bit maximum — which is why the quantizer clamps
+        // mantissas to the symmetric range [-127, 127].
+        let x = [-128i8; 8];
+        let y = [-128i8; 8];
+        assert_eq!(dot8(&x, &y), DOT8_MAX_MAG);
+        assert_eq!(DOT8_MAX_MAG, 1 << 17);
+        // Symmetric-quantized worst case does fit signed 18 bits.
+        let x = [127i8; 8];
+        let y = [-127i8; 8];
+        let v = dot8(&x, &y);
+        assert_eq!(v, -8 * 127 * 127);
+        assert!(v.abs() < 1 << 17);
+    }
+
+    #[test]
+    fn rne_rounds_ties_to_even() {
+        assert_eq!(round_i8_rne(0.5), 0);
+        assert_eq!(round_i8_rne(1.5), 2);
+        assert_eq!(round_i8_rne(2.5), 2);
+        assert_eq!(round_i8_rne(-0.5), 0);
+        assert_eq!(round_i8_rne(-1.5), -2);
+        assert_eq!(round_i8_rne(-2.5), -2);
+    }
+
+    #[test]
+    fn rne_rounds_non_ties_to_nearest() {
+        assert_eq!(round_i8_rne(1.4), 1);
+        assert_eq!(round_i8_rne(1.6), 2);
+        assert_eq!(round_i8_rne(-1.4), -1);
+        assert_eq!(round_i8_rne(-1.6), -2);
+    }
+
+    #[test]
+    fn rounding_saturates() {
+        assert_eq!(round_i8_rne(1000.0), 127);
+        assert_eq!(round_i8_rne(-1000.0), -128);
+        assert_eq!(round_i8_trunc(127.9), 127);
+        assert_eq!(round_i8_trunc(-128.9), -128);
+    }
+
+    #[test]
+    fn trunc_rounds_toward_zero() {
+        assert_eq!(round_i8_trunc(1.9), 1);
+        assert_eq!(round_i8_trunc(-1.9), -1);
+        assert_eq!(round_i8_trunc(0.99), 0);
+    }
+}

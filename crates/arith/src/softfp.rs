@@ -1,0 +1,257 @@
+//! Software decomposition of IEEE-754 single precision the way the hardware
+//! sees it: sign fused into a signed-magnitude 24-bit mantissa (hidden bit
+//! made explicit) plus an 8-bit biased exponent.
+//!
+//! The paper's processing unit stores each fp32 operand in four byte-wide
+//! BRAMs: three mantissa slices `man(0..3)` of 8 bits each and one exponent
+//! byte (Fig. 4). [`SoftFp32`] is exactly that representation.
+//!
+//! Subnormal inputs are flushed to zero (FTZ), which matches the behaviour of
+//! the modelled datapath: the exponent unit has no gradual-underflow path.
+//! Infinities and NaNs are propagated symbolically by the operations in
+//! [`crate::fpmul`] / [`crate::fpadd`] before the sliced datapath is entered.
+
+/// Number of explicit mantissa bits in fp32 (not counting the hidden bit).
+pub const FRAC_BITS: u32 = 23;
+/// Full mantissa width once the hidden bit is made explicit.
+pub const MAN_BITS: u32 = 24;
+/// IEEE-754 single precision exponent bias.
+pub const BIAS: i32 = 127;
+
+/// An unpacked fp32 value in the hardware's buffer layout: signed-magnitude
+/// 24-bit mantissa + biased exponent.
+///
+/// Invariants (checked in debug builds):
+/// * `man == 0` iff the value is zero, in which case `exp == 0`;
+/// * otherwise `man` has bit 23 set (normalised) and `1 <= exp <= 254`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftFp32 {
+    /// Sign bit; `true` means negative.
+    pub sign: bool,
+    /// Biased exponent, `0..=254` (255 ⇒ inf/NaN never reaches here).
+    pub exp: i32,
+    /// 24-bit magnitude with explicit hidden bit, or 0 for zero.
+    pub man: u32,
+}
+
+impl SoftFp32 {
+    /// The canonical +0.0 encoding.
+    pub const ZERO: SoftFp32 = SoftFp32 {
+        sign: false,
+        exp: 0,
+        man: 0,
+    };
+
+    /// Unpack a finite `f32`. Subnormals are flushed to (signed) zero.
+    ///
+    /// # Panics
+    /// Panics if `x` is infinite or NaN; callers handle those before the
+    /// sliced datapath (as the hardware's control logic would).
+    pub fn unpack(x: f32) -> Self {
+        assert!(
+            x.is_finite(),
+            "SoftFp32::unpack requires a finite input, got {x}"
+        );
+        let bits = x.to_bits();
+        let sign = bits >> 31 == 1;
+        let exp = ((bits >> FRAC_BITS) & 0xff) as i32;
+        let frac = bits & 0x7f_ffff;
+        if exp == 0 {
+            // Zero or subnormal: flush to zero, preserving the sign.
+            return SoftFp32 {
+                sign,
+                exp: 0,
+                man: 0,
+            };
+        }
+        SoftFp32 {
+            sign,
+            exp,
+            man: (1 << FRAC_BITS) | frac,
+        }
+    }
+
+    /// Pack back into an `f32`. Exponent overflow saturates to ±inf and
+    /// underflow flushes to ±0, mirroring the hardware's clamping.
+    pub fn pack(self) -> f32 {
+        if self.man == 0 {
+            return if self.sign { -0.0 } else { 0.0 };
+        }
+        debug_assert!(
+            self.man >> FRAC_BITS == 1,
+            "mantissa not normalised: {:#x}",
+            self.man
+        );
+        if self.exp >= 255 {
+            return if self.sign {
+                f32::NEG_INFINITY
+            } else {
+                f32::INFINITY
+            };
+        }
+        if self.exp <= 0 {
+            // FTZ on underflow.
+            return if self.sign { -0.0 } else { 0.0 };
+        }
+        let bits =
+            ((self.sign as u32) << 31) | ((self.exp as u32) << FRAC_BITS) | (self.man & 0x7f_ffff);
+        f32::from_bits(bits)
+    }
+
+    /// The three 8-bit mantissa slices, least-significant first:
+    /// `man(i) = man[8i+7 : 8i]` (paper Eqn. 5).
+    pub fn slices(self) -> [u8; 3] {
+        [
+            (self.man & 0xff) as u8,
+            ((self.man >> 8) & 0xff) as u8,
+            ((self.man >> 16) & 0xff) as u8,
+        ]
+    }
+
+    /// Rebuild the 24-bit mantissa from its slices (inverse of [`slices`]).
+    ///
+    /// [`slices`]: SoftFp32::slices
+    pub fn from_slices(sign: bool, exp: i32, s: [u8; 3]) -> Self {
+        let man = (s[0] as u32) | ((s[1] as u32) << 8) | ((s[2] as u32) << 16);
+        SoftFp32 { sign, exp, man }
+    }
+
+    /// True if this encodes (signed) zero.
+    pub fn is_zero(self) -> bool {
+        self.man == 0
+    }
+
+    /// The real value as `f64` (useful for exact reference computations).
+    pub fn to_f64(self) -> f64 {
+        if self.man == 0 {
+            return 0.0;
+        }
+        let mag = self.man as f64 * (self.exp - BIAS - FRAC_BITS as i32).exp2_f64();
+        if self.sign {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+/// Small helper: exact power-of-two scaling for `f64` reference math.
+trait Exp2F64 {
+    fn exp2_f64(self) -> f64;
+}
+
+impl Exp2F64 for i32 {
+    fn exp2_f64(self) -> f64 {
+        (self as f64).exp2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple_values() {
+        for &x in &[
+            0.0f32,
+            1.0,
+            -1.0,
+            1.5,
+            -2.25,
+            3.375e8,
+            -7.25e-12,
+            f32::MAX,
+            f32::MIN_POSITIVE,
+        ] {
+            assert_eq!(SoftFp32::unpack(x).pack(), x, "roundtrip failed for {x}");
+        }
+    }
+
+    #[test]
+    fn subnormals_flush_to_zero() {
+        let sub = f32::from_bits(0x0000_0001); // smallest positive subnormal
+        let u = SoftFp32::unpack(sub);
+        assert!(u.is_zero());
+        assert_eq!(u.pack(), 0.0);
+        let neg_sub = f32::from_bits(0x8000_0001);
+        let u = SoftFp32::unpack(neg_sub);
+        assert!(u.is_zero());
+        assert!(u.sign);
+        assert_eq!(u.pack().to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn hidden_bit_is_explicit() {
+        let u = SoftFp32::unpack(1.0);
+        assert_eq!(u.man, 1 << 23);
+        assert_eq!(u.exp, 127);
+        assert!(!u.sign);
+    }
+
+    #[test]
+    fn slices_reassemble() {
+        for &x in &[1.0f32, -123.456, 9.87e20, 1.1754944e-38] {
+            let u = SoftFp32::unpack(x);
+            let s = u.slices();
+            let r = SoftFp32::from_slices(u.sign, u.exp, s);
+            assert_eq!(r, u);
+        }
+    }
+
+    #[test]
+    fn slice_order_is_little_endian() {
+        // mantissa 0xABCDEF -> slices [0xEF, 0xCD, 0xAB]
+        let u = SoftFp32 {
+            sign: false,
+            exp: 127,
+            man: 0xABCDEF,
+        };
+        assert_eq!(u.slices(), [0xEF, 0xCD, 0xAB]);
+    }
+
+    #[test]
+    fn pack_saturates_exponent_overflow() {
+        let u = SoftFp32 {
+            sign: false,
+            exp: 300,
+            man: 1 << 23,
+        };
+        assert_eq!(u.pack(), f32::INFINITY);
+        let u = SoftFp32 {
+            sign: true,
+            exp: 255,
+            man: 1 << 23,
+        };
+        assert_eq!(u.pack(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn pack_flushes_exponent_underflow() {
+        let u = SoftFp32 {
+            sign: false,
+            exp: 0,
+            man: 1 << 23,
+        };
+        assert_eq!(u.pack(), 0.0);
+        let u = SoftFp32 {
+            sign: true,
+            exp: -5,
+            man: 1 << 23,
+        };
+        assert_eq!(u.pack().to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn unpack_rejects_nan() {
+        SoftFp32::unpack(f32::NAN);
+    }
+
+    #[test]
+    fn to_f64_matches_f32_value() {
+        for &x in &[1.0f32, -0.375, 6.02e23, -1.6e-19] {
+            let u = SoftFp32::unpack(x);
+            assert_eq!(u.to_f64(), x as f64);
+        }
+    }
+}

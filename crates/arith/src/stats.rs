@@ -1,0 +1,182 @@
+//! Aggregate error statistics for quantization- and datapath-fidelity
+//! experiments (SQNR, max/mean ULP, element-wise comparisons).
+
+use crate::ulp::{rel_error, ulp_distance};
+
+/// Running comparison between a "got" stream (hardware datapath) and a
+/// "want" stream (reference).
+#[derive(Debug, Clone, Default)]
+pub struct ErrorStats {
+    /// Number of element pairs observed.
+    pub count: usize,
+    /// Largest ULP distance seen.
+    pub max_ulp: u64,
+    /// Sum of ULP distances (for the mean).
+    pub sum_ulp: u128,
+    /// Largest relative error seen (f64).
+    pub max_rel: f64,
+    /// Σ want², for SQNR.
+    pub signal_energy: f64,
+    /// Σ (got − want)², for SQNR.
+    pub noise_energy: f64,
+    /// Pairs that were not bit-identical.
+    pub mismatches: usize,
+}
+
+impl ErrorStats {
+    /// Fresh, empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one pair.
+    pub fn push(&mut self, got: f32, want: f32) {
+        self.count += 1;
+        let d = ulp_distance(got, want);
+        self.max_ulp = self.max_ulp.max(d);
+        self.sum_ulp += d as u128;
+        if d != 0 {
+            self.mismatches += 1;
+        }
+        let r = rel_error(got, want);
+        if r.is_finite() {
+            self.max_rel = self.max_rel.max(r);
+        }
+        let (g, w) = (got as f64, want as f64);
+        self.signal_energy += w * w;
+        self.noise_energy += (g - w) * (g - w);
+    }
+
+    /// Record every pair from two equal-length slices.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn push_slices(&mut self, got: &[f32], want: &[f32]) {
+        assert_eq!(got.len(), want.len(), "slice length mismatch");
+        for (&g, &w) in got.iter().zip(want) {
+            self.push(g, w);
+        }
+    }
+
+    /// Mean ULP distance over all pairs (0 if empty).
+    pub fn mean_ulp(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ulp as f64 / self.count as f64
+        }
+    }
+
+    /// Signal-to-quantization-noise ratio in dB. `+inf` for a perfect match.
+    pub fn sqnr_db(&self) -> f64 {
+        if self.noise_energy == 0.0 {
+            return f64::INFINITY;
+        }
+        10.0 * (self.signal_energy / self.noise_energy).log10()
+    }
+
+    /// Fraction of pairs that were bit-identical.
+    pub fn exact_fraction(&self) -> f64 {
+        if self.count == 0 {
+            1.0
+        } else {
+            1.0 - self.mismatches as f64 / self.count as f64
+        }
+    }
+
+    /// Merge another statistics block into this one (parallel reduction).
+    pub fn merge(&mut self, other: &ErrorStats) {
+        self.count += other.count;
+        self.max_ulp = self.max_ulp.max(other.max_ulp);
+        self.sum_ulp += other.sum_ulp;
+        self.max_rel = self.max_rel.max(other.max_rel);
+        self.signal_energy += other.signal_energy;
+        self.noise_energy += other.noise_energy;
+        self.mismatches += other.mismatches;
+    }
+}
+
+impl std::fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} max_ulp={} mean_ulp={:.3} max_rel={:.3e} sqnr={:.2} dB exact={:.1}%",
+            self.count,
+            self.max_ulp,
+            self.mean_ulp(),
+            self.max_rel,
+            self.sqnr_db(),
+            self.exact_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match_has_infinite_sqnr() {
+        let mut s = ErrorStats::new();
+        s.push_slices(&[1.0, 2.0, -3.0], &[1.0, 2.0, -3.0]);
+        assert_eq!(s.max_ulp, 0);
+        assert_eq!(s.mismatches, 0);
+        assert_eq!(s.sqnr_db(), f64::INFINITY);
+        assert_eq!(s.exact_fraction(), 1.0);
+    }
+
+    #[test]
+    fn detects_single_ulp_deviation() {
+        let mut s = ErrorStats::new();
+        let x = 1.0f32;
+        s.push(f32::from_bits(x.to_bits() + 1), x);
+        assert_eq!(s.max_ulp, 1);
+        assert_eq!(s.mismatches, 1);
+        assert!(s.sqnr_db() > 100.0); // tiny noise
+    }
+
+    #[test]
+    fn sqnr_for_known_noise() {
+        // signal 1.0, noise 0.1 -> SQNR = 10*log10(1/0.01) = 20 dB
+        let mut s = ErrorStats::new();
+        s.push(1.1, 1.0);
+        assert!((s.sqnr_db() - 20.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_maxima() {
+        let mut a = ErrorStats::new();
+        a.push(1.0, 1.0);
+        let mut b = ErrorStats::new();
+        b.push(2.5, 2.0);
+        a.merge(&b);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.mismatches, 1);
+        assert!(a.max_rel > 0.2);
+    }
+
+    #[test]
+    fn mean_ulp_averages() {
+        let mut s = ErrorStats::new();
+        let x = 1.0f32;
+        s.push(x, x);
+        s.push(f32::from_bits(x.to_bits() + 2), x);
+        assert_eq!(s.mean_ulp(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_slices_panic() {
+        let mut s = ErrorStats::new();
+        s.push_slices(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut s = ErrorStats::new();
+        s.push(1.0, 1.0);
+        let text = format!("{s}");
+        assert!(text.contains("n=1"));
+        assert!(text.contains("sqnr"));
+    }
+}

@@ -1,0 +1,97 @@
+//! ULP (units in the last place) distance between `f32` values.
+//!
+//! Used throughout the test suite and the fidelity benches to bound how far
+//! the hardware datapaths stray from IEEE-754 round-to-nearest results.
+
+/// Map an `f32` to a monotonically ordered signed integer so that the
+/// absolute difference of two mapped values is their ULP distance.
+fn ordered(x: f32) -> i64 {
+    let bits = x.to_bits() as i32;
+    // Negative floats order in reverse of their bit pattern; flip them onto
+    // the same lattice as positives (-0.0 maps to 0, like +0.0).
+    if bits < 0 {
+        (i32::MIN as i64) - (bits as i64)
+    } else {
+        bits as i64
+    }
+}
+
+/// ULP distance between two finite floats. `0` means bit-identical (or
+/// `+0.0` vs `-0.0`, which are numerically equal and treated as distance 0).
+///
+/// # Panics
+/// Panics if either input is NaN; callers compare NaN-ness separately.
+pub fn ulp_distance(a: f32, b: f32) -> u64 {
+    assert!(
+        !a.is_nan() && !b.is_nan(),
+        "ulp_distance is undefined for NaN"
+    );
+    if a == b {
+        return 0; // catches +0 == -0 as well
+    }
+    (ordered(a) - ordered(b)).unsigned_abs()
+}
+
+/// Relative error `|got - want| / |want|`, computed in `f64`. Returns 0 when
+/// both are zero and infinity when only `want` is zero.
+pub fn rel_error(got: f32, want: f32) -> f64 {
+    let (g, w) = (got as f64, want as f64);
+    if w == 0.0 {
+        return if g == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    ((g - w) / w).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_values_are_zero_apart() {
+        assert_eq!(ulp_distance(1.5, 1.5), 0);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+    }
+
+    #[test]
+    fn adjacent_floats_are_one_apart() {
+        let x = 1.0f32;
+        let next = f32::from_bits(x.to_bits() + 1);
+        assert_eq!(ulp_distance(x, next), 1);
+        let nx = -1.0f32;
+        let next = f32::from_bits(nx.to_bits() + 1); // toward zero
+        assert_eq!(ulp_distance(nx, next), 1);
+    }
+
+    #[test]
+    fn distance_crosses_zero_correctly() {
+        let tiny_pos = f32::from_bits(1);
+        let tiny_neg = f32::from_bits(0x8000_0001);
+        assert_eq!(ulp_distance(tiny_pos, tiny_neg), 2);
+        assert_eq!(ulp_distance(tiny_pos, 0.0), 1);
+        assert_eq!(ulp_distance(tiny_neg, 0.0), 1);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(ulp_distance(1.0, 1.0000001), ulp_distance(1.0000001, 1.0));
+    }
+
+    #[test]
+    fn larger_gaps_grow() {
+        assert!(ulp_distance(1.0, 2.0) > ulp_distance(1.0, 1.5));
+    }
+
+    #[test]
+    fn rel_error_basics() {
+        assert_eq!(rel_error(1.0, 1.0), 0.0);
+        assert!((rel_error(1.01, 1.0) - 0.01).abs() < 1e-6);
+        assert_eq!(rel_error(0.0, 0.0), 0.0);
+        assert_eq!(rel_error(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        ulp_distance(f32::NAN, 1.0);
+    }
+}

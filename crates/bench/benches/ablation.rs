@@ -1,0 +1,143 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * dropped least-significant partial product (8 vs 9 products) — ULP cost;
+//! * truncation vs round-to-nearest-even at the multiplier's normaliser;
+//! * fp32 add datapath width (48-bit window vs literal 24-bit Eqn. 6);
+//! * bfp block size (4 / 8 / 16) — quantization SQNR vs hardware cost.
+//!
+//! Accuracy numbers are printed (they are the result); timing keeps a
+//! regression watch on the simulation cost of each variant.
+
+use bfp_arith::fpadd::{AddVariant, HwFp32Add};
+use bfp_arith::fpmul::{HwFp32Mul, MulVariant, NormRound};
+use bfp_arith::matrix::MatF32;
+use bfp_arith::quant::Quantizer;
+use bfp_arith::stats::ErrorStats;
+use bfp_platform::{ArrayParams, PuCostModel};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn sample_pairs(n: usize) -> Vec<(f32, f32)> {
+    let mut state = 0x1357_9bdfu32;
+    (0..n)
+        .map(|_| {
+            let mut next = || {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                f32::from_bits(
+                    0x3e80_0000u32.wrapping_add((state % 6) << 23) | ((state >> 9) & 0x7f_ffff),
+                ) * if state & 1 == 0 { 1.0 } else { -1.0 }
+            };
+            (next(), next())
+        })
+        .collect()
+}
+
+fn mul_variants(c: &mut Criterion) {
+    let pairs = sample_pairs(100_000);
+    let configs = [
+        ("exact_trunc", MulVariant::Exact, NormRound::Truncate),
+        (
+            "drop_lsp_trunc (paper)",
+            MulVariant::DropLsp,
+            NormRound::Truncate,
+        ),
+        ("exact_rne", MulVariant::Exact, NormRound::NearestEven),
+        ("drop_lsp_rne", MulVariant::DropLsp, NormRound::NearestEven),
+    ];
+    for (name, v, r) in configs {
+        let m = HwFp32Mul {
+            variant: v,
+            round: r,
+        };
+        let mut stats = ErrorStats::new();
+        for &(x, y) in &pairs {
+            stats.push(m.mul(x, y), x * y);
+        }
+        println!("ablation/fpmul {name}: {stats}");
+    }
+
+    let mut g = c.benchmark_group("ablation_fpmul");
+    for (name, v, r) in configs {
+        let m = HwFp32Mul {
+            variant: v,
+            round: r,
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(name), &m, |b, m| {
+            b.iter(|| {
+                let mut acc = 0f32;
+                for &(x, y) in pairs.iter().take(1000) {
+                    acc += m.mul(black_box(x), black_box(y));
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn add_variants(c: &mut Criterion) {
+    let pairs = sample_pairs(100_000);
+    for (name, v) in [
+        ("exact48 (paper)", AddVariant::Exact48),
+        ("truncate24", AddVariant::Truncate24),
+    ] {
+        let a = HwFp32Add::new(v);
+        let mut stats = ErrorStats::new();
+        for &(x, y) in &pairs {
+            stats.push(a.add(x, y), x + y);
+        }
+        println!("ablation/fpadd {name}: {stats}");
+    }
+    let mut g = c.benchmark_group("ablation_fpadd");
+    for (name, v) in [
+        ("exact48", AddVariant::Exact48),
+        ("truncate24", AddVariant::Truncate24),
+    ] {
+        let a = HwFp32Add::new(v);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &a, |b, a| {
+            b.iter(|| {
+                let mut acc = 0f32;
+                for &(x, y) in pairs.iter().take(1000) {
+                    acc = a.add(acc, a.add(black_box(x), black_box(y)));
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn block_sizes(c: &mut Criterion) {
+    let m = MatF32::from_fn(128, 128, |i, j| {
+        let base = ((i * 31 + j * 17) % 97) as f32 / 97.0 - 0.5;
+        if (i / 8 + j / 8) % 7 == 0 {
+            base * 50.0
+        } else {
+            base
+        }
+    });
+    for block in [4usize, 8, 16] {
+        let q = Quantizer::with_block(block);
+        let stats = q.quantize(&m).unwrap().fidelity(&m);
+        // Hardware cost scales with the array that matches the block.
+        let cost = PuCostModel::unit_total(ArrayParams {
+            rows: block,
+            cols: block,
+        });
+        println!(
+            "ablation/block_size {block}x{block}: SQNR {:.2} dB | modelled unit: {}",
+            stats.sqnr_db(),
+            cost
+        );
+    }
+    let mut g = c.benchmark_group("ablation_block_size");
+    for block in [4usize, 8, 16] {
+        let q = Quantizer::with_block(block);
+        g.bench_with_input(BenchmarkId::from_parameter(block), &q, |b, q| {
+            b.iter(|| q.quantize(black_box(&m)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, mul_variants, add_variants, block_sizes);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Microbenchmarks of the arithmetic primitives: bfp8 block operations and
+//! the sliced fp32 datapath, against native f32 as the speed-of-light
+//! reference. These quantify the cost of bit-exact simulation, not of the
+//! hardware — hardware throughput comes from the cycle model (Fig. 7).
+
+use bfp_arith::bfp::{BfpBlock, BlockAcc};
+use bfp_arith::fpadd::{AddVariant, HwFp32Add};
+use bfp_arith::fpmul::{HwFp32Mul, MulVariant};
+use bfp_arith::matrix::MatF32;
+use bfp_arith::quant::Quantizer;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_block_ops(c: &mut Criterion) {
+    let tile_a = {
+        let mut t = [[0f32; 8]; 8];
+        for (i, row) in t.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = ((i * 8 + j) as f32 * 0.37).sin() * 5.0;
+            }
+        }
+        t
+    };
+    let a = BfpBlock::quantize(&tile_a);
+    let b = BfpBlock::quantize(&tile_a);
+
+    c.bench_function("bfp8/block_quantize", |bch| {
+        bch.iter(|| BfpBlock::quantize(black_box(&tile_a)))
+    });
+    c.bench_function("bfp8/block_matmul_8x8x8", |bch| {
+        bch.iter(|| black_box(&a).matmul(black_box(&b)))
+    });
+    c.bench_function("bfp8/block_accumulate", |bch| {
+        let w = a.matmul(&b);
+        bch.iter(|| {
+            let mut acc = BlockAcc::new();
+            acc.add(black_box(&w)).unwrap();
+            acc.add(black_box(&w)).unwrap();
+            acc.value()
+        })
+    });
+}
+
+fn bench_fp32_datapath(c: &mut Criterion) {
+    let hw_mul = HwFp32Mul::new(MulVariant::DropLsp);
+    let exact_mul = HwFp32Mul::new(MulVariant::Exact);
+    let hw_add = HwFp32Add::new(AddVariant::Exact48);
+    let (x, y) = (1.234567f32, -7.654321f32);
+
+    c.bench_function("fp32/native_mul", |b| {
+        b.iter(|| black_box(x) * black_box(y))
+    });
+    c.bench_function("fp32/hw_mul_drop_lsp", |b| {
+        b.iter(|| hw_mul.mul(black_box(x), black_box(y)))
+    });
+    c.bench_function("fp32/hw_mul_exact", |b| {
+        b.iter(|| exact_mul.mul(black_box(x), black_box(y)))
+    });
+    c.bench_function("fp32/native_add", |b| {
+        b.iter(|| black_box(x) + black_box(y))
+    });
+    c.bench_function("fp32/hw_add_exact48", |b| {
+        b.iter(|| hw_add.add(black_box(x), black_box(y)))
+    });
+}
+
+fn bench_matrix_quantize(c: &mut Criterion) {
+    let m = MatF32::from_fn(128, 128, |i, j| ((i * 131 + j * 17) as f32 * 0.001).sin());
+    let q = Quantizer::paper();
+    c.bench_function("quantizer/128x128_to_bfp8", |b| {
+        b.iter(|| q.quantize(black_box(&m)).unwrap())
+    });
+    let qm = q.quantize(&m).unwrap();
+    c.bench_function("quantizer/128x128_dequantize", |b| {
+        b.iter(|| qm.dequantize())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_block_ops,
+    bench_fp32_datapath,
+    bench_matrix_quantize
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! GEMM benchmarks at the layer shapes DeiT-Small actually executes
+//! (Table IV's bfp8 partition), comparing the bfp8 pipeline simulation
+//! against the f32 reference implementation, plus the 30-array parallel
+//! card simulation.
+
+use bfp_arith::matrix::MatF32;
+use bfp_arith::quant::Quantizer;
+use bfp_platform::System;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// The distinct GEMM shapes of one DeiT-Small block (seq 197, dim 384).
+const SHAPES: [(&str, usize, usize, usize); 4] = [
+    ("qkv_or_proj_197x384x384", 197, 384, 384),
+    ("scores_197x64x197", 197, 64, 197),
+    ("fc1_197x384x1536", 197, 384, 1536),
+    ("fc2_197x1536x384", 197, 1536, 384),
+];
+
+fn layer_gemms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deit_layer_gemm");
+    g.sample_size(10);
+    for (name, m, k, n) in SHAPES {
+        let a = MatF32::from_fn(m, k, |i, j| ((i * 7 + j) as f32 * 0.01).sin());
+        let b = MatF32::from_fn(k, n, |i, j| ((i + j * 3) as f32 * 0.005).cos());
+        g.bench_with_input(BenchmarkId::new("f32_reference", name), &name, |bch, _| {
+            bch.iter(|| black_box(&a).matmul(black_box(&b)))
+        });
+        let q = Quantizer::paper();
+        g.bench_with_input(BenchmarkId::new("bfp8_pipeline", name), &name, |bch, _| {
+            bch.iter(|| {
+                let qa = q.quantize(black_box(&a)).unwrap();
+                let qb = q.quantize(black_box(&b)).unwrap();
+                qa.matmul(&qb)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn parallel_card(c: &mut Criterion) {
+    let mut g = c.benchmark_group("card_parallel_gemm");
+    g.sample_size(10);
+    let a = MatF32::from_fn(512, 384, |i, j| ((i + j) as f32 * 0.01).sin());
+    let b = MatF32::from_fn(384, 384, |i, j| ((i * 2 + j) as f32 * 0.02).cos());
+    let sys = System::paper();
+    g.bench_function("30_arrays_512x384x384", |bch| {
+        bch.iter(|| sys.matmul_f32(black_box(&a), black_box(&b)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, layer_gemms, parallel_card);
+criterion_main!(benches);

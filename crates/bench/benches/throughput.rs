@@ -1,0 +1,93 @@
+//! Fig. 7 as a bench: the cycle-level simulator runs the same workloads the
+//! paper measures (bfp8 passes at N_X ∈ {8..64}, fp32 bursts at
+//! L ∈ {8..128}) and reports both wall time of the simulation and — via
+//! printed summaries — the modelled hardware throughput.
+
+use bfp_arith::bfp::BfpBlock;
+use bfp_platform::System;
+use bfp_pu::unit::{Fidelity, ProcessingUnit, UnitConfig};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bfp_pass(c: &mut Criterion) {
+    let sys = System::paper();
+    let mut g = c.benchmark_group("fig7_bfp8_pass");
+    for nx in [8usize, 16, 32, 64] {
+        println!(
+            "fig7/bfp8 Nx={nx}: theoretical {:.1} GOPS, measured {:.1} GOPS",
+            sys.theoretical_bfp_gops(nx),
+            sys.measured_bfp_gops(nx)
+        );
+        let xs = vec![
+            BfpBlock {
+                exp: 1,
+                man: [[7; 8]; 8]
+            };
+            nx
+        ];
+        let y = BfpBlock {
+            exp: -2,
+            man: [[-3; 8]; 8],
+        };
+        g.bench_with_input(BenchmarkId::new("functional", nx), &nx, |b, _| {
+            b.iter(|| {
+                let mut unit = ProcessingUnit::default();
+                unit.load_y_pair(black_box(&y), black_box(&y));
+                unit.stream_x(black_box(&xs));
+                unit.take_psu(xs.len())
+            })
+        });
+    }
+    g.finish();
+
+    // The stepped (per-DSP-clock) simulation at one design point, to keep a
+    // regression watch on the full-fidelity path.
+    let mut g = c.benchmark_group("fig7_bfp8_pass_stepped");
+    g.sample_size(10);
+    let xs = vec![
+        BfpBlock {
+            exp: 1,
+            man: [[7; 8]; 8]
+        };
+        16
+    ];
+    let y = BfpBlock {
+        exp: -2,
+        man: [[-3; 8]; 8],
+    };
+    g.bench_function("stepped_nx16", |b| {
+        b.iter(|| {
+            let mut unit = ProcessingUnit::new(UnitConfig {
+                fidelity: Fidelity::Stepped,
+                ..Default::default()
+            });
+            unit.load_y_pair(black_box(&y), black_box(&y));
+            unit.stream_x(black_box(&xs));
+            unit.take_psu(xs.len())
+        })
+    });
+    g.finish();
+}
+
+fn fp32_burst(c: &mut Criterion) {
+    let sys = System::paper();
+    let mut g = c.benchmark_group("fig7_fp32_burst");
+    for l in [8usize, 32, 128] {
+        println!(
+            "fig7/fp32 L={l}: theoretical {:.2} GFLOPS, measured {:.2} GFLOPS",
+            sys.theoretical_fp32_gflops(l),
+            sys.measured_fp32_gflops(l)
+        );
+        let xs: Vec<f32> = (0..4 * l).map(|k| (k as f32 * 0.13).sin() + 1.5).collect();
+        let ys: Vec<f32> = (0..4 * l).map(|k| (k as f32 * 0.29).cos() - 1.5).collect();
+        g.bench_with_input(BenchmarkId::new("mul_stream", l), &l, |b, _| {
+            b.iter(|| {
+                let mut unit = ProcessingUnit::default();
+                unit.fp_mul_stream(black_box(&xs), black_box(&ys))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bfp_pass, fp32_burst);
+criterion_main!(benches);

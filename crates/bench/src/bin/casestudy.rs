@@ -1,0 +1,82 @@
+//! Case-study sweep: how the linear/non-linear split evolves across the
+//! DeiT family and with sequence length.
+//!
+//! Extends Table IV along the axis the paper cites from Softermax (ref. 8):
+//! "as the embedding dimension increases, the latency of non-linear
+//! functions in Transformers increases significantly" — and softmax work
+//! grows *quadratically* in sequence length, so longer inputs make the
+//! fp32 bottleneck worse, not better.
+
+use bfp_core::{fmt_si, LatencyModel, Table};
+use bfp_transformer::{analytical_census, VitConfig};
+
+fn main() {
+    let model = LatencyModel::paper();
+
+    println!("Case study: Table IV's split across the DeiT family\n");
+    let mut t = Table::new(
+        "Model sweep (seq 197)",
+        &[
+            "Model",
+            "dim",
+            "bfp8 OPs",
+            "fp32 FLOPs",
+            "fp32 ops %",
+            "fp32 latency %",
+            "total ms",
+        ],
+    );
+    for (name, cfg) in [
+        ("DeiT-Tiny", VitConfig::deit_tiny()),
+        ("DeiT-Small", VitConfig::deit_small()),
+        ("DeiT-Base", VitConfig::deit_base()),
+    ] {
+        let census = analytical_census(&cfg);
+        let b = model.breakdown(&census);
+        t.row(&[
+            name.into(),
+            cfg.dim.to_string(),
+            fmt_si(census.bfp_ops() as f64),
+            fmt_si(census.fp32_flops() as f64),
+            format!("{:.2}", b.fp32_ops_percent()),
+            format!("{:.2}", b.fp32_latency_percent()),
+            format!("{:.3}", b.total_latency_s() * 1e3),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!();
+    let mut t = Table::new(
+        "Sequence-length sweep (DeiT-Small width)",
+        &[
+            "seq",
+            "bfp8 OPs",
+            "softmax FLOPs",
+            "fp32 ops %",
+            "fp32 latency %",
+        ],
+    );
+    for seq in [64usize, 197, 384, 784, 1568] {
+        let cfg = VitConfig {
+            seq,
+            ..VitConfig::deit_small()
+        };
+        let census = analytical_census(&cfg);
+        let b = model.breakdown(&census);
+        t.row(&[
+            seq.to_string(),
+            fmt_si(census.bfp_ops() as f64),
+            fmt_si(census.softmax.flops() as f64),
+            format!("{:.2}", b.fp32_ops_percent()),
+            format!("{:.2}", b.fp32_latency_percent()),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!(
+        "\n-> the fp32 bottleneck does not wash out at scale: softmax work is\n\
+         O(seq^2) while its throughput stays 137x below the bfp8 path, so\n\
+         longer sequences keep the non-linear unit on the critical path —\n\
+         the paper's motivation for optimising it (SSV)."
+    );
+}

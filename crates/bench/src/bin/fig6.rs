@@ -1,0 +1,57 @@
+//! Fig. 6 — resource utilisation of the four PE-array design variants,
+//! normalised to the int8 design.
+
+use bfp_core::Table;
+use bfp_platform::DesignVariant;
+
+fn main() {
+    println!("Reproducing Fig. 6: resource utilisation of different PE-array designs");
+    println!("(assessed subset: PE array + exponent unit + shifters + controller)\n");
+
+    let base = DesignVariant::Int8.assessed_usage();
+
+    let mut abs = Table::new("Absolute (modelled)", &["Design", "LUT", "FF", "DSP"]);
+    let mut norm = Table::new(
+        "Normalised to int8 (the figure's y-axis)",
+        &["Design", "LUT", "FF", "DSP"],
+    );
+    for v in DesignVariant::ALL {
+        let u = v.assessed_usage();
+        abs.row(&[
+            v.name().to_string(),
+            format!("{:.0}", u.lut),
+            format!("{:.0}", u.ff),
+            format!("{:.0}", u.dsp),
+        ]);
+        let n = u.normalized_to(&base);
+        norm.row(&[
+            v.name().to_string(),
+            format!("{:.2}x", n.lut),
+            format!("{:.2}x", n.ff),
+            format!("{:.2}x", n.dsp),
+        ]);
+    }
+    print!("{}", abs.render());
+    println!();
+    print!("{}", norm.render());
+
+    let bfp = DesignVariant::Bfp8Only.assessed_usage();
+    let multi = DesignVariant::MultiMode.assessed_usage();
+    let indiv = DesignVariant::Individual.assessed_usage();
+    println!("\nPaper's claims, checked against the model:");
+    println!(
+        "  bfp8 FF = 1.19x int8           -> modelled {:.2}x",
+        bfp.ff / DesignVariant::Int8.assessed_usage().ff
+    );
+    println!(
+        "  multi-mode LUT = 2.94x bfp8    -> modelled {:.2}x",
+        multi.lut / bfp.lut
+    );
+    println!(
+        "  vs individual units: saves {:.1}% DSP, {:.1}% FF, {:.1}% LUT\n\
+         \x20                 (paper:  20.0% DSP, 61.2% FF, 43.6% LUT)",
+        100.0 * (1.0 - multi.dsp / indiv.dsp),
+        100.0 * (1.0 - multi.ff / indiv.ff),
+        100.0 * (1.0 - multi.lut / indiv.lut),
+    );
+}

@@ -1,0 +1,105 @@
+//! Fig. 7 — measured vs theoretical throughput of the full system under
+//! different workloads: bfp8 MatMul at stream lengths N_X ∈ {8,16,32,64}
+//! and fp32 multiplication at L ∈ {8,...,128}.
+//!
+//! "Theoretical" comes from Eqns. 9–10; "measured" runs the cycle-level
+//! unit simulation for the compute part and adds the calibrated HBM/AXI
+//! overhead, exactly how the paper's numbers include memory I/O latency.
+
+use bfp_arith::bfp::BfpBlock;
+use bfp_core::Table;
+use bfp_platform::System;
+use bfp_pu::throughput;
+use bfp_pu::unit::ProcessingUnit;
+
+fn main() {
+    let sys = System::paper();
+    let arrays = sys.cfg.total_arrays() as f64;
+
+    println!("Reproducing Fig. 7: measured vs theoretical throughput (30 arrays)\n");
+
+    let mut left = Table::new(
+        "bfp8 MatMul (left panel), GOPS",
+        &[
+            "N_X",
+            "compute cycles (sim)",
+            "theoretical",
+            "measured",
+            "measured/theory",
+        ],
+    );
+    for nx in [8usize, 16, 32, 64] {
+        // Cycle-level simulation of one Y-stationary pass.
+        let mut unit = ProcessingUnit::default();
+        let xs = vec![
+            BfpBlock {
+                exp: 0,
+                man: [[1; 8]; 8]
+            };
+            nx
+        ];
+        unit.load_y_pair(&xs[0], &xs[0]);
+        unit.stream_x(&xs);
+        let sim_cycles = unit.stats().cycles;
+        assert_eq!(
+            sim_cycles,
+            throughput::bfp_pass_cycles(nx),
+            "sim must match Eqn. 9"
+        );
+
+        let theo = sys.theoretical_bfp_gops(nx);
+        let meas = sys.measured_bfp_gops(nx);
+        left.row(&[
+            nx.to_string(),
+            sim_cycles.to_string(),
+            format!("{theo:.1}"),
+            format!("{meas:.1}"),
+            format!("{:.1}%", 100.0 * meas / theo),
+        ]);
+    }
+    print!("{}", left.render());
+    println!(
+        "Paper's operating point: 2052.06 GOPS measured at N_X = 64 -> modelled {:.2} GOPS\n",
+        sys.measured_bfp_gops(64)
+    );
+
+    let mut right = Table::new(
+        "fp32 multiplication (right panel), GFLOPS",
+        &[
+            "L_fp",
+            "compute cycles (sim)",
+            "theoretical",
+            "measured",
+            "measured/theory",
+        ],
+    );
+    for l in [8usize, 16, 32, 64, 128] {
+        // Cycle-level simulation of one burst on one lane set.
+        let mut unit = ProcessingUnit::default();
+        let xs = vec![1.5f32; 4 * l];
+        let _ = unit.fp_mul_stream(&xs, &xs);
+        let sim_cycles = unit.stats().cycles;
+        assert_eq!(
+            sim_cycles,
+            throughput::fp32_burst_cycles(l),
+            "sim must match Eqn. 10"
+        );
+
+        let theo = sys.theoretical_fp32_gflops(l);
+        let meas = sys.measured_fp32_gflops(l);
+        right.row(&[
+            l.to_string(),
+            sim_cycles.to_string(),
+            format!("{theo:.2}"),
+            format!("{meas:.2}"),
+            format!("{:.1}%", 100.0 * meas / theo),
+        ]);
+    }
+    print!("{}", right.render());
+    println!(
+        "Paper: theoretical max 33.88 GFLOPS -> modelled {:.2}; measured stays far below\n\
+         (unoptimised burst lengths / random access), matching the figure's message.",
+        sys.theoretical_fp32_gflops(128)
+    );
+    let _ = arrays;
+}

@@ -1,0 +1,79 @@
+//! Dependency-aware execution timeline for DeiT-Small — the "automatic
+//! compilation framework" extension: the operator DAG is scheduled onto the
+//! 30-array card and compared against the simple Table IV
+//! throughput-division estimate.
+
+use bfp_core::{fmt_si, lower_vit, schedule, LatencyModel, Table};
+use bfp_platform::System;
+use bfp_transformer::{analytical_census, VitConfig};
+
+fn main() {
+    let cfg = VitConfig::deit_small();
+    let sys = System::paper();
+    println!(
+        "Scheduling DeiT-Small onto {} arrays\n",
+        sys.cfg.total_arrays()
+    );
+
+    let g = lower_vit(&cfg);
+    println!(
+        "operator graph: {} nodes, {} bfp8 ops, {} fp32 flops",
+        g.nodes.len(),
+        fmt_si(g.total_bfp_ops() as f64),
+        fmt_si(g.total_fp32_flops() as f64)
+    );
+
+    let s = schedule(&g, &sys);
+    let freq = sys.freq_hz;
+
+    let mut t = Table::new("Schedule summary", &["Metric", "Value"]);
+    t.row(&["levels".into(), s.levels.len().to_string()]);
+    t.row(&[
+        "makespan".into(),
+        format!("{:.3} ms", s.seconds(freq) * 1e3),
+    ]);
+    t.row(&[
+        "bfp8-level cycles".into(),
+        format!(
+            "{:.0} ({:.1}%)",
+            s.bfp_cycles,
+            100.0 * s.bfp_cycles / s.makespan_cycles
+        ),
+    ]);
+    t.row(&[
+        "fp32-level cycles".into(),
+        format!(
+            "{:.0} ({:.1}%)",
+            s.fp32_cycles,
+            100.0 * s.fp32_cycles / s.makespan_cycles
+        ),
+    ]);
+    t.row(&[
+        "mode-switch cycles".into(),
+        format!("{:.0}", s.switch_cycles),
+    ]);
+    t.row(&[
+        "serial (1 array)".into(),
+        format!("{:.3} ms", s.serial_cycles / freq * 1e3),
+    ]);
+    t.row(&["speedup".into(), format!("{:.1}x", s.speedup())]);
+    print!("{}", t.render());
+
+    // Compare with the throughput-division model (Table IV).
+    let census = analytical_census(&cfg);
+    let table4 = LatencyModel::from_system(&sys).breakdown(&census);
+    println!(
+        "\nThroughput-division estimate (table4 bin): {:.3} ms",
+        table4.total_latency_s() * 1e3
+    );
+    println!(
+        "Dependency-aware schedule:                  {:.3} ms ({:+.1}% — stalls + switches)",
+        s.seconds(freq) * 1e3,
+        100.0 * (s.seconds(freq) / table4.total_latency_s() - 1.0)
+    );
+    println!(
+        "\nfp32 levels take {:.1}% of the makespan — the Table IV conclusion,\n\
+         now visible on a dependency-accurate timeline.",
+        100.0 * s.fp32_cycles / s.makespan_cycles
+    );
+}

@@ -1,0 +1,216 @@
+//! The mixed-precision compiler: lowers matrix workloads onto the
+//! processing unit's instruction set ([`bfp_pu::isa`]).
+//!
+//! The paper positions the multi-mode unit as a target for "top-level
+//! compilers" that "map different types of workload to the hardware with
+//! mixed-precision during runtime" (§III-B). This module is that layer for
+//! the workloads the evaluation uses: blocked GEMMs (Y-pair stationary,
+//! PSU-chunked M streaming) and element-wise fp32 vector expressions.
+
+use bfp_arith::bfp::WideBlock;
+use bfp_arith::matrix::MatF32;
+use bfp_arith::quant::Quantizer;
+use bfp_pu::isa::{Env, Instr, Program};
+use bfp_pu::unit::{grid_from_matrix, BlockGrid};
+use bfp_pu::MAX_X_BLOCKS;
+
+/// A compiled GEMM: program, environment, and the output-tile schedule
+/// needed to reassemble the drained blocks into a matrix.
+#[derive(Debug)]
+pub struct CompiledGemm {
+    /// The instruction stream.
+    pub program: Program,
+    /// Operand registers.
+    pub env: Env,
+    /// For each `Drain`, the `(m_tile_range_start, chunk, n0, has_n1)`
+    /// placement of the drained blocks.
+    pub schedule: Vec<DrainSlot>,
+    /// Output dimensions in tiles.
+    pub out_tiles: (usize, usize),
+    /// Logical output dimensions in elements.
+    pub out_shape: (usize, usize),
+}
+
+/// Where one `Drain` instruction's results land in the output grid.
+#[derive(Debug, Clone, Copy)]
+pub struct DrainSlot {
+    /// First output block-row of the chunk.
+    pub m0: usize,
+    /// Number of block-rows drained.
+    pub chunk: usize,
+    /// Output block-column of lane 1.
+    pub n0: usize,
+    /// Whether lane 2 carries a real tile (`n0 + 1`).
+    pub has_n1: bool,
+}
+
+/// Compile `a · b` (f32 matrices) into a unit program.
+///
+/// # Panics
+/// Panics on inner-dimension mismatch or non-finite inputs.
+pub fn compile_gemm(a: &MatF32, b: &MatF32) -> CompiledGemm {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions");
+    let q = Quantizer::paper();
+    let ga = grid_from_matrix(&q.quantize(a).expect("finite lhs"));
+    let gb = grid_from_matrix(&q.quantize(b).expect("finite rhs"));
+    compile_gemm_blocks(&ga, &gb, (a.rows(), b.cols()))
+}
+
+/// Compile a GEMM already in block-grid form.
+pub fn compile_gemm_blocks(
+    a: &BlockGrid,
+    b: &BlockGrid,
+    out_shape: (usize, usize),
+) -> CompiledGemm {
+    let mb = a.len();
+    let kb = b.len();
+    let nb = b.first().map(|r| r.len()).unwrap_or(0);
+    assert!(a.iter().all(|r| r.len() == kb), "ragged lhs grid");
+
+    let mut env = Env::default();
+    let zero = env.push_block(bfp_arith::bfp::BfpBlock::ZERO);
+    // Register every tile once.
+    let ra: Vec<Vec<usize>> = a
+        .iter()
+        .map(|row| row.iter().map(|&blk| env.push_block(blk)).collect())
+        .collect();
+    let rb: Vec<Vec<usize>> = b
+        .iter()
+        .map(|row| row.iter().map(|&blk| env.push_block(blk)).collect())
+        .collect();
+
+    let mut code = Vec::new();
+    let mut schedule = Vec::new();
+    for n0 in (0..nb).step_by(2) {
+        let has_n1 = n0 + 1 < nb;
+        for m0 in (0..mb).step_by(MAX_X_BLOCKS) {
+            let chunk = (mb - m0).min(MAX_X_BLOCKS);
+            for k in 0..kb {
+                let y1 = rb[k][n0];
+                let y2 = if has_n1 { rb[k][n0 + 1] } else { zero };
+                code.push(Instr::LoadY { y1, y2 });
+                code.push(Instr::StreamX {
+                    xs: (0..chunk).map(|dm| ra[m0 + dm][k]).collect(),
+                });
+            }
+            code.push(Instr::Drain { n: chunk });
+            schedule.push(DrainSlot {
+                m0,
+                chunk,
+                n0,
+                has_n1,
+            });
+        }
+    }
+
+    CompiledGemm {
+        program: Program { code },
+        env,
+        schedule,
+        out_tiles: (mb, nb),
+        out_shape,
+    }
+}
+
+impl CompiledGemm {
+    /// Reassemble drained blocks (in drain order) into the output matrix.
+    ///
+    /// # Panics
+    /// Panics if `drained` does not match the schedule.
+    pub fn assemble(&self, drained: &[(WideBlock, WideBlock)]) -> MatF32 {
+        let (mb, nb) = self.out_tiles;
+        let mut grid = vec![vec![WideBlock::ZERO; nb]; mb];
+        let mut cursor = 0;
+        for slot in &self.schedule {
+            for dm in 0..slot.chunk {
+                let (z1, z2) = drained[cursor];
+                cursor += 1;
+                grid[slot.m0 + dm][slot.n0] = z1;
+                if slot.has_n1 {
+                    grid[slot.m0 + dm][slot.n0 + 1] = z2;
+                }
+            }
+        }
+        assert_eq!(
+            cursor,
+            drained.len(),
+            "drained block count must match schedule"
+        );
+        let (rows, cols) = self.out_shape;
+        MatF32::from_fn(rows, cols, |i, j| {
+            let w = &grid[i / 8][j / 8];
+            (w.man[i % 8][j % 8] as f64 * (w.exp as f64).exp2()) as f32
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfp_pu::isa::Interpreter;
+    use bfp_pu::unit::ProcessingUnit;
+
+    fn ramp(rows: usize, cols: usize) -> MatF32 {
+        MatF32::from_fn(rows, cols, |i, j| ((i * cols + j) % 13) as f32 - 6.0)
+    }
+
+    #[test]
+    fn compiled_program_reproduces_reference_gemm() {
+        let a = ramp(24, 16);
+        let b = ramp(16, 24);
+        let compiled = compile_gemm(&a, &b);
+        let mut env = compiled.env.clone();
+        let mut interp = Interpreter::new(ProcessingUnit::default());
+        let res = interp.run(&compiled.program, &mut env);
+        let got = compiled.assemble(&res.drained);
+        assert_eq!(got, a.matmul(&b), "exact integer inputs");
+    }
+
+    #[test]
+    fn program_structure_counts() {
+        let a = ramp(16, 16); // 2x2 tiles
+        let b = ramp(16, 24); // 2x3 tiles
+        let c = compile_gemm(&a, &b);
+        // n-pairs = 2 (cols 0-1, col 2), chunks = 1, k = 2:
+        // per (pair, chunk): 2 LoadY + 2 StreamX + 1 Drain = 5 -> 10 instr.
+        assert_eq!(c.program.code.len(), 10);
+        assert_eq!(c.schedule.len(), 2);
+        assert!(
+            !c.schedule[1].has_n1,
+            "odd tile column pairs with the zero block"
+        );
+    }
+
+    #[test]
+    fn large_m_splits_into_psu_chunks() {
+        let a = ramp(8 * 70, 8); // 70 block rows > 64 PSU slots
+        let b = ramp(8, 8);
+        let c = compile_gemm(&a, &b);
+        assert_eq!(c.schedule.len(), 2);
+        assert_eq!(c.schedule[0].chunk, 64);
+        assert_eq!(c.schedule[1].chunk, 6);
+        // And it still computes the right thing.
+        let mut env = c.env.clone();
+        let mut interp = Interpreter::new(ProcessingUnit::default());
+        let res = interp.run(&c.program, &mut env);
+        assert_eq!(c.assemble(&res.drained), a.matmul(&b));
+    }
+
+    #[test]
+    fn cycle_cost_matches_direct_api() {
+        let a = ramp(32, 32);
+        let b = ramp(32, 32);
+        let c = compile_gemm(&a, &b);
+        let mut env = c.env.clone();
+        let mut interp = Interpreter::new(ProcessingUnit::default());
+        let res = interp.run(&c.program, &mut env);
+
+        let q = Quantizer::paper();
+        let mut unit = ProcessingUnit::default();
+        let _ = unit.matmul_grid(
+            &grid_from_matrix(&q.quantize(&a).unwrap()),
+            &grid_from_matrix(&q.quantize(&b).unwrap()),
+        );
+        assert_eq!(res.stats.cycles, unit.stats().cycles);
+    }
+}

@@ -1,0 +1,315 @@
+//! The operator graph: a Transformer forward pass as a DAG of accelerator
+//! operations, the input to the [`crate::scheduler`].
+//!
+//! The paper's conclusion announces "an automatic compilation framework
+//! that provides full stack acceleration of Transformer models is
+//! underway"; this module and the scheduler are that layer for the encoder
+//! workloads the evaluation uses: they lower a [`VitConfig`] into a
+//! dependency graph of GEMMs and fp32 vector ops, annotated with enough
+//! shape information to cost every node.
+
+use bfp_transformer::VitConfig;
+
+/// What one graph node computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// bfp8 GEMM `m × k × n`.
+    MatMul {
+        /// Output rows.
+        m: usize,
+        /// Contraction length.
+        k: usize,
+        /// Output columns.
+        n: usize,
+    },
+    /// fp32 row-wise softmax over `rows` rows of length `cols`.
+    Softmax {
+        /// Row count.
+        rows: usize,
+        /// Row length.
+        cols: usize,
+    },
+    /// fp32 element-wise GELU over `elems` values.
+    Gelu {
+        /// Element count.
+        elems: usize,
+    },
+    /// fp32 LayerNorm over `rows` rows of length `cols`.
+    LayerNorm {
+        /// Row count.
+        rows: usize,
+        /// Row length.
+        cols: usize,
+    },
+    /// Element-wise residual addition (memory-side; zero array cycles but
+    /// a real dependency edge).
+    Residual {
+        /// Element count.
+        elems: usize,
+    },
+}
+
+impl OpKind {
+    /// bfp8 operations (2/MAC) of this node, 0 for fp32 nodes.
+    pub fn bfp_ops(&self) -> u64 {
+        match *self {
+            OpKind::MatMul { m, k, n } => 2 * (m * k * n) as u64,
+            _ => 0,
+        }
+    }
+
+    /// fp32 FLOPs of this node (using the VPU kernel cost formulas).
+    pub fn fp32_flops(&self) -> u64 {
+        use bfp_transformer::vpu::cost;
+        match *self {
+            OpKind::MatMul { .. } | OpKind::Residual { .. } => 0,
+            OpKind::Softmax { rows, cols } => {
+                let c = cost::softmax_row(cols as u64);
+                (c.fp_mul + c.fp_add) * rows as u64
+            }
+            OpKind::Gelu { elems } => {
+                let c = cost::gelu();
+                (c.fp_mul + c.fp_add) * elems as u64
+            }
+            OpKind::LayerNorm { rows, cols } => {
+                let c = cost::layernorm_row(cols as u64);
+                (c.fp_mul + c.fp_add) * rows as u64
+            }
+        }
+    }
+
+    /// Human-readable kind label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpKind::MatMul { .. } => "bfp8 MatMul",
+            OpKind::Softmax { .. } => "fp32 SoftMax",
+            OpKind::Gelu { .. } => "fp32 GELU",
+            OpKind::LayerNorm { .. } => "fp32 LayerNorm",
+            OpKind::Residual { .. } => "residual",
+        }
+    }
+}
+
+/// A node plus its dependencies (indices into the graph's node list).
+#[derive(Debug, Clone)]
+pub struct OpNode {
+    /// Descriptive name (`blk3.fc1` etc.).
+    pub name: String,
+    /// The operation.
+    pub kind: OpKind,
+    /// Nodes that must complete first.
+    pub deps: Vec<usize>,
+}
+
+/// A forward-pass DAG.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    /// Nodes in a valid topological order (guaranteed by construction).
+    pub nodes: Vec<OpNode>,
+}
+
+impl Graph {
+    fn push(&mut self, name: String, kind: OpKind, deps: Vec<usize>) -> usize {
+        debug_assert!(
+            deps.iter().all(|&d| d < self.nodes.len()),
+            "topological construction"
+        );
+        self.nodes.push(OpNode { name, kind, deps });
+        self.nodes.len() - 1
+    }
+
+    /// Total bfp8 ops across the graph.
+    pub fn total_bfp_ops(&self) -> u64 {
+        self.nodes.iter().map(|n| n.kind.bfp_ops()).sum()
+    }
+
+    /// Total fp32 FLOPs across the graph.
+    pub fn total_fp32_flops(&self) -> u64 {
+        self.nodes.iter().map(|n| n.kind.fp32_flops()).sum()
+    }
+
+    /// Verify the stored order is topological (used by tests and the
+    /// scheduler's debug assertions).
+    pub fn is_topological(&self) -> bool {
+        self.nodes
+            .iter()
+            .enumerate()
+            .all(|(i, n)| n.deps.iter().all(|&d| d < i))
+    }
+}
+
+/// Lower a ViT encoder into its operator DAG.
+///
+/// Per block: `LN1 → {Q,K,V} → per-head (scores → softmax → context) →
+/// proj → residual → LN2 → fc1 → GELU → fc2 → residual`, chained across
+/// `depth` blocks.
+pub fn lower_vit(cfg: &VitConfig) -> Graph {
+    let mut g = Graph::default();
+    let s = cfg.seq;
+    let d = cfg.dim;
+    let hd = cfg.head_dim();
+    let mut prev = usize::MAX; // sentinel: no dependency for the first op
+
+    let dep = |prev: usize| {
+        if prev == usize::MAX {
+            vec![]
+        } else {
+            vec![prev]
+        }
+    };
+
+    for b in 0..cfg.depth {
+        let ln1 = g.push(
+            format!("blk{b}.ln1"),
+            OpKind::LayerNorm { rows: s, cols: d },
+            dep(prev),
+        );
+        let q = g.push(
+            format!("blk{b}.wq"),
+            OpKind::MatMul { m: s, k: d, n: d },
+            vec![ln1],
+        );
+        let k = g.push(
+            format!("blk{b}.wk"),
+            OpKind::MatMul { m: s, k: d, n: d },
+            vec![ln1],
+        );
+        let v = g.push(
+            format!("blk{b}.wv"),
+            OpKind::MatMul { m: s, k: d, n: d },
+            vec![ln1],
+        );
+        let mut heads = Vec::with_capacity(cfg.heads);
+        for h in 0..cfg.heads {
+            let scores = g.push(
+                format!("blk{b}.h{h}.scores"),
+                OpKind::MatMul { m: s, k: hd, n: s },
+                vec![q, k],
+            );
+            let soft = g.push(
+                format!("blk{b}.h{h}.softmax"),
+                OpKind::Softmax { rows: s, cols: s },
+                vec![scores],
+            );
+            let ctx = g.push(
+                format!("blk{b}.h{h}.ctx"),
+                OpKind::MatMul { m: s, k: s, n: hd },
+                vec![soft, v],
+            );
+            heads.push(ctx);
+        }
+        let proj = g.push(
+            format!("blk{b}.wo"),
+            OpKind::MatMul { m: s, k: d, n: d },
+            heads,
+        );
+        let res1 = g.push(
+            format!("blk{b}.res1"),
+            OpKind::Residual { elems: s * d },
+            if prev == usize::MAX {
+                vec![proj]
+            } else {
+                vec![proj, prev]
+            },
+        );
+        let ln2 = g.push(
+            format!("blk{b}.ln2"),
+            OpKind::LayerNorm { rows: s, cols: d },
+            vec![res1],
+        );
+        let fc1 = g.push(
+            format!("blk{b}.fc1"),
+            OpKind::MatMul {
+                m: s,
+                k: d,
+                n: cfg.hidden(),
+            },
+            vec![ln2],
+        );
+        let gelu = g.push(
+            format!("blk{b}.gelu"),
+            OpKind::Gelu {
+                elems: s * cfg.hidden(),
+            },
+            vec![fc1],
+        );
+        let fc2 = g.push(
+            format!("blk{b}.fc2"),
+            OpKind::MatMul {
+                m: s,
+                k: cfg.hidden(),
+                n: d,
+            },
+            vec![gelu],
+        );
+        prev = g.push(
+            format!("blk{b}.res2"),
+            OpKind::Residual { elems: s * d },
+            vec![fc2, res1],
+        );
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfp_transformer::analytical_census;
+
+    #[test]
+    fn graph_is_topological_and_sized() {
+        let cfg = VitConfig::deit_small();
+        let g = lower_vit(&cfg);
+        assert!(g.is_topological());
+        // Per block: ln1 + 3 qkv + heads*3 + wo + res1 + ln2 + fc1 + gelu +
+        // fc2 + res2 = 11 + 3*heads nodes; x12 blocks.
+        assert_eq!(g.nodes.len(), 12 * (11 + 3 * cfg.heads));
+    }
+
+    #[test]
+    fn graph_ops_match_the_census() {
+        // The DAG's op totals must equal the analytical census that the
+        // engine's live counting already validates.
+        let cfg = VitConfig::deit_small();
+        let g = lower_vit(&cfg);
+        let census = analytical_census(&cfg);
+        assert_eq!(g.total_bfp_ops(), census.bfp_ops());
+        assert_eq!(
+            g.total_fp32_flops(),
+            census.softmax.flops() + census.gelu.flops() + census.layernorm.flops()
+        );
+    }
+
+    #[test]
+    fn dependencies_encode_the_dataflow() {
+        let cfg = VitConfig::tiny_test();
+        let g = lower_vit(&cfg);
+        // Softmax nodes depend on exactly one scores MatMul.
+        for n in &g.nodes {
+            if let OpKind::Softmax { .. } = n.kind {
+                assert_eq!(n.deps.len(), 1);
+                assert!(matches!(g.nodes[n.deps[0]].kind, OpKind::MatMul { .. }));
+            }
+        }
+        // The second block's ln1 depends on the first block's res2.
+        let second_ln1 = g.nodes.iter().position(|n| n.name == "blk1.ln1").unwrap();
+        let dep = &g.nodes[g.nodes[second_ln1].deps[0]];
+        assert_eq!(dep.name, "blk0.res2");
+    }
+
+    #[test]
+    fn head_parallelism_is_exposed() {
+        let cfg = VitConfig::deit_small();
+        let g = lower_vit(&cfg);
+        // All six scores GEMMs of block 0 share the same dependency set, so
+        // a scheduler may run them concurrently.
+        let scores: Vec<&OpNode> = g
+            .nodes
+            .iter()
+            .filter(|n| n.name.starts_with("blk0.h") && n.name.ends_with("scores"))
+            .collect();
+        assert_eq!(scores.len(), 6);
+        let first = &scores[0].deps;
+        assert!(scores.iter().all(|s| &s.deps == first));
+    }
+}

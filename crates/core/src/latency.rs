@@ -1,0 +1,195 @@
+//! End-to-end latency model: turns an operation census into the Table IV
+//! latency split using the accelerator's measured throughputs.
+
+use bfp_platform::System;
+use bfp_transformer::OpCensus;
+
+/// Throughput operating points used to convert ops into time.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Measured bfp8 MatMul throughput (OPS).
+    pub bfp_ops_per_sec: f64,
+    /// Measured fp32 vector throughput (FLOPS).
+    pub fp32_flops_per_sec: f64,
+    /// Host CPU scalar-division rate (ops/s) for the offloaded divisions;
+    /// reported separately, never inside the Table IV rows (the paper's
+    /// table excludes host time too).
+    pub host_ops_per_sec: f64,
+}
+
+impl LatencyModel {
+    /// The operating points the paper's Table IV implies: 2052.06 GOPS for
+    /// bfp8 and 15.0 GFLOPS for fp32.
+    pub fn paper() -> Self {
+        LatencyModel {
+            bfp_ops_per_sec: 2052.06e9,
+            fp32_flops_per_sec: 15.0e9,
+            host_ops_per_sec: 1.0e9,
+        }
+    }
+
+    /// Derive the operating points from a modelled system (measured at the
+    /// paper's workload sizes: N_X = 64, L = 128).
+    pub fn from_system(sys: &System) -> Self {
+        LatencyModel {
+            bfp_ops_per_sec: sys.measured_bfp_gops(64) * 1e9,
+            fp32_flops_per_sec: sys.measured_fp32_gflops(128) * 1e9,
+            host_ops_per_sec: 1.0e9,
+        }
+    }
+
+    /// Produce the Table IV breakdown for a census.
+    pub fn breakdown(&self, census: &OpCensus) -> Breakdown {
+        let rows = vec![
+            Partition {
+                name: "bfp8 MatMul",
+                ops: census.bfp_ops() as f64,
+                latency_s: census.bfp_ops() as f64 / self.bfp_ops_per_sec,
+            },
+            Partition {
+                name: "fp32 LayerNorm",
+                ops: census.layernorm.flops() as f64,
+                latency_s: census.layernorm.flops() as f64 / self.fp32_flops_per_sec,
+            },
+            Partition {
+                name: "fp32 SoftMax",
+                ops: census.softmax.flops() as f64,
+                latency_s: census.softmax.flops() as f64 / self.fp32_flops_per_sec,
+            },
+            Partition {
+                name: "fp32 GELU",
+                ops: census.gelu.flops() as f64,
+                latency_s: census.gelu.flops() as f64 / self.fp32_flops_per_sec,
+            },
+        ];
+        Breakdown {
+            rows,
+            host_ops: census.host_ops() as f64,
+            host_latency_s: census.host_ops() as f64 / self.host_ops_per_sec,
+        }
+    }
+}
+
+/// One workload partition (a Table IV row).
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Row label.
+    pub name: &'static str,
+    /// Operations in this partition.
+    pub ops: f64,
+    /// Modelled latency in seconds.
+    pub latency_s: f64,
+}
+
+/// The full latency breakdown.
+#[derive(Debug, Clone)]
+pub struct Breakdown {
+    /// The four partitions, in Table IV row order.
+    pub rows: Vec<Partition>,
+    /// Host-offloaded operations (divisions, square roots).
+    pub host_ops: f64,
+    /// Host time (excluded from the table, reported separately).
+    pub host_latency_s: f64,
+}
+
+impl Breakdown {
+    /// Total accelerator latency.
+    pub fn total_latency_s(&self) -> f64 {
+        self.rows.iter().map(|r| r.latency_s).sum()
+    }
+
+    /// Total operation count.
+    pub fn total_ops(&self) -> f64 {
+        self.rows.iter().map(|r| r.ops).sum()
+    }
+
+    /// Operation proportion of row `i` (percent).
+    pub fn ops_percent(&self, i: usize) -> f64 {
+        100.0 * self.rows[i].ops / self.total_ops()
+    }
+
+    /// Latency proportion of row `i` (percent).
+    pub fn latency_percent(&self, i: usize) -> f64 {
+        100.0 * self.rows[i].latency_s / self.total_latency_s()
+    }
+
+    /// Combined fp32 operation share (the paper's "1.35 % of workloads").
+    pub fn fp32_ops_percent(&self) -> f64 {
+        100.0 - self.ops_percent(0)
+    }
+
+    /// Combined fp32 latency share (the paper's "92.45 % of latency").
+    pub fn fp32_latency_percent(&self) -> f64 {
+        100.0 - self.latency_percent(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfp_transformer::{analytical_census, VitConfig};
+
+    #[test]
+    fn paper_model_reproduces_table4_shape_for_deit_small() {
+        let census = analytical_census(&VitConfig::deit_small());
+        let b = LatencyModel::paper().breakdown(&census);
+        // fp32 is a tiny share of ops but dominates latency — the paper's
+        // central Table IV conclusion (1.35 % ops, 92.45 % latency there).
+        assert!(
+            b.fp32_ops_percent() < 5.0,
+            "fp32 ops % = {}",
+            b.fp32_ops_percent()
+        );
+        assert!(
+            b.fp32_latency_percent() > 60.0,
+            "fp32 latency % = {}",
+            b.fp32_latency_percent()
+        );
+        // The bfp8 partition dominates ops overwhelmingly.
+        assert!(b.ops_percent(0) > 95.0);
+    }
+
+    #[test]
+    fn latencies_scale_inversely_with_throughput() {
+        let census = analytical_census(&VitConfig::tiny_test());
+        let slow = LatencyModel {
+            fp32_flops_per_sec: 1.0e9,
+            ..LatencyModel::paper()
+        };
+        let fast = LatencyModel {
+            fp32_flops_per_sec: 30.0e9,
+            ..LatencyModel::paper()
+        };
+        let bs = slow.breakdown(&census);
+        let bf = fast.breakdown(&census);
+        assert!((bs.rows[2].latency_s / bf.rows[2].latency_s - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_system_matches_paper_operating_points() {
+        let m = LatencyModel::from_system(&System::paper());
+        assert!((m.bfp_ops_per_sec / 2052.06e9 - 1.0).abs() < 0.01);
+        assert!((m.fp32_flops_per_sec / 15.0e9 - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn percentages_sum_to_one_hundred() {
+        let census = analytical_census(&VitConfig::deit_small());
+        let b = LatencyModel::paper().breakdown(&census);
+        let ops: f64 = (0..4).map(|i| b.ops_percent(i)).sum();
+        let lat: f64 = (0..4).map(|i| b.latency_percent(i)).sum();
+        assert!((ops - 100.0).abs() < 1e-9);
+        assert!((lat - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn host_divisions_are_reported_separately() {
+        let census = analytical_census(&VitConfig::deit_small());
+        let b = LatencyModel::paper().breakdown(&census);
+        assert!(b.host_ops > 0.0);
+        assert!(b.host_latency_s > 0.0);
+        // And they never appear in the table's total.
+        let table_ops = b.total_ops();
+        assert!(table_ops > 0.0 && !table_ops.is_nan());
+    }
+}

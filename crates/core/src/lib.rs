@@ -1,0 +1,61 @@
+//! # bfp-core — public API of the bfp8/fp32 multi-mode accelerator
+//!
+//! This crate ties the reproduction together behind the interface a
+//! downstream user would program against:
+//!
+//! * [`Accelerator`] — the modelled Alveo U280 card: mixed-precision GEMMs,
+//!   whole-Transformer inference with Table IV-style latency reports;
+//! * [`compiler`] — lowers GEMMs onto the processing unit's instruction
+//!   set (`bfp_pu::isa`);
+//! * [`latency`] — the operations→time model calibrated to the paper's
+//!   measured operating points;
+//! * [`report`] — plain-text table rendering used by every reproduction
+//!   binary.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bfp_core::Accelerator;
+//! use bfp_core::prelude::*;
+//!
+//! let acc = Accelerator::u280();
+//! let a = MatF32::from_fn(64, 64, |i, j| ((i * j) as f32 * 0.01).sin());
+//! let b = MatF32::from_fn(64, 64, |i, j| ((i + j) as f32 * 0.02).cos());
+//! let (product, report) = acc.gemm(&a, &b);
+//! assert_eq!(product.rows(), 64);
+//! assert!(report.gops() > 0.0);
+//! ```
+
+// Index-based loops mirror the paper's (i, j, k) matrix notation and are
+// clearer than iterator chains for the hardware datapath descriptions.
+#![allow(clippy::needless_range_loop)]
+
+pub mod accelerator;
+pub mod batch;
+pub mod compiler;
+pub mod graph;
+pub mod latency;
+pub mod report;
+pub mod scheduler;
+pub mod vprog;
+
+pub use accelerator::{Accelerator, GemmReport, InferenceReport};
+pub use batch::{BatchLatency, BatchResult};
+pub use compiler::{compile_gemm, compile_gemm_blocks, CompiledGemm, DrainSlot};
+pub use graph::{lower_vit, Graph, OpKind, OpNode};
+pub use latency::{Breakdown, LatencyModel, Partition};
+pub use report::{fmt_si, Table};
+pub use scheduler::{schedule, Level, Schedule};
+pub use vprog::{
+    compile_exp, compile_recip, compile_softmax, DivMode, VBuilder, VInstr, VMachine, VProgram,
+};
+
+/// Commonly used types from across the workspace.
+pub mod prelude {
+    pub use bfp_arith::matrix::MatF32;
+    pub use bfp_arith::quant::Quantizer;
+    pub use bfp_arith::stats::ErrorStats;
+    pub use bfp_platform::{System, SystemConfig, U280};
+    pub use bfp_pu::unit::ProcessingUnit;
+    pub use bfp_transformer::{MixedEngine, RefEngine, VitConfig, VitModel};
+}

@@ -1,0 +1,626 @@
+//! Vector programs: the fp32 vector unit's instruction set and a compiler
+//! from non-linear functions to instruction sequences.
+//!
+//! The paper's argument for run-time programmability is that non-linear
+//! functions keep changing, so the unit must execute *programs*, not fixed
+//! kernels. This module makes that concrete: [`VInstr`] is the vector ISA
+//! (element-wise multiply/add on the 4 FPU lanes, broadcast, reductions on
+//! the accumulator path, exponent-unit scaling, and the host-division
+//! escape hatch), [`VMachine`] interprets programs with the bit-exact
+//! hardware arithmetic, and [`compile_softmax`]/[`compile_exp`] emit the
+//! same operation sequences as the hand-written kernels in
+//! `bfp_transformer::vpu` — *bit-identically*, which the tests pin down.
+
+use bfp_transformer::Vpu;
+
+/// A vector register id.
+pub type VReg = usize;
+
+/// One vector-unit instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VInstr {
+    /// `dst = a + b` element-wise (equal lengths).
+    Add {
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+        /// Destination.
+        dst: VReg,
+    },
+    /// `dst = a − b` element-wise.
+    Sub {
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+        /// Destination.
+        dst: VReg,
+    },
+    /// `dst = a × b` element-wise.
+    Mul {
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+        /// Destination.
+        dst: VReg,
+    },
+    /// `dst = a + imm`.
+    AddI {
+        /// Operand.
+        a: VReg,
+        /// Immediate.
+        imm: f32,
+        /// Destination.
+        dst: VReg,
+    },
+    /// `dst = a × imm`.
+    MulI {
+        /// Operand.
+        a: VReg,
+        /// Immediate.
+        imm: f32,
+        /// Destination.
+        dst: VReg,
+    },
+    /// `dst = imm − a` (reverse-subtract immediate; sign flip is free
+    /// through the XOR gate).
+    RSubI {
+        /// Operand.
+        a: VReg,
+        /// Immediate.
+        imm: f32,
+        /// Destination.
+        dst: VReg,
+    },
+    /// `dst = a − s[0]` (broadcast the length-1 register `s`).
+    SubB {
+        /// Vector operand.
+        a: VReg,
+        /// Length-1 scalar register.
+        s: VReg,
+        /// Destination.
+        dst: VReg,
+    },
+    /// `dst = a × s[0]`.
+    MulB {
+        /// Vector operand.
+        a: VReg,
+        /// Length-1 scalar register.
+        s: VReg,
+        /// Destination.
+        dst: VReg,
+    },
+    /// Accumulator-path reduction: `dst = [Σ a]` (length 1, in index
+    /// order, hardware adds).
+    Sum {
+        /// Operand.
+        a: VReg,
+        /// Destination (length-1).
+        dst: VReg,
+    },
+    /// Comparator reduction: `dst = [max a]` (length 1, no FLOPs).
+    Max {
+        /// Operand.
+        a: VReg,
+        /// Destination (length-1).
+        dst: VReg,
+    },
+    /// Exponent-unit scaling: `dst_i = a_i × 2^(k_i)` where `k` holds
+    /// integer-valued floats.
+    ScaleExp2 {
+        /// Mantissa operand.
+        a: VReg,
+        /// Integer exponent operand.
+        k: VReg,
+        /// Destination.
+        dst: VReg,
+    },
+    /// Exponent-unit reciprocal seed (the bit-trick initial guess that the
+    /// Newton–Raphson iterations refine).
+    RecipSeed {
+        /// Operand.
+        a: VReg,
+        /// Destination.
+        dst: VReg,
+    },
+    /// Host division `dst = a / b` (the prototype's escape hatch).
+    HostDiv {
+        /// Numerator.
+        a: VReg,
+        /// Denominator (broadcast if length 1).
+        b: VReg,
+        /// Destination.
+        dst: VReg,
+    },
+}
+
+/// A compiled vector program.
+#[derive(Debug, Clone, Default)]
+pub struct VProgram {
+    /// Instructions in order.
+    pub code: Vec<VInstr>,
+}
+
+/// The interpreter: a register file over the bit-exact VPU arithmetic,
+/// with Eqn.-10-style cycle accounting.
+#[derive(Debug, Default)]
+pub struct VMachine {
+    /// The datapath (hardware multiply/add + counters).
+    pub vpu: Vpu,
+    /// Vector register file.
+    pub regs: Vec<Vec<f32>>,
+    /// Modelled cycles consumed (4-lane bursts + pipeline fills).
+    pub cycles: u64,
+}
+
+impl VMachine {
+    /// A machine with an empty register file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a register holding `v`; returns its id.
+    pub fn alloc(&mut self, v: Vec<f32>) -> VReg {
+        self.regs.push(v);
+        self.regs.len() - 1
+    }
+
+    fn ensure(&mut self, reg: VReg) {
+        if reg >= self.regs.len() {
+            self.regs.resize(reg + 1, Vec::new());
+        }
+    }
+
+    /// Cycles for an element-wise burst of `n` ops on 4 lanes (Eqn. 10).
+    fn burst_cycles(n: usize) -> u64 {
+        (n.div_ceil(4) + 8) as u64
+    }
+
+    /// Execute a program.
+    ///
+    /// # Panics
+    /// Panics on malformed programs (length mismatches, unallocated
+    /// sources) — programs are compiler-generated.
+    pub fn run(&mut self, prog: &VProgram) {
+        for instr in &prog.code {
+            self.step(*instr);
+        }
+    }
+
+    fn step(&mut self, instr: VInstr) {
+        match instr {
+            VInstr::Add { a, b, dst } => self.elementwise2(a, b, dst, |vpu, x, y| vpu.a(x, y)),
+            VInstr::Sub { a, b, dst } => self.elementwise2(a, b, dst, |vpu, x, y| vpu.s(x, y)),
+            VInstr::Mul { a, b, dst } => self.elementwise2(a, b, dst, |vpu, x, y| vpu.m(x, y)),
+            VInstr::AddI { a, imm, dst } => self.elementwise1(a, dst, |vpu, x| vpu.a(x, imm)),
+            VInstr::MulI { a, imm, dst } => self.elementwise1(a, dst, |vpu, x| vpu.m(x, imm)),
+            VInstr::RSubI { a, imm, dst } => self.elementwise1(a, dst, |vpu, x| vpu.s(imm, x)),
+            VInstr::SubB { a, s, dst } => {
+                let sv = self.scalar(s);
+                self.elementwise1(a, dst, |vpu, x| vpu.s(x, sv));
+            }
+            VInstr::MulB { a, s, dst } => {
+                let sv = self.scalar(s);
+                self.elementwise1(a, dst, |vpu, x| vpu.m(x, sv));
+            }
+            VInstr::Sum { a, dst } => {
+                let src = self.regs[a].clone();
+                let mut acc = 0f32;
+                for &v in &src {
+                    acc = self.vpu.a(acc, v);
+                }
+                self.ensure(dst);
+                self.regs[dst] = vec![acc];
+                // Serial accumulation on the ACC path: one add per element.
+                self.cycles += (src.len() + 8) as u64;
+            }
+            VInstr::Max { a, dst } => {
+                let src = &self.regs[a];
+                assert!(!src.is_empty(), "Max of an empty register");
+                let mut best = src[0];
+                for &v in &src[1..] {
+                    self.vpu.count.cmp += 1;
+                    if v > best {
+                        best = v;
+                    }
+                }
+                let n = src.len();
+                self.ensure(dst);
+                self.regs[dst] = vec![best];
+                self.cycles += (n + 8) as u64;
+            }
+            VInstr::ScaleExp2 { a, k, dst } => {
+                let src = self.regs[a].clone();
+                let ks = self.regs[k].clone();
+                assert_eq!(src.len(), ks.len(), "ScaleExp2 length mismatch");
+                let out: Vec<f32> = src
+                    .iter()
+                    .zip(&ks)
+                    .map(|(&x, &kf)| self.vpu.scale_exp2(x, kf as i32))
+                    .collect();
+                self.ensure(dst);
+                self.regs[dst] = out;
+                self.cycles += Self::burst_cycles(src.len());
+            }
+            VInstr::RecipSeed { a, dst } => {
+                let src = self.regs[a].clone();
+                let out: Vec<f32> = src
+                    .iter()
+                    .map(|&x| {
+                        self.vpu.count.exp_adjust += 1;
+                        let y = f32::from_bits(0x7EEF_311Du32.wrapping_sub(x.abs().to_bits()));
+                        if x < 0.0 {
+                            -y
+                        } else {
+                            y
+                        }
+                    })
+                    .collect();
+                self.ensure(dst);
+                self.regs[dst] = out;
+                self.cycles += Self::burst_cycles(src.len());
+            }
+            VInstr::HostDiv { a, b, dst } => {
+                let num = self.regs[a].clone();
+                let den = self.regs[b].clone();
+                let out: Vec<f32> = if den.len() == 1 {
+                    num.iter().map(|&x| self.vpu.div_host(x, den[0])).collect()
+                } else {
+                    assert_eq!(num.len(), den.len(), "HostDiv length mismatch");
+                    num.iter()
+                        .zip(&den)
+                        .map(|(&x, &y)| self.vpu.div_host(x, y))
+                        .collect()
+                };
+                self.ensure(dst);
+                self.regs[dst] = out;
+                // Host round-trip: charged as stall cycles per element.
+                self.cycles += (num.len() * 50) as u64;
+            }
+        }
+    }
+
+    fn elementwise1(&mut self, a: VReg, dst: VReg, f: impl Fn(&mut Vpu, f32) -> f32) {
+        let src = self.regs[a].clone();
+        let out: Vec<f32> = src.iter().map(|&x| f(&mut self.vpu, x)).collect();
+        self.ensure(dst);
+        self.regs[dst] = out;
+        self.cycles += Self::burst_cycles(src.len());
+    }
+
+    fn elementwise2(&mut self, a: VReg, b: VReg, dst: VReg, f: impl Fn(&mut Vpu, f32, f32) -> f32) {
+        let xa = self.regs[a].clone();
+        let xb = self.regs[b].clone();
+        assert_eq!(xa.len(), xb.len(), "element-wise length mismatch");
+        let out: Vec<f32> = xa
+            .iter()
+            .zip(&xb)
+            .map(|(&x, &y)| f(&mut self.vpu, x, y))
+            .collect();
+        self.ensure(dst);
+        self.regs[dst] = out;
+        self.cycles += Self::burst_cycles(xa.len());
+    }
+
+    fn scalar(&self, s: VReg) -> f32 {
+        assert_eq!(self.regs[s].len(), 1, "broadcast source must be length 1");
+        self.regs[s][0]
+    }
+}
+
+/// A small register allocator for the compilers.
+#[derive(Debug)]
+pub struct VBuilder {
+    next: VReg,
+    /// Program under construction.
+    pub prog: VProgram,
+}
+
+impl VBuilder {
+    /// Start allocating after the caller's `reserved` input registers.
+    pub fn new(reserved: usize) -> Self {
+        VBuilder {
+            next: reserved,
+            prog: VProgram::default(),
+        }
+    }
+
+    /// A fresh register id.
+    pub fn fresh(&mut self) -> VReg {
+        let r = self.next;
+        self.next += 1;
+        r
+    }
+
+    fn emit(&mut self, i: VInstr) {
+        self.prog.code.push(i);
+    }
+}
+
+/// The exp2 Taylor coefficients shared with `bfp_transformer::vpu` (same
+/// values, so the compiled program is bit-identical to the kernel).
+const EXP2_POLY: [f32; 6] = [
+    1.0,
+    std::f32::consts::LN_2,
+    0.240_226_5,
+    0.055_504_11,
+    0.009_618_13,
+    0.001_333_36,
+];
+const ROUND_MAGIC: f32 = 12_582_912.0;
+
+/// Emit `e^x` for register `x` (any length); returns the result register.
+/// Identical operation sequence to `Vpu::exp`: range reduction with the
+/// truncating-adder rounding trick, degree-5 Horner, EU scaling.
+pub fn compile_exp(b: &mut VBuilder, x: VReg) -> VReg {
+    let t = b.fresh();
+    b.emit(VInstr::MulI {
+        a: x,
+        imm: std::f32::consts::LOG2_E,
+        dst: t,
+    });
+    let th = b.fresh();
+    b.emit(VInstr::AddI {
+        a: t,
+        imm: 0.5,
+        dst: th,
+    });
+    let sh = b.fresh();
+    b.emit(VInstr::AddI {
+        a: th,
+        imm: ROUND_MAGIC,
+        dst: sh,
+    });
+    let kf = b.fresh();
+    b.emit(VInstr::AddI {
+        a: sh,
+        imm: -ROUND_MAGIC,
+        dst: kf,
+    });
+    let f = b.fresh();
+    b.emit(VInstr::Sub {
+        a: t,
+        b: kf,
+        dst: f,
+    });
+    // Horner with p seeded by the constant c5: p = f*c5 + c4; ...
+    let mut p = b.fresh();
+    b.emit(VInstr::MulI {
+        a: f,
+        imm: EXP2_POLY[5],
+        dst: p,
+    });
+    b.emit(VInstr::AddI {
+        a: p,
+        imm: EXP2_POLY[4],
+        dst: p,
+    });
+    for c in EXP2_POLY[..4].iter().rev() {
+        let pf = b.fresh();
+        b.emit(VInstr::Mul {
+            a: p,
+            b: f,
+            dst: pf,
+        });
+        let pn = b.fresh();
+        b.emit(VInstr::AddI {
+            a: pf,
+            imm: *c,
+            dst: pn,
+        });
+        p = pn;
+    }
+    let out = b.fresh();
+    b.emit(VInstr::ScaleExp2 {
+        a: p,
+        k: kf,
+        dst: out,
+    });
+    out
+}
+
+/// Emit `1/x` (Newton–Raphson, same sequence as `Vpu::recip`).
+pub fn compile_recip(b: &mut VBuilder, x: VReg, iters: u32) -> VReg {
+    let mut y = b.fresh();
+    b.emit(VInstr::RecipSeed { a: x, dst: y });
+    for _ in 0..iters {
+        let xy = b.fresh();
+        b.emit(VInstr::Mul {
+            a: x,
+            b: y,
+            dst: xy,
+        });
+        let e = b.fresh();
+        b.emit(VInstr::RSubI {
+            a: xy,
+            imm: 2.0,
+            dst: e,
+        });
+        let yn = b.fresh();
+        b.emit(VInstr::Mul {
+            a: y,
+            b: e,
+            dst: yn,
+        });
+        y = yn;
+    }
+    y
+}
+
+/// Where the softmax normalisation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivMode {
+    /// The prototype's host division.
+    Host,
+    /// On-chip Newton–Raphson reciprocal.
+    OnChip,
+}
+
+/// Compile a full softmax over input register `x`; returns the output
+/// register. With [`DivMode::OnChip`] the program is bit-identical to
+/// `Vpu::softmax_row_onchip`.
+pub fn compile_softmax(b: &mut VBuilder, x: VReg, mode: DivMode) -> VReg {
+    let m = b.fresh();
+    b.emit(VInstr::Max { a: x, dst: m });
+    let shifted = b.fresh();
+    b.emit(VInstr::SubB {
+        a: x,
+        s: m,
+        dst: shifted,
+    });
+    let e = compile_exp(b, shifted);
+    let s = b.fresh();
+    b.emit(VInstr::Sum { a: e, dst: s });
+    let out = b.fresh();
+    match mode {
+        DivMode::Host => b.emit(VInstr::HostDiv {
+            a: e,
+            b: s,
+            dst: out,
+        }),
+        DivMode::OnChip => {
+            let inv = compile_recip(b, s, 3);
+            b.emit(VInstr::MulB {
+                a: e,
+                s: inv,
+                dst: out,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits(n: usize) -> Vec<f32> {
+        (0..n).map(|k| (k as f32 * 0.47).sin() * 6.0).collect()
+    }
+
+    #[test]
+    fn compiled_exp_is_bit_identical_to_the_kernel() {
+        let xs: Vec<f32> = (-40..=40).map(|k| k as f32 * 0.31).collect();
+        let mut m = VMachine::new();
+        let x = m.alloc(xs.clone());
+        let mut b = VBuilder::new(m.regs.len());
+        let out = compile_exp(&mut b, x);
+        m.run(&b.prog);
+        let mut vpu = Vpu::new();
+        for (k, &xv) in xs.iter().enumerate() {
+            assert_eq!(
+                m.regs[out][k].to_bits(),
+                vpu.exp(xv).to_bits(),
+                "exp({xv}) diverges from the kernel"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_softmax_onchip_is_bit_identical_to_the_kernel() {
+        let src = logits(97);
+        let mut m = VMachine::new();
+        let x = m.alloc(src.clone());
+        let mut b = VBuilder::new(m.regs.len());
+        let out = compile_softmax(&mut b, x, DivMode::OnChip);
+        m.run(&b.prog);
+
+        let mut vpu = Vpu::new();
+        let mut want = src.clone();
+        vpu.softmax_row_onchip(&mut want);
+        for k in 0..src.len() {
+            assert_eq!(m.regs[out][k].to_bits(), want[k].to_bits(), "element {k}");
+        }
+        // Operation accounting matches too.
+        assert_eq!(m.vpu.count, vpu.count);
+    }
+
+    #[test]
+    fn compiled_softmax_host_matches_host_kernel() {
+        let src = logits(64);
+        let mut m = VMachine::new();
+        let x = m.alloc(src.clone());
+        let mut b = VBuilder::new(m.regs.len());
+        let out = compile_softmax(&mut b, x, DivMode::Host);
+        m.run(&b.prog);
+
+        let mut vpu = Vpu::new();
+        let mut want = src.clone();
+        vpu.softmax_row(&mut want);
+        for k in 0..src.len() {
+            assert_eq!(m.regs[out][k].to_bits(), want[k].to_bits(), "element {k}");
+        }
+        assert_eq!(m.vpu.count.host_div, 64);
+    }
+
+    #[test]
+    fn a_brand_new_activation_compiles_from_the_same_isa() {
+        // The run-time-programmability claim: SiLU never existed when the
+        // "hardware" was built, yet it compiles to the same instructions.
+        // silu(x) = x * sigmoid(x) = x * recip(1 + exp(-x))
+        let src: Vec<f32> = (-30..=30).map(|k| k as f32 * 0.2).collect();
+        let mut m = VMachine::new();
+        let x = m.alloc(src.clone());
+        let mut b = VBuilder::new(m.regs.len());
+        let negx = b.fresh();
+        b.prog.code.push(VInstr::MulI {
+            a: x,
+            imm: -1.0,
+            dst: negx,
+        });
+        let e = compile_exp(&mut b, negx);
+        let d = b.fresh();
+        b.prog.code.push(VInstr::AddI {
+            a: e,
+            imm: 1.0,
+            dst: d,
+        });
+        let r = compile_recip(&mut b, d, 3);
+        let out = b.fresh();
+        b.prog.code.push(VInstr::Mul {
+            a: x,
+            b: r,
+            dst: out,
+        });
+        m.run(&b.prog);
+        for (k, &xv) in src.iter().enumerate() {
+            let want = xv as f64 / (1.0 + (-xv as f64).exp());
+            assert!(
+                (m.regs[out][k] as f64 - want).abs() < 2e-5,
+                "silu({xv}): {} vs {want}",
+                m.regs[out][k]
+            );
+        }
+        assert_eq!(m.vpu.count.host_div, 0);
+    }
+
+    #[test]
+    fn cycle_accounting_scales_with_length_and_lanes() {
+        let mut m = VMachine::new();
+        let x = m.alloc(vec![1.0; 128]);
+        let mut b = VBuilder::new(m.regs.len());
+        let dst = b.fresh();
+        b.prog.code.push(VInstr::AddI {
+            a: x,
+            imm: 1.0,
+            dst,
+        });
+        m.run(&b.prog);
+        // 128 elements over 4 lanes + 8 fill.
+        assert_eq!(m.cycles, 32 + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn malformed_programs_are_rejected() {
+        let mut m = VMachine::new();
+        let a = m.alloc(vec![1.0; 4]);
+        let b_reg = m.alloc(vec![1.0; 5]);
+        let mut b = VBuilder::new(m.regs.len());
+        let dst = b.fresh();
+        b.prog.code.push(VInstr::Add { a, b: b_reg, dst });
+        m.run(&b.prog);
+    }
+}

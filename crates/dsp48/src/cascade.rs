@@ -1,0 +1,228 @@
+//! The dedicated `PCIN`/`PCOUT` cascade: a column of DSP48E2 slices whose
+//! accumulators chain downward without touching the FPGA fabric.
+//!
+//! This is the topology both operating modes of the paper's PE array use:
+//!
+//! * in **fp32 multiply** mode each of the 8 rows computes one pre-shifted
+//!   partial product and the cascade sums them on the way down (Fig. 5 b);
+//! * in **bfp8 MatMul** mode the cascade carries the running column partial
+//!   sum while X operands flow horizontally.
+//!
+//! The cascade is pipelined: slice `r` sees slice `r-1`'s *registered* `P`
+//! from the previous cycle, so a value injected at the top reaches the
+//! bottom of an `n`-deep column after `n` cycles. The simulator in `bfp-pu`
+//! relies on exactly this latency; the tests here pin it down.
+
+use crate::slice::{Dsp48, ZMux};
+
+/// A vertical chain of DSP slices connected `PCOUT -> PCIN`.
+#[derive(Debug, Clone)]
+pub struct DspColumn {
+    slices: Vec<Dsp48>,
+}
+
+/// Per-slice input for one clock: the pre-adder pair `(a, d)` and the `b`
+/// operand.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ColumnInput {
+    /// `A` port contribution to the pre-adder (already shifted if packing).
+    pub a: i64,
+    /// `D` port contribution to the pre-adder.
+    pub d: i64,
+    /// `B` port (multiplier second operand).
+    pub b: i64,
+}
+
+impl DspColumn {
+    /// A column of `depth` slices (8 in the paper's array).
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "column depth must be positive");
+        DspColumn {
+            slices: vec![Dsp48::new(); depth],
+        }
+    }
+
+    /// Number of slices.
+    pub fn depth(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Advance one clock. `inputs[r]` drives slice `r` (row 0 is the top of
+    /// the cascade). Each slice adds its product to the *previous-cycle*
+    /// `PCOUT` of the slice above; the top slice starts fresh (Z = 0).
+    ///
+    /// Returns the new bottom-of-column `P`.
+    ///
+    /// # Panics
+    /// Panics if `inputs.len() != depth`.
+    pub fn step(&mut self, inputs: &[ColumnInput]) -> i64 {
+        assert_eq!(inputs.len(), self.slices.len(), "one input per slice");
+        // Capture last cycle's PCOUTs before any slice updates.
+        let pcouts: Vec<i64> = self.slices.iter().map(|s| s.p()).collect();
+        for (r, (slice, inp)) in self.slices.iter_mut().zip(inputs).enumerate() {
+            let (pcin, z) = if r == 0 {
+                (0, ZMux::Zero)
+            } else {
+                (pcouts[r - 1], ZMux::Pcin)
+            };
+            slice.step(inp.a, inp.d, inp.b, 0, pcin, z);
+        }
+        self.bottom()
+    }
+
+    /// The bottom slice's `P` (the column's result port).
+    pub fn bottom(&self) -> i64 {
+        self.slices.last().expect("non-empty column").p()
+    }
+
+    /// `P` of an individual slice (top = 0).
+    pub fn p_at(&self, row: usize) -> i64 {
+        self.slices[row].p()
+    }
+
+    /// Reset every slice.
+    pub fn reset(&mut self) {
+        for s in &mut self.slices {
+            s.reset();
+        }
+    }
+
+    /// Drive a *stationary* set of per-row products through the pipeline
+    /// until the first complete sum appears at the bottom (`depth` cycles),
+    /// and return it. This is the "fill the triangle" latency the paper's
+    /// Eqn. 9 charges as part of the 15 preload cycles.
+    pub fn settle(&mut self, inputs: &[ColumnInput]) -> i64 {
+        let mut out = 0;
+        for _ in 0..self.depth() {
+            out = self.step(inputs);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(pairs: &[(i64, i64)]) -> Vec<ColumnInput> {
+        pairs
+            .iter()
+            .map(|&(a, b)| ColumnInput { a, d: 0, b })
+            .collect()
+    }
+
+    #[test]
+    fn settled_column_sums_products() {
+        let mut col = DspColumn::new(8);
+        let ins = inputs(&[
+            (1, 2),
+            (3, 4),
+            (5, 6),
+            (7, 8),
+            (9, 10),
+            (11, 12),
+            (13, 14),
+            (15, 16),
+        ]);
+        let want: i64 = ins.iter().map(|i| i.a * i.b).sum();
+        assert_eq!(col.settle(&ins), want);
+    }
+
+    #[test]
+    fn latency_is_depth_cycles() {
+        let mut col = DspColumn::new(4);
+        let ins = inputs(&[(1, 1), (1, 1), (1, 1), (1, 1)]);
+        // After k steps the bottom has accumulated products from the k
+        // nearest rows of the wavefront.
+        assert_eq!(col.step(&ins), 1);
+        assert_eq!(col.step(&ins), 2);
+        assert_eq!(col.step(&ins), 3);
+        assert_eq!(col.step(&ins), 4); // first complete sum
+        assert_eq!(col.step(&ins), 4); // steady state
+    }
+
+    /// The hardware's pre-shift scheme (§II-D): shifts are applied relative
+    /// to the smallest *retained* term (shift 8), so the maximum pre-shift
+    /// is 24 bits — "the 27-bit & 18-bit input widths of DSP48E2 support
+    /// such pre-shifting without encountering overflow". The split gives the
+    /// 18-bit B port at most 9 bits (8-bit slice + 9 = 17 ≤ 17 magnitude
+    /// bits) and the rest to the 27-bit A/D side.
+    fn split_relative_shift(total_shift: u32) -> (u32, u32) {
+        let rel = total_shift - 8; // relative to the smallest retained term
+        let sb = (rel / 2).min(9); // even split, capped by the B port
+        (rel - sb, sb)
+    }
+
+    #[test]
+    fn pre_shifted_partial_products_reconstruct_fp32_mantissa_product() {
+        // The fp32 layout of Fig. 5(b): 8 rows carry slice products with
+        // pre-shifts, and the cascade must reproduce the wide integer
+        // product (minus the dropped LSP), scaled down by the common 2^8.
+        let man_x: u64 = 0xA5_73_1F; // 24-bit mantissa
+        let man_y: u64 = 0xC0_00_01;
+        let xs = [man_x & 0xff, (man_x >> 8) & 0xff, (man_x >> 16) & 0xff];
+        let ys = [man_y & 0xff, (man_y >> 8) & 0xff, (man_y >> 16) & 0xff];
+        // The 8 retained (i, j) terms, one per row.
+        let terms = [
+            (0, 1),
+            (1, 0),
+            (0, 2),
+            (1, 1),
+            (2, 0),
+            (1, 2),
+            (2, 1),
+            (2, 2),
+        ];
+        let mut ins = Vec::new();
+        let mut want_rel = 0i64; // product scaled by 2^-8
+        for &(i, j) in &terms {
+            let total_shift = 8 * (i + j) as u32;
+            let (sa, sb) = split_relative_shift(total_shift);
+            ins.push(ColumnInput {
+                a: (xs[i] << sa) as i64,
+                d: 0,
+                b: (ys[j] << sb) as i64,
+            });
+            want_rel += ((xs[i] * ys[j]) as i64) << (total_shift - 8);
+        }
+        let mut col = DspColumn::new(8);
+        assert_eq!(col.settle(&ins), want_rel);
+        // Scaled back up and with the dropped (0,0) term restored, the
+        // cascade output is exactly the 48-bit mantissa product.
+        assert_eq!(
+            (want_rel << 8) + (xs[0] * ys[0]) as i64,
+            (man_x * man_y) as i64
+        );
+    }
+
+    #[test]
+    fn shift_split_fits_port_widths() {
+        for total_shift in [8u32, 16, 24, 32] {
+            let (sa, sb) = split_relative_shift(total_shift);
+            assert_eq!(sa + sb + 8, total_shift);
+            assert!(8 + sa <= 26, "A/D magnitude bits: {}", 8 + sa);
+            assert!(8 + sb <= 17, "B magnitude bits: {}", 8 + sb);
+        }
+        // The paper's example: the shift-8 terms split 4 + 4 ("all PEs in
+        // row 1 left-shift the input X slice and Y slice by 4 bits").
+        assert_eq!(split_relative_shift(16), (4, 4));
+    }
+
+    #[test]
+    fn reset_clears_pipeline() {
+        let mut col = DspColumn::new(3);
+        col.settle(&inputs(&[(2, 2), (2, 2), (2, 2)]));
+        col.reset();
+        assert_eq!(col.bottom(), 0);
+        for r in 0..3 {
+            assert_eq!(col.p_at(r), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one input per slice")]
+    fn wrong_input_count_panics() {
+        let mut col = DspColumn::new(4);
+        col.step(&inputs(&[(1, 1)]));
+    }
+}

@@ -1,0 +1,27 @@
+//! # bfp-dsp48 — behavioural model of the AMD DSP48E2 slice
+//!
+//! The paper's processing element (PE) is built around one DSP48E2 block
+//! (UG579): a 27-bit pre-adder, a 27×18 signed multiplier, and a 48-bit ALU
+//! with a dedicated cascade path (`PCIN`/`PCOUT`) that daisy-chains the
+//! slices of a column. This crate models exactly the subset of the slice the
+//! accelerator uses, with two goals:
+//!
+//! 1. **Bit-exactness** — every mode (plain MAC, cascaded partial-product
+//!    accumulation for the sliced fp32 multiply, and the *combined MAC*
+//!    packing that fits two int8 MACs into one multiplier) produces the same
+//!    integers real hardware would.
+//! 2. **Cycle-steppable** — the slice has an explicit `P` register and a
+//!    `step` function so the systolic simulator in `bfp-pu` can advance a
+//!    whole array one clock at a time.
+//!
+//! The combined-MAC packing (§II-B of the paper, AMD WP486 technique) is in
+//! [`packed`]; the cascaded column used by both bfp8 MatMul and fp32
+//! partial-product summation is in [`cascade`].
+
+pub mod cascade;
+pub mod packed;
+pub mod slice;
+
+pub use cascade::DspColumn;
+pub use packed::{PackedMac, MAX_SAFE_TERMS};
+pub use slice::{Dsp48, ZMux};

@@ -1,0 +1,221 @@
+//! Combined MAC: two int8 multiply-accumulates in one DSP48E2 (paper §II-B,
+//! Fig. 3; the AMD WP486 "INT8 optimization" technique).
+//!
+//! The pre-adder forms `AD = (x1 << 18) + x2`, a 27-bit value holding two
+//! int8 lanes. One multiply by the shared operand `y` then yields
+//! `AD × y = (x1·y) << 18 + x2·y`, and successive products accumulate in the
+//! 48-bit `P` register. Because the low lane `Σ x2·y` can be negative, its
+//! sign bits *borrow from* the upper lane; extraction therefore re-splits
+//! `P` by interpreting the low 18 bits as signed and compensating the upper
+//! lane — exactly what the unpacking LUT logic after the array does.
+//!
+//! The low lane only holds a faithful sum while `|Σ x2·y| < 2^17`. With
+//! mantissas clamped to the symmetric range `[-127, 127]`, eight products
+//! reach at most `8·127² = 129 032 < 2^17`, which is the reason the paper's
+//! quantizer clamps symmetrically and why an 8-row column is safe ("up to 7
+//! product terms without overflow ... configuring the row numbers as 8, we
+//! can cleverly circumvent such overflow").
+
+use crate::slice::{sext, Dsp48, ZMux};
+
+/// Number of accumulated `[-128, 127] × [-128, 127]` products guaranteed to
+/// stay inside the low lane without the symmetric clamp. (With the clamp,
+/// 8 terms fit; see module docs.)
+pub const MAX_SAFE_TERMS: usize = 7;
+
+/// Bit position of the upper lane inside the packed operand.
+const LANE_SHIFT: u32 = 18;
+
+/// Pack two int8 lanes into the 27-bit pre-adder output.
+#[inline]
+pub fn pack(x1: i8, x2: i8) -> i64 {
+    ((x1 as i64) << LANE_SHIFT) + x2 as i64
+}
+
+/// Split an accumulated 48-bit `P` into the two lane sums.
+///
+/// The low 18 bits are interpreted as a signed value; whatever it borrowed
+/// from bit 18 upward is given back to the upper lane.
+#[inline]
+pub fn unpack(p: i64) -> (i64, i64) {
+    let low = sext(p & ((1 << LANE_SHIFT) - 1), LANE_SHIFT);
+    let high = (p - low) >> LANE_SHIFT;
+    (high, low)
+}
+
+/// A DSP slice driven in combined-MAC mode: accumulates pairs of int8
+/// products sharing the `y` operand.
+///
+/// ```
+/// use bfp_dsp48::packed::PackedMac;
+///
+/// let mut mac = PackedMac::new();
+/// mac.mac(3, -5, 7);           // lanes: 3*7 and -5*7 in ONE multiply
+/// mac.mac(2, 4, -1);
+/// assert_eq!(mac.lanes(), (3 * 7 + 2 * -1, -5 * 7 + 4 * -1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PackedMac {
+    dsp: Dsp48,
+    terms: usize,
+}
+
+impl PackedMac {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate `x1·y` into the upper lane and `x2·y` into the lower lane.
+    pub fn mac(&mut self, x1: i8, x2: i8, y: i8) {
+        // Pre-adder path: A carries the shifted lane, D the low lane.
+        let z = if self.terms == 0 { ZMux::Zero } else { ZMux::P };
+        self.dsp
+            .step((x1 as i64) << LANE_SHIFT, x2 as i64, y as i64, 0, 0, z);
+        self.terms += 1;
+    }
+
+    /// Number of accumulated terms.
+    pub fn terms(&self) -> usize {
+        self.terms
+    }
+
+    /// Extract `(Σ x1·y, Σ x2·y)`.
+    pub fn lanes(&self) -> (i64, i64) {
+        unpack(self.dsp.p())
+    }
+
+    /// Raw 48-bit accumulator (for cascading into the column model).
+    pub fn p(&self) -> i64 {
+        self.dsp.p()
+    }
+
+    /// Restart a new accumulation.
+    pub fn clear(&mut self) {
+        self.dsp.reset();
+        self.terms = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_places_lanes() {
+        assert_eq!(pack(1, 0), 1 << 18);
+        assert_eq!(pack(0, 1), 1);
+        assert_eq!(pack(-1, 0), -(1i64 << 18));
+        // Negative low lane borrows from the high lane in the raw encoding;
+        // unpack must undo that.
+        let (hi, lo) = unpack(pack(3, -2));
+        assert_eq!((hi, lo), (3, -2));
+    }
+
+    #[test]
+    fn single_product_pairs() {
+        for &(x1, x2, y) in &[
+            (1i8, 2i8, 3i8),
+            (-5, 7, -9),
+            (127, -127, 127),
+            (-128, -128, 127),
+        ] {
+            let mut m = PackedMac::new();
+            m.mac(x1, x2, y);
+            let (hi, lo) = m.lanes();
+            assert_eq!(hi, x1 as i64 * y as i64, "hi lane for ({x1},{x2},{y})");
+            assert_eq!(lo, x2 as i64 * y as i64, "lo lane for ({x1},{x2},{y})");
+        }
+    }
+
+    #[test]
+    fn eight_symmetric_terms_are_exact() {
+        // The paper's operating point: 8 accumulated terms with mantissas
+        // clamped to ±127.
+        let mut m = PackedMac::new();
+        let mut want_hi = 0i64;
+        let mut want_lo = 0i64;
+        let xs1 = [127i8, -127, 127, -127, 127, -127, 127, -127];
+        let xs2 = [-127i8; 8];
+        let ys = [127i8, 127, -127, -127, 127, 127, -127, -127];
+        for k in 0..8 {
+            m.mac(xs1[k], xs2[k], ys[k]);
+            want_hi += xs1[k] as i64 * ys[k] as i64;
+            want_lo += xs2[k] as i64 * ys[k] as i64;
+        }
+        assert_eq!(m.lanes(), (want_hi, want_lo));
+    }
+
+    #[test]
+    fn worst_case_symmetric_low_lane_still_recovers() {
+        // 8 x (-127 * 127) = -129032, magnitude < 2^17: still faithful.
+        let mut m = PackedMac::new();
+        for _ in 0..8 {
+            m.mac(0, -127, 127);
+        }
+        assert_eq!(m.lanes(), (0, -129032));
+    }
+
+    #[test]
+    fn unclamped_corner_overflows_low_lane() {
+        // 8 x (-128 * -128) = +131072 = 2^17: one past the lane range. The
+        // extraction mis-attributes it — demonstrating exactly why the
+        // quantizer clamps to ±127.
+        let mut m = PackedMac::new();
+        for _ in 0..8 {
+            m.mac(0, -128, -128);
+        }
+        let (hi, lo) = m.lanes();
+        assert_ne!(
+            (hi, lo),
+            (0, 131072),
+            "2^17 cannot be represented in the lane"
+        );
+    }
+
+    #[test]
+    fn exhaustive_single_pair_sweep() {
+        // Every (x1, x2) pair at a few y values recovers exactly.
+        for y in [-128i8, -127, -1, 0, 1, 63, 127] {
+            for x1 in (-128i16..=127).step_by(17) {
+                for x2 in (-128i16..=127).step_by(13) {
+                    let mut m = PackedMac::new();
+                    m.mac(x1 as i8, x2 as i8, y);
+                    let (hi, lo) = m.lanes();
+                    assert_eq!(hi, x1 as i64 * y as i64);
+                    assert_eq!(lo, x2 as i64 * y as i64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_dot_products_match_reference() {
+        let mut state = 0xace1u32;
+        let mut r = || {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((state >> 16) as i32 % 255 - 127).clamp(-127, 127) as i8
+        };
+        for _ in 0..2000 {
+            let mut m = PackedMac::new();
+            let mut w1 = 0i64;
+            let mut w2 = 0i64;
+            for _ in 0..8 {
+                let (x1, x2, y) = (r(), r(), r());
+                m.mac(x1, x2, y);
+                w1 += x1 as i64 * y as i64;
+                w2 += x2 as i64 * y as i64;
+            }
+            assert_eq!(m.lanes(), (w1, w2));
+        }
+    }
+
+    #[test]
+    fn clear_restarts() {
+        let mut m = PackedMac::new();
+        m.mac(1, 1, 1);
+        m.clear();
+        assert_eq!(m.terms(), 0);
+        assert_eq!(m.lanes(), (0, 0));
+    }
+}

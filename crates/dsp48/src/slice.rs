@@ -1,0 +1,195 @@
+//! The DSP48E2 slice: pre-adder, 27×18 multiplier, 48-bit ALU, P register.
+//!
+//! Port widths follow UG579: `A` is 30 bits (27 used ahead of the
+//! pre-adder), `B` 18 bits, `D` 27 bits, `C`/`P`/`PCIN` 48 bits. All
+//! arithmetic wraps modulo 2^width exactly like the silicon; the *users* of
+//! the slice (quantizer clamps, 8-row column depth) are responsible for
+//! keeping values in range, and the tests in `bfp-pu` verify they do.
+
+/// Bit widths of the modelled ports.
+pub mod widths {
+    /// Pre-adder / `D` port / multiplier X input width.
+    pub const AD: u32 = 27;
+    /// Multiplier Y input (`B` port) width.
+    pub const B: u32 = 18;
+    /// Accumulator / `C` / `P` / cascade width.
+    pub const P: u32 = 48;
+}
+
+/// Sign-extend the low `bits` of `v`.
+#[inline]
+pub fn sext(v: i64, bits: u32) -> i64 {
+    let s = 64 - bits;
+    (v << s) >> s
+}
+
+/// Truncate `v` to `bits` (two's-complement wrap), returning the
+/// sign-extended result — the silicon's behaviour on overflow.
+#[inline]
+pub fn wrap(v: i64, bits: u32) -> i64 {
+    sext(v, bits)
+}
+
+/// Z-multiplexer selection: what the ALU adds to the product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ZMux {
+    /// Z = 0 (start of a fresh accumulation).
+    #[default]
+    Zero,
+    /// Z = C port (bias / externally supplied partial sum).
+    C,
+    /// Z = P (self-accumulate).
+    P,
+    /// Z = PCIN (cascade input from the neighbouring slice).
+    Pcin,
+}
+
+/// One DSP48E2 slice with an explicit `P` register.
+#[derive(Debug, Clone, Default)]
+pub struct Dsp48 {
+    /// Accumulator / output register (48-bit, sign-extended into i64).
+    p: i64,
+}
+
+impl Dsp48 {
+    /// A slice with `P = 0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current `P` register (also drives `PCOUT`).
+    #[inline]
+    pub fn p(&self) -> i64 {
+        self.p
+    }
+
+    /// Synchronous clear (the `RSTP` pin).
+    pub fn reset(&mut self) {
+        self.p = 0;
+    }
+
+    /// Combinational datapath: `(A27 + D) × B`, then the ALU adds the
+    /// Z-mux selection. Returns the next `P` value without committing it.
+    ///
+    /// `a` and `d` are truncated to 27 bits, `b` to 18, inputs `c`/`pcin`
+    /// and the result to 48 — silicon wrap semantics.
+    pub fn eval(&self, a: i64, d: i64, b: i64, c: i64, pcin: i64, z: ZMux) -> i64 {
+        let ad = wrap(wrap(a, widths::AD) + wrap(d, widths::AD), widths::AD);
+        let m = ad * wrap(b, widths::B); // 27x18 -> 45 bits, exact in i64
+        let zval = match z {
+            ZMux::Zero => 0,
+            ZMux::C => wrap(c, widths::P),
+            ZMux::P => self.p,
+            ZMux::Pcin => wrap(pcin, widths::P),
+        };
+        wrap(m + zval, widths::P)
+    }
+
+    /// Clock edge: evaluate and commit `P`.
+    pub fn step(&mut self, a: i64, d: i64, b: i64, c: i64, pcin: i64, z: ZMux) -> i64 {
+        self.p = self.eval(a, d, b, c, pcin, z);
+        self.p
+    }
+
+    /// Convenience: plain multiply-accumulate `P += a × b` (no pre-adder).
+    pub fn mac(&mut self, a: i64, b: i64) -> i64 {
+        self.step(a, 0, b, 0, 0, ZMux::P)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sext_and_wrap() {
+        assert_eq!(sext(0xff, 8), -1);
+        assert_eq!(sext(0x7f, 8), 127);
+        assert_eq!(wrap(1 << 47, 48), -(1i64 << 47));
+        assert_eq!(wrap((1 << 47) - 1, 48), (1i64 << 47) - 1);
+    }
+
+    #[test]
+    fn simple_multiply() {
+        let mut d = Dsp48::new();
+        assert_eq!(d.step(123, 0, -45, 0, 0, ZMux::Zero), -5535);
+    }
+
+    #[test]
+    fn pre_adder_feeds_multiplier() {
+        let mut d = Dsp48::new();
+        // (100 + 23) * 7 = 861
+        assert_eq!(d.step(100, 23, 7, 0, 0, ZMux::Zero), 861);
+    }
+
+    #[test]
+    fn self_accumulation() {
+        let mut d = Dsp48::new();
+        d.step(10, 0, 10, 0, 0, ZMux::Zero);
+        d.step(10, 0, 10, 0, 0, ZMux::P);
+        assert_eq!(d.step(10, 0, 10, 0, 0, ZMux::P), 300);
+    }
+
+    #[test]
+    fn c_port_adds_bias() {
+        let mut d = Dsp48::new();
+        assert_eq!(d.step(6, 0, 7, 1000, 0, ZMux::C), 1042);
+    }
+
+    #[test]
+    fn cascade_input_sums() {
+        let mut d = Dsp48::new();
+        assert_eq!(d.step(2, 0, 3, 0, 40, ZMux::Pcin), 46);
+    }
+
+    #[test]
+    fn multiplier_input_truncation() {
+        let mut d = Dsp48::new();
+        // b is truncated to 18 bits: 2^17 wraps to -2^17.
+        let p = d.step(1, 0, 1 << 17, 0, 0, ZMux::Zero);
+        assert_eq!(p, -(1i64 << 17));
+    }
+
+    #[test]
+    fn full_width_products_are_exact() {
+        // Largest 27x18 magnitudes fit the 48-bit P without wrap.
+        let mut d = Dsp48::new();
+        let a = (1i64 << 26) - 1;
+        let b = (1i64 << 17) - 1;
+        assert_eq!(d.step(a, 0, b, 0, 0, ZMux::Zero), a * b);
+    }
+
+    #[test]
+    fn p_wraps_at_48_bits() {
+        let mut d = Dsp48::new();
+        let big = (1i64 << 47) - 1;
+        d.step(0, 0, 0, big, 0, ZMux::C);
+        // Adding 1 via a 1x1 product wraps to the negative extreme.
+        assert_eq!(d.step(1, 0, 1, 0, 0, ZMux::P), -(1i64 << 47));
+    }
+
+    #[test]
+    fn reset_clears_p() {
+        let mut d = Dsp48::new();
+        d.mac(5, 5);
+        d.reset();
+        assert_eq!(d.p(), 0);
+    }
+
+    #[test]
+    fn eval_does_not_commit() {
+        let d = Dsp48::new();
+        let v = d.eval(3, 0, 3, 0, 0, ZMux::Zero);
+        assert_eq!(v, 9);
+        assert_eq!(d.p(), 0);
+    }
+
+    #[test]
+    fn mac_accumulates_products() {
+        let mut d = Dsp48::new();
+        for k in 1..=10i64 {
+            d.mac(k, k);
+        }
+        assert_eq!(d.p(), (1..=10i64).map(|k| k * k).sum::<i64>());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the DSP48E2 model: packing exactness, cascade sums,
+//! and silicon wrap semantics.
+
+use bfp_dsp48::cascade::{ColumnInput, DspColumn};
+use bfp_dsp48::packed::{pack, unpack, PackedMac};
+use bfp_dsp48::slice::{sext, wrap, Dsp48, ZMux};
+use proptest::prelude::*;
+
+/// Mantissas as the quantizer emits them: symmetric ±127.
+fn mant() -> impl Strategy<Value = i8> {
+    (-127i8..=127).prop_map(|v| v)
+}
+
+proptest! {
+    #[test]
+    fn pack_unpack_roundtrip(x1 in any::<i8>(), x2 in any::<i8>()) {
+        let (hi, lo) = unpack(pack(x1, x2));
+        prop_assert_eq!((hi, lo), (x1 as i64, x2 as i64));
+    }
+
+    #[test]
+    fn packed_mac_eight_terms_exact(
+        xs1 in proptest::array::uniform8(mant()),
+        xs2 in proptest::array::uniform8(mant()),
+        ys in proptest::array::uniform8(mant()),
+    ) {
+        let mut m = PackedMac::new();
+        let mut w1 = 0i64;
+        let mut w2 = 0i64;
+        for k in 0..8 {
+            m.mac(xs1[k], xs2[k], ys[k]);
+            w1 += xs1[k] as i64 * ys[k] as i64;
+            w2 += xs2[k] as i64 * ys[k] as i64;
+        }
+        prop_assert_eq!(m.lanes(), (w1, w2));
+    }
+
+    #[test]
+    fn wrap_matches_two_complement(v in any::<i64>(), bits in 1u32..63) {
+        let w = wrap(v, bits);
+        // Congruent modulo 2^bits and inside the signed range.
+        prop_assert_eq!(w.wrapping_sub(v) % (1i64 << bits), 0);
+        prop_assert!(w >= -(1i64 << (bits - 1)));
+        prop_assert!(w < (1i64 << (bits - 1)));
+    }
+
+    #[test]
+    fn sext_preserves_low_bits(v in any::<i64>(), bits in 1u32..63) {
+        let s = sext(v, bits);
+        let mask = (1i64 << bits) - 1;
+        prop_assert_eq!(s & mask, v & mask);
+    }
+
+    #[test]
+    fn slice_mac_accumulates_like_integer_math(
+        pairs in proptest::collection::vec((-(1i64 << 20)..(1i64 << 20), -(1i64 << 15)..(1i64 << 15)), 1..20)
+    ) {
+        let mut d = Dsp48::new();
+        let mut want = 0i64;
+        for &(a, b) in &pairs {
+            d.mac(a, b);
+            want += a * b;
+        }
+        // Products stay far from the 48-bit edge, so no wrap occurs.
+        prop_assert_eq!(d.p(), want);
+    }
+
+    #[test]
+    fn cascade_settles_to_dot_product(
+        pairs in proptest::collection::vec((-(1i64 << 12)..(1i64 << 12), -(1i64 << 12)..(1i64 << 12)), 1..12)
+    ) {
+        let mut col = DspColumn::new(pairs.len());
+        let ins: Vec<ColumnInput> =
+            pairs.iter().map(|&(a, b)| ColumnInput { a, d: 0, b }).collect();
+        let want: i64 = pairs.iter().map(|&(a, b)| a * b).sum();
+        prop_assert_eq!(col.settle(&ins), want);
+    }
+
+    #[test]
+    fn cascade_is_deterministic_after_reset(
+        pairs in proptest::collection::vec((-100i64..100, -100i64..100), 2..8)
+    ) {
+        let mut col = DspColumn::new(pairs.len());
+        let ins: Vec<ColumnInput> =
+            pairs.iter().map(|&(a, b)| ColumnInput { a, d: 0, b }).collect();
+        let first = col.settle(&ins);
+        col.reset();
+        let second = col.settle(&ins);
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn pre_adder_is_linear(a in -(1i64 << 20)..(1i64 << 20), d in -(1i64 << 20)..(1i64 << 20), b in -(1i64 << 15)..(1i64 << 15)) {
+        let mut s1 = Dsp48::new();
+        let with_pre = s1.step(a, d, b, 0, 0, ZMux::Zero);
+        let mut s2 = Dsp48::new();
+        let sum_first = s2.step(a + d, 0, b, 0, 0, ZMux::Zero);
+        // a + d stays inside 27 bits for these ranges, so both are exact.
+        prop_assert_eq!(with_pre, sum_first);
+    }
+}

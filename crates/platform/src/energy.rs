@@ -1,0 +1,124 @@
+//! First-order power/energy estimates for the processing system.
+//!
+//! The paper evaluates "utilization, throughput, and energy consumption"
+//! but prints no absolute power table, so this model is deliberately
+//! simple and clearly labelled an estimate: a static floor per unit plus
+//! dynamic power proportional to the number of *active* PE columns —
+//! which is exactly the lever the paper pulls when it puts the unused 4
+//! columns to sleep in fp32 mode ("keeping the remaining PEs idle to save
+//! power", §II-C).
+
+use crate::u280::SystemConfig;
+
+/// Power model parameters (Watts), representative of DSP-heavy 300 MHz
+/// designs on 16 nm UltraScale+ parts.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerModel {
+    /// Static + clocking power per processing array.
+    pub static_per_array_w: f64,
+    /// Dynamic power of one active PE column in bfp8 mode.
+    pub dynamic_per_column_w: f64,
+    /// Dynamic power of the memory interface per array while streaming.
+    pub mem_per_array_w: f64,
+    /// Shell / HBM controller baseline for the whole card.
+    pub shell_w: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            static_per_array_w: 0.35,
+            dynamic_per_column_w: 0.11,
+            mem_per_array_w: 0.25,
+            shell_w: 20.0,
+        }
+    }
+}
+
+/// Which execution mode the array is in (determines active columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerMode {
+    /// bfp8 MatMul: all 8 columns busy.
+    Bfp8,
+    /// fp32 mode: 4 FPU columns busy, 4 asleep.
+    Fp32,
+    /// Clocked but idle.
+    Idle,
+}
+
+impl PowerModel {
+    /// Estimated card power (W) with every array of `cfg` in `mode`.
+    pub fn system_power_w(&self, cfg: SystemConfig, mode: PowerMode) -> f64 {
+        let arrays = cfg.total_arrays() as f64;
+        let cols = match mode {
+            PowerMode::Bfp8 => 8.0,
+            PowerMode::Fp32 => 4.0,
+            PowerMode::Idle => 0.0,
+        };
+        let mem = match mode {
+            PowerMode::Idle => 0.0,
+            _ => self.mem_per_array_w,
+        };
+        self.shell_w + arrays * (self.static_per_array_w + cols * self.dynamic_per_column_w + mem)
+    }
+
+    /// Energy (J) to run for `seconds` in `mode`.
+    pub fn energy_j(&self, cfg: SystemConfig, mode: PowerMode, seconds: f64) -> f64 {
+        self.system_power_w(cfg, mode) * seconds
+    }
+
+    /// Energy efficiency in GOPS/W for a measured throughput.
+    pub fn gops_per_watt(&self, cfg: SystemConfig, mode: PowerMode, ops_per_sec: f64) -> f64 {
+        ops_per_sec / 1e9 / self.system_power_w(cfg, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp32_mode_draws_less_than_bfp8() {
+        let p = PowerModel::default();
+        let cfg = SystemConfig::paper();
+        assert!(
+            p.system_power_w(cfg, PowerMode::Fp32) < p.system_power_w(cfg, PowerMode::Bfp8),
+            "sleeping half the columns must save power"
+        );
+    }
+
+    #[test]
+    fn idle_draws_least() {
+        let p = PowerModel::default();
+        let cfg = SystemConfig::paper();
+        let idle = p.system_power_w(cfg, PowerMode::Idle);
+        assert!(idle < p.system_power_w(cfg, PowerMode::Fp32));
+        assert!(idle > p.shell_w, "static array power remains");
+    }
+
+    #[test]
+    fn power_is_plausible_for_the_card() {
+        // The U280 is a 225 W card; a 30-array design should sit well
+        // inside that and above the bare shell.
+        let p = PowerModel::default();
+        let w = p.system_power_w(SystemConfig::paper(), PowerMode::Bfp8);
+        assert!(w > 25.0 && w < 225.0, "card power {w} W");
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_time() {
+        let p = PowerModel::default();
+        let cfg = SystemConfig::paper();
+        let e1 = p.energy_j(cfg, PowerMode::Bfp8, 1.0);
+        let e2 = p.energy_j(cfg, PowerMode::Bfp8, 2.0);
+        assert!((e2 - 2.0 * e1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_metric() {
+        let p = PowerModel::default();
+        let cfg = SystemConfig::paper();
+        let eff = p.gops_per_watt(cfg, PowerMode::Bfp8, 2052.06e9);
+        assert!(eff > 10.0 && eff < 100.0, "GOPS/W {eff}");
+    }
+}

@@ -1,0 +1,201 @@
+//! The related-work comparison dataset behind Table III.
+//!
+//! Rows for prior accelerators are transcribed from the paper (they are
+//! published results, not something we can re-measure); the "Ours" row is
+//! **computed** by the system model in [`crate::system`] so the comparison
+//! binary regenerates the table rather than hard-coding our own numbers.
+
+/// One accelerator in the comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelatedWork {
+    /// Citation label as printed in the paper.
+    pub work: &'static str,
+    /// Arithmetic format(s).
+    pub data_format: &'static str,
+    /// Target workload family.
+    pub application: &'static str,
+    /// Whether deployment requires quantization-aware retraining.
+    pub needs_retraining: bool,
+    /// FPGA device.
+    pub platform: &'static str,
+    /// LUTs, in thousands.
+    pub lut_k: f64,
+    /// Flip-flops, in thousands (None where the paper prints "-").
+    pub ff_k: Option<f64>,
+    /// BRAM count (None where unreported).
+    pub bram: Option<f64>,
+    /// DSP count.
+    pub dsp: u32,
+    /// Clock frequency in MHz.
+    pub freq_mhz: u32,
+    /// Reported throughput in GOPS.
+    pub gops: f64,
+}
+
+impl RelatedWork {
+    /// DSP efficiency in GOPS per DSP (the paper's last column).
+    pub fn gops_per_dsp(&self) -> f64 {
+        self.gops / self.dsp as f64
+    }
+}
+
+/// The seven prior works of Table III, in the paper's row order.
+pub fn prior_works() -> Vec<RelatedWork> {
+    vec![
+        RelatedWork {
+            work: "Lian et al. [17]",
+            data_format: "bfp8",
+            application: "CNN",
+            needs_retraining: false,
+            platform: "VX690T",
+            lut_k: 231.8,
+            ff_k: Some(141.0),
+            bram: Some(913.0),
+            dsp: 1027,
+            freq_mhz: 200,
+            gops: 760.83,
+        },
+        RelatedWork {
+            work: "Wu et al. [18]",
+            data_format: "fp8",
+            application: "CNN",
+            needs_retraining: false,
+            platform: "XC7K325T",
+            lut_k: 154.6,
+            ff_k: Some(180.6),
+            bram: Some(234.5),
+            dsp: 768,
+            freq_mhz: 200,
+            gops: 1086.8,
+        },
+        RelatedWork {
+            work: "Fan et al. [19]",
+            data_format: "bfp8",
+            application: "CNN",
+            needs_retraining: false,
+            platform: "Intel GX1150",
+            lut_k: 437.2,
+            ff_k: Some(170.9),
+            bram: Some(2713.0),
+            dsp: 1518,
+            freq_mhz: 220,
+            gops: 1667.0,
+        },
+        RelatedWork {
+            work: "Wong et al. [20]",
+            data_format: "bfp10",
+            application: "CNN",
+            needs_retraining: false,
+            platform: "KU115",
+            lut_k: 386.3,
+            ff_k: Some(425.6),
+            bram: Some(1426.0),
+            dsp: 4492,
+            freq_mhz: 125,
+            gops: 794.0,
+        },
+        RelatedWork {
+            work: "Auto-ViT-Acc [21]",
+            data_format: "int4 & int8",
+            application: "Transformer",
+            needs_retraining: true,
+            platform: "ZCU102",
+            lut_k: 185.0,
+            ff_k: None,
+            bram: None,
+            dsp: 1152,
+            freq_mhz: 150,
+            gops: 907.8,
+        },
+        RelatedWork {
+            work: "ViA [22]",
+            data_format: "fp16",
+            application: "Transformer",
+            needs_retraining: false,
+            platform: "Alveo U50",
+            lut_k: 258.0,
+            ff_k: Some(257.0),
+            bram: Some(1002.0),
+            dsp: 2420,
+            freq_mhz: 300,
+            gops: 309.6,
+        },
+        RelatedWork {
+            work: "Ye et al. [23]",
+            data_format: "int8 & int16",
+            application: "Transformer",
+            needs_retraining: true,
+            platform: "Alveo U250",
+            lut_k: 736.0,
+            ff_k: None,
+            bram: Some(1781.0),
+            dsp: 4189,
+            freq_mhz: 300,
+            gops: 1800.0,
+        },
+    ]
+}
+
+/// The paper's reported numbers for its own system (the bottom row of
+/// Table III) — used by tests to check our *computed* row lands close.
+pub fn paper_ours_row() -> RelatedWork {
+    RelatedWork {
+        work: "Ours",
+        data_format: "bfp8 & fp32",
+        application: "Transformer",
+        needs_retraining: false,
+        platform: "Alveo U280",
+        lut_k: 410.6,
+        ff_k: Some(602.7),
+        bram: Some(1353.0),
+        dsp: 2163,
+        freq_mhz: 300,
+        gops: 2052.06,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_prior_rows() {
+        assert_eq!(prior_works().len(), 7);
+    }
+
+    #[test]
+    fn efficiency_column_matches_paper() {
+        // Spot-check the GOPS/DSP values the paper prints.
+        let rows = prior_works();
+        let eff: Vec<f64> = rows.iter().map(|r| r.gops_per_dsp()).collect();
+        let paper = [0.74, 1.42, 1.24, 0.18, 0.79, 0.13, 0.43];
+        for (i, (&got, &want)) in eff.iter().zip(paper.iter()).enumerate() {
+            // Two printed efficiency entries don't match their own row's
+            // GOPS/DSP quotient (Fan et al.: 1667/1518 = 1.10, printed
+            // 1.24; Auto-ViT-Acc: 907.8/1152 = 0.79, printed 0.59). We
+            // keep the computed values and note the discrepancy in
+            // EXPERIMENTS.md.
+            if i == 2 || i == 4 {
+                continue;
+            }
+            assert!((got - want).abs() < 0.01, "row {i}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn ours_row_efficiency_is_0_95() {
+        let ours = paper_ours_row();
+        assert!((ours.gops_per_dsp() - 0.95).abs() < 0.005);
+    }
+
+    #[test]
+    fn only_retraining_free_transformer_designs_are_ola_and_ours() {
+        let rows = prior_works();
+        let transformer_no_retrain: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.application == "Transformer" && !r.needs_retraining)
+            .map(|r| r.work)
+            .collect();
+        assert_eq!(transformer_no_retrain, vec!["ViA [22]"]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Roofline analysis of the two execution modes: *why* bfp8 MatMul sits
+//! near its compute peak while fp32 vector mode is memory-starved (the
+//! structural explanation behind Fig. 7's asymmetric gaps).
+//!
+//! Arithmetic intensity is computed from the actual datapath traffic: a
+//! bfp8 pass re-uses every loaded Y mantissa 8·N_X times and every X
+//! mantissa 16 times (two lanes), while fp32 element-wise ops touch three
+//! words of traffic per operation — there is no reuse for the crossbar to
+//! exploit, exactly the "more random memory access" the paper laments.
+
+use crate::u280::{SystemConfig, U280};
+
+/// A machine roofline: compute ceiling + memory slope.
+#[derive(Debug, Clone, Copy)]
+pub struct Roofline {
+    /// Peak operations per second (mode-specific).
+    pub peak_ops_per_sec: f64,
+    /// Memory bandwidth available to the unit(s), bytes per second.
+    pub mem_bytes_per_sec: f64,
+}
+
+impl Roofline {
+    /// bfp8-mode roofline for `cfg` at `freq`: Eqn. 7 peak per array, one
+    /// HBM channel's bandwidth per array.
+    pub fn bfp8(cfg: SystemConfig, freq: f64) -> Self {
+        let arrays = cfg.total_arrays() as f64;
+        Roofline {
+            peak_ops_per_sec: arrays * 256.0 * freq,
+            mem_bytes_per_sec: arrays / U280::HBM_CHANNELS as f64 * U280::HBM_BW_BYTES_PER_SEC,
+        }
+    }
+
+    /// fp32-mode roofline: Eqn. 8 peak per array, same memory system.
+    pub fn fp32(cfg: SystemConfig, freq: f64) -> Self {
+        let arrays = cfg.total_arrays() as f64;
+        Roofline {
+            peak_ops_per_sec: arrays * 4.0 * freq,
+            mem_bytes_per_sec: arrays / U280::HBM_CHANNELS as f64 * U280::HBM_BW_BYTES_PER_SEC,
+        }
+    }
+
+    /// Attainable throughput at arithmetic intensity `ops_per_byte`.
+    pub fn attainable(&self, ops_per_byte: f64) -> f64 {
+        self.peak_ops_per_sec
+            .min(self.mem_bytes_per_sec * ops_per_byte)
+    }
+
+    /// The ridge point: intensity above which the mode is compute bound.
+    pub fn ridge(&self) -> f64 {
+        self.peak_ops_per_sec / self.mem_bytes_per_sec
+    }
+}
+
+/// Arithmetic intensity (ops/byte) of a bfp8 Y-stationary pass with `n_x`
+/// streamed blocks: `2048·N_X` ops over X-in + Y-in + Z-out traffic.
+pub fn bfp8_pass_intensity(n_x: usize) -> f64 {
+    let ops = (n_x * 8 * 8 * 8 * 2 * 2) as f64;
+    // One block = 64 mantissas + 1 exponent byte. Outputs are two lanes of
+    // requantized blocks.
+    let bytes = (n_x as f64 + 2.0) * 65.0 + (2 * n_x) as f64 * 65.0;
+    ops / bytes
+}
+
+/// Arithmetic intensity of element-wise fp32 streams: one FLOP per two
+/// 4-byte reads and one 4-byte write.
+pub fn fp32_stream_intensity() -> f64 {
+    1.0 / 12.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F300: f64 = 300.0e6;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::paper()
+    }
+
+    #[test]
+    fn bfp8_is_compute_bound_at_long_streams() {
+        let r = Roofline::bfp8(cfg(), F300);
+        let i = bfp8_pass_intensity(64);
+        assert!(
+            i > r.ridge(),
+            "N_X=64 intensity {i:.2} ops/B must clear the ridge {:.2}",
+            r.ridge()
+        );
+        // Attainable equals the compute peak: memory is not the limiter.
+        assert_eq!(r.attainable(i), r.peak_ops_per_sec);
+    }
+
+    #[test]
+    fn fp32_is_memory_bound() {
+        let r = Roofline::fp32(cfg(), F300);
+        let i = fp32_stream_intensity();
+        // 1/12 ops per byte is far below the fp32 ridge.
+        assert!(i < r.ridge(), "fp32 intensity {i} vs ridge {}", r.ridge());
+        assert!(
+            r.attainable(i) < r.peak_ops_per_sec,
+            "memory bandwidth caps fp32 mode"
+        );
+    }
+
+    #[test]
+    fn fp32_memory_bound_explains_the_measured_ceiling() {
+        // The bandwidth-derived ceiling sits in the same regime as the
+        // 15 GFLOPS Table IV implies (same order, not 33.88).
+        let r = Roofline::fp32(cfg(), F300);
+        let cap = r.attainable(fp32_stream_intensity());
+        assert!(
+            cap > 5.0e9 && cap < 40.0e9,
+            "fp32 roofline cap {:.1} GFLOPS should bracket the measured 15",
+            cap / 1e9
+        );
+    }
+
+    #[test]
+    fn intensity_grows_with_stream_length() {
+        assert!(bfp8_pass_intensity(64) > bfp8_pass_intensity(8));
+    }
+
+    #[test]
+    fn ridge_points_differ_by_the_mode_peak_ratio() {
+        let rb = Roofline::bfp8(cfg(), F300);
+        let rf = Roofline::fp32(cfg(), F300);
+        // Same memory system, 64x peak ratio (256 vs 4 ops/cycle).
+        let ratio = rb.ridge() / rf.ridge();
+        assert!((ratio - 64.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,94 @@
+//! Static description of the AMD Alveo U280 target platform.
+
+/// Device resource totals and platform parameters of the Alveo U280
+/// (XCU280, `xilinx_u280_xdma` shells).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct U280;
+
+impl U280 {
+    /// Total LUTs on the device.
+    pub const LUT: u64 = 1_303_680;
+    /// Total flip-flops.
+    pub const FF: u64 = 2_607_360;
+    /// Total BRAM18 blocks (2016 BRAM36 tiles × 2).
+    pub const BRAM18: u64 = 4032;
+    /// Total DSP48E2 slices.
+    pub const DSP: u64 = 9024;
+    /// HBM2 pseudo-channels.
+    pub const HBM_CHANNELS: usize = 32;
+    /// Aggregate HBM bandwidth in bytes per second (460 GB/s).
+    pub const HBM_BW_BYTES_PER_SEC: f64 = 460.0e9;
+    /// AXI data width per channel in bits.
+    pub const AXI_BITS: usize = 256;
+    /// Kernel clock of the paper's prototype, in Hz.
+    pub const FREQ_HZ: f64 = 300.0e6;
+
+    /// AXI bytes per cycle per channel.
+    pub const fn axi_bytes_per_cycle() -> usize {
+        Self::AXI_BITS / 8
+    }
+}
+
+/// The paper's system configuration: 15 processing units, each with two
+/// PE arrays and two 256-bit AXI channels into HBM ("we implemented 15
+/// processing units ... to fully utilize the HBM channels"; each unit has 2
+/// AXI channels, and the reported DSP total of 2163 ≈ 30 arrays × 72).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Number of processing units instantiated.
+    pub units: usize,
+    /// PE arrays per unit (one per AXI channel).
+    pub arrays_per_unit: usize,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl SystemConfig {
+    /// The paper's deployment: 15 units × 2 arrays = 30 arrays.
+    pub const fn paper() -> Self {
+        SystemConfig {
+            units: 15,
+            arrays_per_unit: 2,
+        }
+    }
+
+    /// Total independent PE arrays.
+    pub const fn total_arrays(&self) -> usize {
+        self.units * self.arrays_per_unit
+    }
+
+    /// AXI channels consumed (one per array).
+    pub const fn axi_channels(&self) -> usize {
+        self.total_arrays()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_uses_30_arrays_on_30_channels() {
+        let c = SystemConfig::paper();
+        assert_eq!(c.total_arrays(), 30);
+        assert!(c.axi_channels() <= U280::HBM_CHANNELS);
+    }
+
+    #[test]
+    fn dsp_budget_fits_30_arrays() {
+        // 30 arrays × 72 DSP = 2160 ≈ the 2163 reported in Table III,
+        // a fraction of the device's 9024.
+        let used = 30 * 72;
+        assert!(used as u64 <= U280::DSP);
+        assert_eq!(used, 2160);
+    }
+
+    #[test]
+    fn axi_width() {
+        assert_eq!(U280::axi_bytes_per_cycle(), 32);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the platform models: monotonicity and conservation
+//! laws the resource/memory/roofline models must obey.
+
+use bfp_arith::matrix::MatF32;
+use bfp_platform::{
+    bfp8_pass_intensity, ArrayParams, MemParams, PuCostModel, Roofline, System, SystemConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn resource_model_is_monotone_in_array_size(r in 1usize..32, c in 1usize..32) {
+        let small = PuCostModel::unit_total(ArrayParams { rows: r, cols: c });
+        let big = PuCostModel::unit_total(ArrayParams { rows: r + 1, cols: c + 1 });
+        prop_assert!(big.lut >= small.lut);
+        prop_assert!(big.ff >= small.ff);
+        prop_assert!(big.dsp > small.dsp);
+    }
+
+    #[test]
+    fn measured_throughput_is_monotone_and_bounded(nx in 1usize..=64) {
+        let m = MemParams::paper_calibrated();
+        let t = m.measured_bfp_ops(nx, 300.0e6);
+        prop_assert!(t > 0.0);
+        prop_assert!(t <= bfp_pu::throughput::bfp_throughput(nx, 300.0e6));
+        if nx > 1 {
+            prop_assert!(t > m.measured_bfp_ops(nx - 1, 300.0e6));
+        }
+    }
+
+    #[test]
+    fn fp32_measured_bounded_by_eqn10(l in 1usize..=128) {
+        let m = MemParams::paper_calibrated();
+        let t = m.measured_fp32_flops(l, 300.0e6);
+        prop_assert!(t > 0.0);
+        prop_assert!(t <= bfp_pu::throughput::fp32_throughput(l, 300.0e6));
+    }
+
+    #[test]
+    fn roofline_attainable_never_exceeds_either_ceiling(
+        intensity in 0.001f64..1000.0,
+    ) {
+        let r = Roofline::bfp8(SystemConfig::paper(), 300.0e6);
+        let a = r.attainable(intensity);
+        prop_assert!(a <= r.peak_ops_per_sec + 1e-6);
+        prop_assert!(a <= r.mem_bytes_per_sec * intensity + 1e-6);
+        // And it is exactly the binding constraint.
+        prop_assert!(
+            (a - r.peak_ops_per_sec.min(r.mem_bytes_per_sec * intensity)).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn pass_intensity_monotone(nx in 2usize..=64) {
+        prop_assert!(bfp8_pass_intensity(nx) > bfp8_pass_intensity(nx - 1));
+    }
+
+    #[test]
+    fn system_gemm_matches_reference_for_small_integers(
+        m in 1usize..20,
+        k in 1usize..20,
+        n in 1usize..20,
+        seed in 0u64..100,
+    ) {
+        // Integer-valued inputs within +-10 are exact under bfp8, so the
+        // parallel card must reproduce the f32 product exactly for any
+        // shard split.
+        let a = MatF32::from_fn(m, k, |i, j| (((i * 7 + j * 3 + seed as usize) % 21) as f32) - 10.0);
+        let b = MatF32::from_fn(k, n, |i, j| (((i * 5 + j * 11 + seed as usize) % 19) as f32) - 9.0);
+        let (got, stats) = System::paper().matmul_f32(&a, &b);
+        prop_assert_eq!(got, a.matmul(&b));
+        prop_assert!(stats.total_bfp_ops() > 0);
+    }
+
+    #[test]
+    fn shell_plus_units_never_exceed_the_device(units in 1usize..=15) {
+        use bfp_platform::U280;
+        let sys = System {
+            cfg: SystemConfig { units, arrays_per_unit: 2 },
+            ..System::paper()
+        };
+        let r = sys.resources();
+        prop_assert!(r.lut <= U280::LUT as f64);
+        prop_assert!(r.ff <= U280::FF as f64);
+        prop_assert!(r.dsp <= U280::DSP as f64);
+    }
+}

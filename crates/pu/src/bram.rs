@@ -1,0 +1,386 @@
+//! BRAM18 buffer model and the Fig. 4 data layout.
+//!
+//! Each X/Y buffer is built from byte-wide BRAM18 blocks (one BRAM18 per
+//! "column" of the layout figure):
+//!
+//! * **bfp8 mode** — 16 mantissa BRAMs hold two block slots (8 BRAMs per
+//!   block, one BRAM per block column, addressed by row), plus one exponent
+//!   BRAM. The Y buffer replicates its outputs so both resident blocks feed
+//!   the array every cycle (combined-MAC optimisation).
+//! * **fp32 mode** — the same 16 mantissa BRAMs are repurposed: each fp32
+//!   number owns 4 consecutive BRAMs (3 mantissa slices + 1 exponent byte),
+//!   so the output bandwidth is 4 fp32 values per cycle — which is why only
+//!   4 PE columns (4 FPUs) can run in parallel (§II-C).
+//!
+//! Capacity limits from the paper: at most 64 continuous X blocks per pass
+//! (so the PSU buffer is 512 deep) and fp32 streams of at most 128 per lane.
+
+use bfp_arith::bfp::{BfpBlock, BLOCK};
+use bfp_arith::softfp::SoftFp32;
+
+/// Bytes stored in one byte-wide BRAM18 (18 kib ≈ 2048 × 9; we use 8 data
+/// bits per entry, as the paper's layout does).
+pub const BRAM18_BYTES: usize = 2048;
+
+/// Mantissa BRAMs per buffer (Fig. 4 indexes them 0‥15).
+pub const MANTISSA_BRAMS: usize = 16;
+
+/// Maximum number of continuous X blocks per pass ("we set the maximum
+/// number of continuous X blocks as 64 due to the BRAM18 architecture").
+pub const MAX_X_BLOCKS: usize = 64;
+
+/// PSU buffer depth: 64 blocks × 8 rows.
+pub const PSU_DEPTH: usize = MAX_X_BLOCKS * BLOCK;
+
+/// Maximum fp32 stream length per lane ("set to a maximum of 128 due to the
+/// memory capacity of a single BRAM18 block").
+pub const MAX_FP_STREAM: usize = 128;
+
+/// fp32 lanes per buffer: 16 BRAMs / 4 BRAMs-per-number.
+pub const FP_LANES: usize = 4;
+
+/// One byte-wide BRAM18.
+#[derive(Debug, Clone)]
+pub struct Bram18 {
+    data: Vec<u8>,
+}
+
+impl Default for Bram18 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bram18 {
+    /// A zeroed BRAM.
+    pub fn new() -> Self {
+        Bram18 {
+            data: vec![0; BRAM18_BYTES],
+        }
+    }
+
+    /// Read one byte.
+    ///
+    /// # Panics
+    /// Panics when `addr` exceeds the physical depth — the controller must
+    /// never generate such an address.
+    #[inline]
+    pub fn read(&self, addr: usize) -> u8 {
+        self.data[addr]
+    }
+
+    /// Write one byte.
+    #[inline]
+    pub fn write(&mut self, addr: usize, byte: u8) {
+        self.data[addr] = byte;
+    }
+}
+
+/// An X or Y operand buffer: 16 mantissa BRAMs + 1 exponent BRAM, with both
+/// layouts of Fig. 4.
+#[derive(Debug, Clone)]
+pub struct OperandBuffer {
+    mantissa: Vec<Bram18>,
+    exponent: Bram18,
+}
+
+impl Default for OperandBuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OperandBuffer {
+    /// A zeroed buffer.
+    pub fn new() -> Self {
+        OperandBuffer {
+            mantissa: vec![Bram18::new(); MANTISSA_BRAMS],
+            exponent: Bram18::new(),
+        }
+    }
+
+    /// Total BRAM18 count (for the resource model): 16 mantissa + 1 exp.
+    pub const BRAM_COUNT: usize = MANTISSA_BRAMS + 1;
+
+    // ------------------------------------------------------------------
+    // bfp8 layout
+    // ------------------------------------------------------------------
+
+    /// Store a bfp8 block in slot parity `slot` (0 or 1: which half of the
+    /// mantissa BRAMs) at block index `idx` within that half.
+    ///
+    /// Column `j` of the block lands in BRAM `slot*8 + j`; rows are
+    /// consecutive addresses starting at `idx * 8`.
+    ///
+    /// # Panics
+    /// Panics if `slot > 1` or the block index exceeds the BRAM depth.
+    pub fn store_block(&mut self, slot: usize, idx: usize, block: &BfpBlock) {
+        assert!(slot < 2, "two block slots per buffer");
+        assert!(
+            idx < MAX_X_BLOCKS,
+            "at most {MAX_X_BLOCKS} continuous blocks"
+        );
+        let base = idx * BLOCK;
+        for j in 0..BLOCK {
+            let bram = &mut self.mantissa[slot * BLOCK + j];
+            for i in 0..BLOCK {
+                bram.write(base + i, block.man[i][j] as u8);
+            }
+        }
+        // Exponent BRAM: one byte per (slot, idx).
+        self.exponent
+            .write(slot * MAX_X_BLOCKS + idx, block.exp as u8);
+    }
+
+    /// Load a bfp8 block back (the per-cycle hardware reads one row of it;
+    /// the block view is what the controller reasons about).
+    pub fn load_block(&self, slot: usize, idx: usize) -> BfpBlock {
+        assert!(slot < 2 && idx < MAX_X_BLOCKS);
+        let base = idx * BLOCK;
+        let mut man = [[0i8; BLOCK]; BLOCK];
+        for j in 0..BLOCK {
+            let bram = &self.mantissa[slot * BLOCK + j];
+            for i in 0..BLOCK {
+                man[i][j] = bram.read(base + i) as i8;
+            }
+        }
+        BfpBlock {
+            exp: self.exponent.read(slot * MAX_X_BLOCKS + idx) as i8,
+            man,
+        }
+    }
+
+    /// One cycle's worth of bfp8 reads: row `row` of block `idx` from slot
+    /// `slot` — 8 bytes, one from each of the slot's BRAMs.
+    pub fn read_row(&self, slot: usize, idx: usize, row: usize) -> [i8; BLOCK] {
+        assert!(slot < 2 && idx < MAX_X_BLOCKS && row < BLOCK);
+        let mut out = [0i8; BLOCK];
+        for (j, v) in out.iter_mut().enumerate() {
+            *v = self.mantissa[slot * BLOCK + j].read(idx * BLOCK + row) as i8;
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // fp32 layout
+    // ------------------------------------------------------------------
+
+    /// Store an fp32 value at stream position `pos` of lane `lane`
+    /// (0‥3). BRAMs `4*lane .. 4*lane+2` take the three mantissa slices and
+    /// BRAM `4*lane + 3` the exponent byte; the separate exponent BRAM
+    /// stays inactive, as in Fig. 4.
+    ///
+    /// # Panics
+    /// Panics if the value is not finite (control logic filters specials
+    /// before they reach the buffers), or lane/pos exceed the layout.
+    pub fn store_fp32(&mut self, lane: usize, pos: usize, value: f32, sign_bank: &mut SignBank) {
+        assert!(lane < FP_LANES, "4 fp32 lanes per buffer");
+        assert!(
+            pos < MAX_FP_STREAM,
+            "fp32 stream limited to {MAX_FP_STREAM}"
+        );
+        let u = SoftFp32::unpack(value);
+        let s = u.slices();
+        for (k, &byte) in s.iter().enumerate() {
+            self.mantissa[4 * lane + k].write(pos, byte);
+        }
+        self.mantissa[4 * lane + 3].write(pos, u.exp as u8);
+        sign_bank.set(lane, pos, u.sign);
+    }
+
+    /// Load an fp32 value back from the lane layout.
+    pub fn load_fp32(&self, lane: usize, pos: usize, sign_bank: &SignBank) -> SoftFp32 {
+        assert!(lane < FP_LANES && pos < MAX_FP_STREAM);
+        let s = [
+            self.mantissa[4 * lane].read(pos),
+            self.mantissa[4 * lane + 1].read(pos),
+            self.mantissa[4 * lane + 2].read(pos),
+        ];
+        let exp = self.mantissa[4 * lane + 3].read(pos) as i32;
+        SoftFp32::from_slices(sign_bank.get(lane, pos), exp, s)
+    }
+}
+
+/// Sign bits of buffered fp32 values. The paper fuses the sign into the
+/// signed-magnitude mantissa and processes it with "a simple XOR gate";
+/// physically it rides in the 9th (parity) bit of the BRAM18s, which the
+/// byte-oriented model above doesn't carry — so it gets its own tiny bank.
+#[derive(Debug, Clone, Default)]
+pub struct SignBank {
+    bits: Vec<u64>,
+}
+
+impl SignBank {
+    /// An empty (all-positive) bank.
+    pub fn new() -> Self {
+        SignBank {
+            bits: vec![0; FP_LANES * MAX_FP_STREAM / 64 + 1],
+        }
+    }
+
+    fn index(lane: usize, pos: usize) -> (usize, u32) {
+        let bit = lane * MAX_FP_STREAM + pos;
+        (bit / 64, (bit % 64) as u32)
+    }
+
+    /// Set the sign of `(lane, pos)`.
+    pub fn set(&mut self, lane: usize, pos: usize, sign: bool) {
+        if self.bits.is_empty() {
+            *self = Self::new();
+        }
+        let (w, b) = Self::index(lane, pos);
+        if sign {
+            self.bits[w] |= 1 << b;
+        } else {
+            self.bits[w] &= !(1 << b);
+        }
+    }
+
+    /// Read the sign of `(lane, pos)`.
+    pub fn get(&self, lane: usize, pos: usize) -> bool {
+        if self.bits.is_empty() {
+            return false;
+        }
+        let (w, b) = Self::index(lane, pos);
+        self.bits[w] >> b & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(seed: i8) -> BfpBlock {
+        let mut man = [[0i8; BLOCK]; BLOCK];
+        for i in 0..BLOCK {
+            for j in 0..BLOCK {
+                man[i][j] = seed.wrapping_mul(7).wrapping_add((i * 8 + j) as i8);
+            }
+        }
+        BfpBlock { exp: seed, man }
+    }
+
+    #[test]
+    fn bram_roundtrip() {
+        let mut b = Bram18::new();
+        b.write(0, 0xAB);
+        b.write(BRAM18_BYTES - 1, 0xCD);
+        assert_eq!(b.read(0), 0xAB);
+        assert_eq!(b.read(BRAM18_BYTES - 1), 0xCD);
+        assert_eq!(b.read(1), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bram_bounds_checked() {
+        let b = Bram18::new();
+        b.read(BRAM18_BYTES);
+    }
+
+    #[test]
+    fn block_roundtrip_both_slots() {
+        let mut buf = OperandBuffer::new();
+        let b0 = block(3);
+        let b1 = block(-5);
+        buf.store_block(0, 0, &b0);
+        buf.store_block(1, 0, &b1);
+        assert_eq!(buf.load_block(0, 0), b0);
+        assert_eq!(buf.load_block(1, 0), b1);
+    }
+
+    #[test]
+    fn blocks_at_max_index() {
+        let mut buf = OperandBuffer::new();
+        let b = block(9);
+        buf.store_block(0, MAX_X_BLOCKS - 1, &b);
+        assert_eq!(buf.load_block(0, MAX_X_BLOCKS - 1), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "continuous blocks")]
+    fn block_index_limit_enforced() {
+        let mut buf = OperandBuffer::new();
+        buf.store_block(0, MAX_X_BLOCKS, &block(1));
+    }
+
+    #[test]
+    fn read_row_matches_block_row() {
+        let mut buf = OperandBuffer::new();
+        let b = block(11);
+        buf.store_block(1, 7, &b);
+        for r in 0..BLOCK {
+            let row = buf.read_row(1, 7, r);
+            for j in 0..BLOCK {
+                assert_eq!(row[j], b.man[r][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn fp32_roundtrip() {
+        let mut buf = OperandBuffer::new();
+        let mut signs = SignBank::new();
+        let vals = [1.5f32, -2.25e10, 3.1425926, -1e-20];
+        for (lane, &v) in vals.iter().enumerate() {
+            buf.store_fp32(lane, 0, v, &mut signs);
+        }
+        for (lane, &v) in vals.iter().enumerate() {
+            assert_eq!(buf.load_fp32(lane, 0, &signs).pack(), v);
+        }
+    }
+
+    #[test]
+    fn fp32_full_stream_depth() {
+        let mut buf = OperandBuffer::new();
+        let mut signs = SignBank::new();
+        for pos in 0..MAX_FP_STREAM {
+            let v = (pos as f32 + 1.0) * if pos % 2 == 0 { 1.25 } else { -0.75 };
+            buf.store_fp32(2, pos, v, &mut signs);
+        }
+        for pos in 0..MAX_FP_STREAM {
+            let want = (pos as f32 + 1.0) * if pos % 2 == 0 { 1.25 } else { -0.75 };
+            assert_eq!(buf.load_fp32(2, pos, &signs).pack(), want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "4 fp32 lanes")]
+    fn fp32_lane_limit() {
+        let mut buf = OperandBuffer::new();
+        let mut signs = SignBank::new();
+        buf.store_fp32(4, 0, 1.0, &mut signs);
+    }
+
+    #[test]
+    fn fp32_layout_reuses_block_brams() {
+        // Storing a block then an fp32 in overlapping BRAMs overwrites the
+        // shared bytes: the two layouts really do share storage.
+        let mut buf = OperandBuffer::new();
+        let mut signs = SignBank::new();
+        buf.store_block(0, 0, &block(1));
+        let before = buf.load_block(0, 0);
+        buf.store_fp32(0, 0, -123.456, &mut signs);
+        let after = buf.load_block(0, 0);
+        assert_ne!(before, after, "fp32 store must clobber block bytes");
+    }
+
+    #[test]
+    fn sign_bank_isolated_per_position() {
+        let mut s = SignBank::new();
+        s.set(1, 5, true);
+        assert!(s.get(1, 5));
+        assert!(!s.get(1, 4));
+        assert!(!s.get(0, 5));
+        s.set(1, 5, false);
+        assert!(!s.get(1, 5));
+    }
+
+    #[test]
+    fn capacity_constants_match_paper() {
+        assert_eq!(PSU_DEPTH, 512);
+        assert_eq!(MAX_X_BLOCKS, 64);
+        assert_eq!(MAX_FP_STREAM, 128);
+        assert_eq!(FP_LANES, 4);
+        assert_eq!(OperandBuffer::BRAM_COUNT, 17);
+    }
+}

@@ -1,0 +1,115 @@
+//! The exponent unit (EU): shared-exponent bookkeeping for both modes.
+//!
+//! In bfp8 MatMul mode the EU adds the X-block exponent to each resident
+//! Y-block exponent (paper Eqn. 2) and hands the alignment shift to the
+//! column shifters; in fp32 mode it adds biased operand exponents
+//! (Eqn. 4) and compares exponents for the fpadd alignment (Eqn. 6).
+
+/// Result of aligning two exponents: which operand shifts, and by how much.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Alignment {
+    /// The surviving (larger) exponent.
+    pub exp: i32,
+    /// Right-shift applied to the *first* operand's mantissa.
+    pub shift_a: u32,
+    /// Right-shift applied to the *second* operand's mantissa.
+    pub shift_b: u32,
+}
+
+/// The exponent unit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExponentUnit;
+
+impl ExponentUnit {
+    /// bfp8 product exponent: `exp_Z = exp_X + exp_Y` (int8 addition in
+    /// hardware; we keep the wide value and let the requantizer clamp).
+    #[inline]
+    pub fn product_exp(&self, exp_x: i8, exp_y: i8) -> i32 {
+        exp_x as i32 + exp_y as i32
+    }
+
+    /// fp32 product exponent with re-biasing: `E = Ex + Ey − 127`.
+    #[inline]
+    pub fn fp_product_exp(&self, ex: i32, ey: i32) -> i32 {
+        ex + ey - 127
+    }
+
+    /// The comparator + subtractor for additions (Eqn. 3 / Eqn. 6): keep
+    /// the larger exponent and shift the other operand's mantissa right.
+    #[inline]
+    pub fn align(&self, exp_a: i32, exp_b: i32) -> Alignment {
+        if exp_a >= exp_b {
+            Alignment {
+                exp: exp_a,
+                shift_a: 0,
+                shift_b: (exp_a - exp_b) as u32,
+            }
+        } else {
+            Alignment {
+                exp: exp_b,
+                shift_a: (exp_b - exp_a) as u32,
+                shift_b: 0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_exponent_adds() {
+        let eu = ExponentUnit;
+        assert_eq!(eu.product_exp(3, -5), -2);
+        assert_eq!(eu.product_exp(127, 127), 254);
+        assert_eq!(eu.product_exp(-128, -128), -256);
+    }
+
+    #[test]
+    fn fp_product_rebiases() {
+        let eu = ExponentUnit;
+        // 1.0 * 1.0: E = 127 + 127 - 127 = 127.
+        assert_eq!(eu.fp_product_exp(127, 127), 127);
+        // 2.0 * 0.5: 128 + 126 - 127 = 127.
+        assert_eq!(eu.fp_product_exp(128, 126), 127);
+    }
+
+    #[test]
+    fn align_picks_larger_exponent() {
+        let eu = ExponentUnit;
+        assert_eq!(
+            eu.align(5, 2),
+            Alignment {
+                exp: 5,
+                shift_a: 0,
+                shift_b: 3
+            }
+        );
+        assert_eq!(
+            eu.align(2, 5),
+            Alignment {
+                exp: 5,
+                shift_a: 3,
+                shift_b: 0
+            }
+        );
+        assert_eq!(
+            eu.align(4, 4),
+            Alignment {
+                exp: 4,
+                shift_a: 0,
+                shift_b: 0
+            }
+        );
+    }
+
+    #[test]
+    fn align_is_symmetric_in_outcome() {
+        let eu = ExponentUnit;
+        let ab = eu.align(-7, 9);
+        let ba = eu.align(9, -7);
+        assert_eq!(ab.exp, ba.exp);
+        assert_eq!(ab.shift_a, ba.shift_b);
+    }
+}

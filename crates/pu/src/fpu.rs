@@ -1,0 +1,363 @@
+//! fp32 execution on the reconfigured array (paper Fig. 5 b and Eqn. 6).
+//!
+//! * [`FpMulPipeline`] — one PE column acting as a floating-point
+//!   multiplier: each of the 8 rows computes one pre-shifted partial product
+//!   of the sliced 24-bit mantissas (the least-significant product is
+//!   dropped), the DSP cascade sums them on the way down, and a normaliser
+//!   at the bottom truncates back to fp32. A new multiply enters every
+//!   cycle; results emerge [`FP_PIPE_DEPTH`] cycles later. Four such columns
+//!   run in parallel (buffer bandwidth limit), the other four PE columns
+//!   sleep.
+//! * [`FpAddPath`] — the fpadd mode: DSPs idle; the exponent unit, shifter
+//!   and PSU accumulator implement align–add–normalise.
+//!
+//! Both are cross-checked bit-for-bit against the functional models in
+//! `bfp-arith` (`HwFp32Mul` with `MulVariant::DropLsp` and `HwFp32Add`).
+
+use std::collections::VecDeque;
+
+use bfp_arith::fpadd::{AddVariant, HwFp32Add};
+use bfp_arith::softfp::{SoftFp32, FRAC_BITS};
+use bfp_dsp48::cascade::{ColumnInput, DspColumn};
+
+use crate::exponent::ExponentUnit;
+
+/// Pipeline depth of the fp32 multiplier column (8 rows = 8 partial
+/// products; this is the "+8" in the paper's Eqn. 10).
+pub const FP_PIPE_DEPTH: usize = 8;
+
+/// Parallel fp32 lanes (4 columns active; §II-C's bandwidth argument).
+pub const FP_LANES: usize = 4;
+
+/// The eight retained `(i, j)` slice-product terms, in the row order they
+/// occupy the column (least shift first — the dropped term is `(0, 0)`).
+pub const RETAINED_TERMS: [(usize, usize); FP_PIPE_DEPTH] = [
+    (0, 1),
+    (1, 0),
+    (0, 2),
+    (1, 1),
+    (2, 0),
+    (1, 2),
+    (2, 1),
+    (2, 2),
+];
+
+/// Split a partial product's total shift `8(i+j)` into pre-shifts for the
+/// 27-bit and 18-bit multiplier ports. Shifts are applied relative to the
+/// smallest retained term (8), so the maximum is 24 — "the 27-bit & 18-bit
+/// input widths of DSP48E2 support such pre-shifting without encountering
+/// overflow" (§II-D). The common factor 2^8 is restored by the normaliser.
+#[inline]
+pub fn split_shift(i: usize, j: usize) -> (u32, u32) {
+    let rel = (8 * (i + j) - 8) as u32;
+    let sb = (rel / 2).min(9); // B port: 8-bit slice + ≤9 shift ≤ 17 bits
+    (rel - sb, sb)
+}
+
+/// Metadata that rides alongside a multiply in the pipeline (the mantissa
+/// goes through the DSPs; sign/exponent/zero-ness through the EU and the
+/// XOR gate).
+#[derive(Debug, Clone, Copy)]
+struct MulMeta {
+    sign: bool,
+    exp: i32,
+    zero: bool,
+}
+
+/// One fp32 multiplier column (an "FPU" in the paper's terms).
+#[derive(Debug)]
+pub struct FpMulPipeline {
+    col: DspColumn,
+    /// Per-row pending jobs: `stage[r]` is the multiply whose `(i, j)` term
+    /// row `r` computes this cycle (the delay chains of Table II "Misc").
+    stages: VecDeque<Option<([u8; 3], [u8; 3])>>,
+    meta: VecDeque<Option<MulMeta>>,
+    eu: ExponentUnit,
+    issued: u64,
+    retired: u64,
+}
+
+impl Default for FpMulPipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FpMulPipeline {
+    /// A fresh, empty pipeline.
+    pub fn new() -> Self {
+        FpMulPipeline {
+            col: DspColumn::new(FP_PIPE_DEPTH),
+            stages: VecDeque::from(vec![None; FP_PIPE_DEPTH]),
+            meta: VecDeque::from(vec![None; FP_PIPE_DEPTH]),
+            eu: ExponentUnit,
+            issued: 0,
+            retired: 0,
+        }
+    }
+
+    /// Advance one clock, optionally issuing a new multiply at the top.
+    /// Returns the multiply completing this cycle, if any.
+    pub fn step(&mut self, issue: Option<(SoftFp32, SoftFp32)>) -> Option<f32> {
+        // Shift the wavefront down one row.
+        self.stages
+            .push_front(issue.map(|(a, b)| (a.slices(), b.slices())));
+        self.meta.push_front(issue.map(|(a, b)| MulMeta {
+            sign: a.sign ^ b.sign, // the XOR gate
+            exp: self.eu.fp_product_exp(a.exp, b.exp),
+            zero: a.is_zero() || b.is_zero(),
+        }));
+        let done_job = self.stages.pop_back().expect("fixed-depth pipeline");
+        let done_meta = self.meta.pop_back().expect("fixed-depth pipeline");
+        if issue.is_some() {
+            self.issued += 1;
+        }
+
+        // Drive the DSP column: row r works on the job at stage r, wired
+        // through the fp32 layout converter (crate::xbar).
+        let converter = crate::xbar::LayoutConverter;
+        let mut inputs = vec![ColumnInput::default(); FP_PIPE_DEPTH];
+        for (r, inp) in inputs.iter_mut().enumerate() {
+            if let Some((xs, ys)) = self.stages[r] {
+                *inp = converter.map_slices(xs, ys)[r];
+            }
+        }
+        // The job retiring now had its final term summed at the bottom
+        // slice *last* cycle; latch that value (the output register) before
+        // the column advances.
+        let bottom = self.col.bottom();
+        self.col.step(&inputs);
+
+        // The job leaving the pipeline has just had its last term added at
+        // the bottom slice; normalise it.
+        done_job?;
+        let meta = done_meta.expect("meta travels with the job");
+        self.retired += 1;
+        if meta.zero {
+            return Some(
+                SoftFp32 {
+                    sign: meta.sign,
+                    exp: 0,
+                    man: 0,
+                }
+                .pack(),
+            );
+        }
+        Some(normalize_product(bottom, meta.sign, meta.exp))
+    }
+
+    /// Multiplies issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Multiplies completed so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+}
+
+/// Normalise the cascade's relative-scaled mantissa product (`Σ terms
+/// >> 8`) into an fp32, truncating — identical maths to
+/// `HwFp32Mul { DropLsp, Truncate }`.
+fn normalize_product(rel_sum: i64, sign: bool, mut exp: i32) -> f32 {
+    debug_assert!(rel_sum >= 0, "mantissa magnitudes are unsigned");
+    let full = (rel_sum as u64) << 8; // restore the common 2^8
+    debug_assert!((1 << 46..1 << 48).contains(&full));
+    let shift = if full >> 47 != 0 {
+        exp += 1;
+        FRAC_BITS + 1
+    } else {
+        FRAC_BITS
+    };
+    SoftFp32 {
+        sign,
+        exp,
+        man: (full >> shift) as u32,
+    }
+    .pack()
+}
+
+/// The fpadd datapath: per lane, one align–add–normalise per cycle with the
+/// same pipeline-fill accounting as the multiplier.
+#[derive(Debug, Default)]
+pub struct FpAddPath {
+    adder: HwFp32Add,
+    pipe: VecDeque<Option<f32>>,
+    issued: u64,
+}
+
+impl FpAddPath {
+    /// A fresh adder path (48-bit accumulator alignment, truncation).
+    pub fn new() -> Self {
+        FpAddPath {
+            adder: HwFp32Add::new(AddVariant::Exact48),
+            pipe: VecDeque::from(vec![None; FP_PIPE_DEPTH]),
+            issued: 0,
+        }
+    }
+
+    /// Advance one clock; optionally issue `x + y`. Returns the addition
+    /// completing this cycle.
+    pub fn step(&mut self, issue: Option<(f32, f32)>) -> Option<f32> {
+        self.pipe.push_front(issue.map(|(x, y)| {
+            self.issued += 1;
+            self.adder.add(x, y)
+        }));
+        self.pipe.pop_back().expect("fixed-depth pipeline")
+    }
+
+    /// Additions issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+/// Run a full multiply stream through one pipeline, returning the results
+/// and the cycle count (`len + FP_PIPE_DEPTH`, the paper's Eqn. 10 shape).
+pub fn run_mul_stream(xs: &[f32], ys: &[f32]) -> (Vec<f32>, u64) {
+    assert_eq!(xs.len(), ys.len(), "operand streams must pair up");
+    let mut pipe = FpMulPipeline::new();
+    let mut out = Vec::with_capacity(xs.len());
+    let total = xs.len() + FP_PIPE_DEPTH;
+    for t in 0..total {
+        let issue = if t < xs.len() {
+            Some((SoftFp32::unpack(xs[t]), SoftFp32::unpack(ys[t])))
+        } else {
+            None
+        };
+        if let Some(v) = pipe.step(issue) {
+            out.push(v);
+        }
+    }
+    (out, total as u64)
+}
+
+/// Run a full addition stream through one lane.
+pub fn run_add_stream(xs: &[f32], ys: &[f32]) -> (Vec<f32>, u64) {
+    assert_eq!(xs.len(), ys.len(), "operand streams must pair up");
+    let mut path = FpAddPath::new();
+    let mut out = Vec::with_capacity(xs.len());
+    let total = xs.len() + FP_PIPE_DEPTH;
+    for t in 0..total {
+        let issue = if t < xs.len() {
+            Some((xs[t], ys[t]))
+        } else {
+            None
+        };
+        if let Some(v) = path.step(issue) {
+            out.push(v);
+        }
+    }
+    (out, total as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfp_arith::fpmul::{HwFp32Mul, MulVariant};
+
+    #[test]
+    fn retained_terms_cover_all_but_lsp() {
+        let mut seen: Vec<(usize, usize)> = RETAINED_TERMS.to_vec();
+        seen.sort();
+        let mut want: Vec<(usize, usize)> = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .filter(|&(i, j)| (i, j) != (0, 0))
+            .collect();
+        want.sort();
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn split_shift_respects_port_widths() {
+        for &(i, j) in &RETAINED_TERMS {
+            let (sa, sb) = split_shift(i, j);
+            assert_eq!((sa + sb + 8) as usize, 8 * (i + j));
+            assert!(8 + sa <= 26, "A port: {}", 8 + sa);
+            assert!(8 + sb <= 17, "B port: {}", 8 + sb);
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_functional_model_bit_exactly() {
+        let hw = HwFp32Mul::new(MulVariant::DropLsp);
+        let mut state = 0xbeefu32;
+        let mut next = || {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            f32::from_bits(
+                0x3d00_0000u32.wrapping_add((state % 8) << 23) | ((state >> 9) & 0x7f_ffff),
+            ) * if state & 1 == 0 { 1.0 } else { -1.0 }
+        };
+        let xs: Vec<f32> = (0..500).map(|_| next()).collect();
+        let ys: Vec<f32> = (0..500).map(|_| next()).collect();
+        let (got, cycles) = run_mul_stream(&xs, &ys);
+        assert_eq!(got.len(), 500);
+        assert_eq!(cycles, 500 + 8);
+        for k in 0..500 {
+            assert_eq!(
+                got[k].to_bits(),
+                hw.mul(xs[k], ys[k]).to_bits(),
+                "stream position {k}: {} * {}",
+                xs[k],
+                ys[k]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_operands_flow_through() {
+        let (got, _) = run_mul_stream(&[0.0, 2.0, -3.0], &[5.0, 0.0, -0.0]);
+        assert_eq!(got[0], 0.0);
+        assert_eq!(got[1], 0.0);
+        assert_eq!(got[2].to_bits(), 0.0f32.to_bits()); // -3 * -0 = +0
+    }
+
+    #[test]
+    fn results_keep_stream_order() {
+        let xs = [1.0f32, 2.0, 3.0, 4.0];
+        let ys = [10.0f32, 10.0, 10.0, 10.0];
+        let (got, _) = run_mul_stream(&xs, &ys);
+        assert_eq!(got, vec![10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn pipeline_latency_is_depth() {
+        let mut pipe = FpMulPipeline::new();
+        let one = SoftFp32::unpack(3.0);
+        let two = SoftFp32::unpack(7.0);
+        let mut first_done = None;
+        for t in 0..FP_PIPE_DEPTH + 1 {
+            let r = pipe.step(if t == 0 { Some((one, two)) } else { None });
+            if let (Some(v), None) = (r, first_done) {
+                first_done = Some(t);
+                assert_eq!(v, 21.0);
+            }
+        }
+        assert_eq!(
+            first_done,
+            Some(FP_PIPE_DEPTH),
+            "result after exactly 8 cycles"
+        );
+    }
+
+    #[test]
+    fn add_stream_matches_functional_adder() {
+        let adder = HwFp32Add::new(AddVariant::Exact48);
+        let xs: Vec<f32> = (0..100).map(|k| (k as f32 - 50.0) * 1.37).collect();
+        let ys: Vec<f32> = (0..100).map(|k| (k as f32) * -0.73 + 5.0).collect();
+        let (got, cycles) = run_add_stream(&xs, &ys);
+        assert_eq!(cycles, 108);
+        for k in 0..100 {
+            assert_eq!(got[k].to_bits(), adder.add(xs[k], ys[k]).to_bits());
+        }
+    }
+
+    #[test]
+    fn back_to_back_streams_are_independent() {
+        let (a, _) = run_mul_stream(&[1.5], &[2.0]);
+        let (b, _) = run_mul_stream(&[1.5], &[2.0]);
+        assert_eq!(a, b);
+        assert_eq!(a[0], 3.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! The unit's instruction set: the run-time programmability that lets one
+//! hardware block serve bfp8 GEMMs and arbitrary fp32 vector programs.
+//!
+//! The paper argues that because non-linear functions keep changing (GELU,
+//! SiLU/GLU variants, …), the accelerator must be *programmable* rather
+//! than hard-wired. This module is the contract between the compiler in
+//! `bfp-core` and the controller: a [`Program`] is a flat list of
+//! [`Instr`]uctions over operand registers, interpreted by
+//! [`Interpreter::run`] with the same cycle accounting as the high-level
+//! API (it *is* the high-level API underneath — one execution path).
+
+use bfp_arith::bfp::{BfpBlock, WideBlock};
+
+use crate::unit::{CycleStats, ProcessingUnit};
+
+/// Identifier of a block buffer in the interpreter's register file.
+pub type BlockReg = usize;
+/// Identifier of an fp32 vector in the interpreter's register file.
+pub type VecReg = usize;
+
+/// One controller instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Load two Y blocks into the stationary registers (8 cycles).
+    LoadY {
+        /// First resident block.
+        y1: BlockReg,
+        /// Second resident block (combined-MAC lane 2).
+        y2: BlockReg,
+    },
+    /// Stream X blocks `xs` against the resident pair, accumulating in PSU.
+    StreamX {
+        /// The streamed blocks, in order.
+        xs: Vec<BlockReg>,
+    },
+    /// Drain the first `n` PSU slots into the wide-block output list.
+    Drain {
+        /// Slots to read.
+        n: usize,
+    },
+    /// Drain the first `n` PSU slots **through the quantizer unit** into
+    /// block registers: lane-1 results land in `dst1..dst1+n`, lane-2 in
+    /// `dst2..dst2+n`. This keeps chained GEMMs on-chip (result of one
+    /// layer feeds the X stream of the next without a host round-trip).
+    DrainRequant {
+        /// Slots to read.
+        n: usize,
+        /// First destination register for lane-1 blocks.
+        dst1: BlockReg,
+        /// First destination register for lane-2 blocks.
+        dst2: BlockReg,
+    },
+    /// Element-wise fp32 multiply of two vector registers into a third.
+    FpMul {
+        /// Left operand vector.
+        a: VecReg,
+        /// Right operand vector.
+        b: VecReg,
+        /// Destination vector.
+        dst: VecReg,
+    },
+    /// Element-wise fp32 add of two vector registers into a third.
+    FpAdd {
+        /// Left operand vector.
+        a: VecReg,
+        /// Right operand vector.
+        b: VecReg,
+        /// Destination vector.
+        dst: VecReg,
+    },
+    /// Element-wise fp32 division — executed on the **host CPU** ("division
+    /// operations in fp32 ... are executed on the host CPU due to lack of
+    /// support", §III-B). Counted separately, costs no array cycles.
+    HostDiv {
+        /// Numerator vector.
+        a: VecReg,
+        /// Denominator vector.
+        b: VecReg,
+        /// Destination vector.
+        dst: VecReg,
+    },
+}
+
+/// A program plus its operand environment.
+#[derive(Debug, Default, Clone)]
+pub struct Program {
+    /// Instruction list, executed in order.
+    pub code: Vec<Instr>,
+}
+
+/// Execution environment: block and vector register files.
+#[derive(Debug, Default, Clone)]
+pub struct Env {
+    /// bfp8 block registers.
+    pub blocks: Vec<BfpBlock>,
+    /// fp32 vector registers.
+    pub vectors: Vec<Vec<f32>>,
+}
+
+impl Env {
+    /// Register a block, returning its id.
+    pub fn push_block(&mut self, b: BfpBlock) -> BlockReg {
+        self.blocks.push(b);
+        self.blocks.len() - 1
+    }
+
+    /// Register a vector, returning its id.
+    pub fn push_vector(&mut self, v: Vec<f32>) -> VecReg {
+        self.vectors.push(v);
+        self.vectors.len() - 1
+    }
+}
+
+/// What a program run produced.
+#[derive(Debug, Default)]
+pub struct RunResult {
+    /// Wide blocks drained from the PSU, in drain order.
+    pub drained: Vec<(WideBlock, WideBlock)>,
+    /// Cycle statistics of the run.
+    pub stats: CycleStats,
+    /// Number of fp32 divisions delegated to the host.
+    pub host_divs: u64,
+}
+
+/// Interprets programs on a processing unit.
+#[derive(Debug, Default)]
+pub struct Interpreter {
+    unit: ProcessingUnit,
+}
+
+impl Interpreter {
+    /// An interpreter around a default-configured unit.
+    pub fn new(unit: ProcessingUnit) -> Self {
+        Interpreter { unit }
+    }
+
+    /// Execute `prog` against `env`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range register ids or operand-length mismatches —
+    /// programs are compiler-generated and must be well formed.
+    pub fn run(&mut self, prog: &Program, env: &mut Env) -> RunResult {
+        let mut result = RunResult::default();
+        self.unit.take_stats();
+        for instr in &prog.code {
+            match instr {
+                Instr::LoadY { y1, y2 } => {
+                    let (a, b) = (env.blocks[*y1], env.blocks[*y2]);
+                    self.unit.load_y_pair(&a, &b);
+                }
+                Instr::StreamX { xs } => {
+                    let blocks: Vec<BfpBlock> = xs.iter().map(|&r| env.blocks[r]).collect();
+                    self.unit.stream_x(&blocks);
+                }
+                Instr::Drain { n } => {
+                    result.drained.extend(self.unit.take_psu(*n));
+                }
+                Instr::DrainRequant { n, dst1, dst2 } => {
+                    let (n, dst1, dst2) = (*n, *dst1, *dst2);
+                    let blocks = self.unit.take_psu_requantized(n);
+                    let need = dst1.max(dst2) + n;
+                    if env.blocks.len() < need {
+                        env.blocks.resize(need, BfpBlock::ZERO);
+                    }
+                    for (k, (b1, b2)) in blocks.into_iter().enumerate() {
+                        env.blocks[dst1 + k] = b1;
+                        env.blocks[dst2 + k] = b2;
+                    }
+                }
+                Instr::FpMul { a, b, dst } => {
+                    let out = self
+                        .unit
+                        .fp_mul_stream(&env.vectors[*a].clone(), &env.vectors[*b].clone());
+                    set_vec(env, *dst, out);
+                }
+                Instr::FpAdd { a, b, dst } => {
+                    let out = self
+                        .unit
+                        .fp_add_stream(&env.vectors[*a].clone(), &env.vectors[*b].clone());
+                    set_vec(env, *dst, out);
+                }
+                Instr::HostDiv { a, b, dst } => {
+                    let (va, vb) = (env.vectors[*a].clone(), env.vectors[*b].clone());
+                    assert_eq!(va.len(), vb.len(), "HostDiv length mismatch");
+                    result.host_divs += va.len() as u64;
+                    let out = va.iter().zip(&vb).map(|(&x, &y)| x / y).collect();
+                    set_vec(env, *dst, out);
+                }
+            }
+        }
+        result.stats = self.unit.take_stats();
+        result
+    }
+}
+
+fn set_vec(env: &mut Env, reg: VecReg, v: Vec<f32>) {
+    if reg >= env.vectors.len() {
+        env.vectors.resize(reg + 1, Vec::new());
+    }
+    env.vectors[reg] = v;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfp_arith::bfp::BLOCK;
+
+    fn block(f: impl Fn(usize, usize) -> i8) -> BfpBlock {
+        let mut man = [[0i8; BLOCK]; BLOCK];
+        for (i, row) in man.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = f(i, j);
+            }
+        }
+        BfpBlock { exp: 0, man }
+    }
+
+    #[test]
+    fn matmul_program_reproduces_high_level_api() {
+        let x = block(|i, j| (i * 3 + j) as i8 - 10);
+        let y1 = block(|i, j| (i + j * 2) as i8 - 7);
+        let y2 = block(|i, j| (2 * i + j) as i8 - 5);
+
+        let mut env = Env::default();
+        let rx = env.push_block(x);
+        let r1 = env.push_block(y1);
+        let r2 = env.push_block(y2);
+        let prog = Program {
+            code: vec![
+                Instr::LoadY { y1: r1, y2: r2 },
+                Instr::StreamX { xs: vec![rx] },
+                Instr::Drain { n: 1 },
+            ],
+        };
+        let mut interp = Interpreter::default();
+        let res = interp.run(&prog, &mut env);
+        assert_eq!(res.drained.len(), 1);
+        assert_eq!(res.drained[0].0, x.matmul(&y1));
+        assert_eq!(res.drained[0].1, x.matmul(&y2));
+        assert_eq!(res.stats.cycles, 8 + 8 + 7); // LoadY + one-block pass
+    }
+
+    #[test]
+    fn vector_program_with_host_division() {
+        // Compute (a*b + a) / b element-wise — a GELU-ish shape of ops.
+        let mut env = Env::default();
+        let a = env.push_vector(vec![1.0, 2.0, 3.0, 4.0]);
+        let b = env.push_vector(vec![2.0, 4.0, 8.0, 16.0]);
+        let prog = Program {
+            code: vec![
+                Instr::FpMul { a, b, dst: 2 },
+                Instr::FpAdd { a: 2, b: a, dst: 3 },
+                Instr::HostDiv { a: 3, b, dst: 4 },
+            ],
+        };
+        let mut interp = Interpreter::default();
+        let res = interp.run(&prog, &mut env);
+        assert_eq!(res.host_divs, 4);
+        assert_eq!(env.vectors[4], vec![1.5, 2.5, 3.375, 4.25]);
+        // Two vector ops of length 4: each one burst of lane length 1.
+        assert_eq!(res.stats.flops, 8);
+        assert!(res.stats.cycles >= 2 * 9);
+    }
+
+    #[test]
+    fn drain_requant_feeds_a_chained_gemm() {
+        // Compute (X*Y)*Y entirely on-chip: the first product is
+        // requantized into block registers and streamed back as X.
+        let x = block(|i, j| (i * 2 + j) as i8 - 7);
+        let y = block(|i, j| (i + j * 3) as i8 - 11);
+        let mut env = Env::default();
+        let rx = env.push_block(x);
+        let ry = env.push_block(y);
+        let mid1 = env.push_block(BfpBlock::ZERO); // destination registers
+        let _mid2 = env.push_block(BfpBlock::ZERO);
+        let prog = Program {
+            code: vec![
+                Instr::LoadY { y1: ry, y2: ry },
+                Instr::StreamX { xs: vec![rx] },
+                Instr::DrainRequant {
+                    n: 1,
+                    dst1: mid1,
+                    dst2: _mid2,
+                },
+                Instr::LoadY { y1: ry, y2: ry },
+                Instr::StreamX { xs: vec![mid1] },
+                Instr::Drain { n: 1 },
+            ],
+        };
+        let mut interp = Interpreter::default();
+        let res = interp.run(&prog, &mut env);
+        // Reference: requantize the first product, then multiply.
+        let mid_ref = x.matmul(&y).requantize();
+        assert_eq!(res.drained[0].0, mid_ref.matmul(&y));
+    }
+
+    #[test]
+    fn drain_without_stream_returns_zeros() {
+        let prog = Program {
+            code: vec![Instr::Drain { n: 2 }],
+        };
+        let mut interp = Interpreter::default();
+        let mut env = Env::default();
+        let res = interp.run(&prog, &mut env);
+        assert_eq!(res.drained.len(), 2);
+        assert_eq!(res.drained[0].0, WideBlock::ZERO);
+    }
+
+    #[test]
+    fn mixed_mode_program_switches_cleanly() {
+        let x = block(|i, j| (i + j) as i8);
+        let mut env = Env::default();
+        let rx = env.push_block(x);
+        let va = env.push_vector(vec![1.5f32; 16]);
+        let prog = Program {
+            code: vec![
+                Instr::LoadY { y1: rx, y2: rx },
+                Instr::StreamX { xs: vec![rx] },
+                Instr::FpMul {
+                    a: va,
+                    b: va,
+                    dst: 2,
+                },
+                Instr::Drain { n: 1 },
+            ],
+        };
+        let mut interp = Interpreter::default();
+        let res = interp.run(&prog, &mut env);
+        assert_eq!(res.drained[0].0, x.matmul(&x));
+        assert_eq!(env.vectors[2], vec![2.25f32; 16]);
+    }
+}

@@ -1,0 +1,64 @@
+//! # bfp-pu — cycle-level simulator of the multi-mode processing unit
+//!
+//! This crate is the reproduction's stand-in for the paper's Verilog
+//! implementation: a behavioural, cycle-steppable model of the 8×8 systolic
+//! array that runs **bfp8 MatMul** and reconfigures at run time into a
+//! 4-lane **fp32 vector unit** (multiply on the sliced DSP cascade, add on
+//! the shifter/accumulator path).
+//!
+//! Module map (mirrors Fig. 2 of the paper):
+//!
+//! | paper component            | module |
+//! |----------------------------|--------|
+//! | X/Y buffers, Fig. 4 layout | [`bram`] |
+//! | exponent unit (EU)         | [`exponent`] |
+//! | 8×8 PE array, bfp8 mode    | [`mod@array`] |
+//! | fp32 FPU columns + fpadd   | [`fpu`] |
+//! | controller + PSU + modes   | [`mod@unit`] |
+//! | fp32 layout crossbar       | [`xbar`] |
+//! | instruction set            | [`isa`] |
+//! | Eqns. 7–10                 | [`throughput`] |
+//! | cycle-trace tooling        | [`mod@trace`] |
+//!
+//! ## Example
+//!
+//! ```
+//! use bfp_arith::matrix::MatF32;
+//! use bfp_arith::quant::Quantizer;
+//! use bfp_pu::unit::{grid_from_matrix, ProcessingUnit};
+//!
+//! let a = MatF32::from_fn(16, 16, |i, j| (i as f32 - j as f32) * 0.5);
+//! let b = MatF32::from_fn(16, 16, |i, j| ((i + j) % 5) as f32);
+//! let q = Quantizer::paper();
+//! let (qa, qb) = (q.quantize(&a).unwrap(), q.quantize(&b).unwrap());
+//!
+//! let mut unit = ProcessingUnit::default();
+//! let out = unit.matmul_grid(&grid_from_matrix(&qa), &grid_from_matrix(&qb));
+//! assert_eq!(out.len(), 2); // 16/8 block rows
+//! let stats = unit.stats();
+//! assert!(stats.bfp_ops > 0 && stats.cycles > 0);
+//! ```
+
+// Index-based loops mirror the paper's (i, j, k) matrix notation and are
+// clearer than iterator chains for the hardware datapath descriptions.
+#![allow(clippy::needless_range_loop)]
+
+pub mod array;
+pub mod bram;
+pub mod exponent;
+pub mod fpu;
+pub mod isa;
+pub mod throughput;
+pub mod trace;
+pub mod unit;
+pub mod xbar;
+
+pub use array::SystolicArray;
+pub use bram::{OperandBuffer, MAX_FP_STREAM, MAX_X_BLOCKS, PSU_DEPTH};
+pub use exponent::ExponentUnit;
+pub use fpu::{FpAddPath, FpMulPipeline, FP_LANES, FP_PIPE_DEPTH};
+pub use isa::{Env, Instr, Interpreter, Program, RunResult};
+pub use throughput::{bfp_peak_ops, bfp_throughput, fp32_peak_flops, fp32_throughput};
+pub use trace::{trace_pass, Trace, TraceCycle};
+pub use unit::{grid_from_matrix, BlockGrid, CycleStats, Fidelity, ProcessingUnit, UnitConfig};
+pub use xbar::LayoutConverter;

@@ -1,0 +1,113 @@
+//! The paper's analytical throughput model (Eqns. 7–10).
+//!
+//! All functions return operations per second for a *single* processing
+//! array at clock `freq` (Hz). System-level scaling (15 units × 2 arrays on
+//! the U280) lives in `bfp-platform`.
+
+use crate::array::{COLS, ROWS};
+use crate::fpu::{FP_LANES, FP_PIPE_DEPTH};
+
+/// Eqn. 7 — peak bfp8 throughput (OPS) of one array:
+/// `rows × columns × 2 (combined MAC) × 2 (mul+add per MAC) × freq`.
+pub fn bfp_peak_ops(freq: f64) -> f64 {
+    (ROWS * COLS * 2 * 2) as f64 * freq
+}
+
+/// Eqn. 9 — sustained bfp8 throughput with `n_x` streamed X blocks per
+/// Y-stationary pass: `peak × 8·N_X / (8·N_X + 15)`.
+///
+/// # Panics
+/// Panics if `n_x` is zero.
+pub fn bfp_throughput(n_x: usize, freq: f64) -> f64 {
+    assert!(n_x > 0, "a pass needs at least one X block");
+    let useful = (8 * n_x) as f64;
+    bfp_peak_ops(freq) * useful / (useful + 15.0)
+}
+
+/// Eqn. 8 — peak fp32 throughput (FLOPS) of one array: `4 × freq` (only 4
+/// PE columns have buffer bandwidth).
+pub fn fp32_peak_flops(freq: f64) -> f64 {
+    FP_LANES as f64 * freq
+}
+
+/// Eqn. 10 — sustained fp32 throughput with per-lane stream length `l_fp`:
+/// `peak × L / (L + 8)` (no Y preload, so the 15 becomes the 8-deep
+/// pipeline fill).
+///
+/// # Panics
+/// Panics if `l_fp` is zero.
+pub fn fp32_throughput(l_fp: usize, freq: f64) -> f64 {
+    assert!(l_fp > 0, "stream length must be positive");
+    let l = l_fp as f64;
+    fp32_peak_flops(freq) * l / (l + FP_PIPE_DEPTH as f64)
+}
+
+/// Cycles of one bfp8 pass (Y preload + stream + triangle): `8·N_X + 15`.
+pub fn bfp_pass_cycles(n_x: usize) -> u64 {
+    (8 * n_x + 15) as u64
+}
+
+/// Cycles of one fp32 stream burst: `L + 8`.
+pub fn fp32_burst_cycles(l_fp: usize) -> u64 {
+    (l_fp + FP_PIPE_DEPTH) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F300: f64 = 300.0e6;
+
+    #[test]
+    fn peak_matches_paper_headline() {
+        // 8×8×2×2×300 MHz = 76.8 GOPS per array; ×30 arrays = 2.304 TOPS,
+        // the denominator of the paper's "over 95% of theoretical maximum".
+        assert_eq!(bfp_peak_ops(F300), 76.8e9);
+    }
+
+    #[test]
+    fn eqn9_utilization_at_nx64() {
+        // 8·64/(8·64+15) = 512/527 = 97.15% — quoted verbatim in §II-D.
+        let u = bfp_throughput(64, F300) / bfp_peak_ops(F300);
+        assert!((u - 0.9715).abs() < 5e-4, "utilization {u}");
+    }
+
+    #[test]
+    fn eqn9_monotone_in_stream_length() {
+        let t8 = bfp_throughput(8, F300);
+        let t16 = bfp_throughput(16, F300);
+        let t32 = bfp_throughput(32, F300);
+        let t64 = bfp_throughput(64, F300);
+        assert!(t8 < t16 && t16 < t32 && t32 < t64);
+        assert!(t64 < bfp_peak_ops(F300));
+    }
+
+    #[test]
+    fn fp32_peak_is_1p2_gflops() {
+        assert_eq!(fp32_peak_flops(F300), 1.2e9);
+    }
+
+    #[test]
+    fn fp32_at_l128_reproduces_33_88_gflops_system() {
+        // 1.2 GFLOPS × 128/136 × 30 arrays = 33.88 GFLOPS — the paper's
+        // headline fp32 number falls out exactly.
+        let sys = fp32_throughput(128, F300) * 30.0;
+        assert!(
+            (sys / 1e9 - 33.88).abs() < 0.005,
+            "got {} GFLOPS",
+            sys / 1e9
+        );
+    }
+
+    #[test]
+    fn cycle_helpers_match_denominators() {
+        assert_eq!(bfp_pass_cycles(64), 527);
+        assert_eq!(fp32_burst_cycles(128), 136);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one X block")]
+    fn zero_stream_rejected() {
+        bfp_throughput(0, F300);
+    }
+}

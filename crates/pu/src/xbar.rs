@@ -1,0 +1,101 @@
+//! The fp32 layout converter / crossbar (Fig. 2, "fp32 layout crossbar"):
+//! "switches and duplicates the fp32 mantissa & exponent slices, to fit the
+//! data mapping in Fig. 5(b)".
+//!
+//! In fp32 multiply mode there is no data reuse, so instead of systolic
+//! flow the crossbar broadcasts each operand pair's slices directly to the
+//! rows of an FPU column: row `r` receives the `(i_r, j_r)` slice pair of
+//! [`RETAINED_TERMS`], pre-shifted by [`split_shift`] so the cascade sum
+//! reproduces the shifted partial-product sum of Eqn. 5 (minus the dropped
+//! least-significant product, scaled by the common 2⁻⁸ the normaliser
+//! restores).
+
+use bfp_arith::softfp::SoftFp32;
+use bfp_dsp48::cascade::ColumnInput;
+
+use crate::fpu::{split_shift, FP_PIPE_DEPTH, RETAINED_TERMS};
+
+/// The wiring pattern the crossbar applies to one operand pair: per PE row,
+/// the pre-shifted A-port and B-port values.
+pub type RowInputs = [ColumnInput; FP_PIPE_DEPTH];
+
+/// The fp32 layout converter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LayoutConverter;
+
+impl LayoutConverter {
+    /// Map one unpacked operand pair onto the 8 rows of an FPU column.
+    pub fn map_pair(&self, x: SoftFp32, y: SoftFp32) -> RowInputs {
+        self.map_slices(x.slices(), y.slices())
+    }
+
+    /// Slice-level entry point (what the buffer bytes feed directly).
+    pub fn map_slices(&self, xs: [u8; 3], ys: [u8; 3]) -> RowInputs {
+        let mut rows = [ColumnInput::default(); FP_PIPE_DEPTH];
+        for (r, row) in rows.iter_mut().enumerate() {
+            let (i, j) = RETAINED_TERMS[r];
+            let (sa, sb) = split_shift(i, j);
+            *row = ColumnInput {
+                a: (xs[i] as i64) << sa,
+                d: 0,
+                b: (ys[j] as i64) << sb,
+            };
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_row_gets_a_distinct_slice_pair() {
+        let x = SoftFp32::unpack(1.2345);
+        let y = SoftFp32::unpack(6.789);
+        let rows = LayoutConverter.map_pair(x, y);
+        assert_eq!(rows.len(), 8);
+        // The mapped terms reconstruct the LSP-dropped product when the
+        // shifts are undone.
+        let mut sum = 0i64;
+        for (r, row) in rows.iter().enumerate() {
+            let (i, j) = RETAINED_TERMS[r];
+            let (sa, sb) = split_shift(i, j);
+            let raw = (row.a >> sa) * (row.b >> sb);
+            assert_eq!(raw, (x.slices()[i] as i64) * (y.slices()[j] as i64));
+            sum += (row.a * row.b) << 8; // restore the common 2^8
+        }
+        let xs = x.slices();
+        let ys = y.slices();
+        let full = x.man as i64 * y.man as i64;
+        assert_eq!(sum, full - (xs[0] as i64) * (ys[0] as i64));
+    }
+
+    #[test]
+    fn port_widths_are_respected_for_extreme_mantissas() {
+        // All-ones mantissas produce the largest pre-shifted operands; they
+        // must stay inside the 27-bit A and 18-bit B ports.
+        let x = SoftFp32 {
+            sign: false,
+            exp: 127,
+            man: 0xFF_FFFF,
+        };
+        let rows = LayoutConverter.map_pair(x, x);
+        for row in rows {
+            assert!(row.a.unsigned_abs() < 1 << 26, "A port: {:#x}", row.a);
+            assert!(row.b.unsigned_abs() < 1 << 17, "B port: {:#x}", row.b);
+        }
+    }
+
+    #[test]
+    fn broadcast_is_stateless_and_deterministic() {
+        let x = SoftFp32::unpack(-3.25);
+        let y = SoftFp32::unpack(0.875);
+        let a = LayoutConverter.map_pair(x, y);
+        let b = LayoutConverter.map_pair(x, y);
+        for r in 0..8 {
+            assert_eq!(a[r].a, b[r].a);
+            assert_eq!(a[r].b, b[r].b);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the processing-unit simulator: systolic results equal
+//! block arithmetic for arbitrary operands, fp pipelines equal the scalar
+//! datapath models, and cycle accounting follows the paper's equations.
+
+// (i, j, k) matrix notation reads better as index loops here.
+#![allow(clippy::needless_range_loop)]
+
+use bfp_arith::bfp::{BfpBlock, BLOCK};
+use bfp_arith::fpmul::{HwFp32Mul, MulVariant};
+use bfp_pu::array::{stream_pass, SystolicArray};
+use bfp_pu::fpu::run_mul_stream;
+use bfp_pu::throughput;
+use bfp_pu::unit::{Fidelity, ProcessingUnit, UnitConfig};
+use proptest::prelude::*;
+
+fn block() -> impl Strategy<Value = BfpBlock> {
+    (
+        proptest::array::uniform8(proptest::array::uniform8(-127i8..=127)),
+        -20i8..20,
+    )
+        .prop_map(|(man, exp)| BfpBlock { exp, man })
+}
+
+fn ref_product(x: &BfpBlock, y: &BfpBlock) -> [[i64; BLOCK]; BLOCK] {
+    let mut out = [[0i64; BLOCK]; BLOCK];
+    for i in 0..BLOCK {
+        for j in 0..BLOCK {
+            out[i][j] = (0..BLOCK)
+                .map(|k| x.man[i][k] as i64 * y.man[k][j] as i64)
+                .sum();
+        }
+    }
+    out
+}
+
+fn normal_f32() -> impl Strategy<Value = f32> {
+    (any::<u32>(), -20i32..20, any::<bool>()).prop_map(|(frac, e, neg)| {
+        let v = f32::from_bits((((e + 127) as u32) << 23) | (frac & 0x7f_ffff));
+        if neg {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn systolic_stream_equals_block_matmul(
+        xs in proptest::collection::vec(block(), 1..6),
+        y1 in block(),
+        y2 in block(),
+    ) {
+        let mut arr = SystolicArray::new();
+        arr.load_y(&y1, &y2);
+        let (res, cycles) = stream_pass(&mut arr, &xs);
+        prop_assert_eq!(cycles, (8 * xs.len() + 15) as u64);
+        for (m, x) in xs.iter().enumerate() {
+            prop_assert_eq!(res[m].0, ref_product(x, &y1));
+            prop_assert_eq!(res[m].1, ref_product(x, &y2));
+        }
+    }
+
+    #[test]
+    fn stepped_and_functional_units_agree(
+        xs in proptest::collection::vec(block(), 1..5),
+        y1 in block(),
+        y2 in block(),
+    ) {
+        let run = |fidelity| {
+            let mut unit = ProcessingUnit::new(UnitConfig { fidelity, ..Default::default() });
+            unit.load_y_pair(&y1, &y2);
+            unit.stream_x(&xs);
+            (unit.take_psu(xs.len()), unit.stats())
+        };
+        let (pf, sf) = run(Fidelity::Functional);
+        let (ps, ss) = run(Fidelity::Stepped);
+        prop_assert_eq!(pf, ps);
+        prop_assert_eq!(sf, ss);
+    }
+
+    #[test]
+    fn fp_mul_pipeline_equals_scalar_model(
+        xs in proptest::collection::vec(normal_f32(), 1..40),
+    ) {
+        let ys: Vec<f32> = xs.iter().rev().cloned().collect();
+        let hw = HwFp32Mul::new(MulVariant::DropLsp);
+        let (got, cycles) = run_mul_stream(&xs, &ys);
+        prop_assert_eq!(cycles, (xs.len() + 8) as u64);
+        for k in 0..xs.len() {
+            prop_assert_eq!(got[k].to_bits(), hw.mul(xs[k], ys[k]).to_bits());
+        }
+    }
+
+    #[test]
+    fn pass_cycles_follow_eqn9(nx in 1usize..=64) {
+        let mut unit = ProcessingUnit::default();
+        let xs = vec![BfpBlock::ZERO; nx];
+        unit.load_y_pair(&BfpBlock::ZERO, &BfpBlock::ZERO);
+        unit.stream_x(&xs);
+        prop_assert_eq!(unit.stats().cycles, throughput::bfp_pass_cycles(nx));
+    }
+
+    #[test]
+    fn fp_stream_cycles_follow_eqn10(l in 1usize..=128) {
+        let mut unit = ProcessingUnit::default();
+        let xs = vec![1.0f32; 4 * l];
+        let _ = unit.fp_mul_stream(&xs, &xs);
+        prop_assert_eq!(unit.stats().cycles, throughput::fp32_burst_cycles(l));
+    }
+
+    #[test]
+    fn psu_accumulation_is_order_invariant_at_same_exponent(
+        xs in proptest::collection::vec(block(), 2..5),
+        y in block(),
+    ) {
+        // With one shared Y (both lanes identical) and a fixed exponent,
+        // accumulating passes in either order gives the same PSU contents.
+        let same_exp: Vec<BfpBlock> = xs.iter().map(|b| BfpBlock { exp: 0, ..*b }).collect();
+        let mut u1 = ProcessingUnit::default();
+        u1.load_y_pair(&y, &y);
+        u1.stream_x(&same_exp);
+        u1.load_y_pair(&y, &y);
+        u1.stream_x(&same_exp);
+        let forward = u1.take_psu(same_exp.len());
+
+        let mut u2 = ProcessingUnit::default();
+        u2.load_y_pair(&y, &y);
+        u2.stream_x(&same_exp);
+        u2.load_y_pair(&y, &y);
+        u2.stream_x(&same_exp);
+        let again = u2.take_psu(same_exp.len());
+        prop_assert_eq!(forward, again);
+    }
+}

@@ -1,0 +1,134 @@
+//! Vision-Transformer model configurations (the DeiT family of the paper's
+//! case study, §III-D).
+
+/// Architecture hyper-parameters of a ViT/DeiT encoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VitConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Number of encoder blocks.
+    pub depth: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// MLP hidden dimension = `dim * mlp_ratio`.
+    pub mlp_ratio: usize,
+    /// Sequence length including the class token (197 for 224² images with
+    /// 16² patches).
+    pub seq: usize,
+}
+
+impl VitConfig {
+    /// DeiT-Tiny: dim 192, 12 blocks, 3 heads.
+    pub const fn deit_tiny() -> Self {
+        VitConfig {
+            dim: 192,
+            depth: 12,
+            heads: 3,
+            mlp_ratio: 4,
+            seq: 197,
+        }
+    }
+
+    /// DeiT-Small — the paper's Table IV model: dim 384, 12 blocks, 6 heads.
+    pub const fn deit_small() -> Self {
+        VitConfig {
+            dim: 384,
+            depth: 12,
+            heads: 6,
+            mlp_ratio: 4,
+            seq: 197,
+        }
+    }
+
+    /// DeiT-Base: dim 768, 12 blocks, 12 heads.
+    pub const fn deit_base() -> Self {
+        VitConfig {
+            dim: 768,
+            depth: 12,
+            heads: 12,
+            mlp_ratio: 4,
+            seq: 197,
+        }
+    }
+
+    /// A miniature configuration for fast tests.
+    pub const fn tiny_test() -> Self {
+        VitConfig {
+            dim: 32,
+            depth: 2,
+            heads: 2,
+            mlp_ratio: 2,
+            seq: 12,
+        }
+    }
+
+    /// Per-head dimension.
+    pub const fn head_dim(&self) -> usize {
+        self.dim / self.heads
+    }
+
+    /// MLP hidden width.
+    pub const fn hidden(&self) -> usize {
+        self.dim * self.mlp_ratio
+    }
+
+    /// Sanity-check divisibility.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.dim.is_multiple_of(self.heads) {
+            return Err(format!(
+                "dim {} not divisible by heads {}",
+                self.dim, self.heads
+            ));
+        }
+        if self.dim == 0 || self.depth == 0 || self.seq == 0 {
+            return Err("zero-sized configuration".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deit_small_matches_published_architecture() {
+        let c = VitConfig::deit_small();
+        assert_eq!(c.dim, 384);
+        assert_eq!(c.depth, 12);
+        assert_eq!(c.heads, 6);
+        assert_eq!(c.head_dim(), 64);
+        assert_eq!(c.hidden(), 1536);
+        assert_eq!(c.seq, 197);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn family_scales() {
+        assert_eq!(VitConfig::deit_tiny().dim * 2, VitConfig::deit_small().dim);
+        assert_eq!(VitConfig::deit_small().dim * 2, VitConfig::deit_base().dim);
+        VitConfig::deit_tiny().validate().unwrap();
+        VitConfig::deit_base().validate().unwrap();
+        VitConfig::tiny_test().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad = VitConfig {
+            dim: 10,
+            depth: 1,
+            heads: 3,
+            mlp_ratio: 4,
+            seq: 4,
+        };
+        assert!(bad.validate().is_err());
+        let zero = VitConfig {
+            dim: 0,
+            depth: 1,
+            heads: 1,
+            mlp_ratio: 1,
+            seq: 1,
+        };
+        assert!(zero.validate().is_err());
+    }
+}

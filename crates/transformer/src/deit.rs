@@ -1,0 +1,348 @@
+//! The complete DeiT pipeline around the encoder: patch embedding
+//! (convolution as im2col + GEMM, so it runs on the bfp8 array like every
+//! other linear layer), class token, positional embeddings, final
+//! LayerNorm, and the classification head.
+//!
+//! Table IV counts only the encoder blocks, so [`crate::model::VitModel`]
+//! stays the census unit; this module completes the model a user would
+//! actually deploy end to end.
+
+use bfp_arith::matrix::MatF32;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::VitConfig;
+use crate::engine::Engine;
+use crate::layers::{LayerNormParams, Linear};
+use crate::model::VitModel;
+
+/// A CHW image.
+#[derive(Debug, Clone)]
+pub struct Image {
+    /// Channels (3 for RGB).
+    pub channels: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Width in pixels.
+    pub width: usize,
+    /// CHW-ordered pixel data.
+    pub data: Vec<f32>,
+}
+
+impl Image {
+    /// A deterministic synthetic image in the post-normalisation range
+    /// (≈ N(0,1) per channel), standing in for an ImageNet sample.
+    pub fn synthetic(channels: usize, height: usize, width: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..channels * height * width)
+            .map(|_| {
+                // Sum of uniforms ~ roughly normal.
+                (0..4).map(|_| rng.gen_range(-0.5f32..0.5)).sum::<f32>()
+            })
+            .collect();
+        Image {
+            channels,
+            height,
+            width,
+            data,
+        }
+    }
+
+    /// Pixel accessor (channel, row, col).
+    #[inline]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.data[(c * self.height + y) * self.width + x]
+    }
+
+    /// Unfold into patch rows: one row per patch of `patch × patch`
+    /// pixels, `channels × patch × patch` wide (im2col for a stride-P
+    /// convolution).
+    ///
+    /// # Panics
+    /// Panics if the image is not a whole number of patches.
+    pub fn to_patches(&self, patch: usize) -> MatF32 {
+        assert_eq!(
+            self.height % patch,
+            0,
+            "height must be a multiple of the patch size"
+        );
+        assert_eq!(
+            self.width % patch,
+            0,
+            "width must be a multiple of the patch size"
+        );
+        let (ph, pw) = (self.height / patch, self.width / patch);
+        let row_len = self.channels * patch * patch;
+        MatF32::from_fn(ph * pw, row_len, |p, k| {
+            let (py, px) = (p / pw, p % pw);
+            let c = k / (patch * patch);
+            let dy = (k % (patch * patch)) / patch;
+            let dx = k % patch;
+            self.get(c, py * patch + dy, px * patch + dx)
+        })
+    }
+}
+
+/// DeiT deployment configuration: the encoder config plus the image-side
+/// hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DeitConfig {
+    /// The encoder architecture.
+    pub vit: VitConfig,
+    /// Square patch size (16 in DeiT).
+    pub patch: usize,
+    /// Input channels.
+    pub channels: usize,
+    /// Square input resolution (224 in DeiT).
+    pub img: usize,
+    /// Classifier classes (1000 for ImageNet).
+    pub classes: usize,
+}
+
+impl DeitConfig {
+    /// DeiT-Small at 224²/16 with 1000 classes.
+    pub const fn deit_small() -> Self {
+        DeitConfig {
+            vit: VitConfig::deit_small(),
+            patch: 16,
+            channels: 3,
+            img: 224,
+            classes: 1000,
+        }
+    }
+
+    /// DeiT-Tiny at 224²/16.
+    pub const fn deit_tiny() -> Self {
+        DeitConfig {
+            vit: VitConfig::deit_tiny(),
+            patch: 16,
+            channels: 3,
+            img: 224,
+            classes: 1000,
+        }
+    }
+
+    /// A miniature configuration for fast tests: 24² images, 8² patches.
+    pub const fn tiny_test() -> Self {
+        DeitConfig {
+            vit: VitConfig {
+                dim: 32,
+                depth: 2,
+                heads: 2,
+                mlp_ratio: 2,
+                seq: 10,
+            },
+            patch: 8,
+            channels: 3,
+            img: 24,
+            classes: 7,
+        }
+    }
+
+    /// Patches per image.
+    pub const fn num_patches(&self) -> usize {
+        (self.img / self.patch) * (self.img / self.patch)
+    }
+
+    /// Consistency checks (`seq == patches + 1`, divisibility, the encoder
+    /// config's own constraints).
+    pub fn validate(&self) -> Result<(), String> {
+        self.vit.validate()?;
+        if !self.img.is_multiple_of(self.patch) {
+            return Err(format!(
+                "image {} not divisible by patch {}",
+                self.img, self.patch
+            ));
+        }
+        if self.vit.seq != self.num_patches() + 1 {
+            return Err(format!(
+                "seq {} must equal patches {} + 1 (class token)",
+                self.vit.seq,
+                self.num_patches()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The deployable model: embedding → encoder → head.
+#[derive(Debug, Clone)]
+pub struct DeitModel {
+    /// Deployment configuration.
+    pub cfg: DeitConfig,
+    /// Patch projection (`C·P² × dim`), i.e. the stride-P convolution.
+    pub patch_proj: Linear,
+    /// Learnable class token (`dim`).
+    pub cls_token: Vec<f32>,
+    /// Positional embeddings (`seq × dim`).
+    pub pos_embed: MatF32,
+    /// The encoder (the Table IV census unit).
+    pub encoder: VitModel,
+    /// Final LayerNorm before the head.
+    pub final_norm: LayerNormParams,
+    /// Classification head (`dim × classes`).
+    pub head: Linear,
+}
+
+impl DeitModel {
+    /// Random-initialised model.
+    ///
+    /// # Panics
+    /// Panics on an inconsistent configuration.
+    pub fn new_random(cfg: DeitConfig, seed: u64) -> Self {
+        cfg.validate().expect("valid DeiT configuration");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdeadbeef);
+        let dim = cfg.vit.dim;
+        let in_features = cfg.channels * cfg.patch * cfg.patch;
+        DeitModel {
+            cfg,
+            patch_proj: Linear::new_random(in_features, dim, &mut rng),
+            cls_token: (0..dim).map(|_| rng.gen_range(-0.02f32..0.02)).collect(),
+            pos_embed: MatF32::from_fn(cfg.vit.seq, dim, |_, _| rng.gen_range(-0.02f32..0.02)),
+            encoder: VitModel::new_random(cfg.vit, seed),
+            final_norm: LayerNormParams::new_random(dim, &mut rng),
+            head: Linear::new_random(dim, cfg.classes, &mut rng),
+        }
+    }
+
+    /// Embed an image into the encoder's token space: patchify → project
+    /// (bfp8 GEMM) → prepend class token → add positional embeddings.
+    ///
+    /// # Panics
+    /// Panics if the image shape disagrees with the configuration.
+    pub fn embed<E: Engine>(&self, e: &mut E, img: &Image) -> MatF32 {
+        assert_eq!(img.channels, self.cfg.channels, "channels");
+        assert_eq!(img.height, self.cfg.img, "height");
+        assert_eq!(img.width, self.cfg.img, "width");
+        let patches = img.to_patches(self.cfg.patch);
+        let projected = self.patch_proj.forward(e, &patches);
+        let dim = self.cfg.vit.dim;
+        MatF32::from_fn(self.cfg.vit.seq, dim, |i, j| {
+            let tok = if i == 0 {
+                self.cls_token[j]
+            } else {
+                projected.get(i - 1, j)
+            };
+            tok + self.pos_embed.get(i, j)
+        })
+    }
+
+    /// Full forward pass: logits for one image.
+    pub fn forward<E: Engine>(&self, e: &mut E, img: &Image) -> Vec<f32> {
+        let tokens = self.embed(e, img);
+        let encoded = self.encoder.forward(e, &tokens);
+        // Classify from the class token.
+        let mut cls = MatF32::from_fn(1, self.cfg.vit.dim, |_, j| encoded.get(0, j));
+        self.final_norm.forward(e, &mut cls);
+        let logits = self.head.forward(e, &cls);
+        logits.row(0).to_vec()
+    }
+
+    /// Argmax class prediction.
+    pub fn predict<E: Engine>(&self, e: &mut E, img: &Image) -> usize {
+        let logits = self.forward(e, img);
+        logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .expect("non-empty logits")
+            .0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{MixedEngine, RefEngine};
+
+    #[test]
+    fn config_validation() {
+        DeitConfig::deit_small().validate().unwrap();
+        DeitConfig::deit_tiny().validate().unwrap();
+        DeitConfig::tiny_test().validate().unwrap();
+        let bad = DeitConfig {
+            img: 225,
+            ..DeitConfig::deit_small()
+        };
+        assert!(bad.validate().is_err());
+        let bad_seq = DeitConfig {
+            vit: VitConfig {
+                seq: 100,
+                ..VitConfig::deit_small()
+            },
+            ..DeitConfig::deit_small()
+        };
+        assert!(bad_seq.validate().is_err());
+    }
+
+    #[test]
+    fn deit_small_has_197_tokens() {
+        let c = DeitConfig::deit_small();
+        assert_eq!(c.num_patches(), 196);
+        assert_eq!(c.vit.seq, 197);
+    }
+
+    #[test]
+    fn patchify_shapes_and_content() {
+        let img = Image::synthetic(3, 24, 24, 1);
+        let p = img.to_patches(8);
+        assert_eq!((p.rows(), p.cols()), (9, 3 * 64));
+        // Patch (1,2) pixel (c=2, dy=3, dx=5) maps to row 5, col 2*64+3*8+5.
+        assert_eq!(p.get(5, 2 * 64 + 3 * 8 + 5), img.get(2, 8 + 3, 16 + 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the patch")]
+    fn patchify_rejects_ragged_images() {
+        Image::synthetic(3, 25, 24, 0).to_patches(8);
+    }
+
+    #[test]
+    fn forward_produces_class_logits() {
+        let model = DeitModel::new_random(DeitConfig::tiny_test(), 4);
+        let img = Image::synthetic(3, 24, 24, 9);
+        let logits = model.forward(&mut RefEngine, &img);
+        assert_eq!(logits.len(), 7);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let model = DeitModel::new_random(DeitConfig::tiny_test(), 8);
+        let img = Image::synthetic(3, 24, 24, 3);
+        assert_eq!(
+            model.predict(&mut RefEngine, &img),
+            model.predict(&mut RefEngine, &img)
+        );
+    }
+
+    #[test]
+    fn mixed_precision_agrees_with_reference_on_predictions() {
+        // The deployment claim end to end: same top-1 on (almost) every
+        // input without retraining.
+        let model = DeitModel::new_random(DeitConfig::tiny_test(), 21);
+        let mut agree = 0;
+        let total = 12;
+        for seed in 0..total {
+            let img = Image::synthetic(3, 24, 24, seed);
+            let r = model.predict(&mut RefEngine, &img);
+            let m = model.predict(&mut MixedEngine::new(), &img);
+            if r == m {
+                agree += 1;
+            }
+        }
+        assert!(agree >= total - 1, "top-1 agreement {agree}/{total}");
+    }
+
+    #[test]
+    fn embedding_census_counts_the_patch_gemm() {
+        let cfg = DeitConfig::tiny_test();
+        let model = DeitModel::new_random(cfg, 5);
+        let img = Image::synthetic(3, 24, 24, 5);
+        let mut e = MixedEngine::new();
+        let _ = model.embed(&mut e, &img);
+        let macs = e.census().matmul_macs;
+        let want = (cfg.num_patches() * cfg.channels * cfg.patch * cfg.patch * cfg.vit.dim) as u64;
+        assert_eq!(macs, want, "patch projection runs on the bfp8 array");
+    }
+}

@@ -1,0 +1,439 @@
+//! Execution engines: the mixed-precision accelerator path versus the f32
+//! reference, behind one trait so the same model code runs on both.
+
+use bfp_arith::int8quant::Int8Tensor;
+use bfp_arith::matrix::MatF32;
+use bfp_arith::quant::Quantizer;
+
+use crate::reference;
+use crate::vpu::{OpCount, Vpu};
+
+/// Operation census of an inference pass, split the way Table IV splits it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCensus {
+    /// bfp8 MAC count of every GEMM (linear layers + attention matmuls).
+    pub matmul_macs: u64,
+    /// VPU operations attributable to softmax.
+    pub softmax: OpCount,
+    /// VPU operations attributable to GELU.
+    pub gelu: OpCount,
+    /// VPU operations attributable to LayerNorm.
+    pub layernorm: OpCount,
+}
+
+impl OpCensus {
+    /// bfp8 operations (2 per MAC: multiply + accumulate), the paper's
+    /// "OPs" unit for the linear partition.
+    pub fn bfp_ops(&self) -> u64 {
+        2 * self.matmul_macs
+    }
+
+    /// Total fp32 FLOPs across the three non-linear kinds.
+    pub fn fp32_flops(&self) -> u64 {
+        self.softmax.flops() + self.gelu.flops() + self.layernorm.flops()
+    }
+
+    /// Total host-delegated operations (divisions, square roots).
+    pub fn host_ops(&self) -> u64 {
+        self.softmax.host_ops() + self.gelu.host_ops() + self.layernorm.host_ops()
+    }
+
+    /// Fraction of all counted operations that are fp32 (the paper's
+    /// "1.35 % of workloads" figure for DeiT-Small).
+    pub fn fp32_fraction(&self) -> f64 {
+        let total = (self.bfp_ops() + self.fp32_flops()) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.fp32_flops() as f64 / total
+        }
+    }
+
+    /// Accumulate another census.
+    pub fn merge(&mut self, o: &OpCensus) {
+        self.matmul_macs += o.matmul_macs;
+        self.softmax.merge(&o.softmax);
+        self.gelu.merge(&o.gelu);
+        self.layernorm.merge(&o.layernorm);
+    }
+}
+
+/// The operations a model needs from its execution substrate.
+pub trait Engine {
+    /// General matrix multiply.
+    fn matmul(&mut self, a: &MatF32, b: &MatF32) -> MatF32;
+    /// Row-wise softmax in place.
+    fn softmax_rows(&mut self, m: &mut MatF32);
+    /// Element-wise GELU in place.
+    fn gelu(&mut self, m: &mut MatF32);
+    /// Row-wise LayerNorm in place.
+    fn layernorm(&mut self, m: &mut MatF32, gamma: &[f32], beta: &[f32], eps: f32);
+}
+
+/// Pure f32/f64 reference engine (the "fp32 model as trained" baseline).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RefEngine;
+
+impl Engine for RefEngine {
+    fn matmul(&mut self, a: &MatF32, b: &MatF32) -> MatF32 {
+        a.matmul(b)
+    }
+
+    fn softmax_rows(&mut self, m: &mut MatF32) {
+        reference::softmax_rows(m);
+    }
+
+    fn gelu(&mut self, m: &mut MatF32) {
+        reference::gelu_rows(m);
+    }
+
+    fn layernorm(&mut self, m: &mut MatF32, gamma: &[f32], beta: &[f32], eps: f32) {
+        reference::layernorm_rows(m, gamma, beta, eps);
+    }
+}
+
+/// Where fp32 divisions and square roots execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DivisionPolicy {
+    /// The paper's prototype: ship them to the host CPU (§III-B).
+    #[default]
+    Host,
+    /// The future-work extension: Newton–Raphson on the array — no host
+    /// round-trips at all.
+    OnChip,
+}
+
+/// The accelerator's execution model: GEMMs in bfp8 (quantize → int8 block
+/// MatMul → aligned accumulate → dequantize), non-linear layers on the fp32
+/// VPU kernels, with a full operation census.
+#[derive(Debug, Clone)]
+pub struct MixedEngine {
+    quantizer: Quantizer,
+    vpu: Vpu,
+    census: OpCensus,
+    division: DivisionPolicy,
+}
+
+impl Default for MixedEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MixedEngine {
+    /// Paper-configured engine (8×8 blocks, RNE quantization, host-side
+    /// division).
+    pub fn new() -> Self {
+        MixedEngine {
+            quantizer: Quantizer::paper(),
+            vpu: Vpu::new(),
+            census: OpCensus::default(),
+            division: DivisionPolicy::Host,
+        }
+    }
+
+    /// An engine with a custom quantizer (block-size ablations).
+    pub fn with_quantizer(quantizer: Quantizer) -> Self {
+        MixedEngine {
+            quantizer,
+            ..Self::new()
+        }
+    }
+
+    /// The future-work configuration: every operation on the array,
+    /// divisions included (Newton–Raphson kernels).
+    pub fn host_free() -> Self {
+        MixedEngine {
+            division: DivisionPolicy::OnChip,
+            ..Self::new()
+        }
+    }
+
+    /// The census so far.
+    pub fn census(&self) -> OpCensus {
+        self.census
+    }
+
+    /// Return and reset the census.
+    pub fn take_census(&mut self) -> OpCensus {
+        std::mem::take(&mut self.census)
+    }
+
+    fn vpu_delta(&mut self, f: impl FnOnce(&mut Vpu)) -> OpCount {
+        let before = self.vpu.count;
+        f(&mut self.vpu);
+        let after = self.vpu.count;
+        OpCount {
+            fp_mul: after.fp_mul - before.fp_mul,
+            fp_add: after.fp_add - before.fp_add,
+            exp_adjust: after.exp_adjust - before.exp_adjust,
+            cmp: after.cmp - before.cmp,
+            host_div: after.host_div - before.host_div,
+            host_sqrt: after.host_sqrt - before.host_sqrt,
+        }
+    }
+}
+
+impl Engine for MixedEngine {
+    fn matmul(&mut self, a: &MatF32, b: &MatF32) -> MatF32 {
+        let qa = self.quantizer.quantize(a).expect("finite activations");
+        let qb = self.quantizer.quantize(b).expect("finite weights");
+        self.census.matmul_macs += (a.rows() * a.cols() * b.cols()) as u64;
+        qa.matmul(&qb)
+    }
+
+    fn softmax_rows(&mut self, m: &mut MatF32) {
+        let (rows, cols) = (m.rows(), m.cols());
+        let division = self.division;
+        let delta = self.vpu_delta(|vpu| {
+            for i in 0..rows {
+                let start = i * cols;
+                let row = &mut m.data_mut()[start..start + cols];
+                match division {
+                    DivisionPolicy::Host => vpu.softmax_row(row),
+                    DivisionPolicy::OnChip => vpu.softmax_row_onchip(row),
+                }
+            }
+        });
+        self.census.softmax.merge(&delta);
+    }
+
+    fn gelu(&mut self, m: &mut MatF32) {
+        let division = self.division;
+        let delta = self.vpu_delta(|vpu| {
+            for v in m.data_mut() {
+                *v = match division {
+                    DivisionPolicy::Host => vpu.gelu(*v),
+                    DivisionPolicy::OnChip => vpu.gelu_onchip(*v),
+                };
+            }
+        });
+        self.census.gelu.merge(&delta);
+    }
+
+    fn layernorm(&mut self, m: &mut MatF32, gamma: &[f32], beta: &[f32], eps: f32) {
+        let (rows, cols) = (m.rows(), m.cols());
+        let division = self.division;
+        let delta = self.vpu_delta(|vpu| {
+            for i in 0..rows {
+                let start = i * cols;
+                let row = &mut m.data_mut()[start..start + cols];
+                match division {
+                    DivisionPolicy::Host => vpu.layernorm_row(row, gamma, beta, eps),
+                    DivisionPolicy::OnChip => vpu.layernorm_row_onchip(row, gamma, beta, eps),
+                }
+            }
+        });
+        self.census.layernorm.merge(&delta);
+    }
+}
+
+/// The comparison baseline: GEMMs in **per-tensor symmetric int8** (what
+/// the Fig. 6 int8 design variant computes) with reference-precision
+/// non-linear layers. Exists so model-level experiments can quantify the
+/// accuracy cost of per-tensor scaling against bfp8's per-block exponents
+/// — the paper's motivation for choosing block floating point.
+#[derive(Debug, Default, Clone)]
+pub struct Int8Engine {
+    macs: u64,
+}
+
+impl Int8Engine {
+    /// A fresh engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// int8 MACs executed so far.
+    pub fn macs(&self) -> u64 {
+        self.macs
+    }
+}
+
+impl Engine for Int8Engine {
+    fn matmul(&mut self, a: &MatF32, b: &MatF32) -> MatF32 {
+        self.macs += (a.rows() * a.cols() * b.cols()) as u64;
+        let qa = Int8Tensor::quantize(a).expect("finite activations");
+        let qb = Int8Tensor::quantize(b).expect("finite weights");
+        qa.matmul(&qb)
+    }
+
+    fn softmax_rows(&mut self, m: &mut MatF32) {
+        reference::softmax_rows(m);
+    }
+
+    fn gelu(&mut self, m: &mut MatF32) {
+        reference::gelu_rows(m);
+    }
+
+    fn layernorm(&mut self, m: &mut MatF32, gamma: &[f32], beta: &[f32], eps: f32) {
+        reference::layernorm_rows(m, gamma, beta, eps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vpu::cost;
+    use bfp_arith::stats::ErrorStats;
+
+    #[test]
+    fn mixed_matmul_tracks_reference() {
+        let a = MatF32::from_fn(16, 24, |i, j| ((i * 5 + j) as f32 * 0.11).sin());
+        let b = MatF32::from_fn(24, 8, |i, j| ((i + j * 7) as f32 * 0.07).cos());
+        let mut mixed = MixedEngine::new();
+        let mut reference = RefEngine;
+        let got = mixed.matmul(&a, &b);
+        let want = reference.matmul(&a, &b);
+        let mut s = ErrorStats::new();
+        s.push_slices(got.data(), want.data());
+        assert!(s.sqnr_db() > 28.0, "{s}");
+        assert_eq!(mixed.census().matmul_macs, 16 * 24 * 8);
+    }
+
+    #[test]
+    fn census_attribution_per_kind() {
+        let mut e = MixedEngine::new();
+        let mut m = MatF32::from_fn(3, 5, |i, j| (i as f32) - (j as f32) * 0.5);
+        e.softmax_rows(&mut m);
+        let c = e.census();
+        assert_eq!(c.softmax, {
+            let mut want = OpCount::default();
+            for _ in 0..3 {
+                want.merge(&cost::softmax_row(5));
+            }
+            want
+        });
+        assert_eq!(c.gelu, OpCount::default());
+        assert_eq!(c.layernorm, OpCount::default());
+
+        let mut g = MatF32::from_fn(2, 4, |i, j| (i + j) as f32 * 0.3 - 1.0);
+        e.gelu(&mut g);
+        let c = e.census();
+        let mut want = OpCount::default();
+        for _ in 0..8 {
+            want.merge(&cost::gelu());
+        }
+        assert_eq!(c.gelu, want);
+    }
+
+    #[test]
+    fn mixed_nonlinear_tracks_reference() {
+        let src = MatF32::from_fn(4, 32, |i, j| ((i * 32 + j) as f32 * 0.1).sin() * 2.0);
+        let mut a = src.clone();
+        let mut b = src.clone();
+        let mut mixed = MixedEngine::new();
+        let mut rf = RefEngine;
+        mixed.softmax_rows(&mut a);
+        rf.softmax_rows(&mut b);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn fp32_fraction_is_small_for_gemm_heavy_workloads() {
+        let mut e = MixedEngine::new();
+        let a = MatF32::from_fn(64, 64, |i, j| ((i ^ j) as f32) * 0.01);
+        let _ = e.matmul(&a, &a);
+        let mut m = MatF32::from_fn(4, 16, |_, j| j as f32 * 0.2);
+        e.softmax_rows(&mut m);
+        let frac = e.census().fp32_fraction();
+        assert!(frac > 0.0 && frac < 0.01, "fp32 fraction {frac}");
+    }
+
+    #[test]
+    fn take_census_resets() {
+        let mut e = MixedEngine::new();
+        let a = MatF32::from_fn(8, 8, |_, _| 1.0);
+        let _ = e.matmul(&a, &a);
+        assert!(e.take_census().matmul_macs > 0);
+        assert_eq!(e.census(), OpCensus::default());
+    }
+
+    #[test]
+    fn host_free_engine_uses_no_host_ops_and_tracks_fp32() {
+        use crate::config::VitConfig;
+        use crate::model::VitModel;
+        let model = VitModel::new_random(VitConfig::tiny_test(), 19);
+        let x = model.synthetic_input(4);
+        let want = model.forward(&mut RefEngine, &x);
+
+        let mut chip = MixedEngine::host_free();
+        let got = model.forward(&mut chip, &x);
+        let census = chip.take_census();
+        assert_eq!(census.host_ops(), 0, "host-free engine must never call out");
+
+        let mut s = ErrorStats::new();
+        s.push_slices(got.data(), want.data());
+        assert!(s.sqnr_db() > 15.0, "host-free fidelity: {s}");
+
+        // And it stays numerically close to the host-division engine.
+        let host_out = model.forward(&mut MixedEngine::new(), &x);
+        let mut d = ErrorStats::new();
+        d.push_slices(got.data(), host_out.data());
+        assert!(d.sqnr_db() > 40.0, "NR kernels track host division: {d}");
+    }
+
+    #[test]
+    fn int8_engine_runs_and_counts() {
+        let mut e = Int8Engine::new();
+        let a = MatF32::from_fn(8, 8, |i, j| (i + j) as f32 * 0.1);
+        let out = e.matmul(&a, &a);
+        assert_eq!(e.macs(), 512);
+        assert_eq!((out.rows(), out.cols()), (8, 8));
+    }
+
+    #[test]
+    fn bfp8_beats_int8_on_outlier_models() {
+        // Model-level version of the motivation experiment: inject hot
+        // channels into the activations via large weight columns; the
+        // bfp8 engine tracks fp32 better than per-tensor int8.
+        use crate::config::VitConfig;
+        use crate::model::VitModel;
+        let model = {
+            let mut m = VitModel::new_random(VitConfig::tiny_test(), 13);
+            // Make a few fc1 output channels hot: downstream activations
+            // develop the outlier pattern real Transformers show.
+            for blk in &mut m.blocks {
+                let cols = blk.fc1.w.cols();
+                for i in 0..blk.fc1.w.rows() {
+                    for j in (0..cols).step_by(17) {
+                        let v = blk.fc1.w.get(i, j);
+                        blk.fc1.w.set(i, j, v * 24.0);
+                    }
+                }
+            }
+            m
+        };
+        let x = model.synthetic_input(3);
+        let want = model.forward(&mut RefEngine, &x);
+        let bfp = model.forward(&mut MixedEngine::new(), &x);
+        let int8 = model.forward(&mut Int8Engine::new(), &x);
+        let sqnr = |got: &MatF32| {
+            let mut s = ErrorStats::new();
+            s.push_slices(got.data(), want.data());
+            s.sqnr_db()
+        };
+        let (sb, si) = (sqnr(&bfp), sqnr(&int8));
+        assert!(
+            sb > si,
+            "bfp8 {sb:.1} dB must beat per-tensor int8 {si:.1} dB"
+        );
+    }
+
+    #[test]
+    fn census_merge_adds_fields() {
+        let mut a = OpCensus {
+            matmul_macs: 5,
+            ..Default::default()
+        };
+        let b = OpCensus {
+            matmul_macs: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.matmul_macs, 12);
+        assert_eq!(a.bfp_ops(), 24);
+    }
+}

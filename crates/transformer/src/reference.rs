@@ -1,0 +1,183 @@
+//! Reference (IEEE f32/f64) implementations of the non-linear layers —
+//! the ground truth the hardware VPU kernels are measured against.
+
+use bfp_arith::matrix::MatF32;
+
+/// Numerically careful row-wise softmax (max-subtracted, f64 accumulate).
+pub fn softmax_rows(m: &mut MatF32) {
+    let cols = m.cols();
+    for i in 0..m.rows() {
+        let row_max = m.row(i).iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let mut sum = 0f64;
+        let mut exps = vec![0f32; cols];
+        for (j, e) in exps.iter_mut().enumerate() {
+            let v = ((m.get(i, j) - row_max) as f64).exp();
+            *e = v as f32;
+            sum += v;
+        }
+        for (j, &e) in exps.iter().enumerate() {
+            m.set(i, j, (e as f64 / sum) as f32);
+        }
+    }
+}
+
+/// Exact GELU: `0.5 x (1 + erf(x / √2))`, with erf evaluated in f64 via the
+/// Abramowitz–Stegun 7.1.26 rational approximation (|ε| < 1.5e-7, far below
+/// f32 resolution).
+pub fn gelu_exact(x: f32) -> f32 {
+    let v = x as f64;
+    (0.5 * v * (1.0 + erf(v / std::f64::consts::SQRT_2))) as f32
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// The tanh-form GELU used by most Transformer implementations (and the
+/// form the VPU kernel implements):
+/// `0.5 x (1 + tanh(√(2/π) (x + 0.044715 x³)))`.
+pub fn gelu_tanh(x: f32) -> f32 {
+    let v = x as f64;
+    let inner = (2.0 / std::f64::consts::PI).sqrt() * (v + 0.044715 * v * v * v);
+    (0.5 * v * (1.0 + inner.tanh())) as f32
+}
+
+/// Apply tanh-GELU element-wise.
+pub fn gelu_rows(m: &mut MatF32) {
+    for v in m.data_mut() {
+        *v = gelu_tanh(*v);
+    }
+}
+
+/// Row-wise LayerNorm with affine parameters.
+///
+/// # Panics
+/// Panics if `gamma`/`beta` lengths differ from the column count.
+pub fn layernorm_rows(m: &mut MatF32, gamma: &[f32], beta: &[f32], eps: f32) {
+    let cols = m.cols();
+    assert_eq!(gamma.len(), cols, "gamma length");
+    assert_eq!(beta.len(), cols, "beta length");
+    for i in 0..m.rows() {
+        let mut mean = 0f64;
+        for j in 0..cols {
+            mean += m.get(i, j) as f64;
+        }
+        mean /= cols as f64;
+        let mut var = 0f64;
+        for j in 0..cols {
+            let d = m.get(i, j) as f64 - mean;
+            var += d * d;
+        }
+        var /= cols as f64;
+        let inv = 1.0 / (var + eps as f64).sqrt();
+        for j in 0..cols {
+            let n = (m.get(i, j) as f64 - mean) * inv;
+            m.set(i, j, (n * gamma[j] as f64 + beta[j] as f64) as f32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut m = MatF32::from_fn(3, 5, |i, j| (i * 5 + j) as f32 * 0.3 - 2.0);
+        softmax_rows(&mut m);
+        for i in 0..3 {
+            let s: f32 = m.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {i} sums to {s}");
+            assert!(m.row(i).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = MatF32::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let mut b = MatF32::from_vec(1, 3, vec![101.0, 102.0, 103.0]);
+        softmax_rows(&mut a);
+        softmax_rows(&mut b);
+        for j in 0..3 {
+            assert!((a.get(0, j) - b.get(0, j)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extreme_logits() {
+        let mut m = MatF32::from_vec(1, 3, vec![-1e30, 0.0, 1e30]);
+        softmax_rows(&mut m);
+        assert!((m.get(0, 2) - 1.0).abs() < 1e-6);
+        assert!(m.get(0, 0) >= 0.0);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        assert_eq!(gelu_exact(0.0), 0.0);
+        assert!((gelu_exact(1.0) - 0.8413447).abs() < 1e-5);
+        assert!((gelu_exact(-1.0) + 0.15865526).abs() < 1e-5);
+        // Large positive ~ identity; large negative ~ 0.
+        assert!((gelu_exact(10.0) - 10.0).abs() < 1e-4);
+        assert!(gelu_exact(-10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn tanh_gelu_tracks_exact_gelu() {
+        for k in -40..=40 {
+            let x = k as f32 * 0.1;
+            let d = (gelu_tanh(x) - gelu_exact(x)).abs();
+            assert!(
+                d < 2e-3,
+                "x={x}: tanh {} vs exact {}",
+                gelu_tanh(x),
+                gelu_exact(x)
+            );
+        }
+    }
+
+    #[test]
+    fn layernorm_zero_mean_unit_var() {
+        let mut m = MatF32::from_fn(2, 64, |i, j| {
+            (i as f32 + 1.0) * (j as f32 * 0.17).sin() * 3.0
+        });
+        let gamma = vec![1.0f32; 64];
+        let beta = vec![0.0f32; 64];
+        layernorm_rows(&mut m, &gamma, &beta, 1e-6);
+        for i in 0..2 {
+            let mean: f64 = m.row(i).iter().map(|&v| v as f64).sum::<f64>() / 64.0;
+            let var: f64 = m
+                .row(i)
+                .iter()
+                .map(|&v| (v as f64 - mean).powi(2))
+                .sum::<f64>()
+                / 64.0;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_affine_params_apply() {
+        let mut m = MatF32::from_fn(1, 4, |_, j| j as f32);
+        let gamma = vec![2.0f32; 4];
+        let beta = vec![10.0f32; 4];
+        layernorm_rows(&mut m, &gamma, &beta, 1e-6);
+        let mean: f32 = m.row(0).iter().sum::<f32>() / 4.0;
+        assert!((mean - 10.0).abs() < 1e-4, "beta shifts the mean: {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma length")]
+    fn layernorm_checks_param_length() {
+        let mut m = MatF32::zeros(1, 4);
+        layernorm_rows(&mut m, &[1.0; 3], &[0.0; 4], 1e-6);
+    }
+}

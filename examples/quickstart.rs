@@ -1,0 +1,56 @@
+//! Quickstart: quantize two matrices to bfp8, multiply them on the modelled
+//! accelerator, and compare against the f32 reference.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bfp_core::prelude::*;
+use bfp_core::Accelerator;
+
+fn main() {
+    // A pair of smooth test matrices (stand-ins for an activation and a
+    // weight tile).
+    let a = MatF32::from_fn(256, 192, |i, j| {
+        ((i as f32 * 0.11 + j as f32 * 0.07).sin()) * 2.0
+    });
+    let b = MatF32::from_fn(192, 128, |i, j| {
+        ((i as f32 * 0.05 - j as f32 * 0.13).cos()) * 0.5
+    });
+
+    // The paper's deployment: 15 units x 2 arrays on an Alveo U280.
+    let acc = Accelerator::u280();
+    let (product, report) = acc.gemm(&a, &b);
+
+    // Fidelity against IEEE f32.
+    let reference = a.matmul(&b);
+    let mut stats = ErrorStats::new();
+    stats.push_slices(product.data(), reference.data());
+
+    println!("bfp8 GEMM on the modelled U280");
+    println!(
+        "  shape              : {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    println!("  modelled wall time : {:.3} us", report.seconds * 1e6);
+    println!("  achieved throughput: {:.1} GOPS", report.gops());
+    println!("  arrays used        : {}", report.stats.per_array.len());
+    println!("  fidelity vs f32    : {stats}");
+    assert!(
+        stats.sqnr_db() > 30.0,
+        "bfp8 should stay above 30 dB on smooth data"
+    );
+
+    // Quantization round-trip on its own.
+    let q = Quantizer::paper();
+    let qa = q.quantize(&a).expect("finite input");
+    println!(
+        "\nquantization only  : {} ({} blocks of 8x8)",
+        qa.fidelity(&a),
+        qa.grid().0 * qa.grid().1
+    );
+    println!("\nok: see DESIGN.md for the full experiment index");
+}

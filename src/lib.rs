@@ -1,0 +1,33 @@
+//! # bfp-repro — workspace facade
+//!
+//! Umbrella crate for the reproduction of *"A Case for Low Bitwidth
+//! Floating Point Arithmetic on FPGA for Transformer Based DNN Inference"*
+//! (IPDPS-W 2024). Re-exports every member crate so the examples and
+//! integration tests (and downstream experiments) can reach the whole
+//! system through one dependency.
+//!
+//! See `README.md` for the tour and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! reproduction methodology and results.
+
+pub use bfp_arith as arith;
+pub use bfp_core as core_api;
+pub use bfp_dsp48 as dsp48;
+pub use bfp_platform as platform;
+pub use bfp_pu as pu;
+pub use bfp_transformer as transformer;
+
+/// The paper's headline configuration in one call: a modelled U280 with 15
+/// dual-array units at 300 MHz.
+pub fn accelerator() -> bfp_core::Accelerator {
+    bfp_core::Accelerator::u280()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_builds_the_paper_system() {
+        let acc = super::accelerator();
+        assert_eq!(acc.system().cfg.total_arrays(), 30);
+        assert_eq!(acc.system().freq_hz, 300.0e6);
+    }
+}

@@ -1,0 +1,141 @@
+//! The paper's headline numbers, asserted as tests: if a refactor breaks a
+//! reproduction target, CI catches it here.
+
+use bfp_core::LatencyModel;
+use bfp_platform::{paper_ours_row, DesignVariant, PuCostModel, System, U280};
+use bfp_pu::throughput;
+use bfp_transformer::{analytical_census, VitConfig};
+
+const F300: f64 = 300.0e6;
+
+#[test]
+fn abstract_claim_2_052_tops_bfp8() {
+    let sys = System::paper();
+    let gops = sys.measured_bfp_gops(64);
+    assert!(
+        (gops - 2052.06).abs() / 2052.06 < 0.005,
+        "measured {gops} GOPS"
+    );
+}
+
+#[test]
+fn abstract_claim_33_88_gflops_fp32() {
+    let sys = System::paper();
+    assert!((sys.theoretical_fp32_gflops(128) - 33.88).abs() < 0.005);
+}
+
+#[test]
+fn abstract_claim_over_95_percent_of_8bit_peak() {
+    // "over 95% of the theoretical maximum 8-bit throughput": Eqn. 9 at
+    // N_X = 64 sustains 97.15% of the allocated arrays' peak.
+    let u = throughput::bfp_throughput(64, F300) / throughput::bfp_peak_ops(F300);
+    assert!(u > 0.95, "utilization {u}");
+}
+
+#[test]
+fn abstract_claim_1_19x_ff_vs_int8() {
+    let int8 = DesignVariant::Int8.assessed_usage();
+    let bfp8 = DesignVariant::Bfp8Only.assessed_usage();
+    assert_eq!(int8.dsp, bfp8.dsp, "same number of DSPs");
+    assert!(
+        (bfp8.ff / int8.ff - 1.19).abs() < 0.01,
+        "1.19x more flip-flops"
+    );
+}
+
+#[test]
+fn abstract_claim_savings_vs_individual_units() {
+    let multi = DesignVariant::MultiMode.assessed_usage();
+    let indiv = DesignVariant::Individual.assessed_usage();
+    assert!(
+        (1.0 - multi.dsp / indiv.dsp - 0.200).abs() < 1e-3,
+        "20.0% DSP saving"
+    );
+    assert!(
+        (1.0 - multi.ff / indiv.ff - 0.612).abs() < 1e-3,
+        "61.2% FF saving"
+    );
+    assert!(
+        (1.0 - multi.lut / indiv.lut - 0.436).abs() < 1e-3,
+        "43.6% LUT saving"
+    );
+}
+
+#[test]
+fn table2_unit_totals() {
+    let t = PuCostModel::unit_total(Default::default());
+    assert_eq!((t.lut, t.ff, t.bram, t.dsp), (7348.0, 10329.0, 57.5, 72.0));
+}
+
+#[test]
+fn table3_ours_row() {
+    let ours = System::paper().table3_row();
+    let paper = paper_ours_row();
+    assert_eq!(ours.dsp, paper.dsp, "2163 DSPs");
+    assert!((ours.lut_k - paper.lut_k).abs() < 0.5);
+    assert!((ours.ff_k.unwrap() - paper.ff_k.unwrap()).abs() < 0.5);
+    assert!((ours.bram.unwrap() - paper.bram.unwrap()).abs() < 0.5);
+    assert!((ours.gops_per_dsp() - 0.95).abs() < 0.01, "0.95 GOPS/DSP");
+}
+
+#[test]
+fn section_iid_quoted_utilization_97_15_percent() {
+    let ratio: f64 = 8.0 * 64.0 / (8.0 * 64.0 + 15.0);
+    assert!((ratio - 0.9715).abs() < 1e-4);
+    let model = throughput::bfp_throughput(64, F300) / throughput::bfp_peak_ops(F300);
+    assert!((model - ratio).abs() < 1e-12);
+}
+
+#[test]
+fn table4_latency_column_reproduces_from_paper_ops() {
+    use bfp_transformer::flops::paper_table4 as p;
+    let m = LatencyModel::paper();
+    // bfp8 row: 2465M OPs / 2052.06 GOPS = 1.201 ms.
+    let bfp_ms = p::BFP8_MATMUL_OPS / m.bfp_ops_per_sec * 1e3;
+    assert!((bfp_ms - p::LATENCY_MS[0]).abs() < 0.001, "{bfp_ms}");
+    // Non-linear rows: FLOPs / 15 GFLOPS.
+    for (flops, want_ms) in [
+        (p::LAYERNORM_FLOPS, p::LATENCY_MS[1]),
+        (p::SOFTMAX_FLOPS, p::LATENCY_MS[2]),
+        (p::GELU_FLOPS, p::LATENCY_MS[3]),
+    ] {
+        let ms = flops / m.fp32_flops_per_sec * 1e3;
+        assert!((ms - want_ms).abs() / want_ms < 0.002, "{ms} vs {want_ms}");
+    }
+}
+
+#[test]
+fn table4_conclusion_fp32_dominates_latency() {
+    let census = analytical_census(&VitConfig::deit_small());
+    let b = LatencyModel::paper().breakdown(&census);
+    // Paper: 1.35% of ops -> 92.45% of latency. Ours (richer kernels):
+    // low-percent ops share, strong-majority latency share.
+    assert!(b.fp32_ops_percent() < 5.0);
+    assert!(b.fp32_latency_percent() > 60.0);
+    assert!(b.latency_percent(0) < 35.0, "bfp8 latency share is small");
+}
+
+#[test]
+fn fig7_shapes() {
+    let sys = System::paper();
+    // Monotone rising curves, measured under theoretical, bfp8 gap small,
+    // fp32 gap large.
+    let mut prev = 0.0;
+    for nx in [8, 16, 32, 64] {
+        let m = sys.measured_bfp_gops(nx);
+        assert!(m > prev);
+        assert!(m <= sys.theoretical_bfp_gops(nx));
+        prev = m;
+    }
+    assert!(sys.measured_bfp_gops(64) / sys.theoretical_bfp_gops(64) > 0.85);
+    assert!(sys.measured_fp32_gflops(128) / sys.theoretical_fp32_gflops(128) < 0.55);
+}
+
+#[test]
+fn footnote_hbm_channel_budget() {
+    // "Each multi-mode unit has 2 256-bit AXI channels connected to HBM":
+    // 15 units x 2 = 30 channels <= the U280's 32.
+    let cfg = System::paper().cfg;
+    assert_eq!(cfg.units * cfg.arrays_per_unit, 30);
+    assert!(cfg.units * 2 <= U280::HBM_CHANNELS);
+}
