@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Errors produced by quantization and block arithmetic.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ArithError {
     /// A matrix dimension did not match what the operation required.
     DimensionMismatch {
@@ -25,6 +25,28 @@ pub enum ArithError {
     },
     /// The 48-bit accumulator datapath would have overflowed.
     AccumulatorOverflow,
+    /// A NaN was produced or encountered where the guardrails forbid it.
+    NaN {
+        /// Row/column position of the first NaN.
+        at: (usize, usize),
+    },
+    /// Mantissa saturation exceeded the configured policy: more elements
+    /// clamped to the representable range than the caller allows.
+    Saturated {
+        /// Number of elements that hit the clamp.
+        count: u64,
+    },
+    /// A quantized block's round-trip error exceeded the analytic bound
+    /// for its mantissa width — the signature of a corrupted shared
+    /// exponent or mantissa word.
+    QuantBoundExceeded {
+        /// Grid position `(block_row, block_col)` of the offending block.
+        block: (usize, usize),
+        /// Worst observed absolute error in the block.
+        observed: f64,
+        /// The bound the block was required to meet.
+        bound: f64,
+    },
 }
 
 impl fmt::Display for ArithError {
@@ -48,6 +70,23 @@ impl fmt::Display for ArithError {
             }
             ArithError::AccumulatorOverflow => {
                 write!(f, "48-bit accumulator overflow")
+            }
+            ArithError::NaN { at } => {
+                write!(f, "NaN at ({}, {})", at.0, at.1)
+            }
+            ArithError::Saturated { count } => {
+                write!(f, "{count} elements saturated beyond the configured policy")
+            }
+            ArithError::QuantBoundExceeded {
+                block,
+                observed,
+                bound,
+            } => {
+                write!(
+                    f,
+                    "block ({}, {}) round-trip error {observed:.3e} exceeds bound {bound:.3e}",
+                    block.0, block.1
+                )
             }
         }
     }

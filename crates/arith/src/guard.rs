@@ -1,0 +1,200 @@
+//! Numeric guardrails: the detection half of the fault story.
+//!
+//! The hardware cannot observe a flipped bit directly, but corruption
+//! leaves numeric fingerprints: NaN/Inf where the datapath only produces
+//! finite values, mantissa saturation beyond what quantization allows,
+//! and block round-trip errors exceeding the analytic bound for the
+//! mantissa width. This module surfaces those fingerprints as typed
+//! [`ArithError`]s so the recovery layer in `bfp-core` can retry tiles
+//! or degrade a layer to fp32 instead of panicking.
+
+use crate::error::ArithError;
+use crate::matrix::MatF32;
+use crate::quant::BfpMatrix;
+
+/// Summary flags from scanning a matrix, hardware status-register style.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GuardFlags {
+    /// Number of NaN elements.
+    pub nan: u64,
+    /// Number of ±Inf elements.
+    pub inf: u64,
+    /// Position of the first NaN, if any.
+    pub first_nan: Option<(usize, usize)>,
+    /// Position of the first ±Inf, if any.
+    pub first_inf: Option<(usize, usize)>,
+    /// Largest finite magnitude seen (overflow watermark).
+    pub max_abs: f32,
+}
+
+impl GuardFlags {
+    /// Whether the scan saw only finite values.
+    pub fn clean(&self) -> bool {
+        self.nan == 0 && self.inf == 0
+    }
+
+    /// Convert the flags into a typed error (NaN reported ahead of Inf,
+    /// matching the severity order of the hardware status register).
+    pub fn check(&self) -> Result<(), ArithError> {
+        if let Some(at) = self.first_nan {
+            return Err(ArithError::NaN { at });
+        }
+        if let Some(at) = self.first_inf {
+            return Err(ArithError::NonFinite { at });
+        }
+        Ok(())
+    }
+}
+
+/// Scan a matrix for NaN/Inf and the overflow watermark.
+pub fn scan(m: &MatF32) -> GuardFlags {
+    let mut flags = GuardFlags::default();
+    for i in 0..m.rows() {
+        for j in 0..m.cols() {
+            let v = m.get(i, j);
+            if v.is_nan() {
+                flags.nan += 1;
+                flags.first_nan.get_or_insert((i, j));
+            } else if v.is_infinite() {
+                flags.inf += 1;
+                flags.first_inf.get_or_insert((i, j));
+            } else {
+                flags.max_abs = flags.max_abs.max(v.abs());
+            }
+        }
+    }
+    flags
+}
+
+/// Require every element of `m` to be finite.
+pub fn check_finite(m: &MatF32) -> Result<(), ArithError> {
+    scan(m).check()
+}
+
+/// How the quantizer treats mantissas that exceed the representable
+/// range after rounding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SaturationPolicy {
+    /// Clamp silently to ±max (the hardware's behaviour).
+    #[default]
+    Saturate,
+    /// Clamp, but fail with [`ArithError::Saturated`] if more than the
+    /// given number of elements needed clamping — a cheap tripwire for
+    /// corrupted shared exponents, which saturate whole blocks at once.
+    Limit(u64),
+}
+
+impl SaturationPolicy {
+    /// Apply the policy to a block's clamp count.
+    pub fn check(&self, count: u64) -> Result<(), ArithError> {
+        match self {
+            SaturationPolicy::Saturate => Ok(()),
+            SaturationPolicy::Limit(max) if count <= *max => Ok(()),
+            SaturationPolicy::Limit(_) => Err(ArithError::Saturated { count }),
+        }
+    }
+}
+
+/// Verify every block of `q` reproduces `original` within the analytic
+/// round-trip bound for its mantissa width: half a quantization step
+/// (one full step for truncating modes), scaled by `slack`.
+///
+/// A healthy quantizer satisfies this by construction, so a violation
+/// means the block was corrupted after quantization — typically a flipped
+/// shared-exponent bit, which rescales all 64 elements at once.
+pub fn check_block_bounds(
+    q: &BfpMatrix,
+    original: &MatF32,
+    slack: f64,
+) -> Result<(), ArithError> {
+    let b = q.block();
+    let (gbr, gbc) = q.grid();
+    let deq = q.dequantize();
+    for bi in 0..gbr {
+        for bj in 0..gbc {
+            // One quantization step at this block's shared exponent.
+            let step = (q.block_at(bi, bj).exp as f64).exp2();
+            let bound = step * slack;
+            let mut worst = 0f64;
+            for i in bi * b..((bi + 1) * b).min(original.rows()) {
+                for j in bj * b..((bj + 1) * b).min(original.cols()) {
+                    let err = (deq.get(i, j) as f64 - original.get(i, j) as f64).abs();
+                    worst = worst.max(err);
+                }
+            }
+            if worst > bound {
+                return Err(ArithError::QuantBoundExceeded {
+                    block: (bi, bj),
+                    observed: worst,
+                    bound,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::Quantizer;
+
+    fn ramp(rows: usize, cols: usize) -> MatF32 {
+        MatF32::from_fn(rows, cols, |i, j| ((i * cols + j) % 23) as f32 - 11.0)
+    }
+
+    #[test]
+    fn scan_flags_nan_and_inf_with_positions() {
+        let mut m = ramp(8, 8);
+        m.set(1, 2, f32::NAN);
+        m.set(3, 4, f32::INFINITY);
+        let flags = scan(&m);
+        assert!(!flags.clean());
+        assert_eq!(flags.nan, 1);
+        assert_eq!(flags.inf, 1);
+        assert_eq!(flags.first_nan, Some((1, 2)));
+        assert_eq!(flags.first_inf, Some((3, 4)));
+        assert_eq!(flags.check(), Err(ArithError::NaN { at: (1, 2) }));
+    }
+
+    #[test]
+    fn clean_scan_passes() {
+        let flags = scan(&ramp(8, 8));
+        assert!(flags.clean());
+        assert!(flags.check().is_ok());
+        assert_eq!(flags.max_abs, 11.0);
+        assert!(check_finite(&ramp(4, 4)).is_ok());
+    }
+
+    #[test]
+    fn saturation_policy_limits() {
+        assert!(SaturationPolicy::Saturate.check(1_000_000).is_ok());
+        assert!(SaturationPolicy::Limit(3).check(3).is_ok());
+        assert_eq!(
+            SaturationPolicy::Limit(3).check(4),
+            Err(ArithError::Saturated { count: 4 })
+        );
+    }
+
+    #[test]
+    fn healthy_quantization_meets_block_bounds() {
+        let m = MatF32::from_fn(16, 16, |i, j| ((i * 7 + j * 3) as f32 * 0.21).sin() * 4.2);
+        let q = Quantizer::paper().quantize(&m).unwrap();
+        // RNE: worst-case error is half a step; allow exactly that.
+        assert!(check_block_bounds(&q, &m, 0.5).is_ok());
+    }
+
+    #[test]
+    fn corrupted_exponent_trips_block_bound() {
+        let m = MatF32::from_fn(16, 16, |i, j| ((i * 7 + j * 3) as f32 * 0.21).sin() * 4.2);
+        let mut q = Quantizer::paper().quantize(&m).unwrap();
+        // Flip a high bit of one block's shared exponent (what an
+        // uncorrected BRAM upset does).
+        q.corrupt_block_exp_for_test(1, 0, 0b0001_0000);
+        let err = check_block_bounds(&q, &m, 0.5).unwrap_err();
+        assert!(
+            matches!(err, ArithError::QuantBoundExceeded { block: (1, 0), .. }),
+            "{err}"
+        );
+    }
+}

@@ -48,6 +48,7 @@
 pub mod bfp;
 pub mod error;
 pub mod fpadd;
+pub mod guard;
 pub mod fpmul;
 pub mod halffp;
 pub mod int8;
@@ -62,6 +63,7 @@ pub mod ulp;
 pub use bfp::{BfpBlock, BlockAcc, WideBlock, BLOCK};
 pub use error::ArithError;
 pub use fpadd::{AddVariant, HwFp32Add};
+pub use guard::{GuardFlags, SaturationPolicy};
 pub use fpmul::{HwFp32Mul, MulVariant, PartialProduct};
 pub use int8quant::Int8Tensor;
 pub use matrix::MatF32;

@@ -9,6 +9,7 @@
 
 use crate::bfp::{shift_right_trunc, BfpBlock, BLOCK};
 use crate::error::ArithError;
+use crate::guard::SaturationPolicy;
 use crate::int8::{mix_hash, round_i8_rne, round_i8_stochastic, round_i8_trunc};
 use crate::matrix::MatF32;
 use crate::stats::ErrorStats;
@@ -49,6 +50,8 @@ pub struct Quantizer {
     /// Mantissa width in bits, 2..=8 (8 in the paper's bfp8; smaller
     /// widths support the SqueezeBlock-style bitwidth ablation).
     pub man_bits: u32,
+    /// What to do when rounding pushes a mantissa past the clamp.
+    pub saturation: SaturationPolicy,
 }
 
 impl Default for Quantizer {
@@ -57,6 +60,7 @@ impl Default for Quantizer {
             block: BLOCK,
             round: RoundMode::NearestEven,
             man_bits: 8,
+            saturation: SaturationPolicy::Saturate,
         }
     }
 }
@@ -158,6 +162,7 @@ impl Quantizer {
         let scale = (-(exp as i32) as f64).exp2();
         let clamp = self.max_mag() as i8;
         let mut man = vec![0i8; b * b];
+        let mut saturated = 0u64;
         for i in 0..b {
             for j in 0..b {
                 let (r, c) = (r0 + i, c0 + j);
@@ -170,10 +175,14 @@ impl Quantizer {
                             round_i8_stochastic(scaled, mix_hash(r, c, (scaled as f32).to_bits()))
                         }
                     };
+                    if q < -clamp || q > clamp {
+                        saturated += 1;
+                    }
                     man[i * b + j] = q.clamp(-clamp, clamp);
                 }
             }
         }
+        self.saturation.check(saturated)?;
         Ok(GenBlock { exp, man })
     }
 }
@@ -261,10 +270,17 @@ impl BfpMatrix {
     /// computes; the two are cross-checked in integration tests.
     ///
     /// # Panics
-    /// Panics on dimension or block-size mismatch.
+    /// Panics on dimension or block-size mismatch; production callers
+    /// should prefer [`BfpMatrix::try_matmul`].
     pub fn matmul(&self, rhs: &BfpMatrix) -> MatF32 {
-        assert_eq!(self.cols, rhs.rows, "matmul inner dimension mismatch");
-        assert_eq!(self.block, rhs.block, "operands must share a block size");
+        self.try_matmul(rhs)
+            .unwrap_or_else(|e| panic!("matmul: {e}"))
+    }
+
+    /// Fallible twin of [`BfpMatrix::matmul`]: dimension and block-size
+    /// mismatches come back as typed errors instead of panics.
+    pub fn try_matmul(&self, rhs: &BfpMatrix) -> Result<MatF32, ArithError> {
+        self.check_compatible(rhs)?;
         let b = self.block;
         let mut out = MatF32::zeros(self.rows, rhs.cols);
         let mut wide = vec![0i64; b * b];
@@ -316,7 +332,36 @@ impl BfpMatrix {
                 }
             }
         }
-        out
+        Ok(out)
+    }
+
+    fn check_compatible(&self, rhs: &BfpMatrix) -> Result<(), ArithError> {
+        if self.cols != rhs.rows {
+            return Err(ArithError::DimensionMismatch {
+                got: format!(
+                    "lhs {}x{}, rhs {}x{}",
+                    self.rows, self.cols, rhs.rows, rhs.cols
+                ),
+                expected: "lhs cols == rhs rows".into(),
+            });
+        }
+        if self.block != rhs.block {
+            return Err(ArithError::DimensionMismatch {
+                got: format!("block {} vs {}", self.block, rhs.block),
+                expected: "matching block sizes".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Flip `mask` bits of one block's shared exponent — the observable
+    /// effect of an uncorrected upset in the exponent BRAM. Exposed so
+    /// fault-injection demos and guardrail tests can corrupt a quantized
+    /// matrix without reaching into its representation.
+    pub fn corrupt_block_exp_for_test(&mut self, bi: usize, bj: usize, mask: u8) {
+        assert!(bi < self.block_rows && bj < self.block_cols);
+        let g = &mut self.blocks[bi * self.block_cols + bj];
+        g.exp = (g.exp as u8 ^ mask) as i8;
     }
 
     /// Quantization fidelity against the original matrix.
@@ -334,10 +379,16 @@ impl BfpMatrix {
     /// uses between back-to-back linear layers.
     ///
     /// # Panics
-    /// Panics on dimension or block-size mismatch.
+    /// Panics on dimension or block-size mismatch; production callers
+    /// should prefer [`BfpMatrix::try_matmul_requant`].
     pub fn matmul_requant(&self, rhs: &BfpMatrix) -> BfpMatrix {
-        assert_eq!(self.cols, rhs.rows, "matmul inner dimension mismatch");
-        assert_eq!(self.block, rhs.block, "operands must share a block size");
+        self.try_matmul_requant(rhs)
+            .unwrap_or_else(|e| panic!("matmul_requant: {e}"))
+    }
+
+    /// Fallible twin of [`BfpMatrix::matmul_requant`].
+    pub fn try_matmul_requant(&self, rhs: &BfpMatrix) -> Result<BfpMatrix, ArithError> {
+        self.check_compatible(rhs)?;
         let b = self.block;
         let mut blocks = Vec::with_capacity(self.block_rows * rhs.block_cols);
         let mut wide = vec![0i64; b * b];
@@ -379,14 +430,14 @@ impl BfpMatrix {
                 blocks.push(requantize_wide(&acc, acc_exp, b));
             }
         }
-        BfpMatrix {
+        Ok(BfpMatrix {
             rows: self.rows,
             cols: rhs.cols,
             block: b,
             block_rows: self.block_rows,
             block_cols: rhs.block_cols,
             blocks,
-        }
+        })
     }
 }
 

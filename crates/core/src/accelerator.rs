@@ -8,6 +8,9 @@ use bfp_platform::{System, SystemStats};
 use bfp_transformer::{MixedEngine, OpCensus, RefEngine, VitModel};
 
 use crate::latency::{Breakdown, LatencyModel};
+use crate::resilient::{resilient_matmul, RecoveryPolicy};
+use bfp_arith::error::ArithError;
+use bfp_arith::quant::Quantizer;
 
 /// A modelled Alveo U280 running the multi-mode processing system.
 #[derive(Debug, Clone)]
@@ -58,6 +61,35 @@ impl Accelerator {
             macs: (a.rows() * a.cols() * b.cols()) as u64,
         };
         (out, report)
+    }
+
+    /// Fault-tolerant bfp8 GEMM: each output tile is checked against the
+    /// hardware fault telemetry and the numeric guardrails, retried with
+    /// capped backoff, cross-checked cycle-exactly when suspicious, and
+    /// degraded to fp32 if a defect persists (see [`crate::resilient`]).
+    ///
+    /// Recovery is firmware-serialised onto one array, so throughput is
+    /// not comparable to [`Accelerator::gemm`]; the point of the report
+    /// is the [`bfp_faults::FaultReport`] in `report.stats.faults`.
+    pub fn gemm_resilient(
+        &self,
+        a: &MatF32,
+        b: &MatF32,
+        policy: &RecoveryPolicy,
+    ) -> Result<(MatF32, GemmReport), ArithError> {
+        let outcome = resilient_matmul(a, b, &Quantizer::paper(), policy)?;
+        let mut stats = SystemStats::default();
+        stats.per_array.push(outcome.stats);
+        // Backoff stalls the card just like memory overhead does.
+        stats.mem_overhead_cycles = outcome.report.backoff_cycles as f64;
+        stats.faults = outcome.report;
+        let seconds = stats.seconds(self.system.freq_hz);
+        let report = GemmReport {
+            stats,
+            seconds,
+            macs: (a.rows() * a.cols() * b.cols()) as u64,
+        };
+        Ok((outcome.out, report))
     }
 
     /// Run a Transformer forward pass in mixed precision and produce the

@@ -36,6 +36,7 @@ pub mod compiler;
 pub mod graph;
 pub mod latency;
 pub mod report;
+pub mod resilient;
 pub mod scheduler;
 pub mod vprog;
 
@@ -45,7 +46,10 @@ pub use compiler::{compile_gemm, compile_gemm_blocks, CompiledGemm, DrainSlot};
 pub use graph::{lower_vit, Graph, OpKind, OpNode};
 pub use latency::{Breakdown, LatencyModel, Partition};
 pub use report::{fmt_si, Table};
+pub use resilient::{resilient_matmul, RecoveryPolicy, ResilientOutcome};
 pub use scheduler::{schedule, Level, Schedule};
+// Fault accounting types surface through `GemmReport`/`SystemStats`.
+pub use bfp_faults::{FaultCounters, FaultReport};
 pub use vprog::{
     compile_exp, compile_recip, compile_softmax, DivMode, VBuilder, VInstr, VMachine, VProgram,
 };

@@ -1,0 +1,321 @@
+//! Graceful degradation: execute GEMMs tile by tile with fault detection,
+//! capped-backoff retry, cycle-exact cross-checking, and per-layer fp32
+//! fallback.
+//!
+//! The pipeline mirrors what a radiation-tolerant deployment of the card
+//! would do in firmware:
+//!
+//! 1. **Detect** — after each output block-row ("tile"), read the delta of
+//!    the hardware protection counters (ECC/TMR uncorrected events are
+//!    hardware-visible) and run the `bfp_arith::guard` numeric guardrails
+//!    over the tile's values.
+//! 2. **Cross-check** — when the injection telemetry reports *silent*
+//!    perturbations (P-register/PSU flips, stuck lanes, dropped partials
+//!    have no ECC coverage), optionally re-execute the tile under
+//!    [`Fidelity::Stepped`] and compare bit-for-bit — the model's analogue
+//!    of a residue/duplication check.
+//! 3. **Retry** — a detected tile is re-executed after a capped
+//!    exponential backoff (transient upsets de-assert; `nth`-triggered
+//!    plan entries have already fired, so replays are clean).
+//! 4. **Fall back** — a tile that stays faulty across all retries (a
+//!    persistent defect: stuck lane, latched BRAM cell) is recomputed in
+//!    fp32 on the vector path, and the degradation is counted.
+//!
+//! Every action is accounted in a [`FaultReport`], which callers surface
+//! through [`crate::GemmReport`] / `SystemStats`.
+
+use bfp_arith::error::ArithError;
+use bfp_arith::matrix::MatF32;
+use bfp_arith::quant::Quantizer;
+use bfp_faults::FaultReport;
+use bfp_pu::unit::{grid_from_matrix, BlockGrid, Fidelity, ProcessingUnit, UnitConfig};
+use bfp_pu::CycleStats;
+
+/// How hard the recovery layer tries before degrading precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Re-executions allowed per tile after a detected fault.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in cycles.
+    pub backoff_base_cycles: u64,
+    /// Ceiling for the exponential backoff, in cycles.
+    pub backoff_cap_cycles: u64,
+    /// Re-run tiles with silent perturbations under [`Fidelity::Stepped`]
+    /// and compare bit-for-bit.
+    pub stepped_crosscheck: bool,
+    /// Recompute irrecoverable tiles (and unquantizable layers) in fp32
+    /// instead of returning an error.
+    pub fp32_fallback: bool,
+    /// Fidelity of the primary tile execution.
+    pub fidelity: Fidelity,
+    /// Largest finite magnitude the guardrails accept in a tile output
+    /// before declaring it corrupted (catches exponent-field upsets that
+    /// stay finite). `f32::INFINITY` disables the watermark.
+    pub overflow_watermark: f32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 2,
+            backoff_base_cycles: 32,
+            backoff_cap_cycles: 256,
+            stepped_crosscheck: true,
+            fp32_fallback: true,
+            fidelity: Fidelity::Functional,
+            overflow_watermark: f32::INFINITY,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// No recovery at all: detection still runs, but a detected fault is
+    /// immediately a typed error (or an fp32 fallback is never taken).
+    pub fn strict() -> Self {
+        RecoveryPolicy {
+            max_retries: 0,
+            stepped_crosscheck: false,
+            fp32_fallback: false,
+            ..Self::default()
+        }
+    }
+
+    /// Backoff before retry number `attempt` (zero-based), capped.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        // Saturate before the doubling shifts bits out of the word.
+        let shifted = if attempt >= self.backoff_base_cycles.leading_zeros() {
+            u64::MAX
+        } else {
+            self.backoff_base_cycles << attempt
+        };
+        shifted.min(self.backoff_cap_cycles)
+    }
+}
+
+/// Outcome of a resilient GEMM: the (possibly partially degraded) result
+/// plus everything that happened along the way.
+#[derive(Debug, Clone)]
+pub struct ResilientOutcome {
+    /// The output matrix. Tiles that fell back are fp32-exact; healthy
+    /// tiles are the usual dequantized bfp8 product.
+    pub out: MatF32,
+    /// Fault and recovery accounting for the whole GEMM.
+    pub report: FaultReport,
+    /// Aggregate cycle statistics across all tile executions (retries and
+    /// cross-checks included — recovery work costs real cycles).
+    pub stats: CycleStats,
+}
+
+/// Execute `a × b` in bfp8 with the full detect → retry → cross-check →
+/// fall-back pipeline, one output block-row at a time.
+///
+/// Returns a typed error only when recovery is disabled by `policy` (or
+/// for dimension mismatches, which no amount of retrying fixes).
+pub fn resilient_matmul(
+    a: &MatF32,
+    b: &MatF32,
+    quantizer: &Quantizer,
+    policy: &RecoveryPolicy,
+) -> Result<ResilientOutcome, ArithError> {
+    if a.cols() != b.rows() {
+        return Err(ArithError::DimensionMismatch {
+            got: format!("lhs {}x{}, rhs {}x{}", a.rows(), a.cols(), b.rows(), b.cols()),
+            expected: "lhs cols == rhs rows".into(),
+        });
+    }
+
+    let mut report = FaultReport::default();
+
+    // Layer-level degradation: operands the quantizer rejects (non-finite
+    // values) can never run on the bfp8 path, so the whole layer falls
+    // back to fp32 — the same policy `MixedEngine` applies.
+    let (qa, qb) = match (quantizer.quantize(a), quantizer.quantize(b)) {
+        (Ok(qa), Ok(qb)) => (qa, qb),
+        (ra, rb) => {
+            let err = ra.err().or(rb.err()).expect("one side failed");
+            if !policy.fp32_fallback {
+                return Err(err);
+            }
+            report.detected += 1;
+            report.fp32_fallbacks += 1;
+            return Ok(ResilientOutcome {
+                out: a.matmul(b),
+                report,
+                stats: CycleStats::default(),
+            });
+        }
+    };
+
+    let ga = grid_from_matrix(&qa);
+    let gb = grid_from_matrix(&qb);
+    let mut out = MatF32::zeros(a.rows(), b.cols());
+    let mut stats = CycleStats::default();
+
+    for (bi, row) in ga.iter().enumerate() {
+        let tile: BlockGrid = vec![row.clone()];
+        let mut attempt = 0u32;
+        loop {
+            let (values, delta, s) = run_tile(&tile, &gb, policy.fidelity);
+            stats.merge(&s);
+            report.counters.merge(&delta);
+
+            let mut faulty = delta.uncorrected() > 0 || !tile_clean(&values, policy);
+
+            // Silent events (no ECC/TMR coverage) may or may not have
+            // perturbed the numerics; confirm with a cycle-exact replay
+            // before paying for a retry.
+            if !faulty && delta.silent() > 0 && policy.stepped_crosscheck {
+                report.stepped_crosschecks += 1;
+                let (check, check_delta, cs) = run_tile(&tile, &gb, Fidelity::Stepped);
+                stats.merge(&cs);
+                report.counters.merge(&check_delta);
+                faulty = check != values || check_delta.uncorrected() > 0;
+            }
+
+            if !faulty {
+                commit_tile(&mut out, bi, &values, b.cols());
+                break;
+            }
+
+            report.detected += 1;
+            if attempt < policy.max_retries {
+                report.retries += 1;
+                report.backoff_cycles += policy.backoff(attempt);
+                attempt += 1;
+                continue;
+            }
+
+            // Retries exhausted: persistent defect. Degrade this tile's
+            // block-row to fp32 on the vector path.
+            if !policy.fp32_fallback {
+                return Err(ArithError::AccumulatorOverflow);
+            }
+            report.fp32_fallbacks += 1;
+            let rows = tile_rows(bi, a.rows());
+            for i in rows.clone() {
+                for j in 0..b.cols() {
+                    let mut acc = 0f64;
+                    for k in 0..a.cols() {
+                        acc += a.get(i, k) as f64 * b.get(k, j) as f64;
+                    }
+                    out.set(i, j, acc as f32);
+                }
+            }
+            break;
+        }
+    }
+
+    Ok(ResilientOutcome { out, report, stats })
+}
+
+/// Execute one tile (a block-row strip against all of `y`) on a fresh
+/// unit, returning the dequantized values and the fault-counter delta.
+fn run_tile(
+    x: &BlockGrid,
+    y: &BlockGrid,
+    fidelity: Fidelity,
+) -> (Vec<Vec<f32>>, bfp_faults::FaultCounters, CycleStats) {
+    let before = bfp_faults::counters();
+    let mut unit = ProcessingUnit::new(UnitConfig {
+        fidelity,
+        ..UnitConfig::default()
+    });
+    let wide = unit.matmul_grid(x, y);
+    let delta = bfp_faults::counters() - before;
+
+    let nb = wide[0].len();
+    let mut values = vec![vec![0f32; nb * 8]; 8];
+    for (bj, w) in wide[0].iter().enumerate() {
+        let scale = (w.exp as f64).exp2();
+        for i in 0..8 {
+            for j in 0..8 {
+                values[i][bj * 8 + j] = (w.man[i][j] as f64 * scale) as f32;
+            }
+        }
+    }
+    (values, delta, unit.take_stats())
+}
+
+/// Numeric guardrails over one tile's dequantized values.
+fn tile_clean(values: &[Vec<f32>], policy: &RecoveryPolicy) -> bool {
+    values
+        .iter()
+        .flatten()
+        .all(|v| v.is_finite() && v.abs() <= policy.overflow_watermark)
+}
+
+/// Rows of the output covered by block-row `bi`.
+fn tile_rows(bi: usize, rows: usize) -> std::ops::Range<usize> {
+    bi * 8..((bi + 1) * 8).min(rows)
+}
+
+/// Write a tile's values into the output, clipping grid padding.
+fn commit_tile(out: &mut MatF32, bi: usize, values: &[Vec<f32>], cols: usize) {
+    let rows = out.rows();
+    for i in tile_rows(bi, rows) {
+        for j in 0..cols {
+            out.set(i, j, values[i - bi * 8][j]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(rows: usize, cols: usize) -> MatF32 {
+        MatF32::from_fn(rows, cols, |i, j| ((i * cols + j) % 13) as f32 - 6.0)
+    }
+
+    #[test]
+    fn clean_run_matches_plain_quantized_matmul() {
+        let a = ramp(24, 16);
+        let b = ramp(16, 24);
+        let q = Quantizer::paper();
+        let got = resilient_matmul(&a, &b, &q, &RecoveryPolicy::default()).unwrap();
+        assert!(got.report.is_clean(), "{}", got.report);
+        assert_eq!(got.out, a.matmul(&b), "exact integer inputs stay exact");
+        assert!(got.stats.cycles > 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_typed_not_panicking() {
+        let q = Quantizer::paper();
+        let err = resilient_matmul(&ramp(8, 8), &ramp(16, 8), &q, &RecoveryPolicy::default())
+            .unwrap_err();
+        assert!(matches!(err, ArithError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn non_finite_layer_falls_back_to_fp32() {
+        let mut a = ramp(16, 8);
+        a.set(0, 0, f32::NAN);
+        let b = ramp(8, 8);
+        let q = Quantizer::paper();
+        let got = resilient_matmul(&a, &b, &q, &RecoveryPolicy::default()).unwrap();
+        assert_eq!(got.report.fp32_fallbacks, 1);
+        assert_eq!(got.report.detected, 1);
+        // Clean rows still compute; the NaN propagates exactly as fp32.
+        assert_eq!(got.out.get(8, 0), a.matmul(&b).get(8, 0));
+    }
+
+    #[test]
+    fn strict_policy_surfaces_the_error_instead() {
+        let mut a = ramp(16, 8);
+        a.set(0, 0, f32::INFINITY);
+        let q = Quantizer::paper();
+        let err = resilient_matmul(&a, &ramp(8, 8), &q, &RecoveryPolicy::strict()).unwrap_err();
+        assert!(matches!(err, ArithError::NonFinite { at: (0, 0) }));
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RecoveryPolicy::default();
+        assert_eq!(p.backoff(0), 32);
+        assert_eq!(p.backoff(1), 64);
+        assert_eq!(p.backoff(2), 128);
+        assert_eq!(p.backoff(3), 256);
+        assert_eq!(p.backoff(10), 256, "capped");
+        assert_eq!(p.backoff(200), 256, "shift saturates");
+    }
+}

@@ -65,6 +65,10 @@ impl DspColumn {
             } else {
                 (pcouts[r - 1], ZMux::Pcin)
             };
+            // Fault model: a broken PCIN route drops the incoming
+            // cascade partial for this slice.
+            #[cfg(feature = "faults")]
+            let pcin = bfp_faults::hook::cascade_pcin(r, pcin);
             slice.step(inp.a, inp.d, inp.b, 0, pcin, z);
         }
         self.bottom()

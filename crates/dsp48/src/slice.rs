@@ -88,6 +88,12 @@ impl Dsp48 {
     /// Clock edge: evaluate and commit `P`.
     pub fn step(&mut self, a: i64, d: i64, b: i64, c: i64, pcin: i64, z: ZMux) -> i64 {
         self.p = self.eval(a, d, b, c, pcin, z);
+        // Fault model: a bit upset in the P pipeline register lands at
+        // the commit point, exactly where the silicon latches.
+        #[cfg(feature = "faults")]
+        {
+            self.p = wrap(bfp_faults::hook::dsp_p_commit(self.p), widths::P);
+        }
         self.p
     }
 

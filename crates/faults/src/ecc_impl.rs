@@ -1,0 +1,146 @@
+//! SECDED Hamming(13,8) codec: 8 data bits, 4 Hamming check bits, one
+//! overall parity bit. This is the standard BRAM36 ECC arrangement
+//! scaled down to a byte: any single-bit upset in the 13-bit codeword
+//! is corrected, any double-bit upset is detected but not correctable.
+
+/// Codeword bit positions 1..=12 hold Hamming-coded payload; position 0
+/// holds the overall parity bit. Data bits live at the non-power-of-two
+/// positions.
+const DATA_POS: [u16; 8] = [3, 5, 6, 7, 9, 10, 11, 12];
+const CHECK_POS: [u16; 4] = [1, 2, 4, 8];
+
+/// Number of bits in a codeword (valid fault-injection positions are
+/// `0..CODEWORD_BITS`).
+pub const CODEWORD_BITS: u8 = 13;
+
+/// Encode one byte into a 13-bit SECDED codeword.
+pub fn encode(data: u8) -> u16 {
+    let mut cw: u16 = 0;
+    for (i, &p) in DATA_POS.iter().enumerate() {
+        if data >> i & 1 == 1 {
+            cw |= 1 << p;
+        }
+    }
+    for &p in &CHECK_POS {
+        let mut parity = 0;
+        for pos in 1..13 {
+            if pos & p != 0 {
+                parity ^= cw >> pos & 1;
+            }
+        }
+        if parity == 1 {
+            cw |= 1 << p;
+        }
+    }
+    let mut overall = 0;
+    for pos in 1..13 {
+        overall ^= cw >> pos & 1;
+    }
+    if overall == 1 {
+        cw |= 1;
+    }
+    cw
+}
+
+/// Outcome of decoding a (possibly upset) codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// No upset: the stored byte.
+    Clean(u8),
+    /// Single-bit upset corrected: the repaired byte.
+    Corrected(u8),
+    /// Double-bit upset detected: the (unreliable) raw data bits.
+    Uncorrected(u8),
+}
+
+impl Decoded {
+    /// The decoded byte, reliable or not.
+    pub fn value(self) -> u8 {
+        match self {
+            Decoded::Clean(b) | Decoded::Corrected(b) | Decoded::Uncorrected(b) => b,
+        }
+    }
+}
+
+fn extract(cw: u16) -> u8 {
+    let mut data = 0u8;
+    for (i, &p) in DATA_POS.iter().enumerate() {
+        if cw >> p & 1 == 1 {
+            data |= 1 << i;
+        }
+    }
+    data
+}
+
+/// Decode a 13-bit codeword, correcting a single upset bit if present.
+pub fn decode(cw: u16) -> Decoded {
+    let mut syndrome: u16 = 0;
+    for &p in &CHECK_POS {
+        let mut parity = 0;
+        for pos in 1..13 {
+            if pos & p != 0 {
+                parity ^= cw >> pos & 1;
+            }
+        }
+        if parity == 1 {
+            syndrome |= p;
+        }
+    }
+    let mut overall = 0;
+    for pos in 0..13 {
+        overall ^= cw >> pos & 1;
+    }
+    match (syndrome, overall) {
+        (0, 0) => Decoded::Clean(extract(cw)),
+        // Upset in the overall parity bit itself: data is intact.
+        (0, 1) => Decoded::Corrected(extract(cw)),
+        // Syndrome names the upset position and overall parity agrees a
+        // single bit flipped: repair it.
+        (s, 1) if s < 13 => Decoded::Corrected(extract(cw ^ (1 << s))),
+        // Even number of upsets (or syndrome out of range): detected,
+        // not correctable.
+        _ => Decoded::Uncorrected(extract(cw)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_bytes() {
+        for b in 0..=255u8 {
+            assert_eq!(decode(encode(b)), Decoded::Clean(b));
+        }
+    }
+
+    #[test]
+    fn every_single_bit_upset_is_corrected() {
+        for b in [0x00, 0x5A, 0xFF, 0x81] {
+            let cw = encode(b);
+            for bit in 0..CODEWORD_BITS {
+                assert_eq!(
+                    decode(cw ^ (1 << bit)),
+                    Decoded::Corrected(b),
+                    "byte {b:#04x} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_bit_upset_is_detected() {
+        for b in [0x00, 0xA5, 0xFF] {
+            let cw = encode(b);
+            for i in 0..CODEWORD_BITS {
+                for j in (i + 1)..CODEWORD_BITS {
+                    let got = decode(cw ^ (1 << i) ^ (1 << j));
+                    assert!(
+                        matches!(got, Decoded::Uncorrected(_)),
+                        "byte {b:#04x} bits {i},{j}: {got:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Fault plans: which upsets to inject, where, and when.
+
+/// One targeted hardware fault.
+///
+/// `nth` fields are zero-based access indices *for that spec's site*:
+/// the spec fires on the `nth` matching access since installation, so a
+/// plan replays identically on every run of the same workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpec {
+    /// Flip `bit` (0..48) of a DSP48 P pipeline register on the `nth`
+    /// P-register commit anywhere in the fabric.
+    DspPRegFlip {
+        /// Zero-based P-register commit index.
+        nth: u64,
+        /// Bit position within the 48-bit accumulator.
+        bit: u8,
+    },
+    /// Upset bits of the operand-BRAM byte at (`bram`, `addr`). `bits`
+    /// are positions in the 13-bit SECDED codeword; one flipped bit is
+    /// corrected by ECC, two are detected but uncorrected. Applies on
+    /// every read of that word (the upset is in the stored cell).
+    BramFlip {
+        /// Mantissa BRAM index within the operand buffer.
+        bram: usize,
+        /// Byte address within the BRAM.
+        addr: usize,
+        /// Codeword bit positions (0..13) to flip.
+        bits: Vec<u8>,
+    },
+    /// Upset bits of the shared-exponent BRAM byte at `addr`, with the
+    /// same SECDED semantics as [`FaultSpec::BramFlip`].
+    ExponentFlip {
+        /// Byte address within the exponent BRAM.
+        addr: usize,
+        /// Codeword bit positions (0..13) to flip.
+        bits: Vec<u8>,
+    },
+    /// Force one output lane of a systolic-array column to a constant
+    /// (a stuck-at defect in the drain path). Applies to every access.
+    StuckLane {
+        /// Column index (0..8).
+        col: usize,
+        /// Packed-MAC lane within the column: 0 or 1.
+        lane: u8,
+        /// The stuck value driven onto the lane.
+        value: i64,
+    },
+    /// Drop the cascade partial (PCIN forced to zero) entering slice
+    /// `row` on its `nth` cascade step — a broken PCIN route.
+    DroppedPartial {
+        /// Zero-based cascade-step index for that row.
+        nth: u64,
+        /// Slice row within the cascade column.
+        row: usize,
+    },
+    /// Flip `bit` of a PSU accumulator word on the `nth` read of cell
+    /// (`row`, `col`).
+    PsuFlip {
+        /// Zero-based read index for that cell.
+        nth: u64,
+        /// PSU row (0..8).
+        row: usize,
+        /// PSU column (0..8).
+        col: usize,
+        /// Bit position within the 64-bit accumulator word.
+        bit: u8,
+    },
+    /// Perturb the exponent unit's alignment result by `delta` on its
+    /// `nth` alignment. The unit is TMR-protected: a transient glitch
+    /// hits one replica and is voted out (corrected); a `persistent`
+    /// defect corrupts all replicas and defeats the vote (uncorrected).
+    ExponentUnitGlitch {
+        /// Zero-based alignment index.
+        nth: u64,
+        /// Exponent offset applied when the fault lands.
+        delta: i32,
+        /// Whether the defect affects all TMR replicas.
+        persistent: bool,
+    },
+}
+
+/// A deterministic set of faults to inject. Install with
+/// [`crate::install`]; the plan is live until the returned guard drops.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// The empty plan: hooks run but inject nothing. A run under
+    /// `FaultPlan::none()` is bit-identical to an uninstrumented run.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Start an empty plan (alias of [`FaultPlan::none`] for builders).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add one fault, builder style.
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Generate `n` pseudo-random faults from `seed`. The same seed
+    /// always produces the same plan (SplitMix64 expansion).
+    pub fn random(seed: u64, n: usize) -> Self {
+        let mut state = seed;
+        let mut next = move || -> u64 {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut plan = FaultPlan::default();
+        for _ in 0..n {
+            let spec = match next() % 7 {
+                0 => FaultSpec::DspPRegFlip {
+                    nth: next() % 256,
+                    bit: (next() % 48) as u8,
+                },
+                1 => FaultSpec::BramFlip {
+                    bram: (next() % 16) as usize,
+                    addr: (next() % 512) as usize,
+                    bits: vec![(next() % 13) as u8],
+                },
+                2 => FaultSpec::ExponentFlip {
+                    addr: (next() % 64) as usize,
+                    bits: vec![(next() % 13) as u8],
+                },
+                3 => FaultSpec::StuckLane {
+                    col: (next() % 8) as usize,
+                    lane: (next() % 2) as u8,
+                    value: (next() % 255) as i64 - 127,
+                },
+                4 => FaultSpec::DroppedPartial {
+                    nth: next() % 64,
+                    row: (next() % 8) as usize,
+                },
+                5 => FaultSpec::PsuFlip {
+                    nth: next() % 4,
+                    row: (next() % 8) as usize,
+                    col: (next() % 8) as usize,
+                    bit: (next() % 48) as u8,
+                },
+                _ => FaultSpec::ExponentUnitGlitch {
+                    nth: next() % 64,
+                    delta: (next() % 17) as i32 - 8,
+                    persistent: next() % 2 == 0,
+                },
+            };
+            plan.specs.push(spec);
+        }
+        plan
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The planned faults, in insertion order.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_deterministic() {
+        assert_eq!(FaultPlan::random(7, 20), FaultPlan::random(7, 20));
+        assert_ne!(FaultPlan::random(7, 20), FaultPlan::random(8, 20));
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let p = FaultPlan::new()
+            .with(FaultSpec::DspPRegFlip { nth: 0, bit: 4 })
+            .with(FaultSpec::StuckLane {
+                col: 1,
+                lane: 0,
+                value: -3,
+            });
+        assert_eq!(p.specs().len(), 2);
+        assert!(!p.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Fault-event accounting shared across the stack.
+
+use std::fmt;
+use std::ops::Sub;
+
+/// Raw injection/protection event counts, as observed by the hardware
+/// model hooks. Snapshots are cheap to take ([`crate::counters`]) and
+/// subtract, so recovery code works in deltas around each tile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Total fault activations (every perturbation, corrected or not).
+    pub injected: u64,
+    /// BRAM single-bit upsets repaired by the SECDED model.
+    pub ecc_corrected: u64,
+    /// BRAM multi-bit upsets detected but not correctable.
+    pub ecc_uncorrected: u64,
+    /// Exponent-unit glitches voted out by TMR.
+    pub tmr_corrected: u64,
+    /// Persistent exponent-unit defects that defeated the TMR vote.
+    pub tmr_uncorrected: u64,
+    /// Values driven by a stuck-at lane.
+    pub stuck_lane_hits: u64,
+    /// Cascade partials dropped on a broken PCIN route.
+    pub dropped_partials: u64,
+}
+
+impl FaultCounters {
+    /// Events the protection layer flagged but could not repair. These
+    /// are the *detected* faults recovery must act on.
+    pub fn uncorrected(&self) -> u64 {
+        self.ecc_uncorrected + self.tmr_uncorrected
+    }
+
+    /// Events that silently perturb data (no ECC/TMR coverage): P-reg
+    /// and PSU flips, stuck lanes, dropped partials. These are caught
+    /// by the numeric guardrails or the stepped cross-check instead.
+    pub fn silent(&self) -> u64 {
+        self.injected
+            - self.ecc_corrected
+            - self.ecc_uncorrected
+            - self.tmr_corrected
+            - self.tmr_uncorrected
+    }
+
+    /// Whether any event at all was recorded.
+    pub fn any(&self) -> bool {
+        self.injected != 0
+    }
+
+    /// Element-wise accumulate.
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.injected += other.injected;
+        self.ecc_corrected += other.ecc_corrected;
+        self.ecc_uncorrected += other.ecc_uncorrected;
+        self.tmr_corrected += other.tmr_corrected;
+        self.tmr_uncorrected += other.tmr_uncorrected;
+        self.stuck_lane_hits += other.stuck_lane_hits;
+        self.dropped_partials += other.dropped_partials;
+    }
+}
+
+impl Sub for FaultCounters {
+    type Output = FaultCounters;
+
+    fn sub(self, rhs: FaultCounters) -> FaultCounters {
+        FaultCounters {
+            injected: self.injected - rhs.injected,
+            ecc_corrected: self.ecc_corrected - rhs.ecc_corrected,
+            ecc_uncorrected: self.ecc_uncorrected - rhs.ecc_uncorrected,
+            tmr_corrected: self.tmr_corrected - rhs.tmr_corrected,
+            tmr_uncorrected: self.tmr_uncorrected - rhs.tmr_uncorrected,
+            stuck_lane_hits: self.stuck_lane_hits - rhs.stuck_lane_hits,
+            dropped_partials: self.dropped_partials - rhs.dropped_partials,
+        }
+    }
+}
+
+/// End-to-end fault story for one GEMM / inference: what the hardware
+/// model saw plus what the recovery layer did about it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Hardware-level events during the covered execution.
+    pub counters: FaultCounters,
+    /// Faults the detection layer acted on (uncorrected events plus
+    /// numeric-guardrail trips).
+    pub detected: u64,
+    /// Tile re-executions after a detected fault.
+    pub retries: u64,
+    /// Idle cycles spent in capped exponential backoff before retries.
+    pub backoff_cycles: u64,
+    /// Suspicious tiles re-run under `Fidelity::Stepped` as cross-check.
+    pub stepped_crosschecks: u64,
+    /// Layers degraded from bfp8 to fp32 vector-program execution.
+    pub fp32_fallbacks: u64,
+}
+
+impl FaultReport {
+    /// Whether the execution was completely clean: nothing injected,
+    /// nothing detected, no recovery taken.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultReport::default()
+    }
+
+    /// Accumulate another report (e.g. per-layer into per-inference).
+    pub fn merge(&mut self, other: &FaultReport) {
+        self.counters.merge(&other.counters);
+        self.detected += other.detected;
+        self.retries += other.retries;
+        self.backoff_cycles += other.backoff_cycles;
+        self.stepped_crosschecks += other.stepped_crosschecks;
+        self.fp32_fallbacks += other.fp32_fallbacks;
+    }
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = &self.counters;
+        write!(
+            f,
+            "faults: {} injected ({} ecc-corrected, {} ecc-uncorrected, \
+             {} tmr-corrected, {} tmr-uncorrected, {} stuck, {} dropped) | \
+             recovery: {} detected, {} retries ({} backoff cycles), \
+             {} stepped cross-checks, {} fp32 fallbacks",
+            c.injected,
+            c.ecc_corrected,
+            c.ecc_uncorrected,
+            c.tmr_corrected,
+            c.tmr_uncorrected,
+            c.stuck_lane_hits,
+            c.dropped_partials,
+            self.detected,
+            self.retries,
+            self.backoff_cycles,
+            self.stepped_crosschecks,
+            self.fp32_fallbacks,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_and_merge() {
+        let a = FaultCounters {
+            injected: 5,
+            ecc_corrected: 2,
+            ecc_uncorrected: 1,
+            ..Default::default()
+        };
+        let b = FaultCounters {
+            injected: 2,
+            ecc_corrected: 1,
+            ..Default::default()
+        };
+        let d = a - b;
+        assert_eq!(d.injected, 3);
+        assert_eq!(d.uncorrected(), 1);
+        assert_eq!(d.silent(), 1);
+
+        let mut r = FaultReport::default();
+        assert!(r.is_clean());
+        r.merge(&FaultReport {
+            counters: a,
+            detected: 1,
+            retries: 1,
+            ..Default::default()
+        });
+        assert!(!r.is_clean());
+        assert_eq!(r.counters.injected, 5);
+        assert_eq!(r.retries, 1);
+    }
+}

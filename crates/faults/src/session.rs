@@ -1,0 +1,113 @@
+//! Process-wide fault session: install a plan, observe counters.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+use crate::plan::{FaultPlan, FaultSpec};
+use crate::report::FaultCounters;
+
+/// Lock-free event counters, updated by the hooks.
+#[derive(Default)]
+pub(crate) struct AtomicCounters {
+    pub injected: AtomicU64,
+    pub ecc_corrected: AtomicU64,
+    pub ecc_uncorrected: AtomicU64,
+    pub tmr_corrected: AtomicU64,
+    pub tmr_uncorrected: AtomicU64,
+    pub stuck_lane_hits: AtomicU64,
+    pub dropped_partials: AtomicU64,
+}
+
+impl AtomicCounters {
+    fn snapshot(&self) -> FaultCounters {
+        FaultCounters {
+            injected: self.injected.load(Ordering::Relaxed),
+            ecc_corrected: self.ecc_corrected.load(Ordering::Relaxed),
+            ecc_uncorrected: self.ecc_uncorrected.load(Ordering::Relaxed),
+            tmr_corrected: self.tmr_corrected.load(Ordering::Relaxed),
+            tmr_uncorrected: self.tmr_uncorrected.load(Ordering::Relaxed),
+            stuck_lane_hits: self.stuck_lane_hits.load(Ordering::Relaxed),
+            dropped_partials: self.dropped_partials.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The installed plan plus its live accounting. Each spec gets its own
+/// access counter so `nth`-style triggers are deterministic.
+pub(crate) struct FaultState {
+    pub specs: Vec<FaultSpec>,
+    pub hits: Vec<AtomicU64>,
+    pub counters: AtomicCounters,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static STATE: RwLock<Option<Arc<FaultState>>> = RwLock::new(None);
+// Serialises fault sessions across threads: tests installing plans run
+// one at a time instead of corrupting each other's counters.
+static SESSION: Mutex<()> = Mutex::new(());
+
+/// Whether a fault session is live. This is the hooks' fast path: one
+/// relaxed atomic load when no plan is installed.
+#[inline]
+pub fn active() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install `plan` for the lifetime of the returned guard. Sessions are
+/// exclusive: a second `install` blocks until the first guard drops.
+pub fn install(plan: FaultPlan) -> FaultGuard {
+    let permit = SESSION.lock().unwrap_or_else(|e| e.into_inner());
+    let specs = plan.specs().to_vec();
+    let hits = specs.iter().map(|_| AtomicU64::new(0)).collect();
+    let state = Arc::new(FaultState {
+        specs,
+        hits,
+        counters: AtomicCounters::default(),
+    });
+    *STATE.write().unwrap_or_else(|e| e.into_inner()) = Some(state);
+    ENABLED.store(true, Ordering::SeqCst);
+    FaultGuard { _permit: permit }
+}
+
+/// Snapshot of the live session's event counters (zeros if none).
+pub fn counters() -> FaultCounters {
+    match &*STATE.read().unwrap_or_else(|e| e.into_inner()) {
+        Some(state) => state.counters.snapshot(),
+        None => FaultCounters::default(),
+    }
+}
+
+pub(crate) fn with_state<R>(f: impl FnOnce(&FaultState) -> R) -> Option<R> {
+    let guard = STATE.read().unwrap_or_else(|e| e.into_inner());
+    guard.as_ref().map(|s| f(s))
+}
+
+/// RAII handle for a fault session; dropping it uninstalls the plan and
+/// releases the session lock.
+pub struct FaultGuard {
+    _permit: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+        *STATE.write().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_install_and_clear() {
+        assert!(!active());
+        {
+            let _g = install(FaultPlan::none());
+            assert!(active());
+            assert_eq!(counters(), FaultCounters::default());
+        }
+        assert!(!active());
+        assert_eq!(counters(), FaultCounters::default());
+    }
+}

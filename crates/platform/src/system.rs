@@ -6,6 +6,7 @@
 //! simulated concurrently with scoped threads — the simulation itself is a
 //! parallel program, one thread per modelled array.
 
+use bfp_arith::error::ArithError;
 use bfp_arith::matrix::MatF32;
 use bfp_arith::quant::Quantizer;
 use bfp_pu::unit::{grid_from_matrix, BlockGrid, CycleStats, ProcessingUnit, UnitConfig};
@@ -29,6 +30,10 @@ pub struct SystemStats {
     pub per_array: Vec<CycleStats>,
     /// Memory overhead cycles added to the critical path.
     pub mem_overhead_cycles: f64,
+    /// Fault events observed during this execution and what the recovery
+    /// layer did about them. Clean (all zeros) when no fault session is
+    /// installed.
+    pub faults: bfp_faults::FaultReport,
 }
 
 impl SystemStats {
@@ -102,11 +107,30 @@ impl System {
     /// Returns the dequantized result and system statistics.
     ///
     /// # Panics
-    /// Panics on inner-dimension mismatch.
+    /// Panics where [`System::try_matmul_f32`] would return an error:
+    /// non-finite inputs or an inner-dimension mismatch.
     pub fn matmul_f32(&self, a: &MatF32, b: &MatF32) -> (MatF32, SystemStats) {
+        self.try_matmul_f32(a, b)
+            .unwrap_or_else(|e| panic!("matmul_f32: {e}"))
+    }
+
+    /// Fallible [`System::matmul_f32`]: reports non-finite inputs and
+    /// dimension mismatches as typed errors so a scheduler can degrade
+    /// instead of crashing the simulation.
+    pub fn try_matmul_f32(
+        &self,
+        a: &MatF32,
+        b: &MatF32,
+    ) -> Result<(MatF32, SystemStats), ArithError> {
+        if a.cols() != b.rows() {
+            return Err(ArithError::DimensionMismatch {
+                got: format!("lhs {}x{}, rhs {}x{}", a.rows(), a.cols(), b.rows(), b.cols()),
+                expected: "lhs cols == rhs rows".into(),
+            });
+        }
         let q = Quantizer::paper();
-        let qa = q.quantize(a).expect("finite inputs");
-        let qb = q.quantize(b).expect("finite inputs");
+        let qa = q.quantize(a)?;
+        let qb = q.quantize(b)?;
         let ga = grid_from_matrix(&qa);
         let gb = grid_from_matrix(&qb);
         let (grid, stats) = self.matmul_blocks(&ga, &gb);
@@ -115,7 +139,7 @@ impl System {
             let w = &grid[i / 8][j / 8];
             (w.man[i % 8][j % 8] as f64 * (w.exp as f64).exp2()) as f32
         });
-        (out, stats)
+        Ok((out, stats))
     }
 
     /// Multiply two block grids, sharding output block-rows across arrays.
@@ -129,6 +153,7 @@ impl System {
         // Contiguous shards of block-rows, one per array (empty for spares).
         let per = mb.div_ceil(arrays);
         let results = Mutex::new(vec![None; arrays]);
+        let faults_before = bfp_faults::counters();
 
         crossbeam::thread::scope(|scope| {
             for t in 0..arrays {
@@ -176,6 +201,7 @@ impl System {
             grid.extend(g);
         }
         stats.mem_overhead_cycles = passes;
+        stats.faults.counters = bfp_faults::counters() - faults_before;
         (grid, stats)
     }
 
@@ -303,6 +329,32 @@ mod tests {
             s30.critical_cycles(),
             s1.critical_cycles()
         );
+    }
+
+    #[test]
+    fn try_matmul_reports_typed_errors() {
+        let sys = System::paper();
+        let mut a = ramp(16, 16);
+        let b = ramp(16, 16);
+
+        // Mismatched inner dimensions.
+        let skinny = ramp(8, 8);
+        assert!(matches!(
+            sys.try_matmul_f32(&a, &skinny),
+            Err(bfp_arith::ArithError::DimensionMismatch { .. })
+        ));
+
+        // Non-finite input is a typed error, not a panic.
+        a.set(3, 3, f32::NAN);
+        assert!(matches!(
+            sys.try_matmul_f32(&a, &b),
+            Err(bfp_arith::ArithError::NonFinite { at: (3, 3) })
+        ));
+
+        // Clean inputs report a clean fault record.
+        let (out, stats) = sys.try_matmul_f32(&ramp(16, 16), &b).unwrap();
+        assert_eq!(out, ramp(16, 16).matmul(&b));
+        assert!(stats.faults.is_clean());
     }
 
     #[test]

@@ -122,6 +122,12 @@ impl SystolicArray {
         let mut out = [ColumnOut::default(); COLS];
         for (c, o) in out.iter_mut().enumerate() {
             let (lane1, lane2) = unpack(self.pe[Self::idx(ROWS - 1, c)].dsp.p());
+            // Fault model: stuck-at defects in the column drain path.
+            #[cfg(feature = "faults")]
+            let (lane1, lane2) = (
+                bfp_faults::hook::array_lane(c, 0, lane1),
+                bfp_faults::hook::array_lane(c, 1, lane2),
+            );
             *o = ColumnOut { lane1, lane2 };
         }
         out

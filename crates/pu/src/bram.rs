@@ -141,11 +141,19 @@ impl OperandBuffer {
         for j in 0..BLOCK {
             let bram = &self.mantissa[slot * BLOCK + j];
             for i in 0..BLOCK {
-                man[i][j] = bram.read(base + i) as i8;
+                let byte = bram.read(base + i);
+                // Fault model: stored-cell upsets surface at read time,
+                // filtered through the SECDED ECC.
+                #[cfg(feature = "faults")]
+                let byte = bfp_faults::hook::bram_read(slot * BLOCK + j, base + i, byte);
+                man[i][j] = byte as i8;
             }
         }
+        let exp_byte = self.exponent.read(slot * MAX_X_BLOCKS + idx);
+        #[cfg(feature = "faults")]
+        let exp_byte = bfp_faults::hook::exp_read(slot * MAX_X_BLOCKS + idx, exp_byte);
         BfpBlock {
-            exp: self.exponent.read(slot * MAX_X_BLOCKS + idx) as i8,
+            exp: exp_byte as i8,
             man,
         }
     }
@@ -156,7 +164,10 @@ impl OperandBuffer {
         assert!(slot < 2 && idx < MAX_X_BLOCKS && row < BLOCK);
         let mut out = [0i8; BLOCK];
         for (j, v) in out.iter_mut().enumerate() {
-            *v = self.mantissa[slot * BLOCK + j].read(idx * BLOCK + row) as i8;
+            let byte = self.mantissa[slot * BLOCK + j].read(idx * BLOCK + row);
+            #[cfg(feature = "faults")]
+            let byte = bfp_faults::hook::bram_read(slot * BLOCK + j, idx * BLOCK + row, byte);
+            *v = byte as i8;
         }
         out
     }
@@ -191,12 +202,14 @@ impl OperandBuffer {
     /// Load an fp32 value back from the lane layout.
     pub fn load_fp32(&self, lane: usize, pos: usize, sign_bank: &SignBank) -> SoftFp32 {
         assert!(lane < FP_LANES && pos < MAX_FP_STREAM);
-        let s = [
-            self.mantissa[4 * lane].read(pos),
-            self.mantissa[4 * lane + 1].read(pos),
-            self.mantissa[4 * lane + 2].read(pos),
-        ];
-        let exp = self.mantissa[4 * lane + 3].read(pos) as i32;
+        #[cfg(feature = "faults")]
+        let rd = |k: usize| {
+            bfp_faults::hook::bram_read(4 * lane + k, pos, self.mantissa[4 * lane + k].read(pos))
+        };
+        #[cfg(not(feature = "faults"))]
+        let rd = |k: usize| self.mantissa[4 * lane + k].read(pos);
+        let s = [rd(0), rd(1), rd(2)];
+        let exp = rd(3) as i32;
         SoftFp32::from_slices(sign_bank.get(lane, pos), exp, s)
     }
 }

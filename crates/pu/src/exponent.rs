@@ -25,7 +25,11 @@ impl ExponentUnit {
     /// hardware; we keep the wide value and let the requantizer clamp).
     #[inline]
     pub fn product_exp(&self, exp_x: i8, exp_y: i8) -> i32 {
-        exp_x as i32 + exp_y as i32
+        let exp = exp_x as i32 + exp_y as i32;
+        // Fault model: the EU adder is TMR-protected; the hook votes.
+        #[cfg(feature = "faults")]
+        let exp = bfp_faults::hook::eu_align_exp(exp);
+        exp
     }
 
     /// fp32 product exponent with re-biasing: `E = Ex + Ey − 127`.
@@ -38,6 +42,13 @@ impl ExponentUnit {
     /// the larger exponent and shift the other operand's mantissa right.
     #[inline]
     pub fn align(&self, exp_a: i32, exp_b: i32) -> Alignment {
+        // Fault model: comparator glitches go through the same TMR vote
+        // as the product-exponent adder.
+        #[cfg(feature = "faults")]
+        let (exp_a, exp_b) = (
+            bfp_faults::hook::eu_align_exp(exp_a),
+            bfp_faults::hook::eu_align_exp(exp_b),
+        );
         if exp_a >= exp_b {
             Alignment {
                 exp: exp_a,

@@ -232,7 +232,15 @@ impl ProcessingUnit {
                 let from_buf: Vec<BfpBlock> = (0..xs.len())
                     .map(|m| self.x_buf.load_block(m % 2, m / 2))
                     .collect();
-                debug_assert_eq!(from_buf, xs, "buffer layout must be lossless");
+                // The layout is lossless unless a fault session is
+                // deliberately upsetting the stored cells.
+                #[cfg(feature = "faults")]
+                let pristine = !bfp_faults::active();
+                #[cfg(not(feature = "faults"))]
+                let pristine = true;
+                if pristine {
+                    debug_assert_eq!(from_buf, xs, "buffer layout must be lossless");
+                }
                 let (products, _) = stream_pass(&mut self.array, &from_buf);
                 for (m, (p1, p2)) in products.into_iter().enumerate() {
                     let e1 = xs[m].exp as i32 + y1.exp as i32;
@@ -268,9 +276,26 @@ impl ProcessingUnit {
     /// the first `n` slots, clearing them for the next output tile.
     pub fn take_psu(&mut self, n: usize) -> Vec<(WideBlock, WideBlock)> {
         assert!(n <= MAX_X_BLOCKS);
+        // Fault model: PSU words are read out through the drain port,
+        // where stored-bit upsets become visible.
+        #[cfg(feature = "faults")]
+        fn drain(mut w: WideBlock) -> WideBlock {
+            if bfp_faults::active() {
+                for (r, row) in w.man.iter_mut().enumerate() {
+                    for (c, v) in row.iter_mut().enumerate() {
+                        *v = bfp_faults::hook::psu_read(r, c, *v);
+                    }
+                }
+            }
+            w
+        }
+        #[cfg(not(feature = "faults"))]
+        fn drain(w: WideBlock) -> WideBlock {
+            w
+        }
         let mut out = Vec::with_capacity(n);
         for slot in self.psu.iter_mut().take(n) {
-            out.push((slot[0].value(), slot[1].value()));
+            out.push((drain(slot[0].value()), drain(slot[1].value())));
             slot[0].clear();
             slot[1].clear();
         }

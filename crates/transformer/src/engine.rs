@@ -19,6 +19,9 @@ pub struct OpCensus {
     pub gelu: OpCount,
     /// VPU operations attributable to LayerNorm.
     pub layernorm: OpCount,
+    /// GEMMs that could not be quantized (non-finite operands) and were
+    /// degraded to the fp32 reference path instead of panicking.
+    pub fp32_fallbacks: u64,
 }
 
 impl OpCensus {
@@ -55,6 +58,7 @@ impl OpCensus {
         self.softmax.merge(&o.softmax);
         self.gelu.merge(&o.gelu);
         self.layernorm.merge(&o.layernorm);
+        self.fp32_fallbacks += o.fp32_fallbacks;
     }
 }
 
@@ -176,10 +180,19 @@ impl MixedEngine {
 
 impl Engine for MixedEngine {
     fn matmul(&mut self, a: &MatF32, b: &MatF32) -> MatF32 {
-        let qa = self.quantizer.quantize(a).expect("finite activations");
-        let qb = self.quantizer.quantize(b).expect("finite weights");
-        self.census.matmul_macs += (a.rows() * a.cols() * b.cols()) as u64;
-        qa.matmul(&qb)
+        match (self.quantizer.quantize(a), self.quantizer.quantize(b)) {
+            (Ok(qa), Ok(qb)) => {
+                self.census.matmul_macs += (a.rows() * a.cols() * b.cols()) as u64;
+                qa.matmul(&qb)
+            }
+            // A non-finite operand cannot be expressed in bfp8; degrade
+            // this GEMM to the fp32 reference path and count it, matching
+            // the per-layer fallback policy of the scheduler.
+            _ => {
+                self.census.fp32_fallbacks += 1;
+                a.matmul(b)
+            }
+        }
     }
 
     fn softmax_rows(&mut self, m: &mut MatF32) {
@@ -236,6 +249,7 @@ impl Engine for MixedEngine {
 #[derive(Debug, Default, Clone)]
 pub struct Int8Engine {
     macs: u64,
+    fallbacks: u64,
 }
 
 impl Int8Engine {
@@ -248,14 +262,25 @@ impl Int8Engine {
     pub fn macs(&self) -> u64 {
         self.macs
     }
+
+    /// GEMMs degraded to the fp32 reference path (non-finite operands).
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
 }
 
 impl Engine for Int8Engine {
     fn matmul(&mut self, a: &MatF32, b: &MatF32) -> MatF32 {
-        self.macs += (a.rows() * a.cols() * b.cols()) as u64;
-        let qa = Int8Tensor::quantize(a).expect("finite activations");
-        let qb = Int8Tensor::quantize(b).expect("finite weights");
-        qa.matmul(&qb)
+        match (Int8Tensor::quantize(a), Int8Tensor::quantize(b)) {
+            (Ok(qa), Ok(qb)) => {
+                self.macs += (a.rows() * a.cols() * b.cols()) as u64;
+                qa.matmul(&qb)
+            }
+            _ => {
+                self.fallbacks += 1;
+                a.matmul(b)
+            }
+        }
     }
 
     fn softmax_rows(&mut self, m: &mut MatF32) {
@@ -373,6 +398,33 @@ mod tests {
         let mut d = ErrorStats::new();
         d.push_slices(got.data(), host_out.data());
         assert!(d.sqnr_db() > 40.0, "NR kernels track host division: {d}");
+    }
+
+    #[test]
+    fn non_finite_gemm_degrades_to_fp32_and_is_counted() {
+        let mut e = MixedEngine::new();
+        let mut a = MatF32::from_fn(8, 8, |i, j| (i + j) as f32 * 0.1);
+        a.set(2, 5, f32::INFINITY);
+        let b = MatF32::from_fn(8, 8, |i, j| (i as f32 - j as f32) * 0.2);
+        // NaN != NaN, so compare the fp32 results bit-for-bit.
+        let bits_eq = |x: &MatF32, y: &MatF32| {
+            x.data()
+                .iter()
+                .zip(y.data())
+                .all(|(p, q)| p.to_bits() == q.to_bits())
+        };
+        let got = e.matmul(&a, &b);
+        // Falls back to the reference fp32 path instead of panicking…
+        assert!(bits_eq(&got, &a.matmul(&b)));
+        // …and the census records the degradation, with no bfp8 MACs.
+        assert_eq!(e.census().fp32_fallbacks, 1);
+        assert_eq!(e.census().matmul_macs, 0);
+
+        let mut i8e = Int8Engine::new();
+        let got = i8e.matmul(&a, &b);
+        assert!(bits_eq(&got, &a.matmul(&b)));
+        assert_eq!(i8e.fallbacks(), 1);
+        assert_eq!(i8e.macs(), 0);
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Offline stand-in for the `crossbeam` crate (0.8 API subset).
+//!
+//! The workspace only uses `crossbeam::thread::scope` with spawned
+//! closures of the form `|_| { .. }`. Since Rust 1.63 the standard
+//! library provides scoped threads, so this shim is a thin adapter that
+//! keeps the crossbeam calling convention (closures receive a `&Scope`
+//! argument, `scope` returns a `Result` capturing child panics) on top
+//! of `std::thread::scope`.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle passed to the `scope` closure and to each spawned closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope handle
+        /// (crossbeam convention); the workspace always ignores it (`|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which threads borrowing from the
+    /// environment can be spawned. All threads are joined before this
+    /// returns; a panic in any child surfaces as `Err(payload)`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        // std::thread::scope joins every child and re-panics if one
+        // panicked; catching here converts that into crossbeam's
+        // Err(payload) contract.
+        catch_unwind(AssertUnwindSafe(move || {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1, 2, 3];
+        let sum = std::sync::Mutex::new(0);
+        let r = crate::thread::scope(|scope| {
+            for &v in &data {
+                let sum = &sum;
+                scope.spawn(move |_| {
+                    *sum.lock().unwrap() += v;
+                });
+            }
+            "done"
+        })
+        .unwrap();
+        assert_eq!(r, "done");
+        assert_eq!(*sum.lock().unwrap(), 6);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = crate::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}
