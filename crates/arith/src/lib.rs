@@ -54,6 +54,7 @@ pub mod halffp;
 pub mod int8;
 pub mod int8quant;
 pub mod matrix;
+pub mod packed;
 pub mod quant;
 pub mod redfp;
 pub mod softfp;
@@ -67,6 +68,7 @@ pub use guard::{GuardFlags, SaturationPolicy};
 pub use fpmul::{HwFp32Mul, MulVariant, PartialProduct};
 pub use int8quant::Int8Tensor;
 pub use matrix::MatF32;
+pub use packed::{PackSide, PackedBfp};
 pub use quant::{BfpMatrix, Quantizer, RoundMode};
 pub use redfp::RedFp;
 pub use softfp::SoftFp32;

@@ -1,0 +1,618 @@
+//! Packed-layout bfp GEMM: the fast execution path of the bfp8 datapath.
+//!
+//! [`crate::quant::BfpMatrix`] keeps its tiles as a `Vec` of per-block
+//! heap allocations and its reference kernel re-walks that grid on every
+//! one of the O((M/b)·(K/b)·(N/b)) block visits. [`PackedBfp`] stores the
+//! same quantized data in two flat, contiguous buffers:
+//!
+//! * one `i8` mantissa plane, **block-contiguous** — all `b×b` mantissas
+//!   of a tile sit next to each other, tiles laid out row-major over the
+//!   grid;
+//! * one `i8` shared-exponent plane, one entry per tile.
+//!
+//! The right-hand operand is additionally stored **block-transposed**
+//! (within every tile, column `j` of the original becomes a contiguous
+//! run), so the innermost int8 dot product of the kernel reads both
+//! operands at unit stride — exactly the access pattern the systolic
+//! array's column cascade realises in hardware, and the pattern LLVM
+//! auto-vectorises.
+//!
+//! The kernel itself ([`PackedBfp::matmul`]) fuses the per-(bi, bj)
+//! exponent-alignment chain into the dot-product loop: no wide scratch
+//! tile is written and re-read, and no block is ever copied out of the
+//! grid. It is **bit-identical** to [`crate::quant::BfpMatrix::try_matmul`]
+//! and therefore to the `bfp-pu` cycle simulator — the integer tile
+//! products are exact, so fusing changes evaluation order only where
+//! integer addition is associative. The equivalence is pinned by unit
+//! tests here and by the cross-check proptests at the workspace root.
+//!
+//! Shard-level parallelism lives one layer up (`bfp_core::fastgemm`):
+//! every (bi, bj) accumulation chain is independent, so block-rows can be
+//! computed concurrently through [`PackedBfp::matmul_rows_into`] without
+//! changing a single output bit.
+
+use crate::bfp::shift_right_trunc;
+use crate::error::ArithError;
+use crate::matrix::MatF32;
+use crate::quant::{BfpMatrix, Quantizer};
+
+/// Which operand side a [`PackedBfp`] is laid out for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackSide {
+    /// Left operand: tiles stored row-major (rows contiguous).
+    Lhs,
+    /// Right operand: tiles stored block-transposed (columns contiguous).
+    Rhs,
+}
+
+/// A quantized matrix in the packed, kernel-ready layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedBfp {
+    rows: usize,
+    cols: usize,
+    block: usize,
+    block_rows: usize,
+    block_cols: usize,
+    side: PackSide,
+    /// Per-tile shared exponents, grid row-major.
+    exps: Vec<i8>,
+    /// Block-contiguous mantissa plane; tile `(bi, bj)` occupies
+    /// `[(bi·block_cols + bj)·b², …)`. Within a tile: row-major for
+    /// [`PackSide::Lhs`], transposed (column-major) for [`PackSide::Rhs`].
+    man: Vec<i8>,
+}
+
+impl PackedBfp {
+    /// Pack a quantized matrix as a left operand.
+    pub fn pack_lhs(m: &BfpMatrix) -> PackedBfp {
+        Self::pack(m, PackSide::Lhs)
+    }
+
+    /// Pack a quantized matrix as a right operand (block-transposed).
+    pub fn pack_rhs(m: &BfpMatrix) -> PackedBfp {
+        Self::pack(m, PackSide::Rhs)
+    }
+
+    /// Quantize and pack in one step.
+    pub fn quantize_lhs(q: &Quantizer, m: &MatF32) -> Result<PackedBfp, ArithError> {
+        Ok(Self::pack_lhs(&q.quantize(m)?))
+    }
+
+    /// Quantize and pack the right operand in one step.
+    pub fn quantize_rhs(q: &Quantizer, m: &MatF32) -> Result<PackedBfp, ArithError> {
+        Ok(Self::pack_rhs(&q.quantize(m)?))
+    }
+
+    fn pack(m: &BfpMatrix, side: PackSide) -> PackedBfp {
+        let b = m.block();
+        let (br, bc) = m.grid();
+        let bb = b * b;
+        let mut exps = Vec::with_capacity(br * bc);
+        let mut man = vec![0i8; br * bc * bb];
+        for bi in 0..br {
+            for bj in 0..bc {
+                let g = m.block_at(bi, bj);
+                exps.push(g.exp);
+                let dst = &mut man[(bi * bc + bj) * bb..(bi * bc + bj + 1) * bb];
+                match side {
+                    PackSide::Lhs => dst.copy_from_slice(&g.man),
+                    PackSide::Rhs => {
+                        // Block-transpose: column j becomes run j.
+                        for j in 0..b {
+                            for i in 0..b {
+                                dst[j * b + i] = g.man[i * b + j];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        PackedBfp {
+            rows: m.rows(),
+            cols: m.cols(),
+            block: b,
+            block_rows: br,
+            block_cols: bc,
+            side,
+            exps,
+            man,
+        }
+    }
+
+    /// Logical (unpadded) row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical (unpadded) column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Block side length.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Grid dimensions in blocks `(block_rows, block_cols)`.
+    pub fn grid(&self) -> (usize, usize) {
+        (self.block_rows, self.block_cols)
+    }
+
+    /// Which side this packing is for.
+    pub fn side(&self) -> PackSide {
+        self.side
+    }
+
+    /// Approximate heap footprint in bytes (mantissas + exponents).
+    pub fn bytes(&self) -> usize {
+        self.man.len() + self.exps.len()
+    }
+
+    /// Dequantize back to `f32`, one pass per block (padding discarded).
+    /// Bit-identical to [`BfpMatrix::dequantize`] on the same data.
+    pub fn dequantize(&self) -> MatF32 {
+        let b = self.block;
+        let bb = b * b;
+        let cols = self.cols;
+        let mut out = MatF32::zeros(self.rows, self.cols);
+        let data = out.data_mut();
+        for bi in 0..self.block_rows {
+            let imax = b.min(self.rows - bi * b);
+            for bj in 0..self.block_cols {
+                let jmax = b.min(self.cols - bj * b);
+                let tile = &self.man[(bi * self.block_cols + bj) * bb..][..bb];
+                let scale = (self.exps[bi * self.block_cols + bj] as f64).exp2();
+                for i in 0..imax {
+                    let dst = &mut data[(bi * b + i) * cols + bj * b..][..jmax];
+                    match self.side {
+                        PackSide::Lhs => {
+                            for (j, o) in dst.iter_mut().enumerate() {
+                                *o = (tile[i * b + j] as f64 * scale) as f32;
+                            }
+                        }
+                        PackSide::Rhs => {
+                            for (j, o) in dst.iter_mut().enumerate() {
+                                *o = (tile[j * b + i] as f64 * scale) as f32;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Validate that `self · rhs` is a well-formed packed GEMM.
+    pub fn check_compatible(&self, rhs: &PackedBfp) -> Result<(), ArithError> {
+        if self.side != PackSide::Lhs || rhs.side != PackSide::Rhs {
+            return Err(ArithError::DimensionMismatch {
+                got: format!("lhs packed {:?}, rhs packed {:?}", self.side, rhs.side),
+                expected: "lhs packed Lhs, rhs packed Rhs".into(),
+            });
+        }
+        if self.cols != rhs.rows {
+            return Err(ArithError::DimensionMismatch {
+                got: format!(
+                    "lhs {}x{}, rhs {}x{}",
+                    self.rows, self.cols, rhs.rows, rhs.cols
+                ),
+                expected: "lhs cols == rhs rows".into(),
+            });
+        }
+        if self.block != rhs.block {
+            return Err(ArithError::DimensionMismatch {
+                got: format!("block {} vs {}", self.block, rhs.block),
+                expected: "matching block sizes".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Packed GEMM: bit-identical to [`BfpMatrix::try_matmul`] on the same
+    /// quantized operands, with zero per-block copies.
+    pub fn matmul(&self, rhs: &PackedBfp) -> Result<MatF32, ArithError> {
+        self.check_compatible(rhs)?;
+        let mut out = MatF32::zeros(self.rows, rhs.cols);
+        self.matmul_rows_into(rhs, 0, self.block_rows, out.data_mut());
+        Ok(out)
+    }
+
+    /// Compute output block-rows `bi_lo..bi_hi` into `out_rows`, the
+    /// row-major `f32` buffer covering exactly output rows
+    /// `bi_lo·b .. min(bi_hi·b, rows)` (full logical width).
+    ///
+    /// Each (bi, bj) exponent-alignment chain is independent, so disjoint
+    /// block-row ranges can run on different threads and still produce
+    /// bit-identical results to the serial kernel — `bfp_core::fastgemm`
+    /// builds the deterministic parallel GEMM on top of this.
+    ///
+    /// # Panics
+    /// Panics if the range or buffer length is inconsistent; call
+    /// [`PackedBfp::check_compatible`] first for operand validation.
+    pub fn matmul_rows_into(&self, rhs: &PackedBfp, bi_lo: usize, bi_hi: usize, out_rows: &mut [f32]) {
+        let b = self.block;
+        let bb = b * b;
+        debug_assert!(self.check_compatible(rhs).is_ok());
+        assert!(bi_lo <= bi_hi && bi_hi <= self.block_rows, "block-row range");
+        let r0 = bi_lo * b;
+        let rows_here = (bi_hi * b).min(self.rows).saturating_sub(r0);
+        let out_cols = rhs.cols;
+        assert_eq!(
+            out_rows.len(),
+            rows_here * out_cols,
+            "output shard must cover its block rows exactly"
+        );
+        if b == 8 {
+            return self.matmul_rows_into_b8(rhs, bi_lo, bi_hi, out_rows);
+        }
+        let kb = self.block_cols;
+        // Per-chain wide accumulator, reused across (bi, bj) tiles.
+        let mut acc = vec![0i64; bb];
+        for bi in bi_lo..bi_hi {
+            let imax = b.min(self.rows - bi * b);
+            for bj in 0..rhs.block_cols {
+                let jmax = b.min(rhs.cols - bj * b);
+                let mut acc_exp = 0i32;
+                let mut first = true;
+                for bk in 0..kb {
+                    let x = &self.man[(bi * kb + bk) * bb..][..bb];
+                    let y = &rhs.man[(bk * rhs.block_cols + bj) * bb..][..bb];
+                    let pexp =
+                        self.exps[bi * kb + bk] as i32 + rhs.exps[bk * rhs.block_cols + bj] as i32;
+                    // The wide tile product is folded straight into the
+                    // accumulator chain — same shift/truncate semantics as
+                    // the reference kernel, applied element-wise.
+                    if first {
+                        first = false;
+                        acc_exp = pexp;
+                        for i in 0..b {
+                            let xr = &x[i * b..][..b];
+                            let ar = &mut acc[i * b..][..b];
+                            for (j, a) in ar.iter_mut().enumerate() {
+                                *a = dot_i8(xr, &y[j * b..][..b]) as i64;
+                            }
+                        }
+                    } else if pexp >= acc_exp {
+                        let sh = (pexp - acc_exp) as u32;
+                        acc_exp = pexp;
+                        for i in 0..b {
+                            let xr = &x[i * b..][..b];
+                            let ar = &mut acc[i * b..][..b];
+                            for (j, a) in ar.iter_mut().enumerate() {
+                                *a = shift_right_trunc(*a, sh) + dot_i8(xr, &y[j * b..][..b]) as i64;
+                            }
+                        }
+                    } else {
+                        let sh = (acc_exp - pexp) as u32;
+                        for i in 0..b {
+                            let xr = &x[i * b..][..b];
+                            let ar = &mut acc[i * b..][..b];
+                            for (j, a) in ar.iter_mut().enumerate() {
+                                *a += shift_right_trunc(dot_i8(xr, &y[j * b..][..b]) as i64, sh);
+                            }
+                        }
+                    }
+                }
+                if first {
+                    // K = 0: the reference kernel leaves zeros.
+                    for i in 0..imax {
+                        let dst = &mut out_rows[(bi * b + i - r0) * out_cols + bj * b..][..jmax];
+                        dst.fill(0.0);
+                    }
+                    continue;
+                }
+                let scale = (acc_exp as f64).exp2();
+                for i in 0..imax {
+                    let ar = &acc[i * b..][..b];
+                    let dst = &mut out_rows[(bi * b + i - r0) * out_cols + bj * b..][..jmax];
+                    for (o, &a) in dst.iter_mut().zip(ar.iter()) {
+                        *o = (a as f64 * scale) as f32;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The paper-shaped `b == 8` kernel: whole 8×8 tile products through a
+    /// runtime-dispatched micro-kernel (AVX2 when the host has it), merged
+    /// into the alignment chain with the same shift/truncate semantics as
+    /// the generic path. Integer tile products are exact, so the result is
+    /// bit-identical to the generic kernel and the reference.
+    fn matmul_rows_into_b8(&self, rhs: &PackedBfp, bi_lo: usize, bi_hi: usize, out_rows: &mut [f32]) {
+        const B: usize = 8;
+        const BB: usize = 64;
+        let tile8 = select_tile8();
+        let r0 = bi_lo * B;
+        let out_cols = rhs.cols;
+        let kb = self.block_cols;
+        let nb = rhs.block_cols;
+        let mut prod = [0i32; BB];
+        let mut acc = [0i64; BB];
+        for bi in bi_lo..bi_hi {
+            let imax = B.min(self.rows - bi * B);
+            for bj in 0..nb {
+                let jmax = B.min(rhs.cols - bj * B);
+                let mut acc_exp = 0i32;
+                let mut first = true;
+                for bk in 0..kb {
+                    let x: &[i8; BB] = self.man[(bi * kb + bk) * BB..][..BB].try_into().unwrap();
+                    let y: &[i8; BB] = rhs.man[(bk * nb + bj) * BB..][..BB].try_into().unwrap();
+                    let pexp = self.exps[bi * kb + bk] as i32 + rhs.exps[bk * nb + bj] as i32;
+                    tile8(x, y, &mut prod);
+                    if first {
+                        first = false;
+                        acc_exp = pexp;
+                        for t in 0..BB {
+                            acc[t] = prod[t] as i64;
+                        }
+                    } else if pexp >= acc_exp {
+                        let sh = (pexp - acc_exp) as u32;
+                        acc_exp = pexp;
+                        for t in 0..BB {
+                            acc[t] = shift_right_trunc(acc[t], sh) + prod[t] as i64;
+                        }
+                    } else {
+                        let sh = (acc_exp - pexp) as u32;
+                        for t in 0..BB {
+                            acc[t] += shift_right_trunc(prod[t] as i64, sh);
+                        }
+                    }
+                }
+                if first {
+                    for i in 0..imax {
+                        out_rows[(bi * B + i - r0) * out_cols + bj * B..][..jmax].fill(0.0);
+                    }
+                    continue;
+                }
+                let scale = (acc_exp as f64).exp2();
+                for i in 0..imax {
+                    let ar = &acc[i * B..][..B];
+                    let dst = &mut out_rows[(bi * B + i - r0) * out_cols + bj * B..][..jmax];
+                    for (o, &a) in dst.iter_mut().zip(ar.iter()) {
+                        *o = (a as f64 * scale) as f32;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// 8×8 tile-product micro-kernel signature: `out[i·8+j] = Σₖ x[i·8+k]·y[j·8+k]`
+/// (both operands unit-stride in `k` thanks to the block-transposed RHS).
+type Tile8Fn = fn(&[i8; 64], &[i8; 64], &mut [i32; 64]);
+
+/// Portable micro-kernel body. Widening to `i16` first keeps the inner
+/// products in the shape SIMD integer-MAC instructions (`pmaddwd` and
+/// friends) digest, so the auto-vectoriser can use them when the target
+/// features allow.
+#[inline(always)]
+fn tile8_product(x: &[i8; 64], y: &[i8; 64], out: &mut [i32; 64]) {
+    let mut yw = [0i16; 64];
+    for (w, &v) in yw.iter_mut().zip(y.iter()) {
+        *w = v as i16;
+    }
+    for i in 0..8 {
+        let mut xr = [0i16; 8];
+        for (w, &v) in xr.iter_mut().zip(&x[i * 8..i * 8 + 8]) {
+            *w = v as i16;
+        }
+        for j in 0..8 {
+            let yr = &yw[j * 8..j * 8 + 8];
+            let mut s = 0i32;
+            for k in 0..8 {
+                s += xr[k] as i32 * yr[k] as i32;
+            }
+            out[i * 8 + j] = s;
+        }
+    }
+}
+
+/// The same body compiled with AVX2 enabled, so the auto-vectoriser can use
+/// 256-bit integer MACs regardless of the crate's baseline target.
+///
+/// # Safety
+/// Callers must have verified AVX2 support (see [`select_tile8`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn tile8_product_avx2(x: &[i8; 64], y: &[i8; 64], out: &mut [i32; 64]) {
+    tile8_product(x, y, out)
+}
+
+/// Pick the fastest micro-kernel the host supports. Every variant computes
+/// the same exact integer products, so the choice never changes output bits.
+fn select_tile8() -> Tile8Fn {
+    #[cfg(target_arch = "x86_64")]
+    if is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        return |x, y, out| unsafe { tile8_product_avx2(x, y, out) };
+    }
+    tile8_product
+}
+
+/// Unit-stride int8 dot product; the paper-shaped 8-element case lowers to
+/// a fixed-size loop LLVM fully vectorises.
+#[inline(always)]
+fn dot_i8(x: &[i8], y: &[i8]) -> i32 {
+    if let (Ok(x8), Ok(y8)) = (
+        <&[i8; 8]>::try_from(x),
+        <&[i8; 8]>::try_from(y),
+    ) {
+        let mut s = 0i32;
+        for k in 0..8 {
+            s += x8[k] as i32 * y8[k] as i32;
+        }
+        s
+    } else {
+        x.iter()
+            .zip(y.iter())
+            .map(|(&a, &b)| a as i32 * b as i32)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(rows: usize, cols: usize, seed: u32) -> MatF32 {
+        let s = seed as f32;
+        MatF32::from_fn(rows, cols, |i, j| {
+            ((i as f32 * 0.37 + j as f32 * 0.23 + s).sin()) * (1.0 + ((i * cols + j) % 11) as f32)
+        })
+    }
+
+    /// A matrix whose tiles land on very different block exponents, so the
+    /// alignment chain truncates (the path where evaluation-order bugs
+    /// would show up as bit differences).
+    fn spiky(rows: usize, cols: usize) -> MatF32 {
+        MatF32::from_fn(rows, cols, |i, j| {
+            let base = ((i * 31 + j * 7) % 13) as f32 - 6.0;
+            match (i / 8 + j / 8) % 3 {
+                0 => base * 1024.0,
+                1 => base * 0.001,
+                _ => base,
+            }
+        })
+    }
+
+    fn assert_bits_eq(a: &MatF32, b: &MatF32) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                assert_eq!(
+                    a.get(i, j).to_bits(),
+                    b.get(i, j).to_bits(),
+                    "({i},{j}): {} vs {}",
+                    a.get(i, j),
+                    b.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_matmul_is_bit_identical_to_reference_kernel() {
+        let q = Quantizer::paper();
+        for (m, k, n, seed) in [(16, 16, 16, 1), (24, 40, 8, 2), (64, 32, 48, 3)] {
+            let a = wave(m, k, seed);
+            let b = wave(k, n, seed + 10);
+            let (qa, qb) = (q.quantize(&a).unwrap(), q.quantize(&b).unwrap());
+            let want = qa.try_matmul(&qb).unwrap();
+            let got = PackedBfp::pack_lhs(&qa)
+                .matmul(&PackedBfp::pack_rhs(&qb))
+                .unwrap();
+            assert_bits_eq(&got, &want);
+        }
+    }
+
+    #[test]
+    fn packed_matmul_non_multiple_of_block_shapes() {
+        let q = Quantizer::paper();
+        for (m, k, n) in [(11, 13, 7), (1, 9, 17), (8, 1, 1), (23, 24, 25)] {
+            let a = wave(m, k, 5);
+            let b = wave(k, n, 6);
+            let (qa, qb) = (q.quantize(&a).unwrap(), q.quantize(&b).unwrap());
+            let got = PackedBfp::pack_lhs(&qa)
+                .matmul(&PackedBfp::pack_rhs(&qb))
+                .unwrap();
+            assert_bits_eq(&got, &qa.try_matmul(&qb).unwrap());
+        }
+    }
+
+    #[test]
+    fn packed_matmul_mixed_block_exponents_truncate_identically() {
+        let q = Quantizer::paper();
+        let a = spiky(24, 32);
+        let b = spiky(32, 16);
+        let (qa, qb) = (q.quantize(&a).unwrap(), q.quantize(&b).unwrap());
+        let got = PackedBfp::pack_lhs(&qa)
+            .matmul(&PackedBfp::pack_rhs(&qb))
+            .unwrap();
+        assert_bits_eq(&got, &qa.try_matmul(&qb).unwrap());
+    }
+
+    #[test]
+    fn packed_matmul_generic_block_sizes() {
+        for blk in [4usize, 8, 16] {
+            let q = Quantizer::with_block(blk);
+            let a = spiky(19, 21);
+            let b = spiky(21, 10);
+            let (qa, qb) = (q.quantize(&a).unwrap(), q.quantize(&b).unwrap());
+            let got = PackedBfp::pack_lhs(&qa)
+                .matmul(&PackedBfp::pack_rhs(&qb))
+                .unwrap();
+            assert_bits_eq(&got, &qa.try_matmul(&qb).unwrap());
+        }
+    }
+
+    #[test]
+    fn matmul_rows_into_shards_agree_with_full_kernel() {
+        let q = Quantizer::paper();
+        let a = spiky(40, 24);
+        let b = spiky(24, 17);
+        let (qa, qb) = (q.quantize(&a).unwrap(), q.quantize(&b).unwrap());
+        let (pa, pb) = (PackedBfp::pack_lhs(&qa), PackedBfp::pack_rhs(&qb));
+        let full = pa.matmul(&pb).unwrap();
+        // Recompute in three uneven shards.
+        let mut out = MatF32::zeros(40, 17);
+        let cols = out.cols();
+        for (lo, hi) in [(0usize, 2usize), (2, 3), (3, 5)] {
+            let r0 = lo * 8;
+            let r1 = (hi * 8).min(40);
+            pa.matmul_rows_into(&pb, lo, hi, &mut out.data_mut()[r0 * cols..r1 * cols]);
+        }
+        assert_bits_eq(&out, &full);
+    }
+
+    #[test]
+    fn dequantize_matches_grid_dequantize() {
+        let q = Quantizer::paper();
+        let m = spiky(27, 13);
+        let qm = q.quantize(&m).unwrap();
+        let want = qm.dequantize();
+        assert_bits_eq(&PackedBfp::pack_lhs(&qm).dequantize(), &want);
+        assert_bits_eq(&PackedBfp::pack_rhs(&qm).dequantize(), &want);
+    }
+
+    #[test]
+    fn side_and_shape_mismatches_are_typed_errors() {
+        let q = Quantizer::paper();
+        let a = PackedBfp::quantize_lhs(&q, &wave(16, 16, 1)).unwrap();
+        let b = PackedBfp::quantize_rhs(&q, &wave(16, 16, 2)).unwrap();
+        // Wrong sides.
+        assert!(matches!(
+            b.matmul(&b),
+            Err(ArithError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            a.matmul(&a.clone()),
+            Err(ArithError::DimensionMismatch { .. })
+        ));
+        // Inner-dimension mismatch.
+        let skinny = PackedBfp::quantize_rhs(&q, &wave(8, 8, 3)).unwrap();
+        assert!(matches!(
+            a.matmul(&skinny),
+            Err(ArithError::DimensionMismatch { .. })
+        ));
+        // Block-size mismatch.
+        let other = PackedBfp::quantize_rhs(&Quantizer::with_block(4), &wave(16, 8, 4)).unwrap();
+        assert!(matches!(
+            a.matmul(&other),
+            Err(ArithError::DimensionMismatch { .. })
+        ));
+        // And the happy path still works.
+        assert!(a.matmul(&b).is_ok());
+    }
+
+    #[test]
+    fn accessors_report_layout() {
+        let q = Quantizer::paper();
+        let p = PackedBfp::quantize_rhs(&q, &wave(10, 20, 9)).unwrap();
+        assert_eq!((p.rows(), p.cols()), (10, 20));
+        assert_eq!(p.block(), 8);
+        assert_eq!(p.grid(), (2, 3));
+        assert_eq!(p.side(), PackSide::Rhs);
+        assert_eq!(p.bytes(), 2 * 3 * 64 + 6);
+    }
+}

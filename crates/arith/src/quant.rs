@@ -253,13 +253,31 @@ impl BfpMatrix {
     }
 
     /// Dequantize back to `f32` (padding is discarded).
+    ///
+    /// Walks the grid once per *block*, not per element: each tile's
+    /// exponent is decoded to a scale a single time and its `b×b` mantissas
+    /// are written in one pass per row segment.
     pub fn dequantize(&self) -> MatF32 {
         let b = self.block;
-        MatF32::from_fn(self.rows, self.cols, |i, j| {
-            let g = self.block_at(i / b, j / b);
-            let scale = (g.exp as f64).exp2();
-            (g.man[(i % b) * b + (j % b)] as f64 * scale) as f32
-        })
+        let cols = self.cols;
+        let mut out = MatF32::zeros(self.rows, self.cols);
+        let data = out.data_mut();
+        for bi in 0..self.block_rows {
+            let imax = b.min(self.rows - bi * b);
+            for bj in 0..self.block_cols {
+                let jmax = b.min(self.cols - bj * b);
+                let g = &self.blocks[bi * self.block_cols + bj];
+                let scale = (g.exp as f64).exp2();
+                for i in 0..imax {
+                    let src = &g.man[i * b..][..jmax];
+                    let dst = &mut data[(bi * b + i) * cols + bj * b..][..jmax];
+                    for (o, &m) in dst.iter_mut().zip(src.iter()) {
+                        *o = (m as f64 * scale) as f32;
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Full matrix multiply through the bfp datapath: per-tile int8 MatMul

@@ -22,9 +22,16 @@ fn single_block(c: &mut Criterion) {
     });
     g.bench_function("mixed_precision", |b| {
         b.iter(|| {
-            let mut e = MixedEngine::new();
+            let mut e = MixedEngine::without_weight_cache();
             model.forward(&mut e, black_box(&x))
         })
+    });
+    g.bench_function("mixed_precision_cached_weights", |b| {
+        // A persistent engine reuses the quantize+pack plans of the model's
+        // weight matrices across iterations — the serving steady state.
+        let mut e = MixedEngine::new();
+        model.forward(&mut e, &x);
+        b.iter(|| model.forward(&mut e, black_box(&x)))
     });
     g.finish();
 }

@@ -1,10 +1,12 @@
 //! GEMM benchmarks at the layer shapes DeiT-Small actually executes
 //! (Table IV's bfp8 partition), comparing the bfp8 pipeline simulation
-//! against the f32 reference implementation, plus the 30-array parallel
-//! card simulation.
+//! against the f32 reference implementation, the packed fast-path
+//! kernels, plus the 30-array parallel card simulation.
 
 use bfp_arith::matrix::MatF32;
+use bfp_arith::packed::PackedBfp;
 use bfp_arith::quant::Quantizer;
+use bfp_core::{packed_matmul, ParallelPolicy};
 use bfp_platform::System;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -37,6 +39,42 @@ fn layer_gemms(c: &mut Criterion) {
     g.finish();
 }
 
+/// Kernel-for-kernel comparison of the three execution paths on
+/// pre-quantized operands: the naive reference kernel, the packed serial
+/// kernel, and the block-row-parallel kernel. All three are bit-identical;
+/// only the wall clock differs.
+fn packed_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packed_gemm_kernel");
+    g.sample_size(10);
+    let q = Quantizer::paper();
+    for (name, m, k, n) in SHAPES {
+        let a = MatF32::from_fn(m, k, |i, j| ((i * 7 + j) as f32 * 0.01).sin());
+        let b = MatF32::from_fn(k, n, |i, j| ((i + j * 3) as f32 * 0.005).cos());
+        let (qa, qb) = (q.quantize(&a).unwrap(), q.quantize(&b).unwrap());
+        let (pa, pb) = (PackedBfp::pack_lhs(&qa), PackedBfp::pack_rhs(&qb));
+        g.bench_with_input(BenchmarkId::new("naive", name), &name, |bch, _| {
+            bch.iter(|| black_box(&qa).try_matmul(black_box(&qb)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("packed_serial", name), &name, |bch, _| {
+            bch.iter(|| black_box(&pa).matmul(black_box(&pb)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("packed_parallel", name), &name, |bch, _| {
+            bch.iter(|| {
+                packed_matmul(black_box(&pa), black_box(&pb), ParallelPolicy::Auto).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("quantize_pack", name), &name, |bch, _| {
+            bch.iter(|| {
+                (
+                    PackedBfp::quantize_lhs(&q, black_box(&a)).unwrap(),
+                    PackedBfp::quantize_rhs(&q, black_box(&b)).unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
 fn parallel_card(c: &mut Criterion) {
     let mut g = c.benchmark_group("card_parallel_gemm");
     g.sample_size(10);
@@ -49,5 +87,5 @@ fn parallel_card(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, layer_gemms, parallel_card);
+criterion_group!(benches, layer_gemms, packed_kernels, parallel_card);
 criterion_main!(benches);

@@ -52,15 +52,27 @@ impl Accelerator {
 
     /// bfp8 GEMM on the modelled card (quantize → parallel block MatMul
     /// across arrays → dequantize), with execution statistics.
+    ///
+    /// # Panics
+    /// Panics where [`Accelerator::try_gemm`] would return an error:
+    /// non-finite inputs or an inner-dimension mismatch.
     pub fn gemm(&self, a: &MatF32, b: &MatF32) -> (MatF32, GemmReport) {
-        let (out, stats) = self.system.matmul_f32(a, b);
+        self.try_gemm(a, b).unwrap_or_else(|e| panic!("gemm: {e}"))
+    }
+
+    /// Fallible [`Accelerator::gemm`]: the guardrail errors of
+    /// [`System::try_matmul_f32`] (non-finite operands, dimension
+    /// mismatches) propagate as typed errors instead of panicking the
+    /// batch path.
+    pub fn try_gemm(&self, a: &MatF32, b: &MatF32) -> Result<(MatF32, GemmReport), ArithError> {
+        let (out, stats) = self.system.try_matmul_f32(a, b)?;
         let seconds = stats.seconds(self.system.freq_hz);
         let report = GemmReport {
             stats,
             seconds,
             macs: (a.rows() * a.cols() * b.cols()) as u64,
         };
-        (out, report)
+        Ok((out, report))
     }
 
     /// Fault-tolerant bfp8 GEMM: each output tile is checked against the
@@ -170,6 +182,22 @@ mod tests {
         assert_eq!(out, a.matmul(&b));
         assert!(report.seconds > 0.0);
         assert!(report.gops() > 0.0);
+    }
+
+    #[test]
+    fn try_gemm_propagates_guardrail_errors() {
+        let acc = Accelerator::u280();
+        let mut a = MatF32::from_fn(16, 16, |i, j| (i + j) as f32);
+        let b = MatF32::from_fn(16, 16, |i, j| i as f32 - j as f32);
+        assert!(matches!(
+            acc.try_gemm(&a, &MatF32::zeros(8, 8)),
+            Err(ArithError::DimensionMismatch { .. })
+        ));
+        a.set(1, 2, f32::NAN);
+        assert!(matches!(
+            acc.try_gemm(&a, &b),
+            Err(ArithError::NonFinite { at: (1, 2) })
+        ));
     }
 
     #[test]

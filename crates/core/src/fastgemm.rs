@@ -1,0 +1,202 @@
+//! Block-row-parallel packed GEMM: the multi-core twin of
+//! [`bfp_arith::packed::PackedBfp::matmul`].
+//!
+//! Every (bi, bj) output tile of the bfp datapath owns an independent
+//! exponent-alignment chain — no partial result ever crosses a block-row
+//! boundary — so the output grid can be sharded by block-rows across OS
+//! threads and recomposed without changing a single bit. This mirrors how
+//! [`bfp_platform::System`] shards the *cycle simulation* across modelled
+//! arrays; here the same axis parallelises the *fast functional* kernel.
+//!
+//! Determinism: each shard writes a disjoint slice of the output buffer
+//! and shares nothing else, so the result is independent of scheduling
+//! and thread count, and identical to the serial kernel. The
+//! cross-check proptests at the workspace root pin
+//! `parallel == serial == naive == cycle simulator`.
+
+use bfp_arith::error::ArithError;
+use bfp_arith::matrix::MatF32;
+use bfp_arith::packed::PackedBfp;
+use bfp_arith::quant::Quantizer;
+
+/// Below this many scalar MACs the fork/join overhead of scoped threads
+/// outweighs the work; the kernel runs single-threaded. (A DeiT-Small
+/// projection GEMM is ~29 M MACs — far above; an 8×8 block product is
+/// 512 — far below.)
+pub const PARALLEL_MAC_THRESHOLD: u64 = 2_000_000;
+
+/// How to shard a packed GEMM across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelPolicy {
+    /// Deterministic single-thread execution (the serial kernel, always).
+    Serial,
+    /// Shard block-rows across up to `n` threads when the shape is large
+    /// enough to amortise fork/join; small shapes fall back to serial.
+    Threads(usize),
+    /// `Threads(available_parallelism())`.
+    Auto,
+}
+
+impl ParallelPolicy {
+    /// The thread budget this policy resolves to on this host.
+    pub fn threads(self) -> usize {
+        match self {
+            ParallelPolicy::Serial => 1,
+            ParallelPolicy::Threads(n) => n.max(1),
+            ParallelPolicy::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Packed GEMM with block-row sharding under `policy`. Bit-identical to
+/// [`PackedBfp::matmul`] (and therefore to `BfpMatrix::try_matmul` and the
+/// cycle simulator) for every policy.
+pub fn packed_matmul(
+    a: &PackedBfp,
+    b: &PackedBfp,
+    policy: ParallelPolicy,
+) -> Result<MatF32, ArithError> {
+    a.check_compatible(b)?;
+    let (mb, _) = a.grid();
+    let macs = a.rows() as u64 * a.cols() as u64 * b.cols() as u64;
+    let threads = policy.threads().min(mb.max(1));
+    if threads <= 1 || macs < PARALLEL_MAC_THRESHOLD {
+        return a.matmul(b);
+    }
+
+    let block = a.block();
+    let rows = a.rows();
+    let cols = b.cols();
+    let mut out = MatF32::zeros(rows, cols);
+    // Carve the output into per-shard row slices up front; the shards are
+    // disjoint, so the scoped threads can write them concurrently.
+    let per = mb.div_ceil(threads);
+    let mut shards: Vec<(usize, usize, &mut [f32])> = Vec::with_capacity(threads);
+    let mut rest = out.data_mut();
+    let mut consumed = 0usize;
+    for t in 0..threads {
+        let lo = (t * per).min(mb);
+        let hi = ((t + 1) * per).min(mb);
+        if lo >= hi {
+            break;
+        }
+        let shard_rows = (hi * block).min(rows) - lo * block;
+        let (head, tail) = rest.split_at_mut(shard_rows * cols);
+        shards.push((lo, hi, head));
+        rest = tail;
+        consumed += shard_rows;
+    }
+    debug_assert_eq!(consumed, rows, "shards must tile the output");
+
+    crossbeam::thread::scope(|scope| {
+        for (lo, hi, buf) in shards {
+            scope.spawn(move |_| a.matmul_rows_into(b, lo, hi, buf));
+        }
+    })
+    .expect("GEMM shard thread panicked");
+    Ok(out)
+}
+
+/// Quantize two `f32` matrices and multiply them on the packed fast path
+/// (the functional counterpart of [`bfp_platform::System::try_matmul_f32`],
+/// without cycle accounting).
+pub fn fast_matmul_f32(
+    q: &Quantizer,
+    a: &MatF32,
+    b: &MatF32,
+    policy: ParallelPolicy,
+) -> Result<MatF32, ArithError> {
+    let pa = PackedBfp::quantize_lhs(q, a)?;
+    let pb = PackedBfp::quantize_rhs(q, b)?;
+    packed_matmul(&pa, &pb, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spiky(rows: usize, cols: usize) -> MatF32 {
+        MatF32::from_fn(rows, cols, |i, j| {
+            let base = ((i * 29 + j * 11) % 17) as f32 - 8.0;
+            match (i / 8 + j / 8) % 3 {
+                0 => base * 512.0,
+                1 => base * 0.002,
+                _ => base,
+            }
+        })
+    }
+
+    fn assert_bits_eq(a: &MatF32, b: &MatF32) {
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial_and_naive() {
+        let q = Quantizer::paper();
+        // Large enough to clear PARALLEL_MAC_THRESHOLD: 160·128·160 ≈ 3.3 M.
+        let a = spiky(160, 128);
+        let b = spiky(128, 160);
+        let (qa, qb) = (q.quantize(&a).unwrap(), q.quantize(&b).unwrap());
+        let naive = qa.try_matmul(&qb).unwrap();
+        let (pa, pb) = (PackedBfp::pack_lhs(&qa), PackedBfp::pack_rhs(&qb));
+        for policy in [
+            ParallelPolicy::Serial,
+            ParallelPolicy::Threads(2),
+            ParallelPolicy::Threads(5),
+            ParallelPolicy::Threads(64),
+            ParallelPolicy::Auto,
+        ] {
+            let got = packed_matmul(&pa, &pb, policy).unwrap();
+            assert_bits_eq(&got, &naive);
+        }
+    }
+
+    #[test]
+    fn small_shapes_fall_back_to_serial_and_stay_exact() {
+        let q = Quantizer::paper();
+        let a = spiky(16, 24);
+        let b = spiky(24, 8);
+        let got = fast_matmul_f32(&q, &a, &b, ParallelPolicy::Auto).unwrap();
+        let want = q.quantize(&a).unwrap().matmul(&q.quantize(&b).unwrap());
+        assert_bits_eq(&got, &want);
+    }
+
+    #[test]
+    fn odd_block_row_counts_shard_cleanly() {
+        let q = Quantizer::paper();
+        // 197 rows -> 25 block rows, not divisible by typical thread counts;
+        // also a non-multiple-of-8 logical edge in both dimensions.
+        let a = spiky(197, 96);
+        let b = spiky(96, 131);
+        let got = fast_matmul_f32(&q, &a, &b, ParallelPolicy::Threads(7)).unwrap();
+        let want = q
+            .quantize(&a)
+            .unwrap()
+            .try_matmul(&q.quantize(&b).unwrap())
+            .unwrap();
+        assert_bits_eq(&got, &want);
+    }
+
+    #[test]
+    fn dimension_errors_are_typed() {
+        let q = Quantizer::paper();
+        let a = PackedBfp::quantize_lhs(&q, &spiky(16, 16)).unwrap();
+        let b = PackedBfp::quantize_rhs(&q, &spiky(8, 8)).unwrap();
+        assert!(matches!(
+            packed_matmul(&a, &b, ParallelPolicy::Auto),
+            Err(ArithError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn policy_thread_budgets() {
+        assert_eq!(ParallelPolicy::Serial.threads(), 1);
+        assert_eq!(ParallelPolicy::Threads(0).threads(), 1);
+        assert_eq!(ParallelPolicy::Threads(6).threads(), 6);
+        assert!(ParallelPolicy::Auto.threads() >= 1);
+    }
+}

@@ -33,6 +33,7 @@
 pub mod accelerator;
 pub mod batch;
 pub mod compiler;
+pub mod fastgemm;
 pub mod graph;
 pub mod latency;
 pub mod report;
@@ -43,6 +44,7 @@ pub mod vprog;
 pub use accelerator::{Accelerator, GemmReport, InferenceReport};
 pub use batch::{BatchLatency, BatchResult};
 pub use compiler::{compile_gemm, compile_gemm_blocks, CompiledGemm, DrainSlot};
+pub use fastgemm::{fast_matmul_f32, packed_matmul, ParallelPolicy};
 pub use graph::{lower_vit, Graph, OpKind, OpNode};
 pub use latency::{Breakdown, LatencyModel, Partition};
 pub use report::{fmt_si, Table};

@@ -1,8 +1,12 @@
 //! Execution engines: the mixed-precision accelerator path versus the f32
 //! reference, behind one trait so the same model code runs on both.
 
+use std::collections::HashMap;
+
+use bfp_arith::error::ArithError;
 use bfp_arith::int8quant::Int8Tensor;
 use bfp_arith::matrix::MatF32;
+use bfp_arith::packed::PackedBfp;
 use bfp_arith::quant::Quantizer;
 
 use crate::reference;
@@ -96,6 +100,72 @@ impl Engine for RefEngine {
     }
 }
 
+/// Content key of a weight-plan cache entry: shape plus an FNV-1a hash of
+/// the operand's exact `f32` bit patterns. Two matrices collide only if
+/// they agree in shape *and* 64-bit content hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    rows: usize,
+    cols: usize,
+    hash: u64,
+}
+
+impl PlanKey {
+    fn of(m: &MatF32) -> PlanKey {
+        // FNV-1a over the bit patterns; bit-exact, NaN-payload sensitive.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(m.rows() as u64);
+        eat(m.cols() as u64);
+        let mut chunks = m.data().chunks_exact(2);
+        for pair in &mut chunks {
+            eat((pair[0].to_bits() as u64) << 32 | pair[1].to_bits() as u64);
+        }
+        if let [last] = chunks.remainder() {
+            eat(last.to_bits() as u64);
+        }
+        PlanKey {
+            rows: m.rows(),
+            cols: m.cols(),
+            hash: h,
+        }
+    }
+}
+
+/// One cached, executable quantization of a weight matrix: the bfp8 tiles
+/// already packed in the kernel-ready block-transposed RHS layout.
+#[derive(Debug, Clone)]
+struct WeightPlan {
+    packed: PackedBfp,
+    /// Hits since the last eviction sweep (decides survival).
+    hits: u64,
+}
+
+/// Observability counters for the [`MixedEngine`] weight-plan cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// GEMMs whose RHS was served from a cached plan.
+    pub hits: u64,
+    /// GEMMs that quantized + packed their RHS (and cached the plan).
+    pub misses: u64,
+    /// Entries dropped by eviction sweeps (cold, typically activations).
+    pub evicted: u64,
+    /// Plans currently resident.
+    pub entries: usize,
+    /// Approximate resident bytes across all plans.
+    pub bytes: usize,
+}
+
+/// Soft capacity of the weight-plan cache. A full DeiT model holds well
+/// under a hundred distinct weight matrices; the headroom absorbs
+/// activation churn between eviction sweeps.
+const PLAN_CACHE_CAP: usize = 256;
+
 /// Where fp32 divisions and square roots execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DivisionPolicy {
@@ -116,6 +186,13 @@ pub struct MixedEngine {
     vpu: Vpu,
     census: OpCensus,
     division: DivisionPolicy,
+    /// Content-keyed quantize-and-pack cache for RHS operands. Weight
+    /// matrices are constant across tokens, layers, images, and batches,
+    /// so their plans are built once and reused; activation operands churn
+    /// and are swept out by the eviction pass.
+    plans: HashMap<PlanKey, WeightPlan>,
+    plan_stats: PlanCacheStats,
+    cache_enabled: bool,
 }
 
 impl Default for MixedEngine {
@@ -133,6 +210,20 @@ impl MixedEngine {
             vpu: Vpu::new(),
             census: OpCensus::default(),
             division: DivisionPolicy::Host,
+            plans: HashMap::new(),
+            plan_stats: PlanCacheStats::default(),
+            cache_enabled: true,
+        }
+    }
+
+    /// An engine with the weight-plan cache disabled: every GEMM
+    /// re-quantizes both operands, as the pre-cache engine did. Results
+    /// are bit-identical either way; this exists for A/B benchmarking and
+    /// for memory-constrained embedders.
+    pub fn without_weight_cache() -> Self {
+        MixedEngine {
+            cache_enabled: false,
+            ..Self::new()
         }
     }
 
@@ -163,6 +254,64 @@ impl MixedEngine {
         std::mem::take(&mut self.census)
     }
 
+    /// Weight-plan cache counters (hits, misses, evictions, footprint).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        let mut s = self.plan_stats;
+        s.entries = self.plans.len();
+        s.bytes = self.plans.values().map(|p| p.packed.bytes()).sum();
+        s
+    }
+
+    /// Drop every cached weight plan (counters are kept).
+    pub fn clear_weight_cache(&mut self) {
+        self.plans.clear();
+    }
+
+    /// Resolve the RHS operand to a packed plan: cached when enabled and
+    /// previously seen, freshly quantized + packed otherwise.
+    fn rhs_plan(&mut self, b: &MatF32) -> Result<&PackedBfp, ArithError> {
+        if !self.cache_enabled {
+            // Stash under a reserved slot so the borrow can be returned
+            // uniformly; a disabled cache holds at most this one entry.
+            let packed = PackedBfp::quantize_rhs(&self.quantizer, b)?;
+            self.plans.clear();
+            let key = PlanKey {
+                rows: 0,
+                cols: 0,
+                hash: 0,
+            };
+            return Ok(&self
+                .plans
+                .entry(key)
+                .or_insert(WeightPlan { packed, hits: 0 })
+                .packed);
+        }
+        let key = PlanKey::of(b);
+        if self.plans.contains_key(&key) {
+            self.plan_stats.hits += 1;
+            let plan = self.plans.get_mut(&key).expect("checked");
+            plan.hits += 1;
+            return Ok(&plan.packed);
+        }
+        let packed = PackedBfp::quantize_rhs(&self.quantizer, b)?;
+        self.plan_stats.misses += 1;
+        if self.plans.len() >= PLAN_CACHE_CAP {
+            // Sweep: keep plans that were re-used since the last sweep
+            // (weights), drop one-shot entries (activations).
+            let before = self.plans.len();
+            self.plans.retain(|_, p| p.hits > 0);
+            self.plan_stats.evicted += (before - self.plans.len()) as u64;
+            for p in self.plans.values_mut() {
+                p.hits = 0;
+            }
+        }
+        Ok(&self
+            .plans
+            .entry(key)
+            .or_insert(WeightPlan { packed, hits: 0 })
+            .packed)
+    }
+
     fn vpu_delta(&mut self, f: impl FnOnce(&mut Vpu)) -> OpCount {
         let before = self.vpu.count;
         f(&mut self.vpu);
@@ -180,19 +329,32 @@ impl MixedEngine {
 
 impl Engine for MixedEngine {
     fn matmul(&mut self, a: &MatF32, b: &MatF32) -> MatF32 {
-        match (self.quantizer.quantize(a), self.quantizer.quantize(b)) {
-            (Ok(qa), Ok(qb)) => {
-                self.census.matmul_macs += (a.rows() * a.cols() * b.cols()) as u64;
-                qa.matmul(&qb)
-            }
+        // Packed fast path: quantize the activation side, resolve the RHS
+        // through the weight-plan cache, and run the packed kernel — which
+        // is bit-identical to `BfpMatrix::try_matmul`, so caching changes
+        // wall-clock only, never a single output bit.
+        let qa = match self.quantizer.quantize(a) {
+            Ok(qa) => qa,
             // A non-finite operand cannot be expressed in bfp8; degrade
             // this GEMM to the fp32 reference path and count it, matching
             // the per-layer fallback policy of the scheduler.
-            _ => {
+            Err(_) => {
                 self.census.fp32_fallbacks += 1;
-                a.matmul(b)
+                return a.matmul(b);
             }
-        }
+        };
+        let macs = (a.rows() * a.cols() * b.cols()) as u64;
+        let out = match self.rhs_plan(b) {
+            Ok(pb) => PackedBfp::pack_lhs(&qa)
+                .matmul(pb)
+                .unwrap_or_else(|e| panic!("matmul: {e}")),
+            Err(_) => {
+                self.census.fp32_fallbacks += 1;
+                return a.matmul(b);
+            }
+        };
+        self.census.matmul_macs += macs;
+        out
     }
 
     fn softmax_rows(&mut self, m: &mut MatF32) {
@@ -471,6 +633,85 @@ mod tests {
         assert!(
             sb > si,
             "bfp8 {sb:.1} dB must beat per-tensor int8 {si:.1} dB"
+        );
+    }
+
+    #[test]
+    fn cached_and_uncached_engines_are_bit_identical() {
+        use crate::config::VitConfig;
+        use crate::model::VitModel;
+        let model = VitModel::new_random(VitConfig::tiny_test(), 29);
+        let x = model.synthetic_input(5);
+
+        let mut cached = MixedEngine::new();
+        let mut uncached = MixedEngine::without_weight_cache();
+        // Run the cached engine twice so the second pass is served from
+        // the plan cache; all three outputs must agree bit-for-bit.
+        let first = model.forward(&mut cached, &x);
+        let warm = model.forward(&mut cached, &x);
+        let cold = model.forward(&mut uncached, &x);
+        let stats = cached.plan_cache_stats();
+        assert!(stats.hits > 0, "second pass must hit the cache: {stats:?}");
+        for ((a, b), c) in first.data().iter().zip(warm.data()).zip(cold.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+            assert_eq!(a.to_bits(), c.to_bits());
+        }
+    }
+
+    #[test]
+    fn engine_matmul_is_bit_identical_to_naive_kernel() {
+        let q = Quantizer::paper();
+        let a = MatF32::from_fn(21, 19, |i, j| ((i * 3 + j * 5) as f32 * 0.17).sin() * 40.0);
+        let b = MatF32::from_fn(19, 11, |i, j| ((i as f32 - j as f32) * 0.23).cos() * 0.02);
+        let want = q.quantize(&a).unwrap().matmul(&q.quantize(&b).unwrap());
+        let mut e = MixedEngine::new();
+        for _ in 0..2 {
+            let got = e.matmul(&a, &b);
+            for (x, y) in got.data().iter().zip(want.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert_eq!(e.plan_cache_stats().hits, 1);
+        assert_eq!(e.plan_cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn weight_plans_are_reused_across_tokens_and_reported() {
+        let mut e = MixedEngine::new();
+        let w = MatF32::from_fn(16, 16, |i, j| ((i * j) as f32 * 0.01).sin());
+        for t in 0..5 {
+            let x = MatF32::from_fn(4, 16, |i, j| (i + j + t) as f32 * 0.1);
+            let _ = e.matmul(&x, &w);
+        }
+        let s = e.plan_cache_stats();
+        assert_eq!(s.misses, 1, "the constant weight quantizes once: {s:?}");
+        assert_eq!(s.hits, 4);
+        assert_eq!(s.entries, 1);
+        assert!(s.bytes > 0);
+        e.clear_weight_cache();
+        assert_eq!(e.plan_cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn plan_cache_eviction_keeps_hot_entries_bounded() {
+        let mut e = MixedEngine::new();
+        let x = MatF32::from_fn(2, 8, |i, j| (i + j) as f32 * 0.3);
+        let hot = MatF32::from_fn(8, 8, |i, j| (i * 8 + j) as f32 * 0.05);
+        // Interleave one hot weight with a churn of one-shot matrices.
+        for n in 0..(3 * PLAN_CACHE_CAP as u32) {
+            let _ = e.matmul(&x, &hot);
+            let churn = MatF32::from_fn(8, 8, |i, j| (i * 8 + j) as f32 + n as f32 * 0.7);
+            let _ = e.matmul(&x, &churn);
+        }
+        let s = e.plan_cache_stats();
+        assert!(
+            s.entries <= PLAN_CACHE_CAP + 1,
+            "cache stays bounded: {s:?}"
+        );
+        assert!(s.evicted > 0, "churn must be swept: {s:?}");
+        assert!(
+            s.hits >= 3 * PLAN_CACHE_CAP as u64 - 1,
+            "hot weight survives sweeps: {s:?}"
         );
     }
 

@@ -30,7 +30,9 @@ pub mod vpu;
 pub use attention::Attention;
 pub use config::VitConfig;
 pub use deit::{DeitConfig, DeitModel, Image};
-pub use engine::{DivisionPolicy, Engine, Int8Engine, MixedEngine, OpCensus, RefEngine};
+pub use engine::{
+    DivisionPolicy, Engine, Int8Engine, MixedEngine, OpCensus, PlanCacheStats, RefEngine,
+};
 pub use flops::analytical_census;
 pub use layers::{LayerNormParams, Linear};
 pub use model::{Block, VitModel};

@@ -5,7 +5,7 @@
 //! ```
 
 use bfp_core::Accelerator;
-use bfp_transformer::{DeitConfig, DeitModel, Image, VitConfig};
+use bfp_transformer::{DeitConfig, DeitModel, Image, MixedEngine, VitConfig};
 
 fn main() {
     // A small DeiT so the bit-exact simulation of a 32-image batch is quick.
@@ -65,5 +65,42 @@ fn main() {
         "  best for this batch: {} at {:.0} images/s",
         l.best_strategy(),
         l.best_throughput()
+    );
+
+    // Host-side execution: the same batch through the functional engine,
+    // with the weight-plan cache off (every GEMM re-quantizes and re-packs
+    // its weights) and on (each weight matrix is planned once, then reused
+    // across all images).
+    println!("\nhost execution, weight-plan cache off vs on:");
+    let mut naive = MixedEngine::without_weight_cache();
+    let start = std::time::Instant::now();
+    let cold: Vec<usize> = images.iter().map(|im| model.predict(&mut naive, im)).collect();
+    let naive_s = start.elapsed().as_secs_f64();
+
+    let mut cached = MixedEngine::new();
+    model.predict(&mut cached, &images[0]); // warm the plans once
+    let start = std::time::Instant::now();
+    let warm: Vec<usize> = images.iter().map(|im| model.predict(&mut cached, im)).collect();
+    let cached_s = start.elapsed().as_secs_f64();
+
+    assert_eq!(cold, warm, "the plan cache must not change predictions");
+    let stats = cached.plan_cache_stats();
+    println!(
+        "  uncached: {:.2} s ({:.1} images/s)",
+        naive_s,
+        images.len() as f64 / naive_s
+    );
+    println!(
+        "  cached  : {:.2} s ({:.1} images/s) — {:.2}x wall-clock speedup",
+        cached_s,
+        images.len() as f64 / cached_s,
+        naive_s / cached_s
+    );
+    println!(
+        "  plan cache: {} entries, {} hits, {} misses, {:.1} KiB",
+        stats.entries,
+        stats.hits,
+        stats.misses,
+        stats.bytes as f64 / 1024.0
     );
 }

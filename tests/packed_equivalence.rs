@@ -1,0 +1,129 @@
+//! The fast-path equivalence contract, property-tested: the packed serial
+//! kernel, the block-row-parallel kernel, the naive reference kernel, and
+//! the `bfp-pu` cycle simulator must produce bit-identical `f32` outputs
+//! on the same quantized operands — for every shape (including
+//! non-multiples of the block size) and every mix of block exponents.
+//! The `MixedEngine` weight-plan cache must likewise never change a bit.
+
+use bfp_arith::matrix::MatF32;
+use bfp_arith::packed::PackedBfp;
+use bfp_arith::quant::Quantizer;
+use bfp_core::{packed_matmul, ParallelPolicy};
+use bfp_pu::unit::{grid_from_matrix, Fidelity, ProcessingUnit, UnitConfig};
+use bfp_transformer::{Engine, MixedEngine, VitConfig, VitModel};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random matrix whose 8×8 tiles land on very
+/// different block exponents (`spread` decades apart), so the exponent
+/// alignment chain truncates — the path where any evaluation-order
+/// difference between kernels would surface as a bit difference.
+fn tiered(rows: usize, cols: usize, seed: u64, spread: u32) -> MatF32 {
+    MatF32::from_fn(rows, cols, |i, j| {
+        let mut z = seed
+            .wrapping_add((i * cols + j + 1) as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 31;
+        let base = (z % 8192) as f32 / 1024.0 - 4.0;
+        let tier = ((i / 8) + (j / 8)) % (spread as usize + 1);
+        base * (tier as f32 * 6.0).exp2()
+    })
+}
+
+fn bits_eq(a: &MatF32, b: &MatF32) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// The cycle simulator's answer: quantize, run the stepped (per-DSP-clock)
+/// simulation on one processing unit, convert the wide output grid to f32
+/// exactly the way the platform layer does.
+fn cycle_sim_product(qa: &bfp_arith::quant::BfpMatrix, qb: &bfp_arith::quant::BfpMatrix, rows: usize, cols: usize) -> MatF32 {
+    let mut unit = ProcessingUnit::new(UnitConfig {
+        fidelity: Fidelity::Stepped,
+        ..Default::default()
+    });
+    let grid = unit.matmul_grid(&grid_from_matrix(qa), &grid_from_matrix(qb));
+    MatF32::from_fn(rows, cols, |i, j| {
+        let w = &grid[i / 8][j / 8];
+        (w.man[i % 8][j % 8] as f64 * (w.exp as f64).exp2()) as f32
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// naive == packed serial == packed parallel == cycle simulator,
+    /// bit-for-bit, across ragged shapes and mixed block exponents.
+    #[test]
+    fn all_gemm_paths_agree_bitwise(
+        m in 1usize..34,
+        k in 1usize..34,
+        n in 1usize..34,
+        seed in any::<u64>(),
+        spread in 0u32..3,
+    ) {
+        let a = tiered(m, k, seed, spread);
+        let b = tiered(k, n, seed ^ 0x5DEE_CE66, spread);
+        let q = Quantizer::paper();
+        let (qa, qb) = (q.quantize(&a).unwrap(), q.quantize(&b).unwrap());
+
+        let naive = qa.try_matmul(&qb).unwrap();
+        let (pa, pb) = (PackedBfp::pack_lhs(&qa), PackedBfp::pack_rhs(&qb));
+        let packed = pa.matmul(&pb).unwrap();
+        prop_assert!(bits_eq(&packed, &naive), "packed kernel diverged");
+
+        for policy in [ParallelPolicy::Serial, ParallelPolicy::Threads(3)] {
+            let par = packed_matmul(&pa, &pb, policy).unwrap();
+            prop_assert!(bits_eq(&par, &naive), "parallel kernel diverged ({policy:?})");
+        }
+
+        let sim = cycle_sim_product(&qa, &qb, m, n);
+        prop_assert!(bits_eq(&sim, &naive), "cycle simulator diverged");
+    }
+
+    /// The weight-plan cache is invisible to numerics: a cache-enabled
+    /// engine and a cache-disabled engine produce bit-identical GEMMs,
+    /// warm or cold.
+    #[test]
+    fn weight_plan_cache_never_changes_bits(
+        m in 1usize..20,
+        k in 1usize..20,
+        n in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let a = tiered(m, k, seed, 2);
+        let b = tiered(k, n, seed ^ 0xA5A5, 2);
+        let mut cached = MixedEngine::new();
+        let mut uncached = MixedEngine::without_weight_cache();
+        let cold = cached.matmul(&a, &b);
+        prop_assert!(bits_eq(&cold, &uncached.matmul(&a, &b)));
+        // Second pass hits the plan cache; the bits must not move.
+        let warm = cached.matmul(&a, &b);
+        prop_assert!(bits_eq(&warm, &cold));
+    }
+}
+
+/// Whole-model determinism under the cache: the same ViT forward pass on a
+/// shared cache-enabled engine matches a fresh cache-disabled engine, run
+/// after run.
+#[test]
+fn cached_engine_model_forward_is_bit_stable() {
+    let model = VitModel::new_random(VitConfig::tiny_test(), 7);
+    let x = model.synthetic_input(9);
+    let mut cached = MixedEngine::new();
+    let first = model.forward(&mut cached, &x);
+    for _ in 0..2 {
+        let again = model.forward(&mut cached, &x);
+        assert!(bits_eq(&again, &first), "warm forward drifted");
+        let mut fresh = MixedEngine::without_weight_cache();
+        let reference = model.forward(&mut fresh, &x);
+        assert!(bits_eq(&reference, &first), "cache changed model output");
+    }
+    let stats = cached.plan_cache_stats();
+    assert!(stats.hits > 0, "expected plan-cache hits, got {stats:?}");
+}
