@@ -36,6 +36,13 @@ pub enum ArithError {
         /// Number of elements that hit the clamp.
         count: u64,
     },
+    /// The operation was abandoned at a cooperative checkpoint because
+    /// its [`crate::cancel::CancelToken`] fired.
+    Cancelled {
+        /// `true` when a deadline expired, `false` for an explicit cancel
+        /// (shutdown, shed).
+        expired: bool,
+    },
     /// A quantized block's round-trip error exceeded the analytic bound
     /// for its mantissa width — the signature of a corrupted shared
     /// exponent or mantissa word.
@@ -76,6 +83,13 @@ impl fmt::Display for ArithError {
             }
             ArithError::Saturated { count } => {
                 write!(f, "{count} elements saturated beyond the configured policy")
+            }
+            ArithError::Cancelled { expired } => {
+                if *expired {
+                    write!(f, "deadline expired before the operation completed")
+                } else {
+                    write!(f, "operation cancelled")
+                }
             }
             ArithError::QuantBoundExceeded {
                 block,

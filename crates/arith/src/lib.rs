@@ -46,6 +46,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod bfp;
+pub mod cancel;
 pub mod error;
 pub mod fpadd;
 pub mod guard;
@@ -62,6 +63,7 @@ pub mod stats;
 pub mod ulp;
 
 pub use bfp::{BfpBlock, BlockAcc, WideBlock, BLOCK};
+pub use cancel::CancelToken;
 pub use error::ArithError;
 pub use fpadd::{AddVariant, HwFp32Add};
 pub use guard::{GuardFlags, SaturationPolicy};

@@ -1,0 +1,252 @@
+//! Open-loop load generator for the serving runtime.
+//!
+//! Requests arrive on a fixed schedule (open loop: the generator does
+//! not wait for completions, so queueing delay is visible in the tail),
+//! with and without a mid-run fault storm on one array. Emits
+//! `BENCH_SERVE.json` so successive PRs have comparable serving numbers.
+//!
+//! ```text
+//! cargo run --release -p bfp-bench --bin serve_bench            # full
+//! cargo run --release -p bfp-bench --bin serve_bench -- --quick # CI
+//! cargo run --release -p bfp-bench --bin serve_bench -- --out /tmp/s.json
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use bfp_bench::smooth_matrix;
+use bfp_core::Table;
+use bfp_serve::{
+    ArrayFaultPlan, ArrayHealth, HealthPolicy, ServeConfig, ServeRequest, Server, Ticket,
+};
+
+const ARRAYS: usize = 4;
+const GEMM_N: usize = 32;
+
+fn request(seed: u32) -> ServeRequest {
+    ServeRequest::new(
+        smooth_matrix(GEMM_N, GEMM_N, seed),
+        smooth_matrix(GEMM_N, GEMM_N, seed ^ 0x5A5A),
+    )
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 1024,
+        health: HealthPolicy {
+            degrade_strikes: 1,
+            quarantine_strikes: 2,
+            clean_streak: 8,
+            probe_interval: Duration::from_millis(5),
+            probe_interval_cap: Duration::from_millis(50),
+            probes_to_readmit: 2,
+        },
+        ..Default::default()
+    }
+}
+
+/// Closed-loop calibration: mean host wall seconds per request on one
+/// array, used to pick an open-loop rate below saturation.
+fn calibrate() -> f64 {
+    let server = Server::simulated(config(), vec![ArrayFaultPlan::None]);
+    let n = 32;
+    let t0 = Instant::now();
+    for s in 0..n {
+        server.submit(request(s)).unwrap().wait().unwrap();
+    }
+    t0.elapsed().as_secs_f64() / n as f64
+}
+
+struct ScenarioResult {
+    name: &'static str,
+    requests: u64,
+    completed: u64,
+    failed: u64,
+    retries: u64,
+    degraded_executions: u64,
+    offered_rps: f64,
+    achieved_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    queue_high_water: usize,
+    quarantine_entries: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drive `total` requests at `rate_rps` open-loop arrivals into a fleet
+/// where one array is latched-faulty iff `faulty`.
+fn run_scenario(
+    name: &'static str,
+    total: u64,
+    rate_rps: f64,
+    faulty: bool,
+) -> ScenarioResult {
+    let mut plans = vec![ArrayFaultPlan::None; ARRAYS];
+    let mut heal = None;
+    if faulty {
+        let (plan, flag) = ArrayFaultPlan::latched();
+        plans[ARRAYS - 1] = plan;
+        heal = Some(flag);
+    }
+    let server = Server::simulated(config(), plans);
+
+    let gap = Duration::from_secs_f64(1.0 / rate_rps);
+    let t0 = Instant::now();
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(total as usize);
+    for s in 0..total {
+        // Open loop: catch up to the schedule, never wait on responses.
+        let due = t0 + gap * s as u32;
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        if let Ok(t) = server.submit(request(s as u32)) {
+            tickets.push(t);
+        }
+        // Mid-run repair, so the storm also exercises re-admission.
+        if faulty && s == total * 3 / 4 {
+            if let Some(flag) = &heal {
+                flag.store(false, Ordering::Relaxed);
+            }
+        }
+    }
+    server.drain();
+    let span = t0.elapsed().as_secs_f64();
+
+    let mut lat_ms: Vec<f64> = tickets
+        .iter()
+        .filter_map(|t| t.try_get().and_then(Result::ok).map(|r| r.wall_s * 1e3))
+        .collect();
+    lat_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let st = server.stats();
+    ScenarioResult {
+        name,
+        requests: total,
+        completed: st.completed,
+        failed: st.failed,
+        retries: st.retries,
+        degraded_executions: st.degraded_executions,
+        offered_rps: rate_rps,
+        achieved_rps: st.completed as f64 / span,
+        p50_ms: percentile(&lat_ms, 0.50),
+        p99_ms: percentile(&lat_ms, 0.99),
+        queue_high_water: st.queue_depth_high_water,
+        quarantine_entries: st
+            .per_array
+            .iter()
+            .map(|a| a.times_entered(ArrayHealth::Quarantined) as u64)
+            .sum(),
+    }
+}
+
+fn to_json(rows: &[ScenarioResult], quick: bool, service_s: f64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"bench_serve/v1\",");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"arrays\": {ARRAYS},");
+    let _ = writeln!(s, "  \"gemm_n\": {GEMM_N},");
+    let _ = writeln!(s, "  \"calibrated_service_ms\": {:.4},", service_s * 1e3);
+    s.push_str("  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(s, "      \"requests\": {},", r.requests);
+        let _ = writeln!(s, "      \"completed\": {},", r.completed);
+        let _ = writeln!(s, "      \"failed\": {},", r.failed);
+        let _ = writeln!(s, "      \"retries\": {},", r.retries);
+        let _ = writeln!(s, "      \"faulted_discarded\": {},", r.degraded_executions);
+        let _ = writeln!(s, "      \"offered_rps\": {:.1},", r.offered_rps);
+        let _ = writeln!(s, "      \"achieved_rps\": {:.1},", r.achieved_rps);
+        let _ = writeln!(s, "      \"p50_ms\": {:.4},", r.p50_ms);
+        let _ = writeln!(s, "      \"p99_ms\": {:.4},", r.p99_ms);
+        let _ = writeln!(s, "      \"queue_high_water\": {},", r.queue_high_water);
+        let _ = writeln!(s, "      \"quarantine_entries\": {}", r.quarantine_entries);
+        let _ = write!(s, "    }}{}", if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_SERVE.json".to_string());
+
+    let service_s = calibrate();
+    // Offered load: ~60% of the fleet's closed-loop capacity, so the
+    // clean scenario is stable and the fault storm shows up as tail
+    // latency rather than collapse.
+    let rate = 0.6 * ARRAYS as f64 / service_s.max(1e-6);
+    let total: u64 = if quick { 80 } else { 400 };
+
+    println!(
+        "open-loop serving bench: {ARRAYS} arrays, {GEMM_N}x{GEMM_N} GEMMs, \
+         service {:.3} ms/req, offered {:.0} req/s, {total} requests/scenario\n",
+        service_s * 1e3,
+        rate
+    );
+
+    let rows = vec![
+        run_scenario("clean", total, rate, false),
+        run_scenario("fault_storm", total, rate, true),
+    ];
+
+    let mut t = Table::new(
+        "open-loop serving latency (host wall clock)",
+        &[
+            "scenario",
+            "done/req",
+            "p50 ms",
+            "p99 ms",
+            "req/s",
+            "retries",
+            "quarantines",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            r.name.to_string(),
+            format!("{}/{}", r.completed, r.requests),
+            format!("{:.3}", r.p50_ms),
+            format!("{:.3}", r.p99_ms),
+            format!("{:.0}", r.achieved_rps),
+            format!("{}", r.retries),
+            format!("{}", r.quarantine_entries),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let json = to_json(&rows, quick, service_s);
+    std::fs::write(&out_path, &json).expect("write BENCH_SERVE.json");
+    println!("\nwrote {out_path}");
+
+    // Acceptance anchors: the clean run completes everything; the storm
+    // run still answers every admitted request correctly or with a
+    // typed error, and the faulty array was quarantined.
+    let clean = &rows[0];
+    let storm = &rows[1];
+    assert_eq!(clean.completed, clean.requests, "clean run must complete all");
+    assert!(storm.quarantine_entries >= 1, "storm must quarantine");
+    assert_eq!(
+        storm.completed + storm.failed,
+        storm.requests,
+        "every admitted request resolves"
+    );
+    println!(
+        "anchors: clean p99 {:.3} ms, storm p99 {:.3} ms ({} retries, {} quarantine entries)",
+        clean.p99_ms, storm.p99_ms, storm.retries, storm.quarantine_entries
+    );
+}

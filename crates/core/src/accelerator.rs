@@ -8,7 +8,8 @@ use bfp_platform::{System, SystemStats};
 use bfp_transformer::{MixedEngine, OpCensus, RefEngine, VitModel};
 
 use crate::latency::{Breakdown, LatencyModel};
-use crate::resilient::{resilient_matmul, RecoveryPolicy};
+use crate::resilient::{resilient_matmul_with, RecoveryPolicy};
+use bfp_arith::cancel::CancelToken;
 use bfp_arith::error::ArithError;
 use bfp_arith::quant::Quantizer;
 
@@ -89,7 +90,21 @@ impl Accelerator {
         b: &MatF32,
         policy: &RecoveryPolicy,
     ) -> Result<(MatF32, GemmReport), ArithError> {
-        let outcome = resilient_matmul(a, b, &Quantizer::paper(), policy)?;
+        self.gemm_resilient_with(a, b, policy, &CancelToken::new())
+    }
+
+    /// [`Accelerator::gemm_resilient`] under a cancel/deadline token: the
+    /// tile loop polls `cancel` and abandons the GEMM with
+    /// [`ArithError::Cancelled`] once it fires, so a serving runtime can
+    /// revoke work whose deadline has already passed.
+    pub fn gemm_resilient_with(
+        &self,
+        a: &MatF32,
+        b: &MatF32,
+        policy: &RecoveryPolicy,
+        cancel: &CancelToken,
+    ) -> Result<(MatF32, GemmReport), ArithError> {
+        let outcome = resilient_matmul_with(a, b, &Quantizer::paper(), policy, cancel)?;
         let mut stats = SystemStats::default();
         stats.per_array.push(outcome.stats);
         // Backoff stalls the card just like memory overhead does.

@@ -13,6 +13,8 @@
 //! across OS threads — the simulation itself is parallel) and reports the
 //! modelled latency under both strategies.
 
+use bfp_arith::cancel::CancelToken;
+use bfp_arith::error::ArithError;
 use bfp_transformer::{DeitModel, Image, MixedEngine, OpCensus};
 use parking_lot::Mutex;
 
@@ -39,8 +41,14 @@ pub struct BatchLatency {
 
 impl BatchLatency {
     /// Throughput (images/s) of the better strategy for this batch size.
+    /// An empty batch has zero throughput (not NaN from 0/0).
     pub fn best_throughput(&self) -> f64 {
-        self.batch as f64 / self.tile_parallel_batch_s.min(self.image_parallel_batch_s)
+        let best_s = self.tile_parallel_batch_s.min(self.image_parallel_batch_s);
+        if self.batch == 0 || best_s <= 0.0 {
+            0.0
+        } else {
+            self.batch as f64 / best_s
+        }
     }
 
     /// Which strategy finishes the batch first.
@@ -68,23 +76,46 @@ impl Accelerator {
     /// Run a batch of images through the mixed-precision model, sharded
     /// across worker threads, and analyse both batching strategies.
     pub fn infer_batch(&self, model: &DeitModel, images: &[Image]) -> BatchResult {
+        self.try_infer_batch(model, images, &CancelToken::new())
+            .expect("unbounded token never cancels")
+    }
+
+    /// The runtime-driven path of [`Accelerator::infer_batch`]: the same
+    /// sharded execution under a cooperative cancel/deadline token. Every
+    /// worker polls `cancel` between encoder blocks (via
+    /// [`DeitModel::try_predict`]); once it fires the whole batch aborts
+    /// with [`ArithError::Cancelled`] instead of finishing inferences
+    /// nobody will consume.
+    pub fn try_infer_batch(
+        &self,
+        model: &DeitModel,
+        images: &[Image],
+        cancel: &CancelToken,
+    ) -> Result<BatchResult, ArithError> {
         let arrays = self.system().cfg.total_arrays().max(1);
         let workers = arrays.min(images.len()).max(1);
         let results = Mutex::new(vec![None; images.len()]);
         let censuses = Mutex::new(Vec::with_capacity(workers));
+        let first_err: Mutex<Option<ArithError>> = Mutex::new(None);
 
         crossbeam::thread::scope(|scope| {
             for w in 0..workers {
                 let results = &results;
                 let censuses = &censuses;
+                let first_err = &first_err;
                 scope.spawn(move |_| {
                     let mut engine = MixedEngine::new();
                     for (i, img) in images.iter().enumerate() {
                         if i % workers != w {
                             continue;
                         }
-                        let pred = model.predict(&mut engine, img);
-                        results.lock()[i] = Some(pred);
+                        match model.try_predict(&mut engine, img, cancel) {
+                            Ok(pred) => results.lock()[i] = Some(pred),
+                            Err(e) => {
+                                first_err.lock().get_or_insert(e);
+                                break;
+                            }
+                        }
                     }
                     censuses.lock().push(engine.take_census());
                 });
@@ -92,6 +123,9 @@ impl Accelerator {
         })
         .expect("batch worker panicked");
 
+        if let Some(e) = first_err.into_inner() {
+            return Err(e);
+        }
         let predictions: Vec<usize> = results
             .into_inner()
             .into_iter()
@@ -118,11 +152,11 @@ impl Accelerator {
             image_parallel_batch_s: image_serial * (b as f64 / arrays as f64).ceil(),
         };
 
-        BatchResult {
+        Ok(BatchResult {
             predictions,
             census,
             latency,
-        }
+        })
     }
 }
 
@@ -182,6 +216,89 @@ mod tests {
         let a = acc.infer_batch(&model, &images).predictions;
         let b = acc.infer_batch(&model, &images).predictions;
         assert_eq!(a, b);
+    }
+
+    /// Check the cross-strategy invariants of a [`BatchLatency`] for any
+    /// batch size, ragged or not.
+    fn assert_latency_invariants(l: &BatchLatency) {
+        assert!(l.arrays >= 1);
+        // Per-image costs are intrinsic to the schedule: positive and
+        // independent of B.
+        assert!(l.tile_parallel_image_s > 0.0);
+        assert!(l.image_parallel_image_s > 0.0);
+        // Tile-parallel is strictly serial over images.
+        let want_tile = l.tile_parallel_image_s * l.batch as f64;
+        assert!((l.tile_parallel_batch_s - want_tile).abs() <= 1e-12 * want_tile.max(1.0));
+        // Image-parallel runs ceil(B / arrays) waves of the serial time.
+        let waves = (l.batch as f64 / l.arrays as f64).ceil();
+        let want_img = l.image_parallel_image_s * waves;
+        assert!((l.image_parallel_batch_s - want_img).abs() <= 1e-12 * want_img.max(1.0));
+        // Neither strategy beats its own single-image latency at B >= 1.
+        if l.batch >= 1 {
+            assert!(l.tile_parallel_batch_s >= l.tile_parallel_image_s - 1e-12);
+            assert!(l.image_parallel_batch_s >= l.image_parallel_image_s - 1e-12);
+            assert!(l.best_throughput() > 0.0);
+        } else {
+            assert_eq!(l.tile_parallel_batch_s, 0.0);
+            assert_eq!(l.image_parallel_batch_s, 0.0);
+            // Empty batch: throughput is defined (0), not NaN.
+            assert_eq!(l.best_throughput(), 0.0);
+        }
+        assert!(!l.best_strategy().is_empty());
+    }
+
+    #[test]
+    fn empty_batch_is_well_defined() {
+        let (acc, model, _) = setup();
+        let res = acc.infer_batch(&model, &[]);
+        assert!(res.predictions.is_empty());
+        assert_eq!(res.census.matmul_macs, 0);
+        assert_eq!(res.latency.batch, 0);
+        assert_latency_invariants(&res.latency);
+    }
+
+    #[test]
+    fn singleton_batch_matches_sequential_and_latency_model() {
+        let (acc, model, images) = setup();
+        let res = acc.infer_batch(&model, &images[..1]);
+        let mut e = MixedEngine::new();
+        assert_eq!(res.predictions, vec![model.predict(&mut e, &images[0])]);
+        let l = &res.latency;
+        assert_eq!(l.batch, 1);
+        // One image: batch time equals image time under both strategies.
+        assert_eq!(l.tile_parallel_batch_s, l.tile_parallel_image_s);
+        assert_eq!(l.image_parallel_batch_s, l.image_parallel_image_s);
+        assert_latency_invariants(l);
+    }
+
+    #[test]
+    fn ragged_batches_keep_both_strategies_consistent() {
+        // B deliberately not divisible by the array count (u280 has 30
+        // arrays; the tiny batches below always leave a partial wave).
+        let (acc, model, images) = setup();
+        for b in [2usize, 3, 5, 7] {
+            let res = acc.infer_batch(&model, &images[..b]);
+            assert_eq!(res.predictions.len(), b, "B={b}");
+            assert_eq!(res.latency.batch, b, "B={b}");
+            assert_ne!(b % res.latency.arrays, 0, "B={b} accidentally even");
+            assert_latency_invariants(&res.latency);
+            // Sharding must not change the answer for any residue class.
+            for (i, img) in images[..b].iter().enumerate() {
+                let mut e = MixedEngine::new();
+                assert_eq!(res.predictions[i], model.predict(&mut e, img), "B={b} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_token_aborts_batch() {
+        let (acc, model, images) = setup();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = acc
+            .try_infer_batch(&model, &images[..2], &token)
+            .expect_err("cancelled before any inference");
+        assert_eq!(err, ArithError::Cancelled { expired: false });
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! Every action is accounted in a [`FaultReport`], which callers surface
 //! through [`crate::GemmReport`] / `SystemStats`.
 
+use bfp_arith::cancel::CancelToken;
 use bfp_arith::error::ArithError;
 use bfp_arith::matrix::MatF32;
 use bfp_arith::quant::Quantizer;
@@ -81,9 +82,20 @@ impl RecoveryPolicy {
     }
 
     /// Backoff before retry number `attempt` (zero-based), capped.
+    ///
+    /// `base << attempt` is computed with explicit saturation: a shift
+    /// that would push any set bit out of the u64 yields `u64::MAX` (then
+    /// the cap), never a silently wrapped small value — a wrapped backoff
+    /// of 0 cycles would turn a capped retry loop into a hot spin.
     pub fn backoff(&self, attempt: u32) -> u64 {
-        // Saturate before the doubling shifts bits out of the word.
-        let shifted = if attempt >= self.backoff_base_cycles.leading_zeros() {
+        if self.backoff_base_cycles == 0 {
+            // 0 << n is 0 for every n; without this case the saturation
+            // guard below would misreport u64::MAX for large attempts.
+            return 0;
+        }
+        // The top set bit of `base` sits at 63 - leading_zeros; shifting
+        // by more than leading_zeros loses bits, so saturate there.
+        let shifted = if attempt > self.backoff_base_cycles.leading_zeros() {
             u64::MAX
         } else {
             self.backoff_base_cycles << attempt
@@ -116,6 +128,24 @@ pub fn resilient_matmul(
     b: &MatF32,
     quantizer: &Quantizer,
     policy: &RecoveryPolicy,
+) -> Result<ResilientOutcome, ArithError> {
+    resilient_matmul_with(a, b, quantizer, policy, &CancelToken::new())
+}
+
+/// [`resilient_matmul`] with a cooperative cancel/deadline token.
+///
+/// The token is polled at every tile boundary and before every backoff
+/// retry — the executor's natural preemption points — so a serving
+/// runtime can revoke a GEMM whose deadline has passed (or whose array is
+/// being drained for quarantine) without waiting for the whole product.
+/// A fired token surfaces as [`ArithError::Cancelled`]; tiles already
+/// committed are discarded with the partial output.
+pub fn resilient_matmul_with(
+    a: &MatF32,
+    b: &MatF32,
+    quantizer: &Quantizer,
+    policy: &RecoveryPolicy,
+    cancel: &CancelToken,
 ) -> Result<ResilientOutcome, ArithError> {
     if a.cols() != b.rows() {
         return Err(ArithError::DimensionMismatch {
@@ -152,6 +182,7 @@ pub fn resilient_matmul(
     let mut stats = CycleStats::default();
 
     for (bi, row) in ga.iter().enumerate() {
+        cancel.check()?;
         let tile: BlockGrid = vec![row.clone()];
         let mut attempt = 0u32;
         loop {
@@ -179,6 +210,9 @@ pub fn resilient_matmul(
 
             report.detected += 1;
             if attempt < policy.max_retries {
+                // A retry burns backoff cycles; don't start one the
+                // deadline can no longer afford.
+                cancel.check()?;
                 report.retries += 1;
                 report.backoff_cycles += policy.backoff(attempt);
                 attempt += 1;
@@ -309,6 +343,22 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_token_aborts_between_tiles() {
+        let a = ramp(24, 16);
+        let b = ramp(16, 24);
+        let q = Quantizer::paper();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = resilient_matmul_with(&a, &b, &q, &RecoveryPolicy::default(), &token)
+            .expect_err("cancelled before the first tile");
+        assert_eq!(err, ArithError::Cancelled { expired: false });
+        // A live token changes nothing.
+        let got = resilient_matmul_with(&a, &b, &q, &RecoveryPolicy::default(), &CancelToken::new())
+            .unwrap();
+        assert_eq!(got.out, a.matmul(&b));
+    }
+
+    #[test]
     fn backoff_is_exponential_and_capped() {
         let p = RecoveryPolicy::default();
         assert_eq!(p.backoff(0), 32);
@@ -317,5 +367,42 @@ mod tests {
         assert_eq!(p.backoff(3), 256);
         assert_eq!(p.backoff(10), 256, "capped");
         assert_eq!(p.backoff(200), 256, "shift saturates");
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_cap_boundary_instead_of_overflowing() {
+        // Uncapped policy: the doubling itself must saturate. The top set
+        // bit of base=3 is at position 1, so attempt 62 is the last exact
+        // shift and 63 is the first that would lose a bit.
+        let p = RecoveryPolicy {
+            backoff_base_cycles: 3,
+            backoff_cap_cycles: u64::MAX,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(p.backoff(62), 3u64 << 62, "last exact doubling");
+        assert_eq!(p.backoff(63), u64::MAX, "first lossy shift saturates");
+        assert_eq!(p.backoff(u32::MAX), u64::MAX, "never wraps");
+
+        // base << attempt exceeding u64 still lands exactly on the cap.
+        let p = RecoveryPolicy {
+            backoff_base_cycles: 1 << 40,
+            backoff_cap_cycles: 1 << 50,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(p.backoff(9), 1 << 49);
+        assert_eq!(p.backoff(10), 1 << 50, "reaches the cap exactly");
+        assert_eq!(p.backoff(11), 1 << 50);
+        assert_eq!(p.backoff(64), 1 << 50, "saturated shift is capped");
+
+        // A zero base never backs off, no matter how many retries: the
+        // saturation guard must not turn 0 << n into u64::MAX.
+        let p = RecoveryPolicy {
+            backoff_base_cycles: 0,
+            backoff_cap_cycles: u64::MAX,
+            ..RecoveryPolicy::default()
+        };
+        for attempt in [0, 1, 63, 64, 65, u32::MAX] {
+            assert_eq!(p.backoff(attempt), 0, "attempt {attempt}");
+        }
     }
 }

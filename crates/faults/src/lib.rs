@@ -34,7 +34,7 @@ mod session;
 pub mod hook;
 
 pub use plan::{FaultPlan, FaultSpec};
-pub use report::{FaultCounters, FaultReport};
+pub use report::{FaultCounters, FaultReport, FleetLedger};
 pub use session::{active, counters, install, FaultGuard};
 
 /// SECDED Hamming(13,8) codec used for the BRAM ECC model.

@@ -59,6 +59,25 @@ impl FaultCounters {
     }
 }
 
+impl FaultCounters {
+    /// Element-wise saturating delta. Unlike [`Sub`], which panics in
+    /// debug builds when a "later" snapshot is behind an "earlier" one,
+    /// this clamps each field at zero — the right behaviour for fleet
+    /// bookkeeping where a counter reset (array re-admission after
+    /// quarantine) can legally move a baseline past a stale snapshot.
+    pub fn saturating_delta(&self, earlier: &FaultCounters) -> FaultCounters {
+        FaultCounters {
+            injected: self.injected.saturating_sub(earlier.injected),
+            ecc_corrected: self.ecc_corrected.saturating_sub(earlier.ecc_corrected),
+            ecc_uncorrected: self.ecc_uncorrected.saturating_sub(earlier.ecc_uncorrected),
+            tmr_corrected: self.tmr_corrected.saturating_sub(earlier.tmr_corrected),
+            tmr_uncorrected: self.tmr_uncorrected.saturating_sub(earlier.tmr_uncorrected),
+            stuck_lane_hits: self.stuck_lane_hits.saturating_sub(earlier.stuck_lane_hits),
+            dropped_partials: self.dropped_partials.saturating_sub(earlier.dropped_partials),
+        }
+    }
+}
+
 impl Sub for FaultCounters {
     type Output = FaultCounters;
 
@@ -109,6 +128,101 @@ impl FaultReport {
         self.backoff_cycles += other.backoff_cycles;
         self.stepped_crosschecks += other.stepped_crosschecks;
         self.fp32_fallbacks += other.fp32_fallbacks;
+    }
+
+    /// Field-wise saturating delta against an earlier snapshot (see
+    /// [`FaultCounters::saturating_delta`]).
+    pub fn saturating_delta(&self, earlier: &FaultReport) -> FaultReport {
+        FaultReport {
+            counters: self.counters.saturating_delta(&earlier.counters),
+            detected: self.detected.saturating_sub(earlier.detected),
+            retries: self.retries.saturating_sub(earlier.retries),
+            backoff_cycles: self.backoff_cycles.saturating_sub(earlier.backoff_cycles),
+            stepped_crosschecks: self
+                .stepped_crosschecks
+                .saturating_sub(earlier.stepped_crosschecks),
+            fp32_fallbacks: self.fp32_fallbacks.saturating_sub(earlier.fp32_fallbacks),
+        }
+    }
+}
+
+/// Per-array fault bookkeeping for a fleet of accelerator arrays.
+///
+/// The hardware counters are cumulative for the life of a process; a
+/// serving runtime instead wants "what happened on array `i` since I
+/// last looked" to drive its health state machine. The ledger keeps one
+/// baseline [`FaultReport`] per array; [`FleetLedger::take_delta`]
+/// returns the events since the previous call and advances the baseline,
+/// and [`FleetLedger::reset`] re-zeros one array's history (used when an
+/// array is re-admitted after quarantine so old strikes don't count
+/// against it twice).
+#[derive(Debug, Clone)]
+pub struct FleetLedger {
+    baselines: Vec<FaultReport>,
+    totals: Vec<FaultReport>,
+}
+
+impl FleetLedger {
+    /// A ledger for `arrays` arrays, all baselines zero.
+    pub fn new(arrays: usize) -> Self {
+        FleetLedger {
+            baselines: vec![FaultReport::default(); arrays],
+            totals: vec![FaultReport::default(); arrays],
+        }
+    }
+
+    /// Number of arrays tracked.
+    pub fn arrays(&self) -> usize {
+        self.baselines.len()
+    }
+
+    /// Record `snapshot` (a cumulative report for array `array`) and
+    /// return the saturating delta since the previous snapshot. The
+    /// delta is also folded into the array's lifetime total.
+    ///
+    /// # Panics
+    /// Panics if `array` is out of range.
+    pub fn take_delta(&mut self, array: usize, snapshot: &FaultReport) -> FaultReport {
+        let delta = snapshot.saturating_delta(&self.baselines[array]);
+        self.baselines[array] = *snapshot;
+        self.totals[array].merge(&delta);
+        delta
+    }
+
+    /// Fold a per-execution delta (already relative, e.g. one GEMM's
+    /// [`FaultReport`]) straight into array `array`'s lifetime total.
+    ///
+    /// # Panics
+    /// Panics if `array` is out of range.
+    pub fn record_delta(&mut self, array: usize, delta: &FaultReport) {
+        self.totals[array].merge(delta);
+    }
+
+    /// Lifetime total for one array.
+    ///
+    /// # Panics
+    /// Panics if `array` is out of range.
+    pub fn total(&self, array: usize) -> &FaultReport {
+        &self.totals[array]
+    }
+
+    /// Forget one array's history (baseline and total), e.g. on
+    /// re-admission after a quarantine probe passes.
+    ///
+    /// # Panics
+    /// Panics if `array` is out of range.
+    pub fn reset(&mut self, array: usize) {
+        self.baselines[array] = FaultReport::default();
+        self.totals[array] = FaultReport::default();
+    }
+
+    /// Fleet-wide merged total across all arrays.
+    pub fn fleet_total(&self) -> FaultReport {
+        let mut all = FaultReport::default();
+        for t in &self.totals {
+            all.merge(t);
+        }
+        all
     }
 }
 
@@ -170,5 +284,78 @@ mod tests {
         assert!(!r.is_clean());
         assert_eq!(r.counters.injected, 5);
         assert_eq!(r.retries, 1);
+    }
+
+    #[test]
+    fn saturating_delta_clamps_instead_of_panicking() {
+        let behind = FaultCounters {
+            injected: 3,
+            ecc_corrected: 1,
+            ..Default::default()
+        };
+        let ahead = FaultCounters {
+            injected: 1,
+            ecc_corrected: 4,
+            ..Default::default()
+        };
+        // `behind - ahead` would underflow on ecc_corrected.
+        let d = behind.saturating_delta(&ahead);
+        assert_eq!(d.injected, 2);
+        assert_eq!(d.ecc_corrected, 0);
+
+        let r = FaultReport {
+            counters: behind,
+            detected: 2,
+            ..Default::default()
+        };
+        let base = FaultReport {
+            detected: 5,
+            retries: 1,
+            ..Default::default()
+        };
+        let rd = r.saturating_delta(&base);
+        assert_eq!(rd.detected, 0);
+        assert_eq!(rd.retries, 0);
+        assert_eq!(rd.counters.injected, 3);
+    }
+
+    #[test]
+    fn fleet_ledger_tracks_per_array_deltas() {
+        let mut ledger = FleetLedger::new(2);
+        assert_eq!(ledger.arrays(), 2);
+
+        let snap1 = FaultReport {
+            detected: 2,
+            retries: 1,
+            ..Default::default()
+        };
+        let d = ledger.take_delta(0, &snap1);
+        assert_eq!(d.detected, 2);
+
+        let snap2 = FaultReport {
+            detected: 5,
+            retries: 1,
+            ..Default::default()
+        };
+        let d = ledger.take_delta(0, &snap2);
+        assert_eq!(d.detected, 3);
+        assert_eq!(d.retries, 0);
+        assert_eq!(ledger.total(0).detected, 5);
+        // Array 1 untouched.
+        assert!(ledger.total(1).is_clean());
+
+        ledger.record_delta(1, &FaultReport {
+            fp32_fallbacks: 1,
+            ..Default::default()
+        });
+        assert_eq!(ledger.fleet_total().fp32_fallbacks, 1);
+        assert_eq!(ledger.fleet_total().detected, 5);
+
+        // Reset forgives history and rebases: a stale cumulative snapshot
+        // after reset yields the full snapshot as delta, not underflow.
+        ledger.reset(0);
+        assert!(ledger.total(0).is_clean());
+        let d = ledger.take_delta(0, &snap1);
+        assert_eq!(d.detected, 2);
     }
 }

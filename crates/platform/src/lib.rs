@@ -14,6 +14,7 @@ pub mod hbm;
 pub mod related;
 pub mod resources;
 pub mod roofline;
+pub mod serving;
 pub mod system;
 pub mod u280;
 
@@ -23,5 +24,6 @@ pub use hbm::MemParams;
 pub use related::{paper_ours_row, prior_works, RelatedWork};
 pub use resources::{ArrayParams, Component, DesignVariant, PuCostModel, ResourceVec};
 pub use roofline::{bfp8_pass_intensity, fp32_stream_intensity, Roofline};
+pub use serving::{ArrayHealth, ArrayServeStats, HealthEvent, ServeStats};
 pub use system::{System, SystemStats, SHELL};
 pub use u280::{SystemConfig, U280};

@@ -1,0 +1,254 @@
+//! Serving-fleet observability types: array health and runtime counters.
+//!
+//! The serving runtime (`bfp-serve`) owns the policy — when an array is
+//! degraded, quarantined, probed, or re-admitted — but the *vocabulary*
+//! lives here, next to [`crate::SystemStats`], so that platform-level
+//! reports can carry a serving snapshot without depending on the runtime
+//! crate (which sits above this one in the dependency graph).
+
+use std::fmt;
+
+use bfp_faults::FaultReport;
+
+/// Health state of one accelerator array, as driven by the serving
+/// runtime's strike/probe state machine:
+///
+/// ```text
+///            detected-fault strikes            strikes past threshold
+/// Healthy ───────────────────────▶ Degraded ───────────────────────▶ Quarantined
+///    ▲                               │  clean streak                     │ probe
+///    │                               ▼                                   ▼ timer
+///    └───────────────────────────── Healthy          Probing ◀───────────┘
+///    └── consecutive probe passes ◀────┘ (golden GEMM bit-checked vs softfp)
+/// ```
+///
+/// `Degraded` arrays still serve (requests prefer healthier peers);
+/// `Quarantined` arrays are drained and receive no user work; `Probing`
+/// is the transient state while a quarantined array runs the golden
+/// self-test GEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrayHealth {
+    /// Serving normally.
+    Healthy,
+    /// Recent detected faults: still serving, but deprioritised and one
+    /// step from quarantine.
+    Degraded,
+    /// Drained; receives no user requests until a probe passes.
+    Quarantined,
+    /// Running the golden self-test GEMM.
+    Probing,
+}
+
+impl ArrayHealth {
+    /// Whether user requests may be dispatched to an array in this state.
+    pub fn serves(&self) -> bool {
+        matches!(self, ArrayHealth::Healthy | ArrayHealth::Degraded)
+    }
+}
+
+impl fmt::Display for ArrayHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArrayHealth::Healthy => "healthy",
+            ArrayHealth::Degraded => "degraded",
+            ArrayHealth::Quarantined => "quarantined",
+            ArrayHealth::Probing => "probing",
+        })
+    }
+}
+
+/// One transition in an array's health history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthEvent {
+    /// Runtime-wide sequence number (monotonic across all arrays), so
+    /// per-array histories interleave into one fleet timeline.
+    pub seq: u64,
+    /// State before the transition.
+    pub from: ArrayHealth,
+    /// State after the transition.
+    pub to: ArrayHealth,
+}
+
+impl fmt::Display for HealthEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}: {} -> {}", self.seq, self.from, self.to)
+    }
+}
+
+/// Serving statistics for one array.
+#[derive(Debug, Clone)]
+pub struct ArrayServeStats {
+    /// Current health.
+    pub health: ArrayHealth,
+    /// Requests completed successfully on this array.
+    pub completed: u64,
+    /// Executions discarded because a fault was detected mid-request
+    /// (the request was re-routed, never answered with suspect bits).
+    pub faulted_executions: u64,
+    /// Golden self-test probes run while quarantined.
+    pub probes_run: u64,
+    /// Probes that passed the bit-exact check.
+    pub probes_passed: u64,
+    /// Modelled busy time (seconds of array occupancy at the calibrated
+    /// operating point), independent of host scheduling noise.
+    pub modelled_busy_s: f64,
+    /// Every health transition, in order.
+    pub history: Vec<HealthEvent>,
+    /// Cumulative fault events attributed to this array.
+    pub faults: FaultReport,
+}
+
+impl ArrayServeStats {
+    /// A fresh, healthy array.
+    pub fn new() -> Self {
+        ArrayServeStats {
+            health: ArrayHealth::Healthy,
+            completed: 0,
+            faulted_executions: 0,
+            probes_run: 0,
+            probes_passed: 0,
+            modelled_busy_s: 0.0,
+            history: Vec::new(),
+            faults: FaultReport::default(),
+        }
+    }
+
+    /// How many times this array entered `state`.
+    pub fn times_entered(&self, state: ArrayHealth) -> usize {
+        self.history.iter().filter(|e| e.to == state).count()
+    }
+}
+
+impl Default for ArrayServeStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Snapshot of the serving runtime's counters, surfaced through
+/// [`crate::SystemStats::serve`].
+///
+/// Accounting identities (checked by the runtime's tests):
+/// `admitted + rejected == submitted` and, once drained,
+/// `completed + failed == admitted` (shed requests were admitted first
+/// and count under `failed` as well as `shed`).
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Requests offered to `submit`.
+    pub submitted: u64,
+    /// Requests accepted into the queue.
+    pub admitted: u64,
+    /// Requests refused at admission (queue full under `Reject` /
+    /// `BlockWithTimeout` backpressure).
+    pub rejected: u64,
+    /// Admitted requests evicted by `ShedOldest` backpressure.
+    pub shed: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Admitted requests that ended in an error (deadline, shed,
+    /// shutdown, exhausted retries).
+    pub failed: u64,
+    /// Requests that failed specifically because their deadline passed.
+    pub deadline_missed: u64,
+    /// Executions retried on a different array after a detected fault.
+    pub retries: u64,
+    /// Executions discarded due to detected faults (fleet-wide sum of
+    /// per-array `faulted_executions`).
+    pub degraded_executions: u64,
+    /// Highest queue depth observed.
+    pub queue_depth_high_water: usize,
+    /// Per-array health and counters.
+    pub per_array: Vec<ArrayServeStats>,
+}
+
+impl ServeStats {
+    /// Arrays currently willing to take user work.
+    pub fn serving_arrays(&self) -> usize {
+        self.per_array.iter().filter(|a| a.health.serves()).count()
+    }
+
+    /// Fleet-wide modelled busy seconds.
+    pub fn modelled_busy_s(&self) -> f64 {
+        self.per_array.iter().map(|a| a.modelled_busy_s).sum()
+    }
+}
+
+impl fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "serve: {} submitted | {} admitted, {} rejected, {} shed | \
+             {} completed, {} failed ({} deadline-missed) | \
+             {} retries, {} faulted executions discarded | queue high-water {}",
+            self.submitted,
+            self.admitted,
+            self.rejected,
+            self.shed,
+            self.completed,
+            self.failed,
+            self.deadline_missed,
+            self.retries,
+            self.degraded_executions,
+            self.queue_depth_high_water,
+        )?;
+        for (i, a) in self.per_array.iter().enumerate() {
+            write!(
+                f,
+                "  array {i}: {} | {} completed, {} faulted, probes {}/{}",
+                a.health, a.completed, a.faulted_executions, a.probes_passed, a.probes_run,
+            )?;
+            if !a.history.is_empty() {
+                let hist: Vec<String> = a.history.iter().map(|e| e.to_string()).collect();
+                write!(f, " | history: {}", hist.join(", "))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_serving_predicate() {
+        assert!(ArrayHealth::Healthy.serves());
+        assert!(ArrayHealth::Degraded.serves());
+        assert!(!ArrayHealth::Quarantined.serves());
+        assert!(!ArrayHealth::Probing.serves());
+    }
+
+    #[test]
+    fn stats_display_and_rollups() {
+        let mut s = ServeStats {
+            submitted: 10,
+            admitted: 8,
+            rejected: 2,
+            completed: 7,
+            failed: 1,
+            deadline_missed: 1,
+            queue_depth_high_water: 4,
+            ..Default::default()
+        };
+        let mut a0 = ArrayServeStats::new();
+        a0.completed = 7;
+        a0.modelled_busy_s = 0.5;
+        let mut a1 = ArrayServeStats::new();
+        a1.health = ArrayHealth::Quarantined;
+        a1.history.push(HealthEvent {
+            seq: 0,
+            from: ArrayHealth::Healthy,
+            to: ArrayHealth::Quarantined,
+        });
+        s.per_array = vec![a0, a1];
+
+        assert_eq!(s.serving_arrays(), 1);
+        assert!((s.modelled_busy_s() - 0.5).abs() < 1e-12);
+        assert_eq!(s.per_array[1].times_entered(ArrayHealth::Quarantined), 1);
+        let text = s.to_string();
+        assert!(text.contains("8 admitted"));
+        assert!(text.contains("array 1: quarantined"));
+        assert!(text.contains("healthy -> quarantined"));
+    }
+}

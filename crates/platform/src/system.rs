@@ -34,6 +34,9 @@ pub struct SystemStats {
     /// layer did about them. Clean (all zeros) when no fault session is
     /// installed.
     pub faults: bfp_faults::FaultReport,
+    /// Serving-runtime snapshot, when this statistic block was produced
+    /// by a serving fleet rather than a single GEMM (`None` otherwise).
+    pub serve: Option<crate::serving::ServeStats>,
 }
 
 impl SystemStats {

@@ -1,0 +1,211 @@
+//! The execution surface the runtime schedules onto: one backend per
+//! array, plus the simulated implementation with scripted per-array
+//! fault injection.
+//!
+//! Why not the hook-based injector in `bfp-faults`? Its session is
+//! process-global (one plan for every thread), so it cannot model "array
+//! 3 is failing while arrays 0–2 are clean" under the fleet's concurrent
+//! workers. The serving runtime instead scripts faults *per backend*:
+//! an [`ArrayFaultPlan`] decides whether an execution is corrupted, and
+//! a corrupted execution always reports itself through the detected
+//! counters — the latched-ECC story, where the protection layer flags
+//! the upset but cannot repair it. The runtime discards every flagged
+//! output, which is what makes the zero-wrong-bit guarantee structural
+//! rather than probabilistic.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bfp_arith::cancel::CancelToken;
+use bfp_arith::error::ArithError;
+use bfp_arith::matrix::MatF32;
+use bfp_arith::quant::Quantizer;
+use bfp_core::{fast_matmul_f32, ParallelPolicy};
+use bfp_faults::{FaultCounters, FaultReport};
+
+/// What one execution reports back besides its output.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// Fault events during this execution. `detected > 0` means the
+    /// output is suspect and the runtime must discard it.
+    pub faults: FaultReport,
+    /// Modelled array-occupancy seconds at the calibrated operating
+    /// point (independent of host scheduling noise).
+    pub modelled_s: f64,
+}
+
+/// One array's execution engine. `execute` runs a bfp8 GEMM under a
+/// cancel/deadline token; implementations must *flag* corrupted outputs
+/// via `Telemetry::faults.detected` rather than silently returning them.
+pub trait ArrayBackend: Send {
+    /// Execute `a × b`, honouring `cancel` between phases.
+    fn execute(
+        &mut self,
+        a: &MatF32,
+        b: &MatF32,
+        cancel: &CancelToken,
+    ) -> Result<(MatF32, Telemetry), ArithError>;
+}
+
+/// Scripted per-array fault behaviour for [`SimArrayBackend`].
+#[derive(Debug, Clone, Default)]
+pub enum ArrayFaultPlan {
+    /// Fault-free array.
+    #[default]
+    None,
+    /// Latched defect: every execution faults while the flag is `true`.
+    /// Clearing the flag models a repair (e.g. partial reconfiguration),
+    /// after which quarantine probes start passing.
+    Latched(Arc<AtomicBool>),
+    /// Transient burst: the next `n` executions fault, then the array
+    /// is clean again.
+    Transient(Arc<AtomicU64>),
+}
+
+impl ArrayFaultPlan {
+    /// A latched plan plus the shared switch that heals it.
+    pub fn latched() -> (Self, Arc<AtomicBool>) {
+        let flag = Arc::new(AtomicBool::new(true));
+        (ArrayFaultPlan::Latched(flag.clone()), flag)
+    }
+
+    /// A transient plan faulting the next `n` executions.
+    pub fn transient(n: u64) -> Self {
+        ArrayFaultPlan::Transient(Arc::new(AtomicU64::new(n)))
+    }
+
+    /// Whether the next execution faults (consumes one transient credit).
+    fn fires(&self) -> bool {
+        match self {
+            ArrayFaultPlan::None => false,
+            ArrayFaultPlan::Latched(flag) => flag.load(Ordering::Relaxed),
+            ArrayFaultPlan::Transient(left) => left
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok(),
+        }
+    }
+}
+
+/// Simulated array: the packed bfp8 fast path (bit-identical to the
+/// cycle simulator) plus scripted fault injection and a modelled
+/// occupancy clock.
+pub struct SimArrayBackend {
+    quantizer: Quantizer,
+    /// Sustained throughput of this single array, GOPS.
+    gops: f64,
+    plan: ArrayFaultPlan,
+}
+
+impl SimArrayBackend {
+    /// Build an array running the paper's quantizer at `gops` sustained
+    /// throughput, under `plan`.
+    pub fn new(gops: f64, plan: ArrayFaultPlan) -> Self {
+        SimArrayBackend {
+            quantizer: Quantizer::paper(),
+            gops,
+            plan,
+        }
+    }
+}
+
+impl ArrayBackend for SimArrayBackend {
+    fn execute(
+        &mut self,
+        a: &MatF32,
+        b: &MatF32,
+        cancel: &CancelToken,
+    ) -> Result<(MatF32, Telemetry), ArithError> {
+        cancel.check()?;
+        let mut out = fast_matmul_f32(&self.quantizer, a, b, ParallelPolicy::Serial)?;
+        cancel.check()?;
+
+        let macs = a.rows() as u64 * a.cols() as u64 * b.cols() as u64;
+        let modelled_s = if self.gops > 0.0 {
+            2.0 * macs as f64 / (self.gops * 1e9)
+        } else {
+            0.0
+        };
+
+        let mut faults = FaultReport::default();
+        if self.plan.fires() && out.rows() > 0 && out.cols() > 0 {
+            // A multi-bit BRAM upset on the output buffer: ECC detects
+            // it but cannot correct, so the data is corrupted *and*
+            // flagged. Flip a mantissa bit of one element.
+            let v = out.get(0, 0);
+            out.set(0, 0, f32::from_bits(v.to_bits() ^ 1));
+            faults.counters = FaultCounters {
+                injected: 1,
+                ecc_uncorrected: 1,
+                ..Default::default()
+            };
+            faults.detected = 1;
+        }
+        Ok((out, Telemetry { faults, modelled_s }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mats() -> (MatF32, MatF32) {
+        let a = MatF32::from_fn(16, 16, |i, j| ((i * 7 + j * 5) % 3) as f32 - 1.0);
+        let b = MatF32::from_fn(16, 16, |i, j| ((i * 3 + j * 11) % 3) as f32 - 1.0);
+        (a, b)
+    }
+
+    #[test]
+    fn clean_backend_matches_reference_bits() {
+        let (a, b) = mats();
+        let mut be = SimArrayBackend::new(100.0, ArrayFaultPlan::None);
+        let (out, t) = be.execute(&a, &b, &CancelToken::new()).unwrap();
+        let q = Quantizer::paper();
+        let want = q
+            .quantize(&a)
+            .unwrap()
+            .try_matmul(&q.quantize(&b).unwrap())
+            .unwrap();
+        assert_eq!(out, want);
+        assert!(t.faults.is_clean());
+        assert!(t.modelled_s > 0.0);
+    }
+
+    #[test]
+    fn latched_plan_always_flags_until_healed() {
+        let (a, b) = mats();
+        let (plan, heal) = ArrayFaultPlan::latched();
+        let mut be = SimArrayBackend::new(100.0, plan);
+        for _ in 0..3 {
+            let (_, t) = be.execute(&a, &b, &CancelToken::new()).unwrap();
+            assert_eq!(t.faults.detected, 1, "latched faults are always flagged");
+        }
+        heal.store(false, Ordering::Relaxed);
+        let (out, t) = be.execute(&a, &b, &CancelToken::new()).unwrap();
+        assert!(t.faults.is_clean());
+        let mut clean = SimArrayBackend::new(100.0, ArrayFaultPlan::None);
+        let (want, _) = clean.execute(&a, &b, &CancelToken::new()).unwrap();
+        assert_eq!(out, want, "healed array is bit-clean again");
+    }
+
+    #[test]
+    fn transient_plan_faults_exactly_n_times() {
+        let (a, b) = mats();
+        let mut be = SimArrayBackend::new(100.0, ArrayFaultPlan::transient(2));
+        let mut flagged = 0;
+        for _ in 0..5 {
+            let (_, t) = be.execute(&a, &b, &CancelToken::new()).unwrap();
+            flagged += t.faults.detected;
+        }
+        assert_eq!(flagged, 2);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_execution() {
+        let (a, b) = mats();
+        let mut be = SimArrayBackend::new(100.0, ArrayFaultPlan::None);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = be.execute(&a, &b, &token).unwrap_err();
+        assert_eq!(err, ArithError::Cancelled { expired: false });
+    }
+}

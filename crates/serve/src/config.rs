@@ -1,0 +1,130 @@
+//! Runtime policy knobs: admission, retries, and the health state machine.
+
+use std::time::Duration;
+
+/// What `submit` does when the admission queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Refuse the new request immediately ([`crate::ServeError::QueueFull`]).
+    Reject,
+    /// Admit the new request by evicting the oldest queued one, which
+    /// resolves with [`crate::ServeError::Shed`].
+    ShedOldest,
+    /// Block the submitter until space frees up, for at most `timeout`;
+    /// then refuse with [`crate::ServeError::AdmissionTimeout`].
+    Block {
+        /// Longest a submitter may be held at the gate.
+        timeout: Duration,
+    },
+}
+
+/// Strike/probe policy driving the per-array health state machine
+/// (see [`bfp_platform::ArrayHealth`] for the state diagram).
+#[derive(Debug, Clone, Copy)]
+pub struct HealthPolicy {
+    /// Detected-fault strikes at which an array turns `Degraded`.
+    pub degrade_strikes: u32,
+    /// Strikes at which it is drained into `Quarantined`.
+    pub quarantine_strikes: u32,
+    /// Consecutive clean executions that forgive one strike.
+    pub clean_streak: u32,
+    /// Delay from quarantine to the first golden probe; also the gap
+    /// between consecutive passing probes.
+    pub probe_interval: Duration,
+    /// Cap on the probe interval as failed probes back it off (doubling).
+    pub probe_interval_cap: Duration,
+    /// Consecutive probe passes required to re-admit the array.
+    pub probes_to_readmit: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            degrade_strikes: 2,
+            quarantine_strikes: 4,
+            clean_streak: 8,
+            probe_interval: Duration::from_millis(10),
+            probe_interval_cap: Duration::from_millis(200),
+            probes_to_readmit: 2,
+        }
+    }
+}
+
+/// Full serving-runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Arrays in the fleet (one worker thread each).
+    pub arrays: usize,
+    /// Bounded admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Behaviour when the queue is full.
+    pub backpressure: Backpressure,
+    /// Deadline budget applied to requests that do not carry their own.
+    /// `None` means such requests never expire.
+    pub default_budget: Option<Duration>,
+    /// Total executions a request may consume (first try + retries)
+    /// before it fails with [`crate::ServeError::FaultsExhausted`].
+    pub max_attempts: u32,
+    /// Base delay before a faulted request is retried (on a different
+    /// array where possible); doubles per attempt.
+    pub retry_backoff_base: Duration,
+    /// Cap on the retry backoff.
+    pub retry_backoff_cap: Duration,
+    /// Health state machine policy.
+    pub health: HealthPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            arrays: 4,
+            queue_capacity: 64,
+            backpressure: Backpressure::Reject,
+            default_budget: None,
+            max_attempts: 3,
+            retry_backoff_base: Duration::from_millis(1),
+            retry_backoff_cap: Duration::from_millis(50),
+            health: HealthPolicy::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Retry delay before attempt `attempt` (1-based count of executions
+    /// already consumed): `base << (attempt - 1)`, saturating at the cap.
+    pub fn retry_backoff(&self, attempt: u32) -> Duration {
+        if self.retry_backoff_base.is_zero() || attempt == 0 {
+            return Duration::ZERO;
+        }
+        let shift = (attempt - 1).min(20);
+        self.retry_backoff_base
+            .checked_mul(1u32 << shift)
+            .unwrap_or(self.retry_backoff_cap)
+            .min(self.retry_backoff_cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let cfg = ServeConfig {
+            retry_backoff_base: Duration::from_millis(2),
+            retry_backoff_cap: Duration::from_millis(9),
+            ..Default::default()
+        };
+        assert_eq!(cfg.retry_backoff(0), Duration::ZERO);
+        assert_eq!(cfg.retry_backoff(1), Duration::from_millis(2));
+        assert_eq!(cfg.retry_backoff(2), Duration::from_millis(4));
+        assert_eq!(cfg.retry_backoff(3), Duration::from_millis(8));
+        assert_eq!(cfg.retry_backoff(4), Duration::from_millis(9));
+        assert_eq!(cfg.retry_backoff(u32::MAX), Duration::from_millis(9));
+        let zero = ServeConfig {
+            retry_backoff_base: Duration::ZERO,
+            ..Default::default()
+        };
+        assert_eq!(zero.retry_backoff(5), Duration::ZERO);
+    }
+}

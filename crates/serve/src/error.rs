@@ -1,0 +1,46 @@
+//! Typed request-level failures.
+
+use std::fmt;
+
+/// Why a request could not be answered. Every failure a caller can see
+/// is one of these — suspect (faulted) outputs are never returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Refused at admission: the queue was full under
+    /// [`crate::Backpressure::Reject`].
+    QueueFull,
+    /// Refused at admission: the queue stayed full for the whole
+    /// [`crate::Backpressure::Block`] timeout.
+    AdmissionTimeout,
+    /// Admitted, then evicted by [`crate::Backpressure::ShedOldest`] to
+    /// make room for a newer request.
+    Shed,
+    /// The deadline budget elapsed before a clean answer was produced
+    /// (while queued or mid-execution — the array is released either way).
+    DeadlineExceeded,
+    /// Every allowed attempt hit a detected fault; the suspect outputs
+    /// were discarded rather than returned.
+    FaultsExhausted {
+        /// Executions consumed.
+        attempts: u32,
+    },
+    /// The runtime shut down before the request resolved.
+    Shutdown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "admission queue full"),
+            ServeError::AdmissionTimeout => write!(f, "admission blocked past its timeout"),
+            ServeError::Shed => write!(f, "shed from the queue to admit newer work"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::FaultsExhausted { attempts } => {
+                write!(f, "all {attempts} attempts hit detected faults")
+            }
+            ServeError::Shutdown => write!(f, "runtime shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,237 @@
+//! # bfp-serve — resilient serving runtime over the simulated fleet
+//!
+//! The paper's deployment argument is that a bfp8 multi-mode card can
+//! hold up *production* Transformer serving. This crate supplies the
+//! runtime side of that claim: a synchronous-core, thread-pooled server
+//! that owns N simulated accelerator arrays and keeps answering —
+//! correctly — while individual arrays fault.
+//!
+//! * **Admission control** — a bounded queue with configurable
+//!   [`Backpressure`]: reject, shed-oldest, or block-with-timeout.
+//! * **Deadlines** — per-request budgets propagate into the engine as a
+//!   [`bfp_arith::cancel::CancelToken`]; an expired request never
+//!   occupies an array past the next cancellation point and fails fast
+//!   with [`ServeError::DeadlineExceeded`].
+//! * **Fault handling** — executions flagged by the detection layer are
+//!   *discarded* (never returned), retried with capped backoff on a
+//!   different array, and charged as strikes against the array's health.
+//! * **Health state machine** — per array, `Healthy → Degraded →
+//!   Quarantined → Probing` (see [`bfp_platform::ArrayHealth`]):
+//!   quarantined arrays are drained and periodically re-certified by a
+//!   golden self-test GEMM bit-checked against the softfp reference,
+//!   then re-admitted.
+//! * **Observability** — [`Server::stats`] snapshots the
+//!   [`bfp_platform::ServeStats`] counters (admission, deadline misses,
+//!   queue high-water, per-array health history), and
+//!   [`Server::system_stats`] surfaces them through
+//!   [`bfp_platform::SystemStats`].
+//!
+//! The degradation ladder, in order: retry (same request, different
+//! array) → re-route (health-aware dispatch) → quarantine (array level)
+//! → reject (request level, typed error). Wrong bits are structurally
+//! impossible in a response: only executions with a clean fault report
+//! resolve tickets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bfp_serve::{ArrayFaultPlan, ServeConfig, ServeRequest, Server};
+//! use bfp_arith::matrix::MatF32;
+//!
+//! let server = Server::simulated(ServeConfig::default(), vec![ArrayFaultPlan::None; 2]);
+//! let a = MatF32::from_fn(16, 16, |i, j| (i + j) as f32);
+//! let b = MatF32::from_fn(16, 16, |i, j| (i as f32 - j as f32));
+//! let ticket = server.submit(ServeRequest::new(a, b)).unwrap();
+//! let resp = ticket.wait().unwrap();
+//! assert_eq!(resp.out.rows(), 16);
+//! server.drain();
+//! ```
+
+mod backend;
+mod config;
+mod error;
+mod server;
+mod ticket;
+
+pub use backend::{ArrayBackend, ArrayFaultPlan, SimArrayBackend, Telemetry};
+pub use config::{Backpressure, HealthPolicy, ServeConfig};
+pub use error::ServeError;
+pub use server::{ServeRequest, Server};
+pub use ticket::{ServeResponse, Ticket};
+
+// Re-export the observability vocabulary so downstream code does not
+// need a direct bfp-platform dependency to inspect snapshots.
+pub use bfp_platform::{ArrayHealth, ArrayServeStats, HealthEvent, ServeStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfp_arith::matrix::MatF32;
+    use std::time::Duration;
+
+    fn req(seed: u64) -> ServeRequest {
+        let a = MatF32::from_fn(16, 16, |i, j| ((i * 3 + j + seed as usize) % 5) as f32 - 2.0);
+        let b = MatF32::from_fn(16, 16, |i, j| ((i + j * 7) % 5) as f32 - 2.0);
+        ServeRequest::new(a, b)
+    }
+
+    #[test]
+    fn serves_clean_requests_end_to_end() {
+        let server = Server::simulated(ServeConfig::default(), vec![ArrayFaultPlan::None; 2]);
+        let tickets: Vec<_> = (0..8)
+            .map(|s| server.submit(req(s)).unwrap())
+            .collect();
+        for t in &tickets {
+            let resp = t.wait().unwrap();
+            assert_eq!(resp.attempts, 1);
+            assert!(resp.modelled_s > 0.0);
+        }
+        server.drain();
+        let s = server.stats();
+        assert_eq!(s.submitted, 8);
+        assert_eq!(s.admitted, 8);
+        assert_eq!(s.completed, 8);
+        assert_eq!(s.failed, 0);
+        assert_eq!(s.serving_arrays(), 2);
+    }
+
+    #[test]
+    fn reject_backpressure_returns_queue_full() {
+        // Single array with a storm of submissions into a tiny queue:
+        // some must be refused, and the refusals are typed.
+        let cfg = ServeConfig {
+            queue_capacity: 1,
+            backpressure: Backpressure::Reject,
+            ..Default::default()
+        };
+        let server = Server::simulated(cfg, vec![ArrayFaultPlan::None]);
+        let mut admitted = 0u64;
+        let mut rejected = 0u64;
+        let mut tickets = Vec::new();
+        for s in 0..64 {
+            match server.submit(req(s)) {
+                Ok(t) => {
+                    admitted += 1;
+                    tickets.push(t);
+                }
+                Err(ServeError::QueueFull) => rejected += 1,
+                Err(e) => panic!("unexpected refusal: {e}"),
+            }
+        }
+        server.drain();
+        let s = server.stats();
+        assert_eq!(s.admitted, admitted);
+        assert_eq!(s.rejected, rejected);
+        assert_eq!(s.submitted, admitted + rejected);
+        assert_eq!(s.completed, admitted);
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn shed_oldest_evicts_and_block_times_out() {
+        let cfg = ServeConfig {
+            queue_capacity: 1,
+            backpressure: Backpressure::ShedOldest,
+            ..Default::default()
+        };
+        let server = Server::simulated(cfg, vec![ArrayFaultPlan::None]);
+        let tickets: Vec<_> = (0..32)
+            .map(|s| server.submit(req(s)).unwrap())
+            .collect();
+        server.drain();
+        let s = server.stats();
+        assert_eq!(s.admitted, 32);
+        assert_eq!(s.rejected, 0);
+        assert_eq!(s.completed + s.failed, s.admitted);
+        assert_eq!(s.failed, s.shed);
+        let shed_seen = tickets
+            .iter()
+            .filter(|t| t.wait() == Err(ServeError::Shed))
+            .count() as u64;
+        assert_eq!(shed_seen, s.shed);
+
+        // Block-with-timeout: a full queue on an effectively-stuck fleet
+        // turns into AdmissionTimeout, not an indefinite hang.
+        let cfg = ServeConfig {
+            queue_capacity: 1,
+            backpressure: Backpressure::Block {
+                timeout: Duration::from_millis(5),
+            },
+            max_attempts: 1,
+            ..Default::default()
+        };
+        // A latched-faulty single array: requests fail (exhausted) but
+        // slowly; keep the queue full from this thread.
+        let (plan, _heal) = ArrayFaultPlan::latched();
+        let server = Server::simulated(cfg, vec![plan]);
+        let mut timed_out = false;
+        for s in 0..64 {
+            match server.submit(req(s)) {
+                Ok(_) | Err(ServeError::AdmissionTimeout) => {
+                    timed_out |= matches!(server.submit(req(s)), Err(ServeError::AdmissionTimeout));
+                }
+                Err(e) => panic!("unexpected refusal: {e}"),
+            }
+            if timed_out {
+                break;
+            }
+        }
+        assert!(timed_out, "blocked admission must eventually time out");
+    }
+
+    #[test]
+    fn zero_budget_requests_miss_their_deadline() {
+        let server = Server::simulated(ServeConfig::default(), vec![ArrayFaultPlan::None]);
+        let t = server
+            .submit(ServeRequest::with_budget(
+                MatF32::from_fn(16, 16, |_, _| 1.0),
+                MatF32::from_fn(16, 16, |_, _| 1.0),
+                Duration::ZERO,
+            ))
+            .unwrap();
+        assert_eq!(t.wait(), Err(ServeError::DeadlineExceeded));
+        let s = server.stats();
+        assert_eq!(s.deadline_missed, 1);
+        assert_eq!(s.failed, 1);
+    }
+
+    #[test]
+    fn shutdown_fails_queued_requests_with_typed_error() {
+        let mut server = Server::simulated(
+            ServeConfig {
+                queue_capacity: 128,
+                ..Default::default()
+            },
+            vec![ArrayFaultPlan::None],
+        );
+        let tickets: Vec<_> = (0..32)
+            .map(|s| server.submit(req(s)).unwrap())
+            .collect();
+        server.shutdown();
+        assert!(matches!(server.submit(req(0)), Err(ServeError::Shutdown)));
+        let s = server.stats();
+        assert_eq!(s.completed + s.failed, s.admitted);
+        for t in tickets {
+            let r = t.wait();
+            assert!(
+                r.is_ok() || r == Err(ServeError::Shutdown),
+                "unexpected outcome: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn system_stats_carries_the_serve_snapshot() {
+        let server = Server::simulated(ServeConfig::default(), vec![ArrayFaultPlan::None; 2]);
+        let t = server.submit(req(1)).unwrap();
+        t.wait().unwrap();
+        server.drain();
+        let sys = server.system_stats();
+        let serve = sys.serve.expect("serve snapshot present");
+        assert_eq!(serve.completed, 1);
+        assert!(sys.faults.is_clean());
+        assert!(serve.to_string().contains("1 admitted"));
+    }
+}

@@ -1,0 +1,663 @@
+//! The serving runtime: bounded admission, per-request deadlines,
+//! retry/re-route of faulted executions, and the array-health state
+//! machine with golden-probe re-admission.
+//!
+//! Concurrency shape: one `Mutex<Inner>` holds the queue, the health
+//! states and every counter; three condvars signal workers (`work_cv`),
+//! blocked submitters (`space_cv`) and drainers (`idle_cv`). Each array
+//! is one OS worker thread owning its [`ArrayBackend`]; executions and
+//! probes run outside the lock.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bfp_arith::cancel::CancelToken;
+use bfp_arith::error::ArithError;
+use bfp_arith::matrix::MatF32;
+use bfp_arith::quant::Quantizer;
+use bfp_arith::{AddVariant, HwFp32Add, HwFp32Mul, MulVariant};
+use bfp_faults::FleetLedger;
+use bfp_platform::{ArrayHealth, ArrayServeStats, HealthEvent, ServeStats, System, SystemStats};
+
+use crate::backend::{ArrayBackend, ArrayFaultPlan, SimArrayBackend, Telemetry};
+use crate::config::{Backpressure, ServeConfig};
+use crate::error::ServeError;
+use crate::ticket::{ServeResponse, Ticket, TicketInner};
+
+/// One GEMM request. The deadline budget (if any) starts counting at
+/// admission.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Left operand.
+    pub a: MatF32,
+    /// Right operand.
+    pub b: MatF32,
+    /// Per-request deadline budget; `None` uses the config default.
+    pub budget: Option<Duration>,
+}
+
+impl ServeRequest {
+    /// A request with the config-default deadline.
+    pub fn new(a: MatF32, b: MatF32) -> Self {
+        ServeRequest { a, b, budget: None }
+    }
+
+    /// A request with an explicit deadline budget.
+    pub fn with_budget(a: MatF32, b: MatF32, budget: Duration) -> Self {
+        ServeRequest {
+            a,
+            b,
+            budget: Some(budget),
+        }
+    }
+}
+
+struct Job {
+    a: MatF32,
+    b: MatF32,
+    deadline: Option<Instant>,
+    cancel: CancelToken,
+    submitted_at: Instant,
+    attempts: u32,
+    not_before: Instant,
+    last_array: Option<usize>,
+    ticket: Arc<TicketInner>,
+}
+
+struct ArrayState {
+    health: ArrayHealth,
+    strikes: u32,
+    clean_run: u32,
+    probe_due: Instant,
+    probe_backoff: Duration,
+    probe_streak: u32,
+    stats: ArrayServeStats,
+}
+
+impl ArrayState {
+    fn new(now: Instant) -> Self {
+        ArrayState {
+            health: ArrayHealth::Healthy,
+            strikes: 0,
+            clean_run: 0,
+            probe_due: now,
+            probe_backoff: Duration::ZERO,
+            probe_streak: 0,
+            stats: ArrayServeStats::new(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: u64,
+    admitted: u64,
+    rejected: u64,
+    shed: u64,
+    completed: u64,
+    failed: u64,
+    deadline_missed: u64,
+    retries: u64,
+    degraded_executions: u64,
+    queue_depth_high_water: usize,
+}
+
+struct Inner {
+    queue: VecDeque<Job>,
+    inflight: usize,
+    shutdown: bool,
+    next_id: u64,
+    seq: u64,
+    counters: Counters,
+    arrays: Vec<ArrayState>,
+    ledger: FleetLedger,
+}
+
+struct Shared {
+    m: Mutex<Inner>,
+    work_cv: Condvar,
+    space_cv: Condvar,
+    idle_cv: Condvar,
+    cfg: ServeConfig,
+    golden: Golden,
+}
+
+/// The golden self-test GEMM: small integer matrices on which bfp8 is
+/// exact, with the expected bits cross-checked at startup against a
+/// scalar softfp reference ([`HwFp32Mul`]/[`HwFp32Add`] exact variants).
+struct Golden {
+    a: MatF32,
+    b: MatF32,
+    expected: MatF32,
+}
+
+impl Golden {
+    fn build() -> Self {
+        let a = MatF32::from_fn(16, 16, |i, j| ((i * 7 + j * 5) % 3) as f32 - 1.0);
+        let b = MatF32::from_fn(16, 16, |i, j| ((i * 3 + j * 11) % 3) as f32 - 1.0);
+        let q = Quantizer::paper();
+        let expected = q
+            .quantize(&a)
+            .expect("golden operand quantizes")
+            .try_matmul(&q.quantize(&b).expect("golden operand quantizes"))
+            .expect("golden GEMM executes");
+        // Cross-check: on these integer inputs bfp8 must agree bit-for-
+        // bit with the scalar softfp reference, so a probe pass really
+        // certifies exact arithmetic, not just self-consistency.
+        let mul = HwFp32Mul::new(MulVariant::Exact);
+        let add = HwFp32Add::new(AddVariant::Exact48);
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0f32;
+                for k in 0..a.cols() {
+                    acc = add.add(acc, mul.mul(a.get(i, k), b.get(k, j)));
+                }
+                assert_eq!(
+                    acc.to_bits(),
+                    expected.get(i, j).to_bits(),
+                    "golden GEMM must be bfp8-exact at ({i},{j})"
+                );
+            }
+        }
+        Golden { a, b, expected }
+    }
+}
+
+/// The serving runtime. See the crate docs for the full lifecycle; in
+/// short: [`Server::submit`] → [`Ticket::wait`], [`Server::drain`] for
+/// graceful quiesce, [`Server::stats`] for the observability snapshot.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start a runtime over caller-supplied backends (one per array;
+    /// `cfg.arrays` is overridden by `backends.len()`).
+    ///
+    /// # Panics
+    /// Panics if `backends` is empty.
+    pub fn new(mut cfg: ServeConfig, backends: Vec<Box<dyn ArrayBackend>>) -> Self {
+        assert!(!backends.is_empty(), "a fleet needs at least one array");
+        cfg.arrays = backends.len();
+        let now = Instant::now();
+        let arrays = backends.len();
+        let shared = Arc::new(Shared {
+            m: Mutex::new(Inner {
+                queue: VecDeque::with_capacity(cfg.queue_capacity),
+                inflight: 0,
+                shutdown: false,
+                next_id: 0,
+                seq: 0,
+                counters: Counters::default(),
+                arrays: (0..arrays).map(|_| ArrayState::new(now)).collect(),
+                ledger: FleetLedger::new(arrays),
+            }),
+            work_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            cfg,
+            golden: Golden::build(),
+        });
+        let workers = backends
+            .into_iter()
+            .enumerate()
+            .map(|(i, backend)| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("bfp-serve-{i}"))
+                    .spawn(move || worker_loop(shared, i, backend))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// A fleet of [`SimArrayBackend`]s at the paper's calibrated
+    /// operating point, its measured card throughput split evenly across
+    /// `plans.len()` arrays.
+    ///
+    /// # Panics
+    /// Panics if `plans` is empty.
+    pub fn simulated(cfg: ServeConfig, plans: Vec<ArrayFaultPlan>) -> Self {
+        let sys = System::paper();
+        let per_array_gops = sys.measured_bfp_gops(64) / sys.cfg.total_arrays().max(1) as f64;
+        let backends: Vec<Box<dyn ArrayBackend>> = plans
+            .into_iter()
+            .map(|p| Box::new(SimArrayBackend::new(per_array_gops, p)) as Box<dyn ArrayBackend>)
+            .collect();
+        Server::new(cfg, backends)
+    }
+
+    /// Offer a request. `Ok(Ticket)` means admitted; the typed errors
+    /// are the admission-time refusals.
+    pub fn submit(&self, req: ServeRequest) -> Result<Ticket, ServeError> {
+        let cfg = &self.shared.cfg;
+        let mut inner = self.shared.m.lock().unwrap();
+        inner.counters.submitted += 1;
+        if inner.shutdown {
+            inner.counters.rejected += 1;
+            return Err(ServeError::Shutdown);
+        }
+
+        if inner.queue.len() >= cfg.queue_capacity {
+            match cfg.backpressure {
+                Backpressure::Reject => {
+                    inner.counters.rejected += 1;
+                    return Err(ServeError::QueueFull);
+                }
+                Backpressure::ShedOldest => {
+                    if let Some(victim) = inner.queue.pop_front() {
+                        victim.cancel.cancel();
+                        inner.counters.shed += 1;
+                        resolve(&mut inner, &victim.ticket, Err(ServeError::Shed));
+                    }
+                }
+                Backpressure::Block { timeout } => {
+                    let gate = Instant::now() + timeout;
+                    while inner.queue.len() >= cfg.queue_capacity && !inner.shutdown {
+                        let now = Instant::now();
+                        if now >= gate {
+                            inner.counters.rejected += 1;
+                            return Err(ServeError::AdmissionTimeout);
+                        }
+                        let (guard, _) = self
+                            .shared
+                            .space_cv
+                            .wait_timeout(inner, gate - now)
+                            .unwrap();
+                        inner = guard;
+                    }
+                    if inner.shutdown {
+                        inner.counters.rejected += 1;
+                        return Err(ServeError::Shutdown);
+                    }
+                }
+            }
+        }
+
+        let now = Instant::now();
+        let budget = req.budget.or(cfg.default_budget);
+        let deadline = budget.map(|b| now + b);
+        let cancel = match deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        };
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let ticket_inner = TicketInner::new();
+        inner.queue.push_back(Job {
+            a: req.a,
+            b: req.b,
+            deadline,
+            cancel,
+            submitted_at: now,
+            attempts: 0,
+            not_before: now,
+            last_array: None,
+            ticket: ticket_inner.clone(),
+        });
+        inner.counters.admitted += 1;
+        let depth = inner.queue.len();
+        if depth > inner.counters.queue_depth_high_water {
+            inner.counters.queue_depth_high_water = depth;
+        }
+        drop(inner);
+        self.shared.work_cv.notify_all();
+        Ok(Ticket::new(id, ticket_inner))
+    }
+
+    /// Block until every admitted request has resolved (the queue is
+    /// empty and no execution is in flight). New submissions during the
+    /// wait extend it.
+    pub fn drain(&self) {
+        let mut inner = self.shared.m.lock().unwrap();
+        while !(inner.queue.is_empty() && inner.inflight == 0) {
+            inner = self.shared.idle_cv.wait(inner).unwrap();
+        }
+    }
+
+    /// Stop accepting work, fail everything still queued with
+    /// [`ServeError::Shutdown`], let in-flight executions finish, and
+    /// join the workers. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut inner = self.shared.m.lock().unwrap();
+            if inner.shutdown && self.workers.is_empty() {
+                return;
+            }
+            inner.shutdown = true;
+            let victims: Vec<Job> = inner.queue.drain(..).collect();
+            for job in victims {
+                job.cancel.cancel();
+                resolve(&mut inner, &job.ticket, Err(ServeError::Shutdown));
+            }
+            if inner.inflight == 0 {
+                self.shared.idle_cv.notify_all();
+            }
+        }
+        self.shared.work_cv.notify_all();
+        self.shared.space_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Snapshot of the runtime counters and per-array health.
+    pub fn stats(&self) -> ServeStats {
+        let inner = self.shared.m.lock().unwrap();
+        let c = &inner.counters;
+        ServeStats {
+            submitted: c.submitted,
+            admitted: c.admitted,
+            rejected: c.rejected,
+            shed: c.shed,
+            completed: c.completed,
+            failed: c.failed,
+            deadline_missed: c.deadline_missed,
+            retries: c.retries,
+            degraded_executions: c.degraded_executions,
+            queue_depth_high_water: c.queue_depth_high_water,
+            per_array: inner
+                .arrays
+                .iter()
+                .enumerate()
+                .map(|(i, a)| {
+                    let mut s = a.stats.clone();
+                    s.health = a.health;
+                    s.faults = *inner.ledger.total(i);
+                    s
+                })
+                .collect(),
+        }
+    }
+
+    /// The serving snapshot in platform clothing: a [`SystemStats`]
+    /// whose `serve` field is populated and whose `faults` is the
+    /// fleet-wide merged report.
+    pub fn system_stats(&self) -> SystemStats {
+        let serve = self.stats();
+        let faults = self.shared.m.lock().unwrap().ledger.fleet_total();
+        SystemStats {
+            faults,
+            serve: Some(serve),
+            ..SystemStats::default()
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.cfg
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Fill a ticket and book the outcome into the counters. No-op on a
+/// ticket that already resolved (e.g. shed racing completion).
+fn resolve(inner: &mut Inner, ticket: &Arc<TicketInner>, result: Result<ServeResponse, ServeError>) {
+    let failure = match &result {
+        Ok(_) => None,
+        Err(e) => Some(e.clone()),
+    };
+    if !ticket.resolve(result) {
+        return;
+    }
+    match failure {
+        None => inner.counters.completed += 1,
+        Some(e) => {
+            inner.counters.failed += 1;
+            if e == ServeError::DeadlineExceeded {
+                inner.counters.deadline_missed += 1;
+            }
+        }
+    }
+}
+
+/// Record a health transition.
+fn transition(inner: &mut Inner, array: usize, to: ArrayHealth) {
+    let from = inner.arrays[array].health;
+    if from == to {
+        return;
+    }
+    let seq = inner.seq;
+    inner.seq += 1;
+    let st = &mut inner.arrays[array];
+    st.health = to;
+    st.stats.history.push(HealthEvent { seq, from, to });
+    st.stats.health = to;
+}
+
+/// Apply one user-execution outcome to the strike machine.
+fn note_execution(inner: &mut Inner, array: usize, faulted: bool, shared: &Shared) {
+    let policy = &shared.cfg.health;
+    let st = &mut inner.arrays[array];
+    if faulted {
+        st.strikes = st.strikes.saturating_add(1);
+        st.clean_run = 0;
+        st.stats.faulted_executions += 1;
+        inner.counters.degraded_executions += 1;
+    } else {
+        st.clean_run += 1;
+        if st.clean_run >= policy.clean_streak && st.strikes > 0 {
+            st.strikes -= 1;
+            st.clean_run = 0;
+        }
+    }
+    let strikes = inner.arrays[array].strikes;
+    let target = if strikes >= policy.quarantine_strikes {
+        ArrayHealth::Quarantined
+    } else if strikes >= policy.degrade_strikes {
+        ArrayHealth::Degraded
+    } else {
+        ArrayHealth::Healthy
+    };
+    let current = inner.arrays[array].health;
+    if target == ArrayHealth::Quarantined && current != ArrayHealth::Quarantined {
+        transition(inner, array, ArrayHealth::Quarantined);
+        let st = &mut inner.arrays[array];
+        st.probe_backoff = policy.probe_interval;
+        st.probe_due = Instant::now() + policy.probe_interval;
+        st.probe_streak = 0;
+    } else if target != ArrayHealth::Quarantined && current.serves() && target != current {
+        transition(inner, array, target);
+    }
+}
+
+/// Resolve every queued job whose deadline has already passed. Runs on
+/// each worker wake-up so expired requests clear even when no array can
+/// serve (e.g. the whole fleet quarantined).
+fn sweep_expired(inner: &mut Inner, shared: &Shared, now: Instant) {
+    let mut i = 0;
+    while i < inner.queue.len() {
+        let expired = inner.queue[i].deadline.is_some_and(|d| now >= d);
+        if expired {
+            let job = inner.queue.remove(i).unwrap();
+            job.cancel.cancel();
+            resolve(inner, &job.ticket, Err(ServeError::DeadlineExceeded));
+            shared.space_cv.notify_one();
+        } else {
+            i += 1;
+        }
+    }
+    if inner.queue.is_empty() && inner.inflight == 0 {
+        shared.idle_cv.notify_all();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBackend>) {
+    let mut inner = shared.m.lock().unwrap();
+    loop {
+        let now = Instant::now();
+        sweep_expired(&mut inner, &shared, now);
+        if inner.shutdown && inner.queue.is_empty() {
+            return;
+        }
+
+        match inner.arrays[array].health {
+            ArrayHealth::Quarantined | ArrayHealth::Probing => {
+                let due = inner.arrays[array].probe_due;
+                if now < due {
+                    let (guard, _) = shared.work_cv.wait_timeout(inner, due - now).unwrap();
+                    inner = guard;
+                    continue;
+                }
+                transition(&mut inner, array, ArrayHealth::Probing);
+                inner.arrays[array].stats.probes_run += 1;
+                drop(inner);
+                let probe = backend.execute(&shared.golden.a, &shared.golden.b, &CancelToken::new());
+                inner = shared.m.lock().unwrap();
+                let policy = &shared.cfg.health;
+                let passed = match probe {
+                    Ok((out, t)) => {
+                        inner.arrays[array].stats.modelled_busy_s += t.modelled_s;
+                        let ledger = &mut inner.ledger;
+                        ledger.record_delta(array, &t.faults);
+                        t.faults.detected == 0 && out == shared.golden.expected
+                    }
+                    Err(_) => false,
+                };
+                if passed {
+                    inner.arrays[array].stats.probes_passed += 1;
+                    inner.arrays[array].probe_streak += 1;
+                    if inner.arrays[array].probe_streak >= policy.probes_to_readmit {
+                        // Re-admission forgives history: strikes and the
+                        // fault ledger restart from zero.
+                        let st = &mut inner.arrays[array];
+                        st.strikes = 0;
+                        st.clean_run = 0;
+                        inner.ledger.reset(array);
+                        transition(&mut inner, array, ArrayHealth::Healthy);
+                        shared.work_cv.notify_all();
+                    } else {
+                        let st = &mut inner.arrays[array];
+                        st.probe_due = Instant::now() + policy.probe_interval;
+                        transition(&mut inner, array, ArrayHealth::Quarantined);
+                    }
+                } else {
+                    let st = &mut inner.arrays[array];
+                    st.probe_streak = 0;
+                    st.probe_backoff = (st.probe_backoff * 2)
+                        .max(policy.probe_interval)
+                        .min(policy.probe_interval_cap);
+                    st.probe_due = Instant::now() + st.probe_backoff;
+                    transition(&mut inner, array, ArrayHealth::Quarantined);
+                }
+                continue;
+            }
+            ArrayHealth::Healthy | ArrayHealth::Degraded => {}
+        }
+
+        // Pick the first runnable job. A retry avoids the array that
+        // just faulted on it whenever another serving array exists.
+        let serving = inner.arrays.iter().filter(|a| a.health.serves()).count();
+        let mut pick = None;
+        let mut soonest: Option<Instant> = None;
+        for (i, job) in inner.queue.iter().enumerate() {
+            if job.not_before > now {
+                soonest = Some(soonest.map_or(job.not_before, |s| s.min(job.not_before)));
+                continue;
+            }
+            if job.last_array == Some(array) && serving > 1 {
+                continue;
+            }
+            pick = Some(i);
+            break;
+        }
+        let Some(i) = pick else {
+            if inner.shutdown {
+                return;
+            }
+            let wait = soonest
+                .map(|s| s.saturating_duration_since(now))
+                .unwrap_or(Duration::from_millis(20));
+            let (guard, _) = shared
+                .work_cv
+                .wait_timeout(inner, wait.max(Duration::from_micros(100)))
+                .unwrap();
+            inner = guard;
+            continue;
+        };
+
+        let mut job = inner.queue.remove(i).unwrap();
+        inner.inflight += 1;
+        shared.space_cv.notify_one();
+        drop(inner);
+
+        job.attempts += 1;
+        let outcome = backend.execute(&job.a, &job.b, &job.cancel);
+
+        inner = shared.m.lock().unwrap();
+        let wall_s = job.submitted_at.elapsed().as_secs_f64();
+        match outcome {
+            Ok((out, Telemetry { faults, modelled_s })) => {
+                inner.arrays[array].stats.modelled_busy_s += modelled_s;
+                inner.ledger.record_delta(array, &faults);
+                let faulted = faults.detected > 0;
+                note_execution(&mut inner, array, faulted, &shared);
+                if !faulted {
+                    inner.arrays[array].stats.completed += 1;
+                    resolve(
+                        &mut inner,
+                        &job.ticket,
+                        Ok(ServeResponse {
+                            out,
+                            array,
+                            attempts: job.attempts,
+                            modelled_s,
+                            wall_s,
+                        }),
+                    );
+                } else if job.attempts >= shared.cfg.max_attempts {
+                    resolve(
+                        &mut inner,
+                        &job.ticket,
+                        Err(ServeError::FaultsExhausted {
+                            attempts: job.attempts,
+                        }),
+                    );
+                } else if inner.shutdown {
+                    resolve(&mut inner, &job.ticket, Err(ServeError::Shutdown));
+                } else {
+                    // Discard the suspect output; retry later, elsewhere.
+                    inner.counters.retries += 1;
+                    job.not_before = Instant::now() + shared.cfg.retry_backoff(job.attempts);
+                    job.last_array = Some(array);
+                    inner.queue.push_back(job);
+                    drop(inner);
+                    shared.work_cv.notify_all();
+                    inner = shared.m.lock().unwrap();
+                }
+            }
+            Err(ArithError::Cancelled { expired }) => {
+                let err = if expired || job.deadline.is_some_and(|d| Instant::now() >= d) {
+                    ServeError::DeadlineExceeded
+                } else {
+                    ServeError::Shutdown
+                };
+                resolve(&mut inner, &job.ticket, Err(err));
+            }
+            Err(_) => {
+                // Guardrail errors (shape/finite) are deterministic: a
+                // retry cannot help, so fail the request as exhausted.
+                resolve(
+                    &mut inner,
+                    &job.ticket,
+                    Err(ServeError::FaultsExhausted {
+                        attempts: job.attempts,
+                    }),
+                );
+            }
+        }
+        inner.inflight -= 1;
+        if inner.queue.is_empty() && inner.inflight == 0 {
+            shared.idle_cv.notify_all();
+        }
+    }
+}

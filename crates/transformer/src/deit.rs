@@ -7,6 +7,8 @@
 //! stays the census unit; this module completes the model a user would
 //! actually deploy end to end.
 
+use bfp_arith::cancel::CancelToken;
+use bfp_arith::error::ArithError;
 use bfp_arith::matrix::MatF32;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -229,24 +231,51 @@ impl DeitModel {
 
     /// Full forward pass: logits for one image.
     pub fn forward<E: Engine>(&self, e: &mut E, img: &Image) -> Vec<f32> {
+        self.try_forward(e, img, &CancelToken::new())
+            .expect("unbounded token never cancels")
+    }
+
+    /// Deadline-aware [`DeitModel::forward`]: polls `cancel` before the
+    /// embedding, between encoder blocks (via
+    /// [`crate::model::VitModel::try_forward`]), and before the head, so a
+    /// serving runtime can abandon an inference whose deadline has passed.
+    pub fn try_forward<E: Engine>(
+        &self,
+        e: &mut E,
+        img: &Image,
+        cancel: &CancelToken,
+    ) -> Result<Vec<f32>, ArithError> {
+        cancel.check()?;
         let tokens = self.embed(e, img);
-        let encoded = self.encoder.forward(e, &tokens);
+        let encoded = self.encoder.try_forward(e, &tokens, cancel)?;
+        cancel.check()?;
         // Classify from the class token.
         let mut cls = MatF32::from_fn(1, self.cfg.vit.dim, |_, j| encoded.get(0, j));
         self.final_norm.forward(e, &mut cls);
         let logits = self.head.forward(e, &cls);
-        logits.row(0).to_vec()
+        Ok(logits.row(0).to_vec())
     }
 
     /// Argmax class prediction.
     pub fn predict<E: Engine>(&self, e: &mut E, img: &Image) -> usize {
-        let logits = self.forward(e, img);
-        logits
+        self.try_predict(e, img, &CancelToken::new())
+            .expect("unbounded token never cancels")
+    }
+
+    /// Deadline-aware [`DeitModel::predict`].
+    pub fn try_predict<E: Engine>(
+        &self,
+        e: &mut E,
+        img: &Image,
+        cancel: &CancelToken,
+    ) -> Result<usize, ArithError> {
+        let logits = self.try_forward(e, img, cancel)?;
+        Ok(logits
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
             .expect("non-empty logits")
-            .0
+            .0)
     }
 }
 

@@ -7,6 +7,8 @@
 //! classifier head are outside the census, matching the paper; residual
 //! adds are elementwise memory-side operations not charged to the array.
 
+use bfp_arith::cancel::CancelToken;
+use bfp_arith::error::ArithError;
 use bfp_arith::matrix::MatF32;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -95,13 +97,32 @@ impl VitModel {
     /// # Panics
     /// Panics if `x` does not match the configured sequence/width.
     pub fn forward<E: Engine>(&self, e: &mut E, x: &MatF32) -> MatF32 {
+        self.try_forward(e, x, &CancelToken::new())
+            .expect("unbounded token never cancels")
+    }
+
+    /// Deadline-aware [`VitModel::forward`]: polls `cancel` between encoder
+    /// blocks (the natural preemption points of the pipelined schedule) and
+    /// abandons the pass with [`ArithError::Cancelled`] once the token
+    /// fires, so a serving runtime can stop a request that has already
+    /// missed its deadline instead of finishing a useless inference.
+    ///
+    /// # Panics
+    /// Panics if `x` does not match the configured sequence/width.
+    pub fn try_forward<E: Engine>(
+        &self,
+        e: &mut E,
+        x: &MatF32,
+        cancel: &CancelToken,
+    ) -> Result<MatF32, ArithError> {
         assert_eq!(x.rows(), self.cfg.seq, "sequence length");
         assert_eq!(x.cols(), self.cfg.dim, "embedding width");
         let mut h = x.clone();
         for b in &self.blocks {
+            cancel.check()?;
             h = b.forward(e, &h);
         }
-        h
+        Ok(h)
     }
 
     /// A deterministic synthetic input in the typical post-embedding
@@ -172,6 +193,24 @@ mod tests {
             .sum();
         let cos = dot / (got.frobenius() * want.frobenius());
         assert!(cos > 0.99, "cosine {cos}");
+    }
+
+    #[test]
+    fn cancelled_token_aborts_forward() {
+        use bfp_arith::error::ArithError;
+        let model = VitModel::new_random(VitConfig::tiny_test(), 3);
+        let x = model.synthetic_input(4);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = model
+            .try_forward(&mut RefEngine, &x, &token)
+            .expect_err("cancelled before the first block");
+        assert_eq!(err, ArithError::Cancelled { expired: false });
+        // A live token is transparent: same bits as the panicking path.
+        let ok = model
+            .try_forward(&mut RefEngine, &x, &CancelToken::new())
+            .unwrap();
+        assert_eq!(ok, model.forward(&mut RefEngine, &x));
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Fault-storm serving demo: one array of a four-array fleet develops a
+//! latched defect mid-service. The runtime quarantines it, keeps
+//! answering every request with fault-free bits, and re-admits the
+//! array once repair (modelled as clearing the latch) makes its golden
+//! probes pass again.
+//!
+//! ```text
+//! cargo run --example serve_demo
+//! ```
+
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use bfp_arith::matrix::MatF32;
+use bfp_arith::quant::Quantizer;
+use bfp_serve::{ArrayFaultPlan, ArrayHealth, HealthPolicy, ServeConfig, ServeRequest, Server};
+
+const ARRAYS: usize = 4;
+const STORM: u64 = 144;
+
+fn seeded(rows: usize, cols: usize, seed: u64) -> MatF32 {
+    MatF32::from_fn(rows, cols, |i, j| {
+        let mut z = seed
+            .wrapping_add((i * cols + j + 1) as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 31;
+        (z % 8192) as f32 / 1024.0 - 4.0
+    })
+}
+
+fn request(seed: u64) -> ServeRequest {
+    ServeRequest::new(seeded(32, 32, seed), seeded(32, 32, seed ^ 0x5151))
+}
+
+/// Fault-free reference bits for `request(seed)`.
+fn reference(seed: u64) -> MatF32 {
+    let q = Quantizer::paper();
+    q.quantize(&seeded(32, 32, seed))
+        .unwrap()
+        .try_matmul(&q.quantize(&seeded(32, 32, seed ^ 0x5151)).unwrap())
+        .unwrap()
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 256,
+        health: HealthPolicy {
+            degrade_strikes: 1,
+            quarantine_strikes: 2,
+            clean_streak: 4,
+            probe_interval: Duration::from_millis(5),
+            probe_interval_cap: Duration::from_millis(40),
+            probes_to_readmit: 2,
+        },
+        ..Default::default()
+    }
+}
+
+/// Run one storm, asserting every completed response is bit-identical
+/// to the fault-free reference. Returns (completed, modelled fleet
+/// seconds): the total modelled busy time the storm added, spread over
+/// the arrays that were serving — i.e. the time an ideally-balanced
+/// fleet of that size needs for the work. Using the modelled clock
+/// (not host wall time) keeps the throughput comparison deterministic:
+/// it measures capacity lost to quarantine, not OS scheduling noise.
+fn storm(server: &Server, base_seed: u64) -> (u64, f64) {
+    let busy_before: f64 = server
+        .stats()
+        .per_array
+        .iter()
+        .map(|a| a.modelled_busy_s)
+        .sum();
+    let tickets: Vec<_> = (0..STORM)
+        .map(|s| (base_seed + s, server.submit(request(base_seed + s)).unwrap()))
+        .collect();
+    server.drain();
+    let mut completed = 0;
+    for (s, t) in &tickets {
+        let resp = t.wait().expect("fleet keeps serving through the storm");
+        let want = reference(*s);
+        assert!(
+            resp.out
+                .data()
+                .iter()
+                .zip(want.data())
+                .all(|(g, w)| g.to_bits() == w.to_bits()),
+            "wrong-bit response for request {s}"
+        );
+        completed += 1;
+    }
+    let st = server.stats();
+    let added: f64 = st.per_array.iter().map(|a| a.modelled_busy_s).sum::<f64>() - busy_before;
+    let fleet_s = added / st.serving_arrays().max(1) as f64;
+    (completed, fleet_s)
+}
+
+/// Give the worker threads time to start, so the first storm is shared
+/// by the whole fleet instead of whoever spawned first.
+fn spin_up(server: &Server, warm_seed: u64) {
+    std::thread::sleep(Duration::from_millis(50));
+    let _ = storm(server, warm_seed);
+}
+
+fn main() {
+    println!("=== bfp-serve demo: fault storm, quarantine, re-admission ===\n");
+    let mut wrong_bit_checked = 0u64;
+
+    // --- Baseline: a clean fleet, for the throughput comparison. ---
+    let clean = Server::simulated(config(), vec![ArrayFaultPlan::None; ARRAYS]);
+    spin_up(&clean, 10_000);
+    let (done, clean_makespan) = storm(&clean, 0);
+    wrong_bit_checked += 2 * done;
+    let clean_tput = done as f64 / clean_makespan;
+    println!(
+        "clean fleet   : {done} requests, modelled makespan {:.3} ms, {:.0} req/s (modelled)",
+        clean_makespan * 1e3,
+        clean_tput
+    );
+
+    // --- Same card, array 3 latched-faulty. ---
+    let (plan, heal) = ArrayFaultPlan::latched();
+    let mut plans = vec![ArrayFaultPlan::None; ARRAYS - 1];
+    plans.push(plan);
+    let server = Server::simulated(config(), plans);
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Keep serving until the strikes drive the faulty array out (every
+    // round also bit-checks all of its responses).
+    let mut rounds = 0u64;
+    while server.stats().per_array[ARRAYS - 1].health.serves() {
+        rounds += 1;
+        assert!(rounds <= 50, "array never quarantined under latched faults");
+        let (done, _) = storm(&server, 1000 + rounds * STORM);
+        wrong_bit_checked += done;
+    }
+    let st = server.stats();
+    println!("\nafter {rounds} storm round(s) under the latched fault:\n{st}");
+    assert!(
+        matches!(
+            st.per_array[ARRAYS - 1].health,
+            ArrayHealth::Quarantined | ArrayHealth::Probing
+        ),
+        "the faulty array must be quarantined"
+    );
+    assert_eq!(
+        st.per_array[ARRAYS - 1].completed,
+        0,
+        "a latched-faulty array must never answer"
+    );
+    assert_eq!(st.completed, rounds * STORM, "every request must complete");
+    assert!(st.retries > 0, "faulted executions must be retried elsewhere");
+
+    // With the bad array drained, the fleet of N-1 may lose at most 1/N
+    // of its throughput (small slack for the modelled probe overhead).
+    let (done, degraded_makespan) = storm(&server, 20_000);
+    wrong_bit_checked += done;
+    let degraded_tput = done as f64 / degraded_makespan;
+    let floor = clean_tput * (1.0 - 1.0 / ARRAYS as f64) * 0.85;
+    assert!(
+        degraded_tput >= floor,
+        "throughput under quarantine degraded too far: {degraded_tput:.0} < {floor:.0} req/s"
+    );
+    println!(
+        "quarantined   : {done} requests, {:.0} req/s (modelled) — {:.0}% of clean \
+         (floor {:.0}%)",
+        degraded_tput,
+        100.0 * degraded_tput / clean_tput,
+        100.0 * floor / clean_tput,
+    );
+
+    // --- Repair: clear the latch; golden probes re-admit the array. ---
+    heal.store(false, Ordering::Relaxed);
+    let gate = Instant::now() + Duration::from_secs(10);
+    while server.stats().per_array[ARRAYS - 1].health != ArrayHealth::Healthy {
+        assert!(Instant::now() < gate, "re-admission timed out");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let st = server.stats();
+    println!(
+        "\nrepaired: array {} re-admitted after {} probes ({} passed)",
+        ARRAYS - 1,
+        st.per_array[ARRAYS - 1].probes_run,
+        st.per_array[ARRAYS - 1].probes_passed,
+    );
+
+    // The healed fleet is back to N arrays, and the repaired array must
+    // pick up fresh work again (thread scheduling decides *which* storm
+    // hands it a request, so keep serving until it does).
+    let before = st.per_array[ARRAYS - 1].completed;
+    let (done, healed_makespan) = storm(&server, 30_000);
+    wrong_bit_checked += done;
+    let healed_tput = done as f64 / healed_makespan;
+    let mut rounds = 0u64;
+    while server.stats().per_array[ARRAYS - 1].completed == before {
+        rounds += 1;
+        assert!(rounds <= 50, "re-admitted array never served again");
+        let (done, _) = storm(&server, 40_000 + rounds * STORM);
+        wrong_bit_checked += done;
+    }
+    assert!(
+        healed_tput >= clean_tput * 0.85,
+        "full throughput must return after re-admission"
+    );
+    println!(
+        "healed fleet  : {done} requests, {:.0} req/s (modelled) — {:.0}% of clean",
+        healed_tput,
+        100.0 * healed_tput / clean_tput
+    );
+    let after = server.stats();
+    println!("\nhealth history of the faulty array:");
+    for e in &after.per_array[ARRAYS - 1].history {
+        println!("  {e}");
+    }
+    println!("\nOK: zero wrong-bit responses across {wrong_bit_checked} requests");
+}

@@ -1,0 +1,320 @@
+//! Serving-runtime properties: admission accounting, drain semantics,
+//! deadline enforcement, and the quarantine → probe → re-admit cycle.
+//!
+//! These tests drive `bfp-serve`'s scripted per-array fault injection,
+//! so they need no cargo feature (the hook-based injector in
+//! `bfp-faults` is process-global and unrelated).
+
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use bfp_arith::matrix::MatF32;
+use bfp_arith::quant::Quantizer;
+use bfp_serve::{
+    ArrayFaultPlan, ArrayHealth, Backpressure, HealthPolicy, ServeConfig, ServeError,
+    ServeRequest, Server,
+};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random matrix from a seed (SplitMix64 mix).
+fn seeded(rows: usize, cols: usize, seed: u64) -> MatF32 {
+    MatF32::from_fn(rows, cols, |i, j| {
+        let mut z = seed
+            .wrapping_add((i * cols + j + 1) as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 31;
+        (z % 8192) as f32 / 1024.0 - 4.0
+    })
+}
+
+fn request(seed: u64) -> ServeRequest {
+    ServeRequest::new(seeded(16, 16, seed), seeded(16, 16, seed ^ 0xABCD_EF01))
+}
+
+/// The fault-free bfp8 reference bits for a request's GEMM.
+fn reference(seed: u64) -> MatF32 {
+    let q = Quantizer::paper();
+    let a = q.quantize(&seeded(16, 16, seed)).unwrap();
+    let b = q.quantize(&seeded(16, 16, seed ^ 0xABCD_EF01)).unwrap();
+    a.try_matmul(&b).unwrap()
+}
+
+fn bits_eq(x: &MatF32, y: &MatF32) -> bool {
+    x.rows() == y.rows()
+        && x.cols() == y.cols()
+        && x.data()
+            .iter()
+            .zip(y.data())
+            .all(|(p, q)| p.to_bits() == q.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Admission accounting is exact under random storms and policies:
+    /// no request is both rejected and completed, every admitted ticket
+    /// resolves exactly once, and the counter identities hold.
+    #[test]
+    fn no_request_is_both_rejected_and_completed(
+        seed in any::<u64>(),
+        capacity in 1usize..8,
+        arrays in 1usize..4,
+        storm in 8usize..40,
+        policy in 0u8..2,
+    ) {
+        let backpressure = if policy == 0 {
+            Backpressure::Reject
+        } else {
+            Backpressure::ShedOldest
+        };
+        let cfg = ServeConfig {
+            queue_capacity: capacity,
+            backpressure,
+            ..Default::default()
+        };
+        let server = Server::simulated(cfg, vec![ArrayFaultPlan::None; arrays]);
+        let mut tickets = Vec::new();
+        let mut refused = 0u64;
+        for s in 0..storm as u64 {
+            match server.submit(request(seed ^ s)) {
+                Ok(t) => tickets.push((seed ^ s, t)),
+                Err(ServeError::QueueFull) => refused += 1,
+                Err(e) => panic!("unexpected refusal: {e}"),
+            }
+        }
+        server.drain();
+        let st = server.stats();
+        // A rejected submission never got a ticket, so it cannot also
+        // complete; the ledger identities pin this down fleet-wide.
+        prop_assert_eq!(st.submitted, storm as u64);
+        prop_assert_eq!(st.rejected, refused);
+        prop_assert_eq!(st.admitted + st.rejected, st.submitted);
+        prop_assert_eq!(st.completed + st.failed, st.admitted);
+        prop_assert_eq!(st.admitted, tickets.len() as u64);
+        let mut completed = 0u64;
+        for (s, t) in &tickets {
+            let first = t.wait();
+            // Resolution is stable: waiting again returns the same answer.
+            prop_assert_eq!(&t.wait(), &first);
+            match first {
+                Ok(resp) => {
+                    completed += 1;
+                    prop_assert!(bits_eq(&resp.out, &reference(*s)));
+                }
+                Err(ServeError::Shed) => {}
+                Err(e) => panic!("unexpected failure: {e}"),
+            }
+        }
+        prop_assert_eq!(completed, st.completed);
+    }
+}
+
+#[test]
+fn drain_returns_only_after_all_admitted_requests_resolve() {
+    let server = Server::simulated(
+        ServeConfig {
+            queue_capacity: 256,
+            ..Default::default()
+        },
+        vec![ArrayFaultPlan::None; 3],
+    );
+    let tickets: Vec<_> = (0..48)
+        .map(|s| server.submit(request(s)).unwrap())
+        .collect();
+    server.drain();
+    // Every admitted request must already be resolved — no blocking wait.
+    for t in &tickets {
+        assert!(
+            t.try_get().is_some(),
+            "drain returned with request {} still unresolved",
+            t.id()
+        );
+    }
+    let st = server.stats();
+    assert_eq!(st.completed, 48);
+    assert_eq!(st.failed, 0);
+}
+
+#[test]
+fn deadline_missed_requests_never_occupy_an_array() {
+    // Zero-budget requests expire while queued; the dispatcher must
+    // resolve them without ever running the GEMM, so no array sees any
+    // user work (zero completions, zero modelled busy time).
+    let server = Server::simulated(ServeConfig::default(), vec![ArrayFaultPlan::None; 2]);
+    let tickets: Vec<_> = (0..16)
+        .map(|s| {
+            server
+                .submit(ServeRequest::with_budget(
+                    seeded(16, 16, s),
+                    seeded(16, 16, s ^ 99),
+                    Duration::ZERO,
+                ))
+                .unwrap()
+        })
+        .collect();
+    server.drain();
+    for t in &tickets {
+        assert_eq!(t.wait(), Err(ServeError::DeadlineExceeded));
+    }
+    let st = server.stats();
+    assert_eq!(st.deadline_missed, 16);
+    assert_eq!(st.completed, 0);
+    for (i, a) in st.per_array.iter().enumerate() {
+        assert_eq!(a.completed, 0, "array {i} completed an expired request");
+        assert_eq!(
+            a.modelled_busy_s, 0.0,
+            "array {i} burned time on expired requests"
+        );
+    }
+}
+
+#[test]
+fn generous_deadlines_complete_and_count_nothing_missed() {
+    let server = Server::simulated(ServeConfig::default(), vec![ArrayFaultPlan::None; 2]);
+    let tickets: Vec<_> = (0..8)
+        .map(|s| {
+            server
+                .submit(ServeRequest::with_budget(
+                    seeded(16, 16, s),
+                    seeded(16, 16, s ^ 7),
+                    Duration::from_secs(30),
+                ))
+                .unwrap()
+        })
+        .collect();
+    for t in &tickets {
+        assert!(t.wait().is_ok());
+    }
+    assert_eq!(server.stats().deadline_missed, 0);
+}
+
+/// Aggressive health policy so the quarantine cycle runs in test time.
+fn fast_health() -> HealthPolicy {
+    HealthPolicy {
+        degrade_strikes: 1,
+        quarantine_strikes: 2,
+        clean_streak: 4,
+        probe_interval: Duration::from_millis(5),
+        probe_interval_cap: Duration::from_millis(40),
+        probes_to_readmit: 2,
+    }
+}
+
+fn wait_for_health(server: &Server, array: usize, want: ArrayHealth, timeout: Duration) -> bool {
+    let gate = Instant::now() + timeout;
+    while Instant::now() < gate {
+        if server.stats().per_array[array].health == want {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+#[test]
+fn quarantine_probe_readmit_restores_full_throughput() {
+    let (plan, heal) = ArrayFaultPlan::latched();
+    let cfg = ServeConfig {
+        queue_capacity: 256,
+        health: fast_health(),
+        ..Default::default()
+    };
+    let server = Server::simulated(cfg, vec![ArrayFaultPlan::None, plan]);
+
+    // Phase 1: a storm under the fault. Every response must still carry
+    // the fault-free reference bits (suspect executions are discarded,
+    // retried on the clean array).
+    let tickets: Vec<_> = (0..32)
+        .map(|s| (s, server.submit(request(s)).unwrap()))
+        .collect();
+    server.drain();
+    for (s, t) in &tickets {
+        let resp = t.wait().expect("request survives a faulty array");
+        assert!(
+            bits_eq(&resp.out, &reference(*s)),
+            "wrong bits in a completed response"
+        );
+        assert_eq!(resp.array, 0, "only the clean array may answer");
+    }
+    assert!(
+        wait_for_health(&server, 1, ArrayHealth::Quarantined, Duration::from_secs(5))
+            || server.stats().per_array[1].health == ArrayHealth::Probing,
+        "latched faults must drive the array into quarantine"
+    );
+    let st = server.stats();
+    assert!(st.retries > 0, "faulted executions must be retried");
+    assert!(st.per_array[1].faulted_executions >= 2);
+    assert_eq!(
+        st.per_array[1].completed, 0,
+        "a latched-faulty array must never complete a request"
+    );
+
+    // While latched, probes keep failing: the array stays out.
+    std::thread::sleep(Duration::from_millis(60));
+    let st = server.stats();
+    assert!(st.per_array[1].probes_run > 0, "quarantine must probe");
+    assert_eq!(st.per_array[1].probes_passed, 0);
+    assert!(!st.per_array[1].health.serves());
+
+    // Phase 2: repair the defect; consecutive probe passes re-admit.
+    heal.store(false, Ordering::Relaxed);
+    assert!(
+        wait_for_health(&server, 1, ArrayHealth::Healthy, Duration::from_secs(5)),
+        "healed array must be re-admitted by passing probes"
+    );
+    let readmitted = server.stats();
+    assert!(readmitted.per_array[1].probes_passed >= 2);
+
+    // Full throughput restored: both arrays complete fresh work.
+    let before: Vec<u64> = readmitted.per_array.iter().map(|a| a.completed).collect();
+    let tickets: Vec<_> = (100..164)
+        .map(|s| (s, server.submit(request(s)).unwrap()))
+        .collect();
+    server.drain();
+    for (s, t) in &tickets {
+        let resp = t.wait().expect("healthy fleet completes everything");
+        assert!(bits_eq(&resp.out, &reference(*s)));
+    }
+    let after = server.stats();
+    for (i, b) in before.iter().enumerate() {
+        assert!(
+            after.per_array[i].completed > *b,
+            "array {i} must share the load after re-admission"
+        );
+    }
+    // The health history tells the whole round trip.
+    let hist = &after.per_array[1].history;
+    assert!(hist
+        .iter()
+        .any(|e| e.to == ArrayHealth::Quarantined));
+    assert!(hist
+        .iter()
+        .any(|e| e.from == ArrayHealth::Probing && e.to == ArrayHealth::Healthy));
+}
+
+#[test]
+fn transient_burst_degrades_without_quarantine_loss() {
+    // A short burst strikes the array but clean executions forgive it:
+    // the request stream never sees an error.
+    let cfg = ServeConfig {
+        queue_capacity: 256,
+        health: fast_health(),
+        ..Default::default()
+    };
+    let server = Server::simulated(
+        cfg,
+        vec![ArrayFaultPlan::None, ArrayFaultPlan::transient(1)],
+    );
+    let tickets: Vec<_> = (0..32)
+        .map(|s| (s, server.submit(request(s)).unwrap()))
+        .collect();
+    server.drain();
+    for (s, t) in &tickets {
+        let resp = t.wait().expect("transient faults are absorbed");
+        assert!(bits_eq(&resp.out, &reference(*s)));
+    }
+    let st = server.stats();
+    assert_eq!(st.completed, 32);
+    assert!(st.degraded_executions <= 1);
+}
