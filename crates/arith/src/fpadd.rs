@@ -48,6 +48,7 @@ impl HwFp32Add {
     }
 
     /// Add two unpacked values.
+    #[inline]
     pub fn add_soft(&self, a: SoftFp32, b: SoftFp32) -> SoftFp32 {
         if a.is_zero() {
             return if b.is_zero() {
@@ -66,11 +67,12 @@ impl HwFp32Add {
         }
         // The exponent unit routes the larger-exponent operand to X
         // ("we assume exp_x >= exp_y ... a comparator is necessary").
-        let (x, y) = if (a.exp, a.man) >= (b.exp, b.man) {
-            (a, b)
-        } else {
-            (b, a)
-        };
+        // Both operands are non-zero normals here (1 ≤ exp ≤ 254,
+        // man < 2^24), so the lexicographic (exp, man) order is a single
+        // compare of the fused keys.
+        let ka = ((a.exp as u64) << 24) | a.man as u64;
+        let kb = ((b.exp as u64) << 24) | b.man as u64;
+        let (x, y) = if ka >= kb { (a, b) } else { (b, a) };
         let shift = (x.exp - y.exp) as u32;
 
         match self.variant {
@@ -79,6 +81,7 @@ impl HwFp32Add {
         }
     }
 
+    #[inline]
     fn add_exact48(&self, x: SoftFp32, y: SoftFp32, shift: u32) -> SoftFp32 {
         // Place the hidden bit of X at bit 47 of the accumulator window.
         let mx = (x.man as i64) << 24;
@@ -87,9 +90,9 @@ impl HwFp32Add {
         } else {
             ((y.man as u64) << 24) >> shift
         };
-        let sx = if x.sign { -1i64 } else { 1 };
-        let sy = if y.sign { -1i64 } else { 1 };
-        let sum = sx * mx + sy * my_mag as i64;
+        let tx = if x.sign { -mx } else { mx };
+        let ty_mag = my_mag as i64;
+        let sum = tx + if y.sign { -ty_mag } else { ty_mag };
         if sum == 0 {
             return SoftFp32::ZERO;
         }
@@ -103,6 +106,7 @@ impl HwFp32Add {
         finish(sign, exp, man)
     }
 
+    #[inline]
     fn add_trunc24(&self, x: SoftFp32, y: SoftFp32, shift: u32) -> SoftFp32 {
         let my = if shift >= 32 { 0 } else { y.man >> shift }; // pre-truncated
         let sx = if x.sign { -1i64 } else { 1 };
@@ -120,33 +124,49 @@ impl HwFp32Add {
     }
 
     /// Add two `f32` values; special cases short-circuit in control logic.
+    #[inline]
     pub fn add(&self, x: f32, y: f32) -> f32 {
+        // One finiteness gate on the hot path; NaN/inf resolution is
+        // control logic, not datapath, and stays out of line.
+        if x.is_finite() && y.is_finite() {
+            return self
+                .add_soft(SoftFp32::unpack(x), SoftFp32::unpack(y))
+                .pack();
+        }
+        Self::add_special(x, y)
+    }
+
+    /// NaN/infinity resolution, exactly as the original inline checks did.
+    #[cold]
+    fn add_special(x: f32, y: f32) -> f32 {
         if x.is_nan() || y.is_nan() {
             return f32::NAN;
         }
         match (x.is_infinite(), y.is_infinite()) {
             (true, true) => {
-                return if x.is_sign_positive() == y.is_sign_positive() {
+                if x.is_sign_positive() == y.is_sign_positive() {
                     x
                 } else {
                     f32::NAN
                 }
             }
-            (true, false) => return x,
-            (false, true) => return y,
-            _ => {}
+            (true, false) => x,
+            (false, true) => y,
+            // Unreachable: the caller only routes here when at least one
+            // operand is non-finite.
+            (false, false) => unreachable!("add_special on finite operands"),
         }
-        self.add_soft(SoftFp32::unpack(x), SoftFp32::unpack(y))
-            .pack()
     }
 
     /// Subtract (`x - y`) by flipping the sign through the XOR gate.
+    #[inline]
     pub fn sub(&self, x: f32, y: f32) -> f32 {
         self.add(x, -y)
     }
 }
 
 /// Shift `mag` so its top set bit (at index `h`) lands at bit 23.
+#[inline]
 fn normalize_to_24(mag: u64, h: i32, round: NormRound) -> u32 {
     if h <= 23 {
         return (mag << (23 - h)) as u32; // exact left shift
@@ -172,6 +192,7 @@ fn normalize_to_24(mag: u64, h: i32, round: NormRound) -> u32 {
 }
 
 /// Clamp the exponent and pack, honouring the carry flag from rounding.
+#[inline]
 fn finish(sign: bool, mut exp: i32, man: u32) -> SoftFp32 {
     let man = if man & (1 << 31) != 0 {
         exp += 1;

@@ -103,8 +103,40 @@ impl HwFp32Mul {
     }
 
     /// Multiply two unpacked values on the sliced datapath.
+    ///
+    /// The nine partial products of Eqn. 5 sum to the exact 48-bit integer
+    /// mantissa product, and `u64` addition is associative — so instead of
+    /// materialising (and sorting) the term list per call, the fast path
+    /// computes the full product with one widening multiply and, for
+    /// [`MulVariant::DropLsp`], subtracts the single omitted `i = j = 0`
+    /// term. Bit-identical to summing [`HwFp32Mul::partial_products`]
+    /// (pinned by [`HwFp32Mul::mul_soft_via_partials`] and its proptest),
+    /// but free of the per-multiply heap allocation that dominated the VPU
+    /// kernels' wall clock.
+    #[inline]
     pub fn mul_soft(&self, a: SoftFp32, b: SoftFp32) -> SoftFp32 {
         let sign = a.sign ^ b.sign; // the one XOR gate of §II-B
+        if a.is_zero() || b.is_zero() {
+            return SoftFp32 {
+                sign,
+                exp: 0,
+                man: 0,
+            };
+        }
+        let mut full: u64 = a.man as u64 * b.man as u64;
+        if self.variant == MulVariant::DropLsp {
+            // The omitted partial product is man_x(0)·man_y(0) at shift 0.
+            full -= (a.man & 0xff) as u64 * (b.man & 0xff) as u64;
+        }
+        self.normalise_product(sign, a.exp, b.exp, full)
+    }
+
+    /// The introspective twin of [`HwFp32Mul::mul_soft`]: enumerate the
+    /// partial-product terms the PE rows compute (the pre-optimisation
+    /// implementation) and sum them. Kept as the per-row oracle for the
+    /// fast path and as the scalar-baseline op for perf comparisons.
+    pub fn mul_soft_via_partials(&self, a: SoftFp32, b: SoftFp32) -> SoftFp32 {
+        let sign = a.sign ^ b.sign;
         if a.is_zero() || b.is_zero() {
             return SoftFp32 {
                 sign,
@@ -119,6 +151,12 @@ impl HwFp32Mul {
             }
             full += p.contribution();
         }
+        self.normalise_product(sign, a.exp, b.exp, full)
+    }
+
+    /// Shared renormalisation tail of the two product paths.
+    #[inline]
+    fn normalise_product(&self, sign: bool, ea: i32, eb: i32, full: u64) -> SoftFp32 {
         debug_assert!(
             full >= 1 << 46,
             "product of normalised mantissas below 2^46"
@@ -126,7 +164,7 @@ impl HwFp32Mul {
         debug_assert!(full < 1 << 48);
 
         // Renormalise the [2^46, 2^48) product into a 24-bit mantissa.
-        let mut exp = a.exp + b.exp - BIAS;
+        let mut exp = ea + eb - BIAS;
         let shift = if full >> 47 != 0 {
             exp += 1;
             FRAC_BITS + 1
@@ -148,17 +186,16 @@ impl HwFp32Mul {
         SoftFp32 { sign, exp, man }
     }
 
-    /// Multiply two `f32` values. IEEE special cases (NaN, inf, zero) are
-    /// resolved by control logic before the array is engaged, exactly like
-    /// the hardware's controller short-circuits them.
-    pub fn mul(&self, x: f32, y: f32) -> f32 {
+    /// Multiply two `f32` values via [`HwFp32Mul::mul_soft_via_partials`]
+    /// (the pre-optimisation scalar path; baseline benchmarking only).
+    pub fn mul_via_partials(&self, x: f32, y: f32) -> f32 {
         if x.is_nan() || y.is_nan() {
             return f32::NAN;
         }
         let sign = (x.is_sign_negative()) ^ (y.is_sign_negative());
         if x.is_infinite() || y.is_infinite() {
             if x == 0.0 || y == 0.0 {
-                return f32::NAN; // inf × 0
+                return f32::NAN;
             }
             return if sign {
                 f32::NEG_INFINITY
@@ -166,8 +203,40 @@ impl HwFp32Mul {
                 f32::INFINITY
             };
         }
-        self.mul_soft(SoftFp32::unpack(x), SoftFp32::unpack(y))
+        self.mul_soft_via_partials(SoftFp32::unpack(x), SoftFp32::unpack(y))
             .pack()
+    }
+
+    /// Multiply two `f32` values. IEEE special cases (NaN, inf, zero) are
+    /// resolved by control logic before the array is engaged, exactly like
+    /// the hardware's controller short-circuits them.
+    #[inline]
+    pub fn mul(&self, x: f32, y: f32) -> f32 {
+        // One finiteness gate on the hot path; NaN/inf resolution stays
+        // out of line (see `mul_special`).
+        if x.is_finite() && y.is_finite() {
+            return self
+                .mul_soft(SoftFp32::unpack(x), SoftFp32::unpack(y))
+                .pack();
+        }
+        Self::mul_special(x, y)
+    }
+
+    /// NaN/infinity resolution, exactly as the original inline checks did.
+    #[cold]
+    fn mul_special(x: f32, y: f32) -> f32 {
+        if x.is_nan() || y.is_nan() {
+            return f32::NAN;
+        }
+        // At least one operand is infinite here.
+        if x == 0.0 || y == 0.0 {
+            return f32::NAN; // inf × 0
+        }
+        if (x.is_sign_negative()) ^ (y.is_sign_negative()) {
+            f32::NEG_INFINITY
+        } else {
+            f32::INFINITY
+        }
     }
 }
 
@@ -197,6 +266,54 @@ mod tests {
         for (x, y, want) in cases {
             assert_eq!(exact().mul(x, y), want, "{x} * {y}");
             assert_eq!(hw().mul(x, y), want, "{x} * {y} (DropLsp)");
+        }
+    }
+
+    #[test]
+    fn fast_product_path_matches_partial_product_enumeration() {
+        // The optimised mul_soft must agree bit-for-bit with the term-list
+        // oracle for both variants and both rounding modes, across a spread
+        // of mantissa patterns (incl. all-ones low slices, where the
+        // DropLsp subtraction is largest).
+        let mut state = 0x243F_6A88_85A3_08D3u64; // deterministic LCG
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 32) as u32
+        };
+        let muls = [
+            HwFp32Mul::new(MulVariant::Exact),
+            HwFp32Mul::new(MulVariant::DropLsp),
+            HwFp32Mul {
+                variant: MulVariant::DropLsp,
+                round: NormRound::NearestEven,
+            },
+        ];
+        for _ in 0..20_000 {
+            let x = f32::from_bits(next() & 0x7fff_ffff | ((next() & 1) << 31));
+            let y = f32::from_bits(next() & 0x7fff_ffff | ((next() & 1) << 31));
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            for m in &muls {
+                let fast = m.mul(x, y);
+                let slow = m.mul_via_partials(x, y);
+                assert_eq!(
+                    fast.to_bits(),
+                    slow.to_bits(),
+                    "{x} * {y} ({:?}/{:?}): {fast} vs {slow}",
+                    m.variant,
+                    m.round
+                );
+            }
+        }
+        // Edge mantissas: hidden-bit-only, all-ones, low-slice extremes.
+        for &xb in &[0x3f80_0000u32, 0x3fff_ffff, 0x3f80_00ff, 0x7f7f_ffff, 0x0080_0000] {
+            for &yb in &[0x3f80_0000u32, 0x3fff_ffff, 0x3f80_00ff, 0x7f7f_ffff, 0x0080_0000] {
+                let (x, y) = (f32::from_bits(xb), f32::from_bits(yb));
+                for m in &muls {
+                    assert_eq!(m.mul(x, y).to_bits(), m.mul_via_partials(x, y).to_bits());
+                }
+            }
         }
     }
 

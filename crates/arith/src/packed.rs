@@ -83,6 +83,78 @@ impl PackedBfp {
         Ok(Self::pack_rhs(&q.quantize(m)?))
     }
 
+    /// Fused quantize-and-pack for the left operand: f32 straight to the
+    /// block-major i8 mantissa plane, no intermediate [`BfpMatrix`].
+    ///
+    /// Bit-identical (including error values and which error fires first)
+    /// to [`PackedBfp::quantize_lhs`]: both paths share
+    /// `Quantizer::tile_exp` / `Quantizer::round_elem` and walk tiles
+    /// and elements in the same order. The composed path stays as the
+    /// reference the equivalence tests pin this one against.
+    pub fn quantize_pack_lhs(q: &Quantizer, m: &MatF32) -> Result<PackedBfp, ArithError> {
+        Self::quantize_pack(q, m, PackSide::Lhs)
+    }
+
+    /// Fused quantize-and-pack for the right operand (block-transposed);
+    /// see [`PackedBfp::quantize_pack_lhs`].
+    pub fn quantize_pack_rhs(q: &Quantizer, m: &MatF32) -> Result<PackedBfp, ArithError> {
+        Self::quantize_pack(q, m, PackSide::Rhs)
+    }
+
+    fn quantize_pack(q: &Quantizer, m: &MatF32, side: PackSide) -> Result<PackedBfp, ArithError> {
+        let b = q.block;
+        let br = m.rows().div_ceil(b);
+        let bc = m.cols().div_ceil(b);
+        let bb = b * b;
+        let clamp = q.max_mag() as i8;
+        let cols = m.cols();
+        let data = m.data();
+        let mut exps = Vec::with_capacity(br * bc);
+        let mut man = vec![0i8; br * bc * bb];
+        for bi in 0..br {
+            let r0 = bi * b;
+            let imax = b.min(m.rows().saturating_sub(r0));
+            for bj in 0..bc {
+                let c0 = bj * b;
+                let exp = match q.tile_exp(m, r0, c0)? {
+                    // All-zero tile: canonical exponent 0, mantissas stay 0.
+                    None => {
+                        exps.push(0);
+                        continue;
+                    }
+                    Some(exp) => exp,
+                };
+                exps.push(exp);
+                let scale = (-(exp as i32) as f64).exp2();
+                let jmax = b.min(cols.saturating_sub(c0));
+                let dst = &mut man[(bi * bc + bj) * bb..][..bb];
+                let mut saturated = 0u64;
+                for i in 0..imax {
+                    let src = &data[(r0 + i) * cols + c0..][..jmax];
+                    for (j, &v) in src.iter().enumerate() {
+                        let (qv, sat) = q.round_elem(v, scale, r0 + i, c0 + j, clamp);
+                        saturated += sat as u64;
+                        dst[match side {
+                            PackSide::Lhs => i * b + j,
+                            PackSide::Rhs => j * b + i,
+                        }] = qv;
+                    }
+                }
+                q.saturation.check(saturated)?;
+            }
+        }
+        Ok(PackedBfp {
+            rows: m.rows(),
+            cols: m.cols(),
+            block: b,
+            block_rows: br,
+            block_cols: bc,
+            side,
+            exps,
+            man,
+        })
+    }
+
     fn pack(m: &BfpMatrix, side: PackSide) -> PackedBfp {
         let b = m.block();
         let (br, bc) = m.grid();
@@ -215,6 +287,56 @@ impl PackedBfp {
         self.check_compatible(rhs)?;
         let mut out = MatF32::zeros(self.rows, rhs.cols);
         self.matmul_rows_into(rhs, 0, self.block_rows, out.data_mut());
+        Ok(out)
+    }
+
+    /// Packed GEMM with block-rows sharded across up to `threads` scoped
+    /// threads. Pure mechanism: no size heuristics — callers decide when
+    /// forking is worth it (`bfp_core::fastgemm` applies a MAC threshold,
+    /// the transformer engine its own policy). `threads <= 1` runs the
+    /// serial kernel.
+    ///
+    /// Every (bi, bj) exponent-alignment chain is independent and each
+    /// shard writes a disjoint slice of the output, so the result is
+    /// bit-identical to [`PackedBfp::matmul`] for any thread count.
+    pub fn matmul_parallel(&self, rhs: &PackedBfp, threads: usize) -> Result<MatF32, ArithError> {
+        self.check_compatible(rhs)?;
+        let mb = self.block_rows;
+        let threads = threads.min(mb.max(1));
+        if threads <= 1 {
+            let mut out = MatF32::zeros(self.rows, rhs.cols);
+            self.matmul_rows_into(rhs, 0, mb, out.data_mut());
+            return Ok(out);
+        }
+        let b = self.block;
+        let rows = self.rows;
+        let cols = rhs.cols;
+        let mut out = MatF32::zeros(rows, cols);
+        // Carve the output into per-shard row slices up front; the shards
+        // are disjoint, so the scoped threads can write them concurrently.
+        let per = mb.div_ceil(threads);
+        let mut shards: Vec<(usize, usize, &mut [f32])> = Vec::with_capacity(threads);
+        let mut rest = out.data_mut();
+        let mut consumed = 0usize;
+        for t in 0..threads {
+            let lo = (t * per).min(mb);
+            let hi = ((t + 1) * per).min(mb);
+            if lo >= hi {
+                break;
+            }
+            let shard_rows = (hi * b).min(rows) - lo * b;
+            let (head, tail) = rest.split_at_mut(shard_rows * cols);
+            shards.push((lo, hi, head));
+            rest = tail;
+            consumed += shard_rows;
+        }
+        debug_assert_eq!(consumed, rows, "shards must tile the output");
+        crossbeam::thread::scope(|scope| {
+            for (lo, hi, buf) in shards {
+                scope.spawn(move |_| self.matmul_rows_into(rhs, lo, hi, buf));
+            }
+        })
+        .expect("GEMM shard thread panicked");
         Ok(out)
     }
 
@@ -603,6 +725,100 @@ mod tests {
         ));
         // And the happy path still works.
         assert!(a.matmul(&b).is_ok());
+    }
+
+    #[test]
+    fn fused_quantize_pack_matches_composed_path() {
+        use crate::quant::RoundMode;
+        for round in [RoundMode::NearestEven, RoundMode::Truncate, RoundMode::Stochastic] {
+            let q = Quantizer {
+                round,
+                ..Quantizer::paper()
+            };
+            for (r, c, seed) in [(16, 16, 1), (11, 29, 2), (8, 8, 3), (1, 1, 4), (40, 7, 5)] {
+                let m = wave(r, c, seed);
+                assert_eq!(
+                    PackedBfp::quantize_pack_lhs(&q, &m).unwrap(),
+                    PackedBfp::quantize_lhs(&q, &m).unwrap(),
+                    "lhs {r}x{c} {round:?}"
+                );
+                assert_eq!(
+                    PackedBfp::quantize_pack_rhs(&q, &m).unwrap(),
+                    PackedBfp::quantize_rhs(&q, &m).unwrap(),
+                    "rhs {r}x{c} {round:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_quantize_pack_handles_zero_tiles_and_spiky_exponents() {
+        let q = Quantizer::paper();
+        let mut m = spiky(24, 24);
+        // Zero out a whole tile plus a partial edge region.
+        for i in 8..16 {
+            for j in 0..8 {
+                m.set(i, j, 0.0);
+            }
+        }
+        assert_eq!(
+            PackedBfp::quantize_pack_lhs(&q, &m).unwrap(),
+            PackedBfp::quantize_lhs(&q, &m).unwrap()
+        );
+        assert_eq!(
+            PackedBfp::quantize_pack_rhs(&q, &m).unwrap(),
+            PackedBfp::quantize_rhs(&q, &m).unwrap()
+        );
+    }
+
+    #[test]
+    fn fused_quantize_pack_reports_identical_errors() {
+        let q = Quantizer::paper();
+        let mut m = wave(17, 19, 7);
+        m.set(9, 13, f32::NAN);
+        let want = format!("{:?}", q.quantize(&m).unwrap_err());
+        assert_eq!(
+            format!("{:?}", PackedBfp::quantize_pack_lhs(&q, &m).unwrap_err()),
+            want
+        );
+        assert_eq!(
+            format!("{:?}", PackedBfp::quantize_pack_rhs(&q, &m).unwrap_err()),
+            want
+        );
+    }
+
+    #[test]
+    fn fused_quantize_pack_matmul_is_bit_identical() {
+        let q = Quantizer::paper();
+        let a = spiky(40, 24);
+        let b = spiky(24, 17);
+        let got = PackedBfp::quantize_pack_lhs(&q, &a)
+            .unwrap()
+            .matmul(&PackedBfp::quantize_pack_rhs(&q, &b).unwrap())
+            .unwrap();
+        let want = q
+            .quantize(&a)
+            .unwrap()
+            .try_matmul(&q.quantize(&b).unwrap())
+            .unwrap();
+        assert_bits_eq(&got, &want);
+    }
+
+    #[test]
+    fn matmul_parallel_is_bit_identical_for_any_thread_count() {
+        let q = Quantizer::paper();
+        let a = spiky(40, 24);
+        let b = spiky(24, 17);
+        let pa = PackedBfp::quantize_pack_lhs(&q, &a).unwrap();
+        let pb = PackedBfp::quantize_pack_rhs(&q, &b).unwrap();
+        let want = pa.matmul(&pb).unwrap();
+        for threads in [0usize, 1, 2, 3, 5, 64] {
+            assert_bits_eq(&pa.matmul_parallel(&pb, threads).unwrap(), &want);
+        }
+        assert!(matches!(
+            pb.matmul_parallel(&pb, 4),
+            Err(ArithError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -107,13 +107,24 @@ impl Quantizer {
     /// number of blocks (padding mantissas are exactly zero, so they never
     /// perturb products).
     pub fn quantize(&self, m: &MatF32) -> Result<BfpMatrix, ArithError> {
+        self.quantize_with(m, false)
+    }
+
+    /// [`Quantizer::quantize`] through the reference tile scan
+    /// (`Quantizer::tile_exp_reference`). Bit-identical output; this is
+    /// the measured pre-optimisation epilogue the e2e baseline replays.
+    pub fn quantize_reference(&self, m: &MatF32) -> Result<BfpMatrix, ArithError> {
+        self.quantize_with(m, true)
+    }
+
+    fn quantize_with(&self, m: &MatF32, reference_scan: bool) -> Result<BfpMatrix, ArithError> {
         let b = self.block;
         let block_rows = m.rows().div_ceil(b);
         let block_cols = m.cols().div_ceil(b);
         let mut blocks = Vec::with_capacity(block_rows * block_cols);
         for bi in 0..block_rows {
             for bj in 0..block_cols {
-                blocks.push(self.quantize_tile(m, bi * b, bj * b)?);
+                blocks.push(self.quantize_tile(m, bi * b, bj * b, reference_scan)?);
             }
         }
         Ok(BfpMatrix {
@@ -126,7 +137,51 @@ impl Quantizer {
         })
     }
 
-    fn quantize_tile(&self, m: &MatF32, r0: usize, c0: usize) -> Result<GenBlock, ArithError> {
+    /// Scan the `block × block` tile anchored at `(r0, c0)` (clipped to the
+    /// matrix) and derive its shared exponent. `Ok(None)` means an all-zero
+    /// tile (canonical exponent 0, zero mantissas). This is the single
+    /// source of truth shared by [`Quantizer::quantize`] and the fused
+    /// quantize-and-pack epilogue in [`crate::packed`], so the two paths
+    /// cannot drift apart bit-wise.
+    pub(crate) fn tile_exp(&self, m: &MatF32, r0: usize, c0: usize) -> Result<Option<i8>, ArithError> {
+        let b = self.block;
+        let cols = m.cols();
+        let imax = b.min(m.rows().saturating_sub(r0));
+        let jmax = b.min(cols.saturating_sub(c0));
+        let data = m.data();
+        // Row-slice scan in the same (i, j) order as the per-element loop
+        // it replaced, so the first non-finite error is identical; the f32
+        // max converts exactly to f64, so the exponent search is too.
+        let mut max_abs = 0f32;
+        for i in 0..imax {
+            let r = r0 + i;
+            let row = &data[r * cols + c0..][..jmax];
+            for (j, &v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(ArithError::NonFinite { at: (r, c0 + j) });
+                }
+                max_abs = max_abs.max(v.abs());
+            }
+        }
+        let max_abs = max_abs as f64;
+        if max_abs == 0.0 {
+            return Ok(None);
+        }
+        self.exp_for_max_abs(max_abs).map(Some)
+    }
+
+    /// The pre-optimisation tile scan: per-element `get` with bounds
+    /// branches and an f64 running max. Kept runnable as the oracle
+    /// [`Quantizer::tile_exp`] is pinned against and as the epilogue the
+    /// e2e baseline engine replays, so "before" numbers stay measurable on
+    /// today's tree. Bit-identical to the slice scan (the f32 max converts
+    /// exactly to f64 and the (i, j) error order matches).
+    pub(crate) fn tile_exp_reference(
+        &self,
+        m: &MatF32,
+        r0: usize,
+        c0: usize,
+    ) -> Result<Option<i8>, ArithError> {
         let b = self.block;
         let mut max_abs = 0f64;
         for i in 0..b {
@@ -142,11 +197,15 @@ impl Quantizer {
             }
         }
         if max_abs == 0.0 {
-            return Ok(GenBlock {
-                exp: 0,
-                man: vec![0; b * b],
-            });
+            return Ok(None);
         }
+        self.exp_for_max_abs(max_abs).map(Some)
+    }
+
+    /// Shared exponent for a tile whose largest magnitude is `max_abs`
+    /// (non-zero): the smallest exponent whose rounded mantissa for
+    /// `max_abs` still fits the symmetric clamp.
+    fn exp_for_max_abs(&self, max_abs: f64) -> Result<i8, ArithError> {
         let mag = self.max_mag() as f64;
         let mut exp = (max_abs.log2().floor() as i32) - (self.man_bits as i32 - 2);
         while (max_abs * (-exp as f64).exp2()).round() > mag {
@@ -158,7 +217,47 @@ impl Quantizer {
         if exp > i8::MAX as i32 {
             return Err(ArithError::ExponentOverflow { exp });
         }
-        let exp = exp.max(i8::MIN as i32) as i8;
+        Ok(exp.max(i8::MIN as i32) as i8)
+    }
+
+    /// Round one element at absolute position `(r, c)` against a tile scale;
+    /// returns the clamped mantissa and whether the clamp fired. Shared by
+    /// both quantization paths (see [`Quantizer::tile_exp`]).
+    #[inline]
+    pub(crate) fn round_elem(&self, v: f32, scale: f64, r: usize, c: usize, clamp: i8) -> (i8, bool) {
+        let scaled = v as f64 * scale;
+        let q = match self.round {
+            RoundMode::NearestEven => round_i8_rne(scaled),
+            RoundMode::Truncate => round_i8_trunc(scaled),
+            RoundMode::Stochastic => {
+                round_i8_stochastic(scaled, mix_hash(r, c, (scaled as f32).to_bits()))
+            }
+        };
+        (q.clamp(-clamp, clamp), q < -clamp || q > clamp)
+    }
+
+    fn quantize_tile(
+        &self,
+        m: &MatF32,
+        r0: usize,
+        c0: usize,
+        reference_scan: bool,
+    ) -> Result<GenBlock, ArithError> {
+        let b = self.block;
+        let scanned = if reference_scan {
+            self.tile_exp_reference(m, r0, c0)?
+        } else {
+            self.tile_exp(m, r0, c0)?
+        };
+        let exp = match scanned {
+            None => {
+                return Ok(GenBlock {
+                    exp: 0,
+                    man: vec![0; b * b],
+                })
+            }
+            Some(exp) => exp,
+        };
         let scale = (-(exp as i32) as f64).exp2();
         let clamp = self.max_mag() as i8;
         let mut man = vec![0i8; b * b];
@@ -167,18 +266,9 @@ impl Quantizer {
             for j in 0..b {
                 let (r, c) = (r0 + i, c0 + j);
                 if r < m.rows() && c < m.cols() {
-                    let scaled = m.get(r, c) as f64 * scale;
-                    let q = match self.round {
-                        RoundMode::NearestEven => round_i8_rne(scaled),
-                        RoundMode::Truncate => round_i8_trunc(scaled),
-                        RoundMode::Stochastic => {
-                            round_i8_stochastic(scaled, mix_hash(r, c, (scaled as f32).to_bits()))
-                        }
-                    };
-                    if q < -clamp || q > clamp {
-                        saturated += 1;
-                    }
-                    man[i * b + j] = q.clamp(-clamp, clamp);
+                    let (q, sat) = self.round_elem(m.get(r, c), scale, r, c, clamp);
+                    saturated += sat as u64;
+                    man[i * b + j] = q;
                 }
             }
         }
@@ -505,6 +595,28 @@ mod tests {
 
     fn ramp(rows: usize, cols: usize) -> MatF32 {
         MatF32::from_fn(rows, cols, |i, j| ((i * cols + j) % 23) as f32 - 11.0)
+    }
+
+    #[test]
+    fn reference_and_slice_tile_scans_agree() {
+        // The optimized row-slice scan must match the kept reference scan
+        // on every tile — exponents, mantissas, and the position of the
+        // first non-finite error.
+        let q = Quantizer::paper();
+        for (rows, cols) in [(16, 16), (17, 23), (1, 7), (8, 64), (3, 3)] {
+            let m = MatF32::from_fn(rows, cols, |i, j| {
+                ((i * 31 + j * 7) as f32 * 0.37).sin() * ((i + j) as f32).exp2().min(1e30)
+            });
+            let fast = q.quantize(&m).unwrap();
+            let reference = q.quantize_reference(&m).unwrap();
+            assert_eq!(fast.dequantize(), reference.dequantize());
+        }
+        // Zero tiles and non-finite errors behave identically too.
+        let mut m = MatF32::from_fn(20, 20, |_, _| 0.0);
+        m.set(13, 17, f32::NAN);
+        let fast = q.quantize(&m).unwrap_err();
+        let reference = q.quantize_reference(&m).unwrap_err();
+        assert_eq!(format!("{fast:?}"), format!("{reference:?}"));
     }
 
     #[test]

@@ -47,6 +47,7 @@ impl SoftFp32 {
     /// # Panics
     /// Panics if `x` is infinite or NaN; callers handle those before the
     /// sliced datapath (as the hardware's control logic would).
+    #[inline]
     pub fn unpack(x: f32) -> Self {
         assert!(
             x.is_finite(),
@@ -73,6 +74,7 @@ impl SoftFp32 {
 
     /// Pack back into an `f32`. Exponent overflow saturates to ±inf and
     /// underflow flushes to ±0, mirroring the hardware's clamping.
+    #[inline]
     pub fn pack(self) -> f32 {
         if self.man == 0 {
             return if self.sign { -0.0 } else { 0.0 };
@@ -100,6 +102,7 @@ impl SoftFp32 {
 
     /// The three 8-bit mantissa slices, least-significant first:
     /// `man(i) = man[8i+7 : 8i]` (paper Eqn. 5).
+    #[inline]
     pub fn slices(self) -> [u8; 3] {
         [
             (self.man & 0xff) as u8,
@@ -117,6 +120,7 @@ impl SoftFp32 {
     }
 
     /// True if this encodes (signed) zero.
+    #[inline]
     pub fn is_zero(self) -> bool {
         self.man == 0
     }

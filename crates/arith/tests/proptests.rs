@@ -4,7 +4,8 @@ use bfp_arith::bfp::{BfpBlock, BlockAcc, BLOCK};
 use bfp_arith::fpadd::{AddVariant, HwFp32Add};
 use bfp_arith::fpmul::{HwFp32Mul, MulVariant, NormRound};
 use bfp_arith::matrix::MatF32;
-use bfp_arith::quant::Quantizer;
+use bfp_arith::packed::PackedBfp;
+use bfp_arith::quant::{Quantizer, RoundMode};
 use bfp_arith::softfp::SoftFp32;
 use bfp_arith::stats::ErrorStats;
 use bfp_arith::ulp::ulp_distance;
@@ -26,6 +27,41 @@ fn normal_f32() -> impl Strategy<Value = f32> {
 
 fn tile() -> impl Strategy<Value = [[f32; BLOCK]; BLOCK]> {
     proptest::array::uniform8(proptest::array::uniform8(-100.0f32..100.0))
+}
+
+/// The full finite-input domain the quantizer must handle identically on
+/// both epilogues: ordinary values, exact zeros, subnormals (FTZ'd by the
+/// datapath but legal quantizer inputs), and values adjacent to the f32
+/// overflow boundary (stressing the shared-exponent search).
+fn quantizable_f32() -> impl Strategy<Value = f32> {
+    (0u32..8, any::<u32>(), any::<bool>()).prop_map(|(kind, bits, neg)| {
+        let v = match kind {
+            // Ordinary magnitudes across a wide exponent span.
+            0..=4 => {
+                let e = 67 + (bits >> 23) % 120; // biased exponents 67..187
+                f32::from_bits((e << 23) | (bits & 0x7f_ffff))
+            }
+            5 => 0.0,
+            // Subnormal (or zero) bit patterns — FTZ'd by the datapath but
+            // legal quantizer inputs.
+            6 => f32::from_bits(bits & 0x7f_ffff),
+            // Non-finite-adjacent magnitudes near the f32 overflow bound.
+            _ => f32::MAX * (0.25 + (bits % 1024) as f32 / 1365.0),
+        };
+        if neg {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+fn round_mode() -> impl Strategy<Value = RoundMode> {
+    (0u32..3).prop_map(|k| match k {
+        0 => RoundMode::NearestEven,
+        1 => RoundMode::Truncate,
+        _ => RoundMode::Stochastic,
+    })
 }
 
 proptest! {
@@ -191,6 +227,52 @@ proptest! {
         let rms = (s.signal_energy / s.count as f64).sqrt();
         if rms > 0.5 {
             prop_assert!(s.sqnr_db() > 25.0, "SQNR {} at rms {rms}", s.sqnr_db());
+        }
+    }
+
+    #[test]
+    fn fused_quantize_pack_equals_composed_path(
+        rows in 1usize..22,
+        cols in 1usize..22,
+        round in round_mode(),
+        values in proptest::collection::vec(quantizable_f32(), 22 * 22),
+    ) {
+        // The fused f32 → block-major epilogue must be indistinguishable
+        // from quantize-then-pack for BOTH sides, on every rounding mode,
+        // across the whole finite input domain (subnormals, zero tiles,
+        // near-overflow magnitudes) — including which error it reports.
+        let m = MatF32::from_fn(rows, cols, |i, j| values[i * 22 + j]);
+        let q = Quantizer { round, ..Quantizer::paper() };
+        let fused = PackedBfp::quantize_pack_lhs(&q, &m);
+        let composed = q.quantize(&m).map(|qm| PackedBfp::pack_lhs(&qm));
+        match (fused, composed) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert_eq!(format!("{:?}", a.err()), format!("{:?}", b.err())),
+        }
+        let fused = PackedBfp::quantize_pack_rhs(&q, &m);
+        let composed = q.quantize(&m).map(|qm| PackedBfp::pack_rhs(&qm));
+        match (fused, composed) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert_eq!(format!("{:?}", a.err()), format!("{:?}", b.err())),
+        }
+    }
+
+    #[test]
+    fn reference_tile_scan_matches_optimized_scan(
+        rows in 1usize..22,
+        cols in 1usize..22,
+        values in proptest::collection::vec(quantizable_f32(), 22 * 22),
+    ) {
+        // The kept pre-optimisation scan (`quantize_reference`, replayed by
+        // the e2e baseline engine) and the row-slice scan must agree on
+        // every tile of every finite input.
+        let m = MatF32::from_fn(rows, cols, |i, j| values[i * 22 + j]);
+        let q = Quantizer::paper();
+        match (q.quantize(&m), q.quantize_reference(&m)) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(PackedBfp::pack_lhs(&a), PackedBfp::pack_lhs(&b));
+            }
+            (a, b) => prop_assert_eq!(format!("{:?}", a.err()), format!("{:?}", b.err())),
         }
     }
 }

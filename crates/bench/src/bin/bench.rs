@@ -30,6 +30,11 @@ const SHAPES: [(&str, usize, usize, usize); 3] = [
     ("attn_scores_197x64x197", 197, 64, 197),
 ];
 
+/// Thread counts every parallel GEMM is actually measured at (satisfying
+/// the sweep the JSON records; on a host with fewer cores the extra rows
+/// are honest oversubscription numbers, not copies of the 1-thread row).
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
 struct GemmRow {
     name: &'static str,
     m: usize,
@@ -37,8 +42,11 @@ struct GemmRow {
     n: usize,
     naive_ms: f64,
     packed_ms: f64,
+    /// `(threads, best-of-reps ms)` for each entry of [`THREAD_SWEEP`].
+    parallel_sweep: Vec<(usize, f64)>,
     parallel_ms: f64,
     quantize_pack_ms: f64,
+    quantize_pack_fused_ms: f64,
     speedup_packed: f64,
     speedup_parallel: f64,
     packed_gops: f64,
@@ -56,7 +64,7 @@ fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     best
 }
 
-fn bench_gemms(reps: usize, threads: usize) -> Vec<GemmRow> {
+fn bench_gemms(reps: usize) -> Vec<GemmRow> {
     let q = Quantizer::paper();
     SHAPES
         .iter()
@@ -68,22 +76,48 @@ fn bench_gemms(reps: usize, threads: usize) -> Vec<GemmRow> {
 
             let naive_ms = time_ms(reps, || qa.try_matmul(&qb).unwrap());
             let packed_ms = time_ms(reps, || pa.matmul(&pb).unwrap());
-            let parallel_ms = time_ms(reps, || {
-                packed_matmul(&pa, &pb, ParallelPolicy::Threads(threads)).unwrap()
-            });
+            // Satellite of the parallel path: every sweep entry forces the
+            // sharded kernel through `Threads(t)`, so the multi-thread
+            // rows genuinely exercise the fork/join machinery.
+            let parallel_sweep: Vec<(usize, f64)> = THREAD_SWEEP
+                .iter()
+                .map(|&t| {
+                    let ms = time_ms(reps, || {
+                        packed_matmul(&pa, &pb, ParallelPolicy::Threads(t)).unwrap()
+                    });
+                    (t, ms)
+                })
+                .collect();
+            let parallel_ms = parallel_sweep
+                .iter()
+                .map(|&(_, ms)| ms)
+                .fold(f64::INFINITY, f64::min);
             let quantize_pack_ms = time_ms(reps, || {
                 (
                     PackedBfp::quantize_lhs(&q, &a).unwrap(),
                     PackedBfp::quantize_rhs(&q, &b).unwrap(),
                 )
             });
-            // Sanity: the three paths must agree bit-for-bit before any
-            // number is reported.
+            let quantize_pack_fused_ms = time_ms(reps, || {
+                (
+                    PackedBfp::quantize_pack_lhs(&q, &a).unwrap(),
+                    PackedBfp::quantize_pack_rhs(&q, &b).unwrap(),
+                )
+            });
+            // Sanity: every path must agree bit-for-bit before any number
+            // is reported.
             let want = qa.try_matmul(&qb).unwrap();
-            for got in [
-                pa.matmul(&pb).unwrap(),
-                packed_matmul(&pa, &pb, ParallelPolicy::Threads(threads)).unwrap(),
-            ] {
+            let mut checks = vec![pa.matmul(&pb).unwrap()];
+            for &t in &THREAD_SWEEP {
+                checks.push(packed_matmul(&pa, &pb, ParallelPolicy::Threads(t)).unwrap());
+            }
+            checks.push(
+                PackedBfp::quantize_pack_lhs(&q, &a)
+                    .unwrap()
+                    .matmul(&PackedBfp::quantize_pack_rhs(&q, &b).unwrap())
+                    .unwrap(),
+            );
+            for got in checks {
                 assert!(
                     got.data()
                         .iter()
@@ -101,8 +135,10 @@ fn bench_gemms(reps: usize, threads: usize) -> Vec<GemmRow> {
                 n,
                 naive_ms,
                 packed_ms,
+                parallel_sweep,
                 parallel_ms,
                 quantize_pack_ms,
+                quantize_pack_fused_ms,
                 speedup_packed: naive_ms / packed_ms,
                 speedup_parallel: naive_ms / parallel_ms,
                 packed_gops: gop / (packed_ms.min(parallel_ms) / 1e3),
@@ -169,7 +205,7 @@ fn bench_inference(images: usize) -> InferRow {
 fn to_json(rows: &[GemmRow], infer: &InferRow, threads: usize, quick: bool) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"bench_gemm/v1\",");
+    let _ = writeln!(s, "  \"schema\": \"bench_gemm/v2\",");
     let _ = writeln!(s, "  \"quick\": {quick},");
     let _ = writeln!(s, "  \"threads\": {threads},");
     s.push_str("  \"gemm\": [\n");
@@ -179,8 +215,26 @@ fn to_json(rows: &[GemmRow], infer: &InferRow, threads: usize, quick: bool) -> S
         let _ = writeln!(s, "      \"m\": {}, \"k\": {}, \"n\": {},", r.m, r.k, r.n);
         let _ = writeln!(s, "      \"naive_ms\": {:.4},", r.naive_ms);
         let _ = writeln!(s, "      \"packed_ms\": {:.4},", r.packed_ms);
+        s.push_str("      \"parallel\": [\n");
+        for (j, &(t, ms)) in r.parallel_sweep.iter().enumerate() {
+            let _ = write!(
+                s,
+                "        {{ \"threads\": {t}, \"ms\": {ms:.4} }}{}",
+                if j + 1 < r.parallel_sweep.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                }
+            );
+        }
+        s.push_str("      ],\n");
         let _ = writeln!(s, "      \"parallel_ms\": {:.4},", r.parallel_ms);
         let _ = writeln!(s, "      \"quantize_pack_ms\": {:.4},", r.quantize_pack_ms);
+        let _ = writeln!(
+            s,
+            "      \"quantize_pack_fused_ms\": {:.4},",
+            r.quantize_pack_fused_ms
+        );
         let _ = writeln!(s, "      \"speedup_packed\": {:.2},", r.speedup_packed);
         let _ = writeln!(s, "      \"speedup_parallel\": {:.2},", r.speedup_parallel);
         let _ = writeln!(s, "      \"packed_gflop_equiv_per_s\": {:.2}", r.packed_gops);
@@ -212,10 +266,10 @@ fn main() {
     let threads = ParallelPolicy::Auto.threads();
 
     println!(
-        "bfp8 GEMM execution paths ({} reps, best-of; {} host threads)\n",
-        reps, threads
+        "bfp8 GEMM execution paths ({} reps, best-of; {} host threads; sweep {:?})\n",
+        reps, threads, THREAD_SWEEP
     );
-    let rows = bench_gemms(reps, threads);
+    let rows = bench_gemms(reps);
     let mut t = Table::new(
         "GEMM kernel wall-clock (pre-quantized operands)",
         &[

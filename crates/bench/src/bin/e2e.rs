@@ -1,0 +1,229 @@
+//! `e2e` — phase-timed end-to-end DeiT inference bench.
+//!
+//! Measures images/s and the per-phase wall-clock split (quantize/pack,
+//! GEMM, softmax, GELU, LayerNorm, residual/misc) for:
+//!
+//! * the **baseline** engine — single-threaded, composed quantize→pack
+//!   epilogue, VPU multiplies through the partial-product enumeration
+//!   (the pre-optimisation execution model, kept runnable on purpose);
+//! * the fast path at 1, 2, 4, and 8 threads (fused epilogue, sharded
+//!   GEMM + VPU kernels, closed-form multiplier).
+//!
+//! Every configuration's logits are checked **bit-identical** to the
+//! baseline before any number is written — the fast path is a pure
+//! wall-clock trade. Results land in `BENCH_E2E.json`.
+//!
+//! ```sh
+//! cargo run --release -p bfp-bench --bin e2e            # full run
+//! cargo run --release -p bfp-bench --bin e2e -- --quick # CI smoke
+//! cargo run --release -p bfp-bench --bin e2e -- --out /tmp/e.json
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bfp_core::Table;
+use bfp_transformer::{DeitConfig, DeitModel, Image, MixedEngine, PhaseTimes, VitConfig};
+
+/// The bench model: a scaled-down DeiT (same shape family as the paper's
+/// DeiT-Small target, sized so the full sweep finishes in seconds).
+fn bench_config() -> DeitConfig {
+    DeitConfig {
+        vit: VitConfig {
+            dim: 128,
+            depth: 4,
+            heads: 4,
+            mlp_ratio: 4,
+            seq: 17,
+        },
+        patch: 16,
+        channels: 3,
+        img: 64,
+        classes: 10,
+    }
+}
+
+struct E2eRow {
+    label: String,
+    threads: usize,
+    images_per_s: f64,
+    wall_ms: f64,
+    phases: PhaseTimes,
+    misc_ms: f64,
+}
+
+/// Run `images` inferences on `engine` (after a one-image warmup that
+/// also fills the weight-plan cache), returning the throughput row and
+/// the logits of every image for bit-equivalence checking.
+fn run(label: &str, mut engine: MixedEngine, imgs: &[Image], model: &DeitModel) -> (E2eRow, Vec<Vec<f32>>) {
+    std::hint::black_box(model.forward(&mut engine, &imgs[0]));
+    let _ = engine.take_phase_times();
+    let threads = engine.threads();
+    let t0 = Instant::now();
+    let logits: Vec<Vec<f32>> = imgs
+        .iter()
+        .map(|img| model.forward(&mut engine, img))
+        .collect();
+    let wall = t0.elapsed();
+    let phases = engine.take_phase_times();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let misc_ms = (wall.saturating_sub(phases.accounted())).as_secs_f64() * 1e3;
+    (
+        E2eRow {
+            label: label.to_string(),
+            threads,
+            images_per_s: imgs.len() as f64 / wall.as_secs_f64(),
+            wall_ms,
+            phases,
+            misc_ms,
+        },
+        logits,
+    )
+}
+
+fn assert_bit_identical(label: &str, got: &[Vec<f32>], want: &[Vec<f32>]) {
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.len(), w.len(), "{label}: image {i} logit count");
+        for (j, (x, y)) in g.iter().zip(w).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{label}: image {i} logit {j} diverged from baseline: {x} vs {y}"
+            );
+        }
+    }
+}
+
+fn phases_json(s: &mut String, row: &E2eRow, indent: &str) {
+    let p = &row.phases;
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let _ = writeln!(s, "{indent}\"phases_ms\": {{");
+    let _ = writeln!(s, "{indent}  \"quantize_pack\": {:.3},", ms(p.quantize_pack));
+    let _ = writeln!(s, "{indent}  \"gemm\": {:.3},", ms(p.gemm));
+    let _ = writeln!(s, "{indent}  \"softmax\": {:.3},", ms(p.softmax));
+    let _ = writeln!(s, "{indent}  \"gelu\": {:.3},", ms(p.gelu));
+    let _ = writeln!(s, "{indent}  \"layernorm\": {:.3},", ms(p.layernorm));
+    let _ = writeln!(s, "{indent}  \"misc\": {:.3}", row.misc_ms);
+    let _ = writeln!(s, "{indent}}},");
+}
+
+fn row_json(s: &mut String, row: &E2eRow, indent: &str, last: bool) {
+    let _ = writeln!(s, "{indent}{{");
+    let _ = writeln!(s, "{indent}  \"label\": \"{}\",", row.label);
+    let _ = writeln!(s, "{indent}  \"threads\": {},", row.threads);
+    phases_json(s, row, &format!("{indent}  "));
+    let _ = writeln!(s, "{indent}  \"wall_ms\": {:.3},", row.wall_ms);
+    let _ = writeln!(s, "{indent}  \"images_per_s\": {:.3}", row.images_per_s);
+    let _ = write!(s, "{indent}}}{}", if last { "\n" } else { ",\n" });
+}
+
+fn to_json(
+    baseline: &E2eRow,
+    sweep: &[E2eRow],
+    images: usize,
+    host_threads: usize,
+    quick: bool,
+) -> String {
+    let speedup4 = sweep
+        .iter()
+        .find(|r| r.threads == 4)
+        .map(|r| r.images_per_s / baseline.images_per_s)
+        .unwrap_or(0.0);
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"bench_e2e/v1\",");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"images\": {images},");
+    let _ = writeln!(s, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(s, "  \"bit_identical\": true,");
+    s.push_str("  \"baseline\": ");
+    {
+        let mut b = String::new();
+        row_json(&mut b, baseline, "  ", true);
+        s.push_str(b.trim_start());
+    }
+    s.push_str(",\n  \"sweep\": [\n");
+    for (i, r) in sweep.iter().enumerate() {
+        row_json(&mut s, r, "    ", i + 1 == sweep.len());
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(s, "  \"speedup_vs_baseline_at_4_threads\": {speedup4:.2}");
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_E2E.json".to_string());
+
+    let images = if quick { 2 } else { 8 };
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let cfg = bench_config();
+    cfg.validate().unwrap();
+    let model = DeitModel::new_random(cfg, 3);
+    let imgs: Vec<Image> = (0..images)
+        .map(|s| Image::synthetic(3, cfg.img, cfg.img, s as u64))
+        .collect();
+
+    println!(
+        "end-to-end DeiT inference, {} images, {} host threads\n",
+        images, host_threads
+    );
+
+    let (baseline, base_logits) = run("baseline_scalar", MixedEngine::baseline_scalar(), &imgs, &model);
+    let mut sweep = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let (row, logits) = run(
+            &format!("fast_{threads}t"),
+            MixedEngine::new().with_threads(threads),
+            &imgs,
+            &model,
+        );
+        // Hard gate: the fast path must not move a single logit bit.
+        assert_bit_identical(&row.label, &logits, &base_logits);
+        sweep.push(row);
+    }
+
+    let mut t = Table::new(
+        "per-phase wall clock (ms, whole run)",
+        &[
+            "config", "img/s", "quant+pack", "gemm", "softmax", "gelu", "layernorm", "misc",
+        ],
+    );
+    let ms = |d: std::time::Duration| format!("{:.1}", d.as_secs_f64() * 1e3);
+    for r in std::iter::once(&baseline).chain(sweep.iter()) {
+        t.row(&[
+            r.label.clone(),
+            format!("{:.2}", r.images_per_s),
+            ms(r.phases.quantize_pack),
+            ms(r.phases.gemm),
+            ms(r.phases.softmax),
+            ms(r.phases.gelu),
+            ms(r.phases.layernorm),
+            format!("{:.1}", r.misc_ms),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let json = to_json(&baseline, &sweep, images, host_threads, quick);
+    std::fs::write(&out_path, &json).expect("write BENCH_E2E.json");
+    println!("\nwrote {out_path}");
+
+    let speedup4 = sweep
+        .iter()
+        .find(|r| r.threads == 4)
+        .map(|r| r.images_per_s / baseline.images_per_s)
+        .unwrap_or(0.0);
+    println!(
+        "acceptance anchor: {:.2}x images/s at 4 threads vs the scalar baseline (logits bit-identical)",
+        speedup4
+    );
+}

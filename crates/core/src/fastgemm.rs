@@ -65,38 +65,10 @@ pub fn packed_matmul(
     if threads <= 1 || macs < PARALLEL_MAC_THRESHOLD {
         return a.matmul(b);
     }
-
-    let block = a.block();
-    let rows = a.rows();
-    let cols = b.cols();
-    let mut out = MatF32::zeros(rows, cols);
-    // Carve the output into per-shard row slices up front; the shards are
-    // disjoint, so the scoped threads can write them concurrently.
-    let per = mb.div_ceil(threads);
-    let mut shards: Vec<(usize, usize, &mut [f32])> = Vec::with_capacity(threads);
-    let mut rest = out.data_mut();
-    let mut consumed = 0usize;
-    for t in 0..threads {
-        let lo = (t * per).min(mb);
-        let hi = ((t + 1) * per).min(mb);
-        if lo >= hi {
-            break;
-        }
-        let shard_rows = (hi * block).min(rows) - lo * block;
-        let (head, tail) = rest.split_at_mut(shard_rows * cols);
-        shards.push((lo, hi, head));
-        rest = tail;
-        consumed += shard_rows;
-    }
-    debug_assert_eq!(consumed, rows, "shards must tile the output");
-
-    crossbeam::thread::scope(|scope| {
-        for (lo, hi, buf) in shards {
-            scope.spawn(move |_| a.matmul_rows_into(b, lo, hi, buf));
-        }
-    })
-    .expect("GEMM shard thread panicked");
-    Ok(out)
+    // The shard mechanism itself lives next to the kernel in bfp-arith so
+    // the transformer engine can reuse it; this layer owns only the policy
+    // (thread budget + fork/join threshold).
+    a.matmul_parallel(b, threads)
 }
 
 /// Quantize two `f32` matrices and multiply them on the packed fast path

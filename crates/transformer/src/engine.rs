@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use bfp_arith::error::ArithError;
 use bfp_arith::int8quant::Int8Tensor;
@@ -112,8 +113,45 @@ struct PlanKey {
 }
 
 impl PlanKey {
-    fn of(m: &MatF32) -> PlanKey {
-        // FNV-1a over the bit patterns; bit-exact, NaN-payload sensitive.
+    fn of(m: &MatF32, epilogue: Epilogue) -> PlanKey {
+        match epilogue {
+            Epilogue::Fused => Self::of_fast(m),
+            Epilogue::Reference => Self::of_fnv(m),
+        }
+    }
+
+    fn of_fast(m: &MatF32) -> PlanKey {
+        // Word-at-a-time rotate-xor-multiply mixing over the bit patterns
+        // (one 64-bit multiply per two f32s instead of the byte-wise FNV
+        // loop this replaced — the hash ran on every GEMM's RHS and showed
+        // up in the quantize/pack phase). Still bit-exact and NaN-payload
+        // sensitive; the key only gates the plan cache, so the hash choice
+        // can never affect output bits.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |v: u64| {
+            h = (h.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+        };
+        eat(m.rows() as u64);
+        eat(m.cols() as u64);
+        let mut chunks = m.data().chunks_exact(2);
+        for pair in &mut chunks {
+            eat((pair[0].to_bits() as u64) << 32 | pair[1].to_bits() as u64);
+        }
+        if let [last] = chunks.remainder() {
+            eat(last.to_bits() as u64);
+        }
+        PlanKey {
+            rows: m.rows(),
+            cols: m.cols(),
+            hash: h,
+        }
+    }
+
+    /// The pre-optimisation byte-wise FNV-1a hash, kept runnable so the
+    /// e2e baseline engine replays the engine it measures against. Either
+    /// key scheme is bit-exact and content-complete; within one engine a
+    /// single scheme is used, so keys never mix.
+    fn of_fnv(m: &MatF32) -> PlanKey {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         let mut eat = |v: u64| {
             for byte in v.to_le_bytes() {
@@ -136,6 +174,20 @@ impl PlanKey {
             hash: h,
         }
     }
+}
+
+/// Which f32 → packed-bfp8 epilogue a [`MixedEngine`] runs. The two are
+/// bit-identical end to end (pinned in `bfp_arith::packed` and
+/// `bfp_arith::quant` tests); [`Epilogue::Reference`] exists so the e2e
+/// bench's baseline is the real pre-optimisation engine, not a hybrid that
+/// already enjoys the fast scan and hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Epilogue {
+    /// Fused single-pass quantize-and-pack, word-at-a-time plan hash.
+    Fused,
+    /// Composed quantize → pack with the per-element reference tile scan
+    /// and the byte-wise FNV plan hash (the pre-optimisation engine).
+    Reference,
 }
 
 /// One cached, executable quantization of a weight matrix: the bfp8 tiles
@@ -177,6 +229,51 @@ impl fmt::Display for PlanCacheStats {
 /// activation churn between eviction sweeps.
 const PLAN_CACHE_CAP: usize = 256;
 
+/// Wall-clock accumulated per execution phase by [`MixedEngine`], the
+/// breakdown the `e2e` bench reports (the paper's Table IV split, measured
+/// on the host simulation). Residual adds and copies are not engine calls,
+/// so "misc" is derived by the bench as `wall − accounted()`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// f32 → packed bfp8 quantization (LHS fused pass + RHS plan misses).
+    pub quantize_pack: Duration,
+    /// Packed int8 GEMM kernel (including shard fork/join).
+    pub gemm: Duration,
+    /// Softmax rows on the VPU.
+    pub softmax: Duration,
+    /// Element-wise GELU on the VPU.
+    pub gelu: Duration,
+    /// LayerNorm rows on the VPU.
+    pub layernorm: Duration,
+}
+
+impl PhaseTimes {
+    /// Total time attributed to a phase (everything the engine saw).
+    pub fn accounted(&self) -> Duration {
+        self.quantize_pack + self.gemm + self.softmax + self.gelu + self.layernorm
+    }
+
+    /// Accumulate another breakdown.
+    pub fn merge(&mut self, o: &PhaseTimes) {
+        self.quantize_pack += o.quantize_pack;
+        self.gemm += o.gemm;
+        self.softmax += o.softmax;
+        self.gelu += o.gelu;
+        self.layernorm += o.layernorm;
+    }
+}
+
+/// Below this many scalar MACs the engine's GEMM stays on one thread —
+/// fork/join costs more than the kernel (same rationale and value as
+/// `bfp_core::fastgemm::PARALLEL_MAC_THRESHOLD`).
+const GEMM_PARALLEL_MACS: u64 = 2_000_000;
+
+/// Minimum f32 elements per worker shard of a non-linear kernel: below
+/// this, a shard's work does not amortise its thread's fork/join cost
+/// (measured break-even on the e2e model — a VPU op is bit-level
+/// emulation, so the batch is far smaller than the GEMM threshold).
+const VPU_PARALLEL_ELEMS: usize = 4_096;
+
 /// Where fp32 divisions and square roots execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DivisionPolicy {
@@ -204,6 +301,13 @@ pub struct MixedEngine {
     plans: HashMap<PlanKey, WeightPlan>,
     plan_stats: PlanCacheStats,
     cache_enabled: bool,
+    /// Thread budget shared by the sharded GEMM and the sharded VPU
+    /// kernels. Sharding is bit-invariant, so this trades wall-clock only.
+    threads: usize,
+    /// Which quantize epilogue (and plan-key hash) this engine runs; see
+    /// [`Epilogue`].
+    epilogue: Epilogue,
+    phase: PhaseTimes,
 }
 
 impl Default for MixedEngine {
@@ -224,7 +328,53 @@ impl MixedEngine {
             plans: HashMap::new(),
             plan_stats: PlanCacheStats::default(),
             cache_enabled: true,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            epilogue: Epilogue::Fused,
+            phase: PhaseTimes::default(),
         }
+    }
+
+    /// The pre-optimisation execution model, kept runnable as the measured
+    /// baseline of the e2e bench: single-threaded everywhere, the composed
+    /// quantize→pack epilogue with the reference tile scan and byte-wise
+    /// FNV plan hash, and every VPU multiply through the explicit
+    /// partial-product enumeration. Bit-identical outputs to [`Self::new`].
+    pub fn baseline_scalar() -> Self {
+        MixedEngine {
+            vpu: Vpu::via_partials(),
+            threads: 1,
+            epilogue: Epilogue::Reference,
+            ..Self::new()
+        }
+    }
+
+    /// Set the thread budget for the sharded GEMM and VPU kernels
+    /// (`0` is clamped to 1). Outputs are bit-identical for any value.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Builder form of [`Self::set_threads`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// The configured thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Return and reset the accumulated per-phase wall-clock breakdown.
+    pub fn take_phase_times(&mut self) -> PhaseTimes {
+        std::mem::take(&mut self.phase)
+    }
+
+    /// The per-phase wall-clock breakdown accumulated so far.
+    pub fn phase_times(&self) -> PhaseTimes {
+        self.phase
     }
 
     /// An engine with the weight-plan cache disabled: every GEMM
@@ -278,13 +428,23 @@ impl MixedEngine {
         self.plans.clear();
     }
 
+    /// Quantize + pack an RHS operand on the configured epilogue: fused
+    /// single pass normally, the composed reference path in baseline mode.
+    /// The two are bit-identical (pinned in `bfp_arith::packed` tests).
+    fn pack_rhs_fresh(&self, b: &MatF32) -> Result<PackedBfp, ArithError> {
+        match self.epilogue {
+            Epilogue::Fused => PackedBfp::quantize_pack_rhs(&self.quantizer, b),
+            Epilogue::Reference => Ok(PackedBfp::pack_rhs(&self.quantizer.quantize_reference(b)?)),
+        }
+    }
+
     /// Resolve the RHS operand to a packed plan: cached when enabled and
     /// previously seen, freshly quantized + packed otherwise.
     fn rhs_plan(&mut self, b: &MatF32) -> Result<&PackedBfp, ArithError> {
         if !self.cache_enabled {
             // Stash under a reserved slot so the borrow can be returned
             // uniformly; a disabled cache holds at most this one entry.
-            let packed = PackedBfp::quantize_rhs(&self.quantizer, b)?;
+            let packed = self.pack_rhs_fresh(b)?;
             self.plans.clear();
             let key = PlanKey {
                 rows: 0,
@@ -297,14 +457,14 @@ impl MixedEngine {
                 .or_insert(WeightPlan { packed, hits: 0 })
                 .packed);
         }
-        let key = PlanKey::of(b);
+        let key = PlanKey::of(b, self.epilogue);
         if self.plans.contains_key(&key) {
             self.plan_stats.hits += 1;
             let plan = self.plans.get_mut(&key).expect("checked");
             plan.hits += 1;
             return Ok(&plan.packed);
         }
-        let packed = PackedBfp::quantize_rhs(&self.quantizer, b)?;
+        let packed = self.pack_rhs_fresh(b)?;
         self.plan_stats.misses += 1;
         if self.plans.len() >= PLAN_CACHE_CAP {
             // Sweep: keep plans that were re-used since the last sweep
@@ -350,16 +510,80 @@ impl MixedEngine {
             host_sqrt: after.host_sqrt - before.host_sqrt,
         }
     }
+
+    /// How many threads a non-linear kernel over `elems` f32 values gets:
+    /// the budget, capped so every shard carries at least the break-even
+    /// batch (one shard → no fork at all).
+    fn vpu_threads_for(&self, elems: usize) -> usize {
+        self.threads.min(elems / VPU_PARALLEL_ELEMS).max(1)
+    }
+
+    /// Run a batched VPU kernel over `data` split into `threads` disjoint
+    /// shards of whole `unit`-element groups (rows, or single elements for
+    /// GELU). Each worker thread gets a fresh VPU with the same datapath
+    /// configuration; shards touch disjoint data, so outputs are
+    /// bit-identical to the serial kernel for any thread count, and the
+    /// per-shard [`OpCount`]s are merged in shard order — deterministic —
+    /// into both the live VPU counter and the returned delta.
+    fn vpu_parallel(
+        &mut self,
+        data: &mut [f32],
+        unit: usize,
+        threads: usize,
+        f: impl Fn(&mut Vpu, &mut [f32]) + Sync,
+    ) -> OpCount {
+        debug_assert!(unit > 0 && data.len().is_multiple_of(unit));
+        let units = data.len() / unit;
+        let threads = threads.min(units.max(1));
+        if threads <= 1 {
+            return self.vpu_delta(|vpu| f(vpu, data));
+        }
+        let per = units.div_ceil(threads) * unit;
+        let proto = &self.vpu;
+        let f = &f;
+        let deltas: Vec<OpCount> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks_mut(per)
+                .map(|shard| {
+                    let mut vpu = proto.fresh();
+                    scope.spawn(move |_| {
+                        f(&mut vpu, shard);
+                        vpu.count
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("VPU shard thread panicked"))
+                .collect()
+        })
+        .expect("VPU shard scope panicked");
+        let mut total = OpCount::default();
+        for d in &deltas {
+            total.merge(d);
+        }
+        self.vpu.count.merge(&total);
+        total
+    }
 }
 
 impl Engine for MixedEngine {
     fn matmul(&mut self, a: &MatF32, b: &MatF32) -> MatF32 {
-        // Packed fast path: quantize the activation side, resolve the RHS
-        // through the weight-plan cache, and run the packed kernel — which
-        // is bit-identical to `BfpMatrix::try_matmul`, so caching changes
-        // wall-clock only, never a single output bit.
-        let qa = match self.quantizer.quantize(a) {
-            Ok(qa) => qa,
+        // Packed fast path: fused-quantize the activation side, resolve
+        // the RHS through the weight-plan cache, and run the (sharded)
+        // packed kernel — bit-identical to `BfpMatrix::try_matmul`, so
+        // caching, fusing, and threading change wall-clock only, never a
+        // single output bit.
+        let t0 = Instant::now();
+        let pa = match self.epilogue {
+            Epilogue::Fused => PackedBfp::quantize_pack_lhs(&self.quantizer, a),
+            Epilogue::Reference => self
+                .quantizer
+                .quantize_reference(a)
+                .map(|qa| PackedBfp::pack_lhs(&qa)),
+        };
+        let pa = match pa {
+            Ok(pa) => pa,
             // A non-finite operand cannot be expressed in bfp8; degrade
             // this GEMM to the fp32 reference path and count it, matching
             // the per-layer fallback policy of the scheduler.
@@ -369,62 +593,77 @@ impl Engine for MixedEngine {
             }
         };
         let macs = (a.rows() * a.cols() * b.cols()) as u64;
-        let out = match self.rhs_plan(b) {
-            Ok(pb) => PackedBfp::pack_lhs(&qa)
-                .matmul(pb)
-                .unwrap_or_else(|e| panic!("matmul: {e}")),
+        let threads = if macs < GEMM_PARALLEL_MACS {
+            1
+        } else {
+            self.threads
+        };
+        let gemm = match self.rhs_plan(b) {
+            Ok(pb) => {
+                let t1 = Instant::now();
+                Some((pa.matmul_parallel(pb, threads), t1))
+            }
+            Err(_) => None,
+        };
+        // Any failure past quantization (operand shape/side/block errors)
+        // degrades to the counted fp32 fallback — same contract as the
+        // quantization arms above, never a panic of this layer's making.
+        let Some((result, t1)) = gemm else {
+            self.census.fp32_fallbacks += 1;
+            return a.matmul(b);
+        };
+        let out = match result {
+            Ok(out) => out,
             Err(_) => {
                 self.census.fp32_fallbacks += 1;
                 return a.matmul(b);
             }
         };
+        self.phase.quantize_pack += t1.duration_since(t0);
+        self.phase.gemm += t1.elapsed();
         self.census.matmul_macs += macs;
         out
     }
 
     fn softmax_rows(&mut self, m: &mut MatF32) {
-        let (rows, cols) = (m.rows(), m.cols());
+        let t0 = Instant::now();
+        let cols = m.cols();
+        if cols == 0 {
+            return;
+        }
         let division = self.division;
-        let delta = self.vpu_delta(|vpu| {
-            for i in 0..rows {
-                let start = i * cols;
-                let row = &mut m.data_mut()[start..start + cols];
-                match division {
-                    DivisionPolicy::Host => vpu.softmax_row(row),
-                    DivisionPolicy::OnChip => vpu.softmax_row_onchip(row),
-                }
-            }
+        let threads = self.vpu_threads_for(m.rows() * cols);
+        let delta = self.vpu_parallel(m.data_mut(), cols, threads, |vpu, shard| {
+            vpu.softmax_rows_batch(shard, cols, division)
         });
         self.census.softmax.merge(&delta);
+        self.phase.softmax += t0.elapsed();
     }
 
     fn gelu(&mut self, m: &mut MatF32) {
+        let t0 = Instant::now();
         let division = self.division;
-        let delta = self.vpu_delta(|vpu| {
-            for v in m.data_mut() {
-                *v = match division {
-                    DivisionPolicy::Host => vpu.gelu(*v),
-                    DivisionPolicy::OnChip => vpu.gelu_onchip(*v),
-                };
-            }
+        let threads = self.vpu_threads_for(m.rows() * m.cols());
+        let delta = self.vpu_parallel(m.data_mut(), 1, threads, |vpu, shard| {
+            vpu.gelu_slice(shard, division)
         });
         self.census.gelu.merge(&delta);
+        self.phase.gelu += t0.elapsed();
     }
 
     fn layernorm(&mut self, m: &mut MatF32, gamma: &[f32], beta: &[f32], eps: f32) {
-        let (rows, cols) = (m.rows(), m.cols());
+        let t0 = Instant::now();
+        let cols = m.cols();
+        if cols == 0 {
+            return;
+        }
         let division = self.division;
-        let delta = self.vpu_delta(|vpu| {
-            for i in 0..rows {
-                let start = i * cols;
-                let row = &mut m.data_mut()[start..start + cols];
-                match division {
-                    DivisionPolicy::Host => vpu.layernorm_row(row, gamma, beta, eps),
-                    DivisionPolicy::OnChip => vpu.layernorm_row_onchip(row, gamma, beta, eps),
-                }
-            }
+        let threads = self.vpu_threads_for(m.rows() * cols);
+        let delta = self.vpu_parallel(m.data_mut(), cols, threads, |vpu, shard| {
+            vpu.layernorm_rows_batch(shard, cols, gamma, beta, eps, division)
         });
         self.census.layernorm.merge(&delta);
+        self.phase.layernorm += t0.elapsed();
     }
 }
 
@@ -790,6 +1029,113 @@ mod tests {
         assert_eq!(s1, s2);
         assert!(s1.evictions > 0, "pressure must evict: {s1:?}");
         assert!(s1.entries < PLAN_CACHE_CAP + 1, "cache stays bounded");
+    }
+
+    #[test]
+    fn shape_mismatched_matmul_falls_back_instead_of_engine_panicking() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        // Inner dimensions disagree: the packed kernel reports a typed
+        // error. The engine must degrade to the counted fp32 fallback —
+        // not panic with its own "matmul: …" message as it used to — so
+        // the failure surface is exactly the one RefEngine has (the f32
+        // matmul's own assertion).
+        let a = MatF32::from_fn(8, 16, |i, j| (i + j) as f32 * 0.1);
+        let b = MatF32::from_fn(24, 8, |i, j| (i as f32 - j as f32) * 0.2);
+        let mut e = MixedEngine::new();
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            let _ = e.matmul(&a, &b);
+        }))
+        .expect_err("inner-dimension mismatch still fails, via the fp32 path");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| payload.downcast_ref::<&str>().unwrap_or(&"?").to_string());
+        assert!(
+            msg.contains("matmul inner dimensions"),
+            "must be the f32 matmul's own panic, not the engine's: {msg}"
+        );
+        // The degradation was recorded before the fp32 path ran.
+        assert_eq!(e.census().fp32_fallbacks, 1);
+        assert_eq!(e.census().matmul_macs, 0);
+        // And the engine stays usable afterwards.
+        let ok = MatF32::from_fn(16, 8, |i, j| (i * 8 + j) as f32 * 0.01);
+        let _ = e.matmul(&a, &ok);
+        assert_eq!(e.census().matmul_macs, (8 * 16 * 8) as u64);
+    }
+
+    #[test]
+    fn threaded_engines_are_bit_identical_to_serial() {
+        use crate::config::VitConfig;
+        use crate::model::VitModel;
+        let model = VitModel::new_random(VitConfig::tiny_test(), 31);
+        let x = model.synthetic_input(6);
+        let want = model.forward(&mut MixedEngine::new().with_threads(1), &x);
+        for threads in [2usize, 3, 8] {
+            let mut e = MixedEngine::new().with_threads(threads);
+            let got = model.forward(&mut e, &x);
+            for (p, q) in got.data().iter().zip(want.data()) {
+                assert_eq!(p.to_bits(), q.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_scalar_engine_is_bit_identical_and_serial() {
+        use crate::config::VitConfig;
+        use crate::model::VitModel;
+        let model = VitModel::new_random(VitConfig::tiny_test(), 37);
+        let x = model.synthetic_input(4);
+        let mut base = MixedEngine::baseline_scalar();
+        assert_eq!(base.threads(), 1);
+        let want = model.forward(&mut MixedEngine::new(), &x);
+        let got = model.forward(&mut base, &x);
+        for (p, q) in got.data().iter().zip(want.data()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_census_matches_serial_census() {
+        // OpCounts are merged from per-shard VPUs in shard order; the
+        // totals must agree exactly with the single-thread counts even
+        // when the batch is large enough to actually fork.
+        let src = MatF32::from_fn(64, 64, |i, j| ((i * 64 + j) as f32 * 0.003).sin() * 3.0);
+        let gamma = vec![1.0f32; 64];
+        let beta = vec![0.1f32; 64];
+        let run = |threads: usize| -> (OpCensus, MatF32) {
+            let mut e = MixedEngine::new().with_threads(threads);
+            let mut m = src.clone();
+            e.softmax_rows(&mut m);
+            e.gelu(&mut m);
+            e.layernorm(&mut m, &gamma, &beta, 1e-6);
+            (e.take_census(), m)
+        };
+        let (c1, m1) = run(1);
+        let (c4, m4) = run(4);
+        assert_eq!(c1, c4);
+        for (p, q) in m1.data().iter().zip(m4.data()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn phase_times_cover_the_engine_calls() {
+        let mut e = MixedEngine::new();
+        let a = MatF32::from_fn(32, 32, |i, j| ((i ^ j) as f32) * 0.02);
+        let _ = e.matmul(&a, &a);
+        let mut m = MatF32::from_fn(8, 32, |i, j| (i + j) as f32 * 0.05);
+        e.softmax_rows(&mut m);
+        e.gelu(&mut m);
+        let gamma = vec![1.0f32; 32];
+        let beta = vec![0.0f32; 32];
+        e.layernorm(&mut m, &gamma, &beta, 1e-6);
+        let t = e.take_phase_times();
+        assert!(t.softmax > Duration::ZERO);
+        assert!(t.gelu > Duration::ZERO);
+        assert!(t.layernorm > Duration::ZERO);
+        assert!(t.accounted() >= t.softmax + t.gemm);
+        // take_phase_times resets.
+        assert_eq!(e.phase_times(), PhaseTimes::default());
     }
 
     #[test]

@@ -31,7 +31,8 @@ pub use attention::Attention;
 pub use config::VitConfig;
 pub use deit::{DeitConfig, DeitModel, Image};
 pub use engine::{
-    DivisionPolicy, Engine, Int8Engine, MixedEngine, OpCensus, PlanCacheStats, RefEngine,
+    DivisionPolicy, Engine, Int8Engine, MixedEngine, OpCensus, PhaseTimes, PlanCacheStats,
+    RefEngine,
 };
 pub use flops::analytical_census;
 pub use layers::{LayerNormParams, Linear};

@@ -14,6 +14,8 @@
 use bfp_arith::fpadd::{AddVariant, HwFp32Add};
 use bfp_arith::fpmul::{HwFp32Mul, MulVariant};
 
+use crate::engine::DivisionPolicy;
+
 /// Operation counters for VPU execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpCount {
@@ -76,6 +78,9 @@ impl OpCount {
 pub struct Vpu {
     mul: HwFp32Mul,
     add: HwFp32Add,
+    /// Route multiplies through the partial-product enumeration reference
+    /// path instead of the closed-form fast path (baseline measurements).
+    via_partials: bool,
     /// Cumulative operation counts.
     pub count: OpCount,
 }
@@ -107,7 +112,29 @@ impl Vpu {
         Vpu {
             mul: HwFp32Mul::new(MulVariant::DropLsp),
             add: HwFp32Add::new(AddVariant::Exact48),
+            via_partials: false,
             count: OpCount::default(),
+        }
+    }
+
+    /// The same datapath, but every multiply runs the explicit
+    /// partial-product *enumeration* ([`HwFp32Mul::mul_via_partials`])
+    /// instead of the closed-form fast path. Bit-identical outputs, much
+    /// slower — this is the measured "before" baseline of the e2e bench.
+    pub fn via_partials() -> Self {
+        Vpu {
+            via_partials: true,
+            ..Self::new()
+        }
+    }
+
+    /// A worker clone: identical datapath configuration, zeroed counters.
+    /// The sharded batch kernels give one to each thread and merge the
+    /// resulting [`OpCount`]s deterministically in shard order.
+    pub fn fresh(&self) -> Vpu {
+        Vpu {
+            count: OpCount::default(),
+            ..self.clone()
         }
     }
 
@@ -120,7 +147,11 @@ impl Vpu {
     #[inline]
     pub fn m(&mut self, a: f32, b: f32) -> f32 {
         self.count.fp_mul += 1;
-        self.mul.mul(a, b)
+        if self.via_partials {
+            self.mul.mul_via_partials(a, b)
+        } else {
+            self.mul.mul(a, b)
+        }
     }
 
     /// Hardware add.
@@ -448,6 +479,91 @@ impl Vpu {
             let nrm = self.m(*v, inv);
             let g = self.m(nrm, gamma[j]);
             *v = self.a(g, beta[j]);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Batched slice kernels: the per-batch entry points the engine (and
+    // its row-sharded parallel path) drives. The `DivisionPolicy` match
+    // happens once per batch here — not once per row or per element as
+    // the engine's old loops did — and the multiplier/adder rounding-path
+    // configuration is a fixed field of `self`, resolved once when the
+    // VPU is built (the closed-form `HwFp32Mul` fast path removed the
+    // per-multiply partial-product enumeration entirely). Each kernel is
+    // a straight loop over the scalar kernels above, so results are
+    // bit-identical to calling those directly.
+    // ------------------------------------------------------------------
+
+    /// Softmax over every `cols`-wide row of `data` (a whole matrix or a
+    /// disjoint row-shard of one).
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `cols`.
+    pub fn softmax_rows_batch(&mut self, data: &mut [f32], cols: usize, division: DivisionPolicy) {
+        if cols == 0 {
+            return;
+        }
+        assert_eq!(data.len() % cols, 0, "batch must hold whole rows");
+        match division {
+            DivisionPolicy::Host => {
+                for row in data.chunks_exact_mut(cols) {
+                    self.softmax_row(row);
+                }
+            }
+            DivisionPolicy::OnChip => {
+                for row in data.chunks_exact_mut(cols) {
+                    self.softmax_row_onchip(row);
+                }
+            }
+        }
+    }
+
+    /// Element-wise GELU over a slice (any tile of a matrix; GELU has no
+    /// row structure, so shards may cut anywhere).
+    pub fn gelu_slice(&mut self, data: &mut [f32], division: DivisionPolicy) {
+        match division {
+            DivisionPolicy::Host => {
+                for v in data.iter_mut() {
+                    *v = self.gelu(*v);
+                }
+            }
+            DivisionPolicy::OnChip => {
+                for v in data.iter_mut() {
+                    *v = self.gelu_onchip(*v);
+                }
+            }
+        }
+    }
+
+    /// LayerNorm over every `cols`-wide row of `data`.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `cols`, or if
+    /// `gamma`/`beta` lengths differ from `cols`.
+    pub fn layernorm_rows_batch(
+        &mut self,
+        data: &mut [f32],
+        cols: usize,
+        gamma: &[f32],
+        beta: &[f32],
+        eps: f32,
+        division: DivisionPolicy,
+    ) {
+        if cols == 0 {
+            return;
+        }
+        assert_eq!(data.len() % cols, 0, "batch must hold whole rows");
+        match division {
+            DivisionPolicy::Host => {
+                for row in data.chunks_exact_mut(cols) {
+                    self.layernorm_row(row, gamma, beta, eps);
+                }
+            }
+            DivisionPolicy::OnChip => {
+                for row in data.chunks_exact_mut(cols) {
+                    self.layernorm_row_onchip(row, gamma, beta, eps);
+                }
+            }
         }
     }
 }

@@ -118,3 +118,58 @@ proptest! {
         }
     }
 }
+
+// The sharded-kernel equivalence cases run matrices big enough to actually
+// fork worker threads (the engine only shards batches past its break-even
+// size), so they get a smaller case budget than the scalar properties.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn parallel_batched_kernels_bit_match_scalar_kernels(
+        rows in 52usize..72,
+        cols in 80usize..112,
+        seed in 0u64..1_000_000,
+    ) {
+        // Scalar oracle: the per-row / per-element Vpu kernels, exactly as
+        // the engine called them before batching and sharding existed.
+        let src = MatF32::from_fn(rows, cols, |i, j| {
+            ((seed as f32) * 1e-5 + i as f32 * 0.83 + j as f32 * 0.29).sin() * 4.0
+        });
+        let gamma: Vec<f32> = (0..cols).map(|j| 1.0 + (j as f32 * 0.13).cos() * 0.2).collect();
+        let beta: Vec<f32> = (0..cols).map(|j| (j as f32 * 0.21).sin() * 0.1).collect();
+        let eps = 1e-5f32;
+
+        let mut vpu = Vpu::new();
+        let mut want_sm = src.clone();
+        for r in 0..rows {
+            let row = &mut want_sm.data_mut()[r * cols..(r + 1) * cols];
+            vpu.softmax_row(row);
+        }
+        let mut want_gelu = src.clone();
+        for v in want_gelu.data_mut().iter_mut() {
+            *v = vpu.gelu(*v);
+        }
+        let mut want_ln = src.clone();
+        for r in 0..rows {
+            let row = &mut want_ln.data_mut()[r * cols..(r + 1) * cols];
+            vpu.layernorm_row(row, &gamma, &beta, eps);
+        }
+
+        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        for threads in [1usize, 3, host] {
+            let mut e = MixedEngine::new().with_threads(threads);
+            let mut sm = src.clone();
+            e.softmax_rows(&mut sm);
+            let mut ge = src.clone();
+            e.gelu(&mut ge);
+            let mut ln = src.clone();
+            e.layernorm(&mut ln, &gamma, &beta, eps);
+            for (got, want) in [(&sm, &want_sm), (&ge, &want_gelu), (&ln, &want_ln)] {
+                for (p, q) in got.data().iter().zip(want.data()) {
+                    prop_assert_eq!(p.to_bits(), q.to_bits(), "threads={}", threads);
+                }
+            }
+        }
+    }
+}
