@@ -60,6 +60,7 @@ pub mod quant;
 pub mod redfp;
 pub mod softfp;
 pub mod stats;
+pub mod telemetry;
 pub mod ulp;
 
 pub use bfp::{BfpBlock, BlockAcc, WideBlock, BLOCK};

@@ -140,6 +140,7 @@ impl PackedBfp {
                         }] = qv;
                     }
                 }
+                crate::telemetry::note_saturated(saturated);
                 q.saturation.check(saturated)?;
             }
         }

@@ -272,6 +272,7 @@ impl Quantizer {
                 }
             }
         }
+        crate::telemetry::note_saturated(saturated);
         self.saturation.check(saturated)?;
         Ok(GenBlock { exp, man })
     }

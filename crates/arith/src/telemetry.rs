@@ -1,0 +1,61 @@
+//! Numeric-health counters for the quantize paths.
+//!
+//! The quantizer already tallies shared-exponent saturation per tile to
+//! enforce its [`crate::SaturationPolicy`]; with the `telemetry` cargo
+//! feature enabled, those tallies also accumulate into one process-wide
+//! counter so an end-to-end run can report how often the bfp8 dynamic
+//! range clipped. Without the feature, the hook compiles to nothing
+//! and [`saturation_count`] reports 0.
+
+#[cfg(feature = "telemetry")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(feature = "telemetry")]
+static SATURATED: AtomicU64 = AtomicU64::new(0);
+
+/// Note `n` saturated elements from one quantized tile.
+#[inline]
+pub(crate) fn note_saturated(n: u64) {
+    #[cfg(feature = "telemetry")]
+    if n > 0 {
+        SATURATED.fetch_add(n, Ordering::Relaxed);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = n;
+}
+
+/// Total elements clamped to the bfp8 mantissa range since process
+/// start (or the last [`reset_saturation_count`]). Always 0 without the
+/// `telemetry` feature.
+pub fn saturation_count() -> u64 {
+    #[cfg(feature = "telemetry")]
+    {
+        SATURATED.load(Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        0
+    }
+}
+
+/// Reset the global saturation tally (tests and per-run deltas).
+pub fn reset_saturation_count() {
+    #[cfg(feature = "telemetry")]
+    SATURATED.store(0, Ordering::Relaxed);
+}
+
+#[cfg(all(test, feature = "telemetry"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_and_reset() {
+        reset_saturation_count();
+        note_saturated(0);
+        note_saturated(3);
+        note_saturated(2);
+        assert_eq!(saturation_count(), 5);
+        reset_saturation_count();
+        assert_eq!(saturation_count(), 0);
+    }
+}

@@ -17,7 +17,14 @@
 //! cargo run --release -p bfp-bench --bin e2e            # full run
 //! cargo run --release -p bfp-bench --bin e2e -- --quick # CI smoke
 //! cargo run --release -p bfp-bench --bin e2e -- --out /tmp/e.json
+//! # Chrome-trace (Perfetto) export of one traced inference pass;
+//! # requires the `telemetry` feature:
+//! cargo run --release -p bfp-bench --features telemetry --bin e2e -- \
+//!     --quick --trace-out trace.json
 //! ```
+//!
+//! The traced pass runs *after* (and separate from) the timed sweep, so
+//! `--trace-out` never perturbs the published numbers.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -152,6 +159,36 @@ fn to_json(
     s
 }
 
+/// Run one fast-path inference pass with a tracer attached and write the
+/// Chrome Trace Event JSON to `path`. Compiled out without `telemetry`
+/// (the flag then exits with status 2 instead of silently writing an
+/// empty trace).
+#[cfg(feature = "telemetry")]
+fn write_trace(path: &str, model: &DeitModel, imgs: &[Image]) {
+    use bfp_telemetry::{Registry, Tracer};
+    let tracer = Tracer::new();
+    let reg = Registry::new();
+    let mut engine = MixedEngine::new().with_threads(4);
+    engine.attach_telemetry(tracer.clone(), &reg);
+    for img in imgs {
+        std::hint::black_box(model.forward(&mut engine, img));
+    }
+    std::fs::write(path, tracer.chrome_json()).expect("write trace JSON");
+    println!(
+        "wrote {path} (Chrome trace; metrics: {} counters)",
+        reg.snapshot().counters.len()
+    );
+}
+
+#[cfg(not(feature = "telemetry"))]
+fn write_trace(_path: &str, _model: &DeitModel, _imgs: &[Image]) {
+    eprintln!(
+        "--trace-out requires the telemetry feature: \
+         cargo run --release -p bfp-bench --features telemetry --bin e2e -- --trace-out <file>"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -160,6 +197,10 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_E2E.json".to_string());
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1).cloned());
 
     let images = if quick { 2 } else { 8 };
     let host_threads = std::thread::available_parallelism()
@@ -226,4 +267,8 @@ fn main() {
         "acceptance anchor: {:.2}x images/s at 4 threads vs the scalar baseline (logits bit-identical)",
         speedup4
     );
+
+    if let Some(path) = trace_out {
+        write_trace(&path, &model, &imgs[..imgs.len().min(2)]);
+    }
 }

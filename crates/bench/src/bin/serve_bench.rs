@@ -9,6 +9,9 @@
 //! cargo run --release -p bfp-bench --bin serve_bench            # full
 //! cargo run --release -p bfp-bench --bin serve_bench -- --quick # CI
 //! cargo run --release -p bfp-bench --bin serve_bench -- --out /tmp/s.json
+//! # Chrome-trace (Perfetto) export of a separate traced mini-scenario
+//! # (per-request queue wait / execute spans, fault instants):
+//! cargo run --release -p bfp-bench --bin serve_bench -- --quick --trace-out trace.json
 //! ```
 
 use std::fmt::Write as _;
@@ -176,6 +179,27 @@ fn to_json(rows: &[ScenarioResult], quick: bool, service_s: f64) -> String {
     s
 }
 
+/// Run a small traced scenario — one transient-faulty array so the
+/// trace shows a fault instant and a retry execution — and write the
+/// Chrome Trace Event JSON to `path`. Separate from the measured
+/// scenarios, so tracing never perturbs the published numbers.
+fn write_trace(path: &str) {
+    let tracer = bfp_telemetry::Tracer::new();
+    let mut plans = vec![ArrayFaultPlan::None; ARRAYS];
+    plans[0] = ArrayFaultPlan::transient(2);
+    let server = Server::simulated(config(), plans);
+    server.attach_tracer(tracer.clone());
+    let tickets: Vec<Ticket> = (0..24)
+        .filter_map(|s| server.submit(request(s)).ok())
+        .collect();
+    for t in &tickets {
+        let _ = t.wait();
+    }
+    server.drain();
+    std::fs::write(path, tracer.chrome_json()).expect("write trace JSON");
+    println!("wrote {path} (Chrome trace of a {}-request traced scenario)", tickets.len());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -184,6 +208,10 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_SERVE.json".to_string());
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1).cloned());
 
     let service_s = calibrate();
     // Offered load: ~60% of the fleet's closed-loop capacity, so the
@@ -249,4 +277,8 @@ fn main() {
         "anchors: clean p99 {:.3} ms, storm p99 {:.3} ms ({} retries, {} quarantine entries)",
         clean.p99_ms, storm.p99_ms, storm.retries, storm.quarantine_entries
     );
+
+    if let Some(path) = trace_out {
+        write_trace(&path);
+    }
 }

@@ -1,0 +1,75 @@
+//! Optional bridge from injection hooks to a span [`Tracer`]
+//! (`telemetry` feature): every injected fault event becomes a trace
+//! instant on the thread that hit it, so Perfetto shows *where inside a
+//! request or engine phase* each upset landed.
+//!
+//! Without the feature the bridge compiles to an empty inline function;
+//! with it but no tracer attached, each hook pays one relaxed atomic
+//! load (the same discipline as [`crate::active`]).
+
+#[cfg(feature = "telemetry")]
+use std::sync::atomic::{AtomicBool, Ordering};
+#[cfg(feature = "telemetry")]
+use std::sync::Mutex;
+
+#[cfg(feature = "telemetry")]
+use bfp_telemetry::Tracer;
+
+#[cfg(feature = "telemetry")]
+static ATTACHED: AtomicBool = AtomicBool::new(false);
+#[cfg(feature = "telemetry")]
+static TRACER: Mutex<Option<Tracer>> = Mutex::new(None);
+
+/// Attach (`Some`) or detach (`None`) the process-wide fault tracer.
+/// Injection instants are recorded into it from every thread that runs
+/// a hook while a fault session is live.
+#[cfg(feature = "telemetry")]
+pub fn set_fault_tracer(tracer: Option<Tracer>) {
+    let mut slot = TRACER.lock().unwrap_or_else(|e| e.into_inner());
+    ATTACHED.store(tracer.is_some(), Ordering::SeqCst);
+    *slot = tracer;
+}
+
+/// Record one injected-fault instant named `fault.<site>`. Called from
+/// the hooks at every point that books `counters.injected`.
+#[inline]
+pub(crate) fn note_injection(site: &'static str) {
+    #[cfg(feature = "telemetry")]
+    {
+        if !ATTACHED.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Some(t) = &*TRACER.lock().unwrap_or_else(|e| e.into_inner()) {
+            t.instant(format!("fault.{site}"), "faults");
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = site;
+}
+
+#[cfg(all(test, feature = "telemetry"))]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultPlan, FaultSpec};
+    use crate::session::install;
+
+    #[test]
+    fn attached_tracer_receives_injection_instants() {
+        let tracer = Tracer::new();
+        set_fault_tracer(Some(tracer.clone()));
+        {
+            let _g = install(FaultPlan::new().with(FaultSpec::DspPRegFlip { nth: 0, bit: 3 }));
+            crate::hook::dsp_p_commit(17);
+        }
+        set_fault_tracer(None);
+        // Detached: no further events recorded.
+        {
+            let _g = install(FaultPlan::new().with(FaultSpec::DspPRegFlip { nth: 0, bit: 3 }));
+            crate::hook::dsp_p_commit(17);
+        }
+        let events = tracer.drain();
+        let hits: Vec<_> = events.iter().filter(|e| e.name == "fault.dsp_p_flip").collect();
+        assert_eq!(hits.len(), 1, "one instant while attached, none after");
+        assert_eq!(hits[0].cat, "faults");
+    }
+}

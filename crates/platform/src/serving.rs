@@ -9,6 +9,7 @@
 use std::fmt;
 
 use bfp_faults::FaultReport;
+use bfp_telemetry::{Registry, Table};
 
 /// Health state of one accelerator array, as driven by the serving
 /// runtime's strike/probe state machine:
@@ -157,6 +158,10 @@ pub struct ServeStats {
     pub degraded_executions: u64,
     /// Highest queue depth observed.
     pub queue_depth_high_water: usize,
+    /// Requests waiting in the queue at snapshot time.
+    pub queued: usize,
+    /// Requests being executed at snapshot time.
+    pub in_flight: usize,
     /// Per-array health and counters.
     pub per_array: Vec<ArrayServeStats>,
 }
@@ -171,6 +176,37 @@ impl ServeStats {
     pub fn modelled_busy_s(&self) -> f64 {
         self.per_array.iter().map(|a| a.modelled_busy_s).sum()
     }
+
+    /// Publish the snapshot into a metrics [`Registry`] as gauges
+    /// (idempotent: re-publishing a newer snapshot overwrites).
+    pub fn publish(&self, reg: &Registry) {
+        reg.gauge("serve_submitted").set(self.submitted as f64);
+        reg.gauge("serve_admitted").set(self.admitted as f64);
+        reg.gauge("serve_rejected").set(self.rejected as f64);
+        reg.gauge("serve_shed").set(self.shed as f64);
+        reg.gauge("serve_completed").set(self.completed as f64);
+        reg.gauge("serve_failed").set(self.failed as f64);
+        reg.gauge("serve_deadline_missed")
+            .set(self.deadline_missed as f64);
+        reg.gauge("serve_retries").set(self.retries as f64);
+        reg.gauge("serve_degraded_executions")
+            .set(self.degraded_executions as f64);
+        reg.gauge("serve_queue_depth_high_water")
+            .set(self.queue_depth_high_water as f64);
+        reg.gauge("serve_queued").set(self.queued as f64);
+        reg.gauge("serve_in_flight").set(self.in_flight as f64);
+        reg.gauge("serve_serving_arrays")
+            .set(self.serving_arrays() as f64);
+        reg.gauge("serve_modelled_busy_s").set(self.modelled_busy_s());
+        for (i, a) in self.per_array.iter().enumerate() {
+            reg.gauge(&format!("serve_array{i}_completed"))
+                .set(a.completed as f64);
+            reg.gauge(&format!("serve_array{i}_faulted_executions"))
+                .set(a.faulted_executions as f64);
+            reg.gauge(&format!("serve_array{i}_serving"))
+                .set(if a.health.serves() { 1.0 } else { 0.0 });
+        }
+    }
 }
 
 impl fmt::Display for ServeStats {
@@ -179,7 +215,8 @@ impl fmt::Display for ServeStats {
             f,
             "serve: {} submitted | {} admitted, {} rejected, {} shed | \
              {} completed, {} failed ({} deadline-missed) | \
-             {} retries, {} faulted executions discarded | queue high-water {}",
+             {} retries, {} faulted executions discarded | \
+             queue high-water {} | {} queued, {} in-flight",
             self.submitted,
             self.admitted,
             self.rejected,
@@ -190,20 +227,28 @@ impl fmt::Display for ServeStats {
             self.retries,
             self.degraded_executions,
             self.queue_depth_high_water,
+            self.queued,
+            self.in_flight,
         )?;
-        for (i, a) in self.per_array.iter().enumerate() {
-            write!(
-                f,
-                "  array {i}: {} | {} completed, {} faulted, probes {}/{}",
-                a.health, a.completed, a.faulted_executions, a.probes_passed, a.probes_run,
-            )?;
-            if !a.history.is_empty() {
-                let hist: Vec<String> = a.history.iter().map(|e| e.to_string()).collect();
-                write!(f, " | history: {}", hist.join(", "))?;
-            }
-            writeln!(f)?;
+        if self.per_array.is_empty() {
+            return Ok(());
         }
-        Ok(())
+        let mut t = Table::new(
+            "per-array serving state",
+            &["array", "health", "completed", "faulted", "probes", "history"],
+        );
+        for (i, a) in self.per_array.iter().enumerate() {
+            let hist: Vec<String> = a.history.iter().map(|e| e.to_string()).collect();
+            t.row(&[
+                i.to_string(),
+                a.health.to_string(),
+                a.completed.to_string(),
+                a.faulted_executions.to_string(),
+                format!("{}/{}", a.probes_passed, a.probes_run),
+                hist.join(", "),
+            ]);
+        }
+        write!(f, "{}", t.render())
     }
 }
 
@@ -248,7 +293,41 @@ mod tests {
         assert_eq!(s.per_array[1].times_entered(ArrayHealth::Quarantined), 1);
         let text = s.to_string();
         assert!(text.contains("8 admitted"));
-        assert!(text.contains("array 1: quarantined"));
-        assert!(text.contains("healthy -> quarantined"));
+        assert!(text.contains("0 queued, 0 in-flight"));
+        assert!(text.contains("per-array serving state"));
+        // Array 1's table row carries its health and history.
+        let row1 = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("1 |"))
+            .expect("array 1 row");
+        assert!(row1.contains("quarantined"), "{text}");
+        assert!(row1.contains("healthy -> quarantined"), "{text}");
+    }
+
+    #[test]
+    fn publish_lands_counters_and_per_array_gauges() {
+        let mut s = ServeStats {
+            submitted: 10,
+            admitted: 8,
+            rejected: 2,
+            completed: 7,
+            queued: 1,
+            in_flight: 2,
+            ..Default::default()
+        };
+        let mut a1 = ArrayServeStats::new();
+        a1.health = ArrayHealth::Quarantined;
+        a1.completed = 3;
+        s.per_array = vec![ArrayServeStats::new(), a1];
+
+        let reg = bfp_telemetry::Registry::new();
+        s.publish(&reg);
+        s.publish(&reg); // idempotent
+        let text = reg.snapshot().to_prometheus_text();
+        assert!(text.contains("serve_admitted 8"), "{text}");
+        assert!(text.contains("serve_in_flight 2"), "{text}");
+        assert!(text.contains("serve_serving_arrays 1"), "{text}");
+        assert!(text.contains("serve_array1_completed 3"), "{text}");
+        assert!(text.contains("serve_array1_serving 0"), "{text}");
     }
 }

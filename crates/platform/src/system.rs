@@ -6,10 +6,13 @@
 //! simulated concurrently with scoped threads — the simulation itself is a
 //! parallel program, one thread per modelled array.
 
+use std::fmt;
+
 use bfp_arith::error::ArithError;
 use bfp_arith::matrix::MatF32;
 use bfp_arith::quant::Quantizer;
 use bfp_pu::unit::{grid_from_matrix, BlockGrid, CycleStats, ProcessingUnit, UnitConfig};
+use bfp_telemetry::{fmt_si, Registry, Table};
 use parking_lot::Mutex;
 
 use crate::hbm::MemParams;
@@ -63,6 +66,60 @@ impl SystemStats {
         } else {
             self.total_bfp_ops() as f64 / s
         }
+    }
+
+    /// Publish the snapshot into a metrics [`Registry`] as gauges
+    /// (idempotent: re-publishing a newer snapshot overwrites). Includes
+    /// the fault counters and, when present, the serving snapshot.
+    pub fn publish(&self, reg: &Registry) {
+        reg.gauge("system_arrays").set(self.per_array.len() as f64);
+        reg.gauge("system_critical_cycles")
+            .set(self.critical_cycles());
+        reg.gauge("system_mem_overhead_cycles")
+            .set(self.mem_overhead_cycles);
+        reg.gauge("system_bfp_ops").set(self.total_bfp_ops() as f64);
+        let c = &self.faults.counters;
+        reg.gauge("faults_injected").set(c.injected as f64);
+        reg.gauge("faults_ecc_corrected").set(c.ecc_corrected as f64);
+        reg.gauge("faults_ecc_uncorrected")
+            .set(c.ecc_uncorrected as f64);
+        reg.gauge("faults_tmr_corrected").set(c.tmr_corrected as f64);
+        reg.gauge("faults_tmr_uncorrected")
+            .set(c.tmr_uncorrected as f64);
+        reg.gauge("faults_stuck_lane_hits")
+            .set(c.stuck_lane_hits as f64);
+        reg.gauge("faults_dropped_partials")
+            .set(c.dropped_partials as f64);
+        reg.gauge("faults_detected").set(self.faults.detected as f64);
+        reg.gauge("faults_retries").set(self.faults.retries as f64);
+        reg.gauge("faults_fp32_fallbacks")
+            .set(self.faults.fp32_fallbacks as f64);
+        if let Some(serve) = &self.serve {
+            serve.publish(reg);
+        }
+    }
+}
+
+impl fmt::Display for SystemStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = Table::new(
+            "system execution",
+            &["arrays", "critical cycles", "mem overhead", "bfp8 ops"],
+        );
+        t.row(&[
+            self.per_array.len().to_string(),
+            fmt_si(self.critical_cycles()),
+            fmt_si(self.mem_overhead_cycles),
+            fmt_si(self.total_bfp_ops() as f64),
+        ]);
+        write!(f, "{}", t.render())?;
+        if !self.faults.is_clean() {
+            write!(f, "{}", self.faults)?;
+        }
+        if let Some(serve) = &self.serve {
+            write!(f, "{serve}")?;
+        }
+        Ok(())
     }
 }
 
@@ -375,6 +432,36 @@ mod tests {
         assert!((ours.bram.unwrap() - paper.bram.unwrap()).abs() < 0.5);
         // Efficiency ~0.95 GOPS/DSP.
         assert!((ours.gops_per_dsp() - 0.95).abs() < 0.01);
+    }
+
+    #[test]
+    fn stats_display_and_publish_cover_the_execution() {
+        let sys = System::paper();
+        let (_, stats) = sys.matmul_f32(&ramp(48, 24), &ramp(24, 16));
+        let text = stats.to_string();
+        assert!(text.contains("system execution"), "{text}");
+        assert!(text.contains("30"), "{text}");
+
+        let reg = bfp_telemetry::Registry::new();
+        stats.publish(&reg);
+        let prom = reg.snapshot().to_prometheus_text();
+        assert!(prom.contains("system_arrays 30"), "{prom}");
+        assert!(prom.contains("faults_injected 0"), "{prom}");
+        let bfp_ops = reg.gauge("system_bfp_ops").get();
+        assert_eq!(bfp_ops, stats.total_bfp_ops() as f64);
+
+        // With a serving snapshot attached, one publish covers both.
+        let mut with_serve = stats.clone();
+        with_serve.serve = Some(crate::serving::ServeStats {
+            admitted: 5,
+            ..Default::default()
+        });
+        with_serve.publish(&reg);
+        assert!(reg
+            .snapshot()
+            .to_prometheus_text()
+            .contains("serve_admitted 5"));
+        assert!(with_serve.to_string().contains("serve: 0 submitted"));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::fmt::Write as _;
 
 use bfp_arith::bfp::BfpBlock;
+use bfp_telemetry::ChromeTraceBuilder;
 
 use crate::array::{ColumnOut, SystolicArray, COLS, ROWS};
 
@@ -57,6 +58,43 @@ impl Trace {
             .iter()
             .find(|c| c.bottom.iter().any(|o| o.lane1 != 0 || o.lane2 != 0))
             .map(|c| c.t)
+    }
+
+    /// Export the waveform as Chrome Trace Event JSON so the
+    /// cycle-level systolic activity lands in the same Perfetto
+    /// timeline as the software spans (1 clock cycle mapped to 1 µs).
+    ///
+    /// Layout: one span covering the whole pass, one counter track per
+    /// column and lane sampling the bottom-of-column outputs, and a
+    /// counter track for the number of active left-edge rows (the
+    /// skewed wavefront of Fig. 5(a)).
+    pub fn to_chrome_json(&self) -> String {
+        let mut b = ChromeTraceBuilder::new();
+        // Distinct pid keeps the hardware timebase (cycles) in its own
+        // process lane, visually separate from wall-clock software spans.
+        b.process_name(2, "systolic-array (1 cycle = 1us)");
+        b.thread_name(2, 0, "pass");
+        b.complete(
+            "systolic_pass",
+            "pu",
+            0.0,
+            self.cycles.len() as f64,
+            2,
+            0,
+            &[("cycles", self.cycles.len() as u64)],
+        );
+        if let Some(t) = self.first_output_cycle() {
+            b.instant("first_output", "pu", t as f64, 2, 0, &[("cycle", t)]);
+        }
+        for c in &self.cycles {
+            let active = c.left.iter().filter(|&&v| v != 0).count();
+            b.counter("left_active_rows", "pu", c.t as f64, 2, active as f64);
+            for (col, out) in c.bottom.iter().enumerate() {
+                b.counter(&format!("col{col}.lane1"), "pu", c.t as f64, 2, out.lane1 as f64);
+                b.counter(&format!("col{col}.lane2"), "pu", c.t as f64, 2, out.lane2 as f64);
+            }
+        }
+        b.finish()
     }
 }
 
@@ -133,6 +171,19 @@ mod tests {
         // dot product: 8 × 1 × 1 = 8.
         assert_eq!(tr.cycles[7].bottom[0].lane1, 8);
         assert_eq!(tr.cycles[7].bottom[0].lane2, 8);
+    }
+
+    #[test]
+    fn chrome_export_covers_the_pass() {
+        let tr = trace_pass(&ones(), &ones(), &[ones()]);
+        let json = tr.to_chrome_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"systolic_pass\""));
+        assert!(json.contains(&format!("\"cycles\": {}", tr.cycles.len())));
+        assert!(json.contains("\"first_output\""));
+        assert!(json.contains("\"col0.lane1\""));
+        assert!(json.contains("\"col7.lane2\""));
+        assert!(json.contains("\"left_active_rows\""));
     }
 
     #[test]

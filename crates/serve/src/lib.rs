@@ -22,9 +22,13 @@
 //!   then re-admitted.
 //! * **Observability** — [`Server::stats`] snapshots the
 //!   [`bfp_platform::ServeStats`] counters (admission, deadline misses,
-//!   queue high-water, per-array health history), and
-//!   [`Server::system_stats`] surfaces them through
-//!   [`bfp_platform::SystemStats`].
+//!   queue high-water, per-array health history) under one lock, so the
+//!   identity `admitted == completed + failed + queued + in_flight`
+//!   holds in every snapshot; [`Server::system_stats`] surfaces them
+//!   through [`bfp_platform::SystemStats`]. Every [`ServeResponse`]
+//!   carries a [`RequestTimeline`] (queue wait + per-attempt execution
+//!   records), and [`Server::attach_tracer`] streams the same lifecycle
+//!   as spans/instants into a [`bfp_telemetry::Tracer`] for Perfetto.
 //!
 //! The degradation ladder, in order: retry (same request, different
 //! array) → re-route (health-aware dispatch) → quarantine (array level)
@@ -57,11 +61,13 @@ pub use backend::{ArrayBackend, ArrayFaultPlan, SimArrayBackend, Telemetry};
 pub use config::{Backpressure, HealthPolicy, ServeConfig};
 pub use error::ServeError;
 pub use server::{ServeRequest, Server};
-pub use ticket::{ServeResponse, Ticket};
+pub use ticket::{AttemptRecord, RequestTimeline, ServeResponse, Ticket};
 
 // Re-export the observability vocabulary so downstream code does not
-// need a direct bfp-platform dependency to inspect snapshots.
+// need a direct bfp-platform / bfp-telemetry dependency to inspect
+// snapshots, attach a tracer, or publish metrics.
 pub use bfp_platform::{ArrayHealth, ArrayServeStats, HealthEvent, ServeStats};
+pub use bfp_telemetry::{Registry, Tracer};
 
 #[cfg(test)]
 mod tests {
@@ -220,6 +226,110 @@ mod tests {
                 "unexpected outcome: {r:?}"
             );
         }
+    }
+
+    #[test]
+    fn response_timeline_records_the_lifecycle() {
+        // Single array with one transient fault: attempt 1 is discarded,
+        // the retry is clean, and the timeline shows both.
+        let cfg = ServeConfig {
+            max_attempts: 4,
+            ..Default::default()
+        };
+        let server = Server::simulated(cfg, vec![ArrayFaultPlan::transient(1)]);
+        let resp = server.submit(req(0)).unwrap().wait().unwrap();
+        assert_eq!(resp.attempts, 2, "fault then clean retry");
+        assert_eq!(resp.timeline.attempts.len(), resp.attempts as usize);
+        assert!(resp.timeline.queue_wait_s >= 0.0);
+        assert!(resp.timeline.total_s <= resp.wall_s + 1e-9);
+        let last = resp.timeline.attempts.last().unwrap();
+        assert!(!last.faulted, "the accepted attempt is clean");
+        assert_eq!(last.array, resp.array);
+        assert!((last.modelled_s - resp.modelled_s).abs() < 1e-12);
+        for a in &resp.timeline.attempts[..resp.timeline.attempts.len() - 1] {
+            assert!(a.faulted, "earlier attempts were discarded as faulted");
+        }
+        assert!(resp.timeline.overhead_s() >= 0.0);
+        server.drain();
+    }
+
+    #[test]
+    fn attached_tracer_sees_request_lifecycle_spans() {
+        let tracer = bfp_telemetry::Tracer::new();
+        let cfg = ServeConfig {
+            max_attempts: 4,
+            ..Default::default()
+        };
+        // Both arrays carry a transient credit, so whichever array runs
+        // the very first execution faults it: at least one fault and one
+        // retry are guaranteed regardless of worker scheduling.
+        let server = Server::simulated(
+            cfg,
+            vec![ArrayFaultPlan::transient(1), ArrayFaultPlan::transient(1)],
+        );
+        assert!(server.attach_tracer(tracer.clone()));
+        assert!(!server.attach_tracer(bfp_telemetry::Tracer::new()));
+        let tickets: Vec<_> = (0..4).map(|s| server.submit(req(s)).unwrap()).collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        server.drain();
+        let events = tracer.drain();
+        let count = |name: &str| events.iter().filter(|e| e.name == name).count();
+        assert_eq!(count("serve.queue_wait"), 4, "one wait span per request");
+        assert!(
+            count("serve.execute") >= 5,
+            "4 requests + at least one retry execution"
+        );
+        assert!(count("serve.fault") >= 1, "the transient fault is an instant");
+        assert!(count("serve.queue_depth") >= 4);
+        let exec = events.iter().find(|e| e.name == "serve.execute").unwrap();
+        assert!(exec.args.iter().any(|(k, _)| *k == "req"));
+        assert!(exec.args.iter().any(|(k, _)| *k == "array"));
+        // The trace exports as Chrome JSON.
+        let json = tracer.chrome_json();
+        assert!(json.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn stats_identity_holds_under_concurrent_submit_and_drain() {
+        // admitted == completed + failed + queued + in_flight must hold
+        // in EVERY snapshot, including ones racing dispatch, retry
+        // requeue, and resolution. A faulty array keeps the retry path
+        // hot while we hammer stats() from the submitting thread.
+        let cfg = ServeConfig {
+            queue_capacity: 256,
+            max_attempts: 4,
+            ..Default::default()
+        };
+        let server = Server::simulated(
+            cfg,
+            vec![ArrayFaultPlan::transient(8), ArrayFaultPlan::None],
+        );
+        let check = |s: &ServeStats| {
+            assert_eq!(
+                s.admitted,
+                s.completed + s.failed + s.queued as u64 + s.in_flight as u64,
+                "identity broken: {s}"
+            );
+        };
+        let mut tickets = Vec::new();
+        for s in 0..48 {
+            tickets.push(server.submit(req(s)).unwrap());
+            check(&server.stats());
+        }
+        loop {
+            let s = server.stats();
+            check(&s);
+            if s.completed + s.failed == s.admitted && s.queued == 0 && s.in_flight == 0 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        server.drain();
+        let s = server.stats();
+        check(&s);
+        assert_eq!(s.completed, 48);
     }
 
     #[test]

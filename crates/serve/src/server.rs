@@ -9,7 +9,7 @@
 //! probes run outside the lock.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -20,11 +20,12 @@ use bfp_arith::quant::Quantizer;
 use bfp_arith::{AddVariant, HwFp32Add, HwFp32Mul, MulVariant};
 use bfp_faults::FleetLedger;
 use bfp_platform::{ArrayHealth, ArrayServeStats, HealthEvent, ServeStats, System, SystemStats};
+use bfp_telemetry::Tracer;
 
 use crate::backend::{ArrayBackend, ArrayFaultPlan, SimArrayBackend, Telemetry};
 use crate::config::{Backpressure, ServeConfig};
 use crate::error::ServeError;
-use crate::ticket::{ServeResponse, Ticket, TicketInner};
+use crate::ticket::{AttemptRecord, RequestTimeline, ServeResponse, Ticket, TicketInner};
 
 /// One GEMM request. The deadline budget (if any) starts counting at
 /// admission.
@@ -55,12 +56,15 @@ impl ServeRequest {
 }
 
 struct Job {
+    id: u64,
     a: MatF32,
     b: MatF32,
     deadline: Option<Instant>,
     cancel: CancelToken,
     submitted_at: Instant,
+    first_dispatch: Option<Instant>,
     attempts: u32,
+    attempt_log: Vec<AttemptRecord>,
     not_before: Instant,
     last_array: Option<usize>,
     ticket: Arc<TicketInner>,
@@ -122,6 +126,14 @@ struct Shared {
     idle_cv: Condvar,
     cfg: ServeConfig,
     golden: Golden,
+    /// Optional span tracer ([`Server::attach_tracer`]); absent, every
+    /// emission site is a branch on an unset `OnceLock` and nothing else.
+    tracer: OnceLock<Tracer>,
+}
+
+/// The attached tracer, if any.
+fn tr(shared: &Shared) -> Option<&Tracer> {
+    shared.tracer.get()
 }
 
 /// The golden self-test GEMM: small integer matrices on which bfp8 is
@@ -200,6 +212,7 @@ impl Server {
             idle_cv: Condvar::new(),
             cfg,
             golden: Golden::build(),
+            tracer: OnceLock::new(),
         });
         let workers = backends
             .into_iter()
@@ -231,6 +244,14 @@ impl Server {
         Server::new(cfg, backends)
     }
 
+    /// Attach a span [`Tracer`]: per-request lifecycle events (queue
+    /// wait, executions, retries, faults, deadline misses, admission
+    /// refusals) are recorded into it from here on. One tracer per
+    /// server lifetime; returns `false` if one was already attached.
+    pub fn attach_tracer(&self, tracer: Tracer) -> bool {
+        self.shared.tracer.set(tracer).is_ok()
+    }
+
     /// Offer a request. `Ok(Ticket)` means admitted; the typed errors
     /// are the admission-time refusals.
     pub fn submit(&self, req: ServeRequest) -> Result<Ticket, ServeError> {
@@ -239,6 +260,9 @@ impl Server {
         inner.counters.submitted += 1;
         if inner.shutdown {
             inner.counters.rejected += 1;
+            if let Some(t) = tr(&self.shared) {
+                t.instant("serve.reject", "serve");
+            }
             return Err(ServeError::Shutdown);
         }
 
@@ -246,12 +270,18 @@ impl Server {
             match cfg.backpressure {
                 Backpressure::Reject => {
                     inner.counters.rejected += 1;
+                    if let Some(t) = tr(&self.shared) {
+                        t.instant("serve.reject", "serve");
+                    }
                     return Err(ServeError::QueueFull);
                 }
                 Backpressure::ShedOldest => {
                     if let Some(victim) = inner.queue.pop_front() {
                         victim.cancel.cancel();
                         inner.counters.shed += 1;
+                        if let Some(t) = tr(&self.shared) {
+                            t.instant_with("serve.shed", "serve", vec![("req", victim.id)]);
+                        }
                         resolve(&mut inner, &victim.ticket, Err(ServeError::Shed));
                     }
                 }
@@ -261,6 +291,9 @@ impl Server {
                         let now = Instant::now();
                         if now >= gate {
                             inner.counters.rejected += 1;
+                            if let Some(t) = tr(&self.shared) {
+                                t.instant("serve.reject", "serve");
+                            }
                             return Err(ServeError::AdmissionTimeout);
                         }
                         let (guard, _) = self
@@ -272,6 +305,9 @@ impl Server {
                     }
                     if inner.shutdown {
                         inner.counters.rejected += 1;
+                        if let Some(t) = tr(&self.shared) {
+                            t.instant("serve.reject", "serve");
+                        }
                         return Err(ServeError::Shutdown);
                     }
                 }
@@ -289,12 +325,15 @@ impl Server {
         inner.next_id += 1;
         let ticket_inner = TicketInner::new();
         inner.queue.push_back(Job {
+            id,
             a: req.a,
             b: req.b,
             deadline,
             cancel,
             submitted_at: now,
+            first_dispatch: None,
             attempts: 0,
+            attempt_log: Vec::new(),
             not_before: now,
             last_array: None,
             ticket: ticket_inner.clone(),
@@ -303,6 +342,9 @@ impl Server {
         let depth = inner.queue.len();
         if depth > inner.counters.queue_depth_high_water {
             inner.counters.queue_depth_high_water = depth;
+        }
+        if let Some(t) = tr(&self.shared) {
+            t.counter("serve.queue_depth", "serve", depth as f64);
         }
         drop(inner);
         self.shared.work_cv.notify_all();
@@ -345,7 +387,10 @@ impl Server {
         }
     }
 
-    /// Snapshot of the runtime counters and per-array health.
+    /// Snapshot of the runtime counters and per-array health, taken
+    /// under one lock acquisition so the accounting identity
+    /// `admitted == completed + failed + queued + in_flight` holds in
+    /// every snapshot, not just at quiescence.
     pub fn stats(&self) -> ServeStats {
         let inner = self.shared.m.lock().unwrap();
         let c = &inner.counters;
@@ -360,6 +405,8 @@ impl Server {
             retries: c.retries,
             degraded_executions: c.degraded_executions,
             queue_depth_high_water: c.queue_depth_high_water,
+            queued: inner.queue.len(),
+            in_flight: inner.inflight,
             per_array: inner
                 .arrays
                 .iter()
@@ -480,6 +527,9 @@ fn sweep_expired(inner: &mut Inner, shared: &Shared, now: Instant) {
         if expired {
             let job = inner.queue.remove(i).unwrap();
             job.cancel.cancel();
+            if let Some(t) = tr(shared) {
+                t.instant_with("serve.deadline_miss", "serve", vec![("req", job.id)]);
+            }
             resolve(inner, &job.ticket, Err(ServeError::DeadlineExceeded));
             shared.space_cv.notify_one();
         } else {
@@ -511,7 +561,9 @@ fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBack
                 transition(&mut inner, array, ArrayHealth::Probing);
                 inner.arrays[array].stats.probes_run += 1;
                 drop(inner);
+                let t0 = Instant::now();
                 let probe = backend.execute(&shared.golden.a, &shared.golden.b, &CancelToken::new());
+                let t1 = Instant::now();
                 inner = shared.m.lock().unwrap();
                 let policy = &shared.cfg.health;
                 let passed = match probe {
@@ -523,6 +575,15 @@ fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBack
                     }
                     Err(_) => false,
                 };
+                if let Some(t) = tr(&shared) {
+                    t.complete_between_with(
+                        "serve.probe",
+                        "serve",
+                        t0,
+                        t1,
+                        vec![("array", array as u64), ("passed", passed as u64)],
+                    );
+                }
                 if passed {
                     inner.arrays[array].stats.probes_passed += 1;
                     inner.arrays[array].probe_streak += 1;
@@ -590,16 +651,63 @@ fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBack
         shared.space_cv.notify_one();
         drop(inner);
 
+        let dispatched = Instant::now();
+        if job.first_dispatch.is_none() {
+            job.first_dispatch = Some(dispatched);
+            if let Some(t) = tr(&shared) {
+                t.complete_between_with(
+                    "serve.queue_wait",
+                    "serve",
+                    job.submitted_at,
+                    dispatched,
+                    vec![("req", job.id)],
+                );
+            }
+        }
         job.attempts += 1;
         let outcome = backend.execute(&job.a, &job.b, &job.cancel);
+        if let Some(t) = tr(&shared) {
+            t.complete_between_with(
+                "serve.execute",
+                "serve",
+                dispatched,
+                Instant::now(),
+                vec![
+                    ("req", job.id),
+                    ("array", array as u64),
+                    ("attempt", job.attempts as u64),
+                ],
+            );
+        }
 
         inner = shared.m.lock().unwrap();
         let wall_s = job.submitted_at.elapsed().as_secs_f64();
+        let queue_wait_s = job
+            .first_dispatch
+            .map_or(0.0, |d| (d - job.submitted_at).as_secs_f64());
         match outcome {
             Ok((out, Telemetry { faults, modelled_s })) => {
                 inner.arrays[array].stats.modelled_busy_s += modelled_s;
                 inner.ledger.record_delta(array, &faults);
                 let faulted = faults.detected > 0;
+                job.attempt_log.push(AttemptRecord {
+                    array,
+                    modelled_s,
+                    faulted,
+                });
+                if faulted {
+                    if let Some(t) = tr(&shared) {
+                        t.instant_with(
+                            "serve.fault",
+                            "serve",
+                            vec![
+                                ("req", job.id),
+                                ("array", array as u64),
+                                ("detected", faults.detected),
+                            ],
+                        );
+                    }
+                }
                 note_execution(&mut inner, array, faulted, &shared);
                 if !faulted {
                     inner.arrays[array].stats.completed += 1;
@@ -612,6 +720,11 @@ fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBack
                             attempts: job.attempts,
                             modelled_s,
                             wall_s,
+                            timeline: RequestTimeline {
+                                queue_wait_s,
+                                attempts: std::mem::take(&mut job.attempt_log),
+                                total_s: wall_s,
+                            },
                         }),
                     );
                 } else if job.attempts >= shared.cfg.max_attempts {
@@ -626,13 +739,15 @@ fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBack
                     resolve(&mut inner, &job.ticket, Err(ServeError::Shutdown));
                 } else {
                     // Discard the suspect output; retry later, elsewhere.
+                    // Requeue and notify without releasing the lock: the
+                    // whole post-execution section is one critical
+                    // section, so a concurrent `stats()` never sees the
+                    // job double-counted as both queued and in-flight.
                     inner.counters.retries += 1;
                     job.not_before = Instant::now() + shared.cfg.retry_backoff(job.attempts);
                     job.last_array = Some(array);
                     inner.queue.push_back(job);
-                    drop(inner);
                     shared.work_cv.notify_all();
-                    inner = shared.m.lock().unwrap();
                 }
             }
             Err(ArithError::Cancelled { expired }) => {
@@ -641,6 +756,11 @@ fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBack
                 } else {
                     ServeError::Shutdown
                 };
+                if err == ServeError::DeadlineExceeded {
+                    if let Some(t) = tr(&shared) {
+                        t.instant_with("serve.deadline_miss", "serve", vec![("req", job.id)]);
+                    }
+                }
                 resolve(&mut inner, &job.ticket, Err(err));
             }
             Err(_) => {

@@ -7,6 +7,40 @@ use bfp_arith::matrix::MatF32;
 
 use crate::error::ServeError;
 
+/// One execution attempt in a request's [`RequestTimeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AttemptRecord {
+    /// Array the attempt ran on.
+    pub array: usize,
+    /// Modelled array-occupancy seconds of this execution.
+    pub modelled_s: f64,
+    /// Whether the detection layer flagged the execution (its output was
+    /// discarded and the request re-routed).
+    pub faulted: bool,
+}
+
+/// Where one request spent its life, attempt by attempt — the per-request
+/// lifecycle record returned with the ticket's [`ServeResponse`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RequestTimeline {
+    /// Seconds from admission until a worker first picked the request up.
+    pub queue_wait_s: f64,
+    /// Every execution attempt, in order; the last one is the accepted
+    /// execution, earlier entries are discarded faulted runs.
+    pub attempts: Vec<AttemptRecord>,
+    /// Wall-clock seconds from admission to resolution.
+    pub total_s: f64,
+}
+
+impl RequestTimeline {
+    /// Seconds not accounted to queue wait or modelled execution:
+    /// retry backoff, host scheduling, and lock hand-off.
+    pub fn overhead_s(&self) -> f64 {
+        let exec: f64 = self.attempts.iter().map(|a| a.modelled_s).sum();
+        (self.total_s - self.queue_wait_s - exec).max(0.0)
+    }
+}
+
 /// A successful answer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeResponse {
@@ -21,6 +55,8 @@ pub struct ServeResponse {
     /// Wall-clock seconds from admission to resolution (queueing +
     /// retries + execution, as the submitter experiences it).
     pub wall_s: f64,
+    /// Where the request spent that wall-clock, attempt by attempt.
+    pub timeline: RequestTimeline,
 }
 
 pub(crate) struct TicketInner {

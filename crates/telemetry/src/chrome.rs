@@ -1,0 +1,186 @@
+//! Chrome Trace Event Format writer (the JSON Perfetto and
+//! `chrome://tracing` ingest). Usable standalone so captures with a
+//! different timebase — e.g. the cycle-accurate systolic waveform in
+//! `bfp_pu::trace` — can be merged into the same timeline as the
+//! software spans.
+//!
+//! Only the subset of the format we emit is supported: complete events
+//! (`"ph":"X"`), thread-scoped instants (`"ph":"i"`), counters
+//! (`"ph":"C"`), and process/thread-name metadata (`"ph":"M"`).
+//! Timestamps and durations are in microseconds, per the spec.
+
+use std::fmt::Write as _;
+
+use crate::json;
+
+/// Incremental builder for a Chrome Trace Event JSON document.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTraceBuilder {
+    events: Vec<String>,
+}
+
+impl ChromeTraceBuilder {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push_common(out: &mut String, name: &str, cat: &str, ph: char, ts_us: f64, pid: u64, tid: u64) {
+        out.push_str("{\"name\": ");
+        json::write_str(out, name);
+        out.push_str(", \"cat\": ");
+        json::write_str(out, cat);
+        let _ = write!(out, ", \"ph\": \"{ph}\", \"ts\": ");
+        json::write_f64(out, ts_us);
+        let _ = write!(out, ", \"pid\": {pid}, \"tid\": {tid}");
+    }
+
+    fn push_args(out: &mut String, args: &[(&'static str, u64)]) {
+        if args.is_empty() {
+            return;
+        }
+        out.push_str(", \"args\": {");
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {v}", json::string(k));
+        }
+        out.push('}');
+    }
+
+    /// A completed interval (`"ph":"X"`).
+    // One flat call per Chrome-trace field beats a builder struct for
+    // the exporter's only callers (the two trace modules).
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &mut self,
+        name: &str,
+        cat: &str,
+        ts_us: f64,
+        dur_us: f64,
+        pid: u64,
+        tid: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        let mut e = String::new();
+        Self::push_common(&mut e, name, cat, 'X', ts_us, pid, tid);
+        e.push_str(", \"dur\": ");
+        json::write_f64(&mut e, dur_us.max(0.001)); // zero-width slices vanish in Perfetto
+        Self::push_args(&mut e, args);
+        e.push('}');
+        self.events.push(e);
+    }
+
+    /// A thread-scoped instant marker (`"ph":"i"`, `"s":"t"`).
+    pub fn instant(
+        &mut self,
+        name: &str,
+        cat: &str,
+        ts_us: f64,
+        pid: u64,
+        tid: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        let mut e = String::new();
+        Self::push_common(&mut e, name, cat, 'i', ts_us, pid, tid);
+        e.push_str(", \"s\": \"t\"");
+        Self::push_args(&mut e, args);
+        e.push('}');
+        self.events.push(e);
+    }
+
+    /// A counter sample (`"ph":"C"`); each name gets its own track.
+    pub fn counter(&mut self, name: &str, cat: &str, ts_us: f64, pid: u64, value: f64) {
+        let mut e = String::new();
+        Self::push_common(&mut e, name, cat, 'C', ts_us, pid, 0);
+        e.push_str(", \"args\": {\"value\": ");
+        json::write_f64(&mut e, value);
+        e.push_str("}}");
+        self.events.push(e);
+    }
+
+    /// Name a process in the timeline (`"ph":"M"`, `process_name`).
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        let mut e = format!(
+            "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \"args\": {{\"name\": "
+        );
+        json::write_str(&mut e, name);
+        e.push_str("}}");
+        self.events.push(e);
+    }
+
+    /// Name a thread in the timeline (`"ph":"M"`, `thread_name`).
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        let mut e = format!(
+            "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \"args\": {{\"name\": "
+        );
+        json::write_str(&mut e, name);
+        e.push_str("}}");
+        self.events.push(e);
+    }
+
+    /// Number of events queued so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been queued.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Render the full JSON document.
+    pub fn finish(&self) -> String {
+        let mut out = String::from("{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(e);
+            if i + 1 < self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_all_phases() {
+        let mut b = ChromeTraceBuilder::new();
+        b.process_name(1, "bfp");
+        b.thread_name(1, 0, "main");
+        b.complete("gemm", "engine", 10.0, 5.5, 1, 0, &[("macs", 1024)]);
+        b.instant("fault", "faults", 12.0, 1, 0, &[]);
+        b.counter("queue_depth", "serve", 13.0, 1, 4.0);
+        assert_eq!(b.len(), 5);
+        let json = b.finish();
+        assert!(json.contains("\"displayTimeUnit\": \"ms\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"dur\": 5.5"));
+        assert!(json.contains("\"macs\": 1024"));
+        assert!(json.contains("\"s\": \"t\""));
+        assert!(json.contains("\"value\": 4"));
+        assert!(json.contains("\"process_name\""));
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let b = ChromeTraceBuilder::new();
+        assert!(b.is_empty());
+        assert_eq!(b.finish(), "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n]\n}\n");
+    }
+
+    #[test]
+    fn escapes_names() {
+        let mut b = ChromeTraceBuilder::new();
+        b.instant("with \"quote\"", "t", 0.0, 1, 0, &[]);
+        assert!(b.finish().contains("with \\\"quote\\\""));
+    }
+}

@@ -1,0 +1,71 @@
+//! Minimal JSON string/number rendering shared by the exporters. The
+//! workspace is offline-vendored, so there is no serde; the exporters
+//! only ever *write* JSON, and only strings and finite numbers, which
+//! this module covers completely.
+
+use std::fmt::Write as _;
+
+/// Append `s` as a JSON string literal (with quotes) to `out`.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render `s` as a JSON string literal.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_str(&mut out, s);
+    out
+}
+
+/// Append a finite `f64` as a JSON number (non-finite values, which
+/// JSON cannot represent, render as `0`).
+pub fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push('0');
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(string("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(string("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn numbers() {
+        let mut s = String::new();
+        write_f64(&mut s, 3.0);
+        assert_eq!(s, "3");
+        s.clear();
+        write_f64(&mut s, 3.25);
+        assert_eq!(s, "3.25");
+        s.clear();
+        write_f64(&mut s, f64::NAN);
+        assert_eq!(s, "0");
+    }
+}

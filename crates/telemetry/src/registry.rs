@@ -1,0 +1,453 @@
+//! Lock-free metrics: counters, gauges, and fixed-bucket log2
+//! histograms behind a named registry.
+//!
+//! The registry's lock is taken only when a handle is *created* (or a
+//! snapshot rendered) — both cold paths. Recording through a handle is
+//! a single relaxed atomic operation, safe to call from any thread,
+//! including the engine's GEMM inner loop and the serving workers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json;
+
+/// Monotonic event counter. Cheap to clone; all clones share the cell.
+#[derive(Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A free-standing counter (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// Last-value gauge holding an `f64` (stored as bits in an atomic).
+#[derive(Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+}
+
+impl Gauge {
+    /// A free-standing gauge (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+/// Bucket count of a [`Histogram`]: bucket 0 holds zero-valued
+/// observations; bucket `i` (1 ≤ i ≤ 64) holds values `v` with
+/// `2^(i-1) <= v < 2^i`. Covers the full `u64` range with no
+/// configuration and no per-record branching beyond a leading-zeros.
+pub const HIST_BUCKETS: usize = 65;
+
+struct HistCore {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistCore {
+    fn default() -> Self {
+        HistCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Fixed-bucket log2 histogram of `u64` observations (durations in
+/// nanoseconds, sizes in bytes, ULP distances, …).
+#[derive(Clone, Default)]
+pub struct Histogram {
+    core: Arc<HistCore>,
+}
+
+/// Which bucket a value lands in (see [`HIST_BUCKETS`]).
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// A free-standing histogram (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.core.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.core.count.fetch_add(1, Ordering::Relaxed);
+        self.core.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record a `Duration` in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (wraps on overflow).
+    pub fn sum(&self) -> u64 {
+        self.core.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(self.core.buckets.iter()) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Histogram(count={}, sum={})", self.count(), self.sum())
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see [`HIST_BUCKETS`] for the layout).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Upper bound of the bucket containing quantile `q` (0.0–1.0), or
+    /// 0 for an empty histogram. A log2 histogram can only answer to
+    /// bucket resolution; the upper bound is the conservative estimate.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(HIST_BUCKETS - 1)
+    }
+
+    /// Mean observation (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Inclusive upper bound of bucket `i`: 0 for bucket 0, else `2^i - 1`.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// The named metrics registry. Cheap to clone (all clones share state);
+/// pass `&Registry` into `publish`-style methods.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter called `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the gauge called `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the histogram called `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.histograms.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Point-in-time copy of every registered instrument.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Registry")
+    }
+}
+
+/// Point-in-time copy of a [`Registry`], ready to render.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter name → value, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → value, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram name → buckets, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Prometheus-style text exposition (counters, gauges, and
+    /// cumulative histogram buckets with `le` labels).
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cum += c;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", bucket_upper(i));
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+
+    /// JSON object rendering (`{"counters":{...},"gauges":{...},
+    /// "histograms":{...}}`), for embedding in bench artifacts.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(s, "{sep}    {}: {v}", json::string(name));
+        }
+        s.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(s, "{sep}    {}: ", json::string(name));
+            json::write_f64(&mut s, *v);
+        }
+        s.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                s,
+                "{sep}    {}: {{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p99\": {}}}",
+                json::string(name),
+                h.count,
+                h.sum,
+                h.quantile(0.50),
+                h.quantile(0.99),
+            );
+        }
+        s.push_str("\n  }\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = Registry::new();
+        let c = reg.counter("hits_total");
+        c.inc();
+        c.add(4);
+        // Same name → same cell.
+        assert_eq!(reg.counter("hits_total").get(), 5);
+        let g = reg.gauge("depth");
+        g.set(2.5);
+        assert_eq!(reg.gauge("depth").get(), 2.5);
+    }
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1105);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        assert_eq!(s.buckets[0], 1); // the zero
+        assert_eq!(s.buckets[1], 2); // the two ones
+        // p50 lands in the bucket of 1..=3, p99 in the bucket of 1000.
+        assert!(s.quantile(0.5) <= 3);
+        assert!(s.quantile(0.99) >= 1000);
+        assert!((s.mean() - 1105.0 / 6.0).abs() < 1e-9);
+        assert_eq!(HistogramSnapshot { buckets: [0; HIST_BUCKETS], count: 0, sum: 0 }.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let reg = Registry::new();
+        reg.counter("reqs_total").add(3);
+        reg.gauge("queue_depth").set(7.0);
+        reg.histogram("lat_ns").record(1500);
+        let text = reg.snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE reqs_total counter"));
+        assert!(text.contains("reqs_total 3"));
+        assert!(text.contains("queue_depth 7"));
+        assert!(text.contains("lat_ns_count 1"));
+        assert!(text.contains("lat_ns_sum 1500"));
+        assert!(text.contains("le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let reg = Registry::new();
+        reg.counter("a_total").inc();
+        reg.gauge("g").set(1.5);
+        reg.histogram("h").record(10);
+        let j = reg.snapshot().to_json();
+        assert!(j.contains("\"a_total\": 1"));
+        assert!(j.contains("\"g\": 1.5"));
+        assert!(j.contains("\"count\": 1"));
+    }
+}

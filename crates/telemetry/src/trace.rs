@@ -1,0 +1,446 @@
+//! Span/event tracing with per-thread buffers and causal parent links.
+//!
+//! There is deliberately no dependency on the `tracing` ecosystem (the
+//! workspace is offline-vendored): a [`Tracer`] hands out RAII
+//! [`SpanGuard`]s, each thread appends finished events to its own
+//! buffer behind its own mutex (uncontended in steady state), and a
+//! per-thread span stack supplies parent ids so exported traces nest
+//! correctly. [`Tracer::chrome_json`] renders everything as Chrome
+//! Trace Event JSON for `ui.perfetto.dev`.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::chrome::ChromeTraceBuilder;
+
+/// What a [`TraceEvent`] records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A completed interval of `dur_ns` nanoseconds.
+    Span { dur_ns: u64 },
+    /// A point-in-time marker.
+    Instant,
+    /// A sampled value (renders as a Perfetto counter track).
+    Counter { value: f64 },
+}
+
+/// One recorded event, timestamped in nanoseconds since the tracer's
+/// epoch.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Event name (the Perfetto slice label).
+    pub name: String,
+    /// Category, e.g. `"engine"`, `"serve"`, `"faults"`.
+    pub cat: &'static str,
+    /// Span / instant / counter.
+    pub kind: EventKind,
+    /// Start time in nanoseconds since the tracer epoch.
+    pub ts_ns: u64,
+    /// Logical thread id (dense, assigned in order of first use).
+    pub tid: u64,
+    /// Unique id of this event.
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Numeric key/value annotations.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+struct ThreadBuf {
+    events: Vec<TraceEvent>,
+}
+
+struct TracerInner {
+    id: u64,
+    epoch: Instant,
+    next_span: AtomicU64,
+    next_tid: AtomicU64,
+    buffers: Mutex<Vec<Arc<Mutex<ThreadBuf>>>>,
+}
+
+/// Thread-local registration of this thread with one tracer: its event
+/// buffer, its dense tid, and the stack of currently-open span ids
+/// (the top of the stack parents new events).
+struct ThreadCtx {
+    tracer_id: u64,
+    buf: Arc<Mutex<ThreadBuf>>,
+    tid: u64,
+    stack: Vec<u64>,
+}
+
+thread_local! {
+    static CTX: RefCell<Vec<ThreadCtx>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The tracing handle. Cheap to clone; all clones record into the same
+/// capture. Dropping every clone drops the capture.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tracer(id={})", self.inner.id)
+    }
+}
+
+impl Tracer {
+    /// A fresh tracer; its epoch (trace time zero) is now.
+    pub fn new() -> Self {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+                epoch: Instant::now(),
+                next_span: AtomicU64::new(1),
+                next_tid: AtomicU64::new(0),
+                buffers: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.inner.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    fn next_id(&self) -> u64 {
+        self.inner.next_span.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Run `f` with this thread's context for this tracer, registering
+    /// the thread (new buffer, next dense tid) on first use.
+    fn with_ctx<R>(&self, f: impl FnOnce(&mut ThreadCtx) -> R) -> R {
+        CTX.with(|slot| {
+            let mut ctxs = slot.borrow_mut();
+            if let Some(ctx) = ctxs.iter_mut().find(|c| c.tracer_id == self.inner.id) {
+                return f(ctx);
+            }
+            let tid = self.inner.next_tid.fetch_add(1, Ordering::Relaxed);
+            let buf = Arc::new(Mutex::new(ThreadBuf { events: Vec::new() }));
+            self.inner.buffers.lock().unwrap().push(buf.clone());
+            ctxs.push(ThreadCtx {
+                tracer_id: self.inner.id,
+                buf,
+                tid,
+                stack: Vec::new(),
+            });
+            f(ctxs.last_mut().unwrap())
+        })
+    }
+
+    /// Open a span; it closes (and is recorded) when the guard drops.
+    /// Spans opened while another span is live on the same thread are
+    /// recorded as its children.
+    pub fn span(&self, name: impl Into<String>, cat: &'static str) -> SpanGuard {
+        let id = self.next_id();
+        let parent = self.with_ctx(|ctx| {
+            let parent = ctx.stack.last().copied();
+            ctx.stack.push(id);
+            parent
+        });
+        SpanGuard {
+            tracer: self.clone(),
+            name: name.into(),
+            cat,
+            id,
+            parent,
+            start_ns: self.now_ns(),
+            args: Vec::new(),
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Record a completed interval between two explicitly-measured
+    /// instants (e.g. phase boundaries already timed by the engine).
+    /// Parented under the current thread's open span, if any.
+    pub fn complete_between(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        start: Instant,
+        end: Instant,
+    ) {
+        self.complete_between_with(name, cat, start, end, Vec::new());
+    }
+
+    /// [`Tracer::complete_between`] with numeric annotations.
+    pub fn complete_between_with(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        start: Instant,
+        end: Instant,
+        args: Vec<(&'static str, u64)>,
+    ) {
+        let ts_ns = start
+            .saturating_duration_since(self.inner.epoch)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        let dur_ns = end.saturating_duration_since(start).as_nanos().min(u64::MAX as u128) as u64;
+        let id = self.next_id();
+        self.record(TraceEvent {
+            name: name.into(),
+            cat,
+            kind: EventKind::Span { dur_ns },
+            ts_ns,
+            tid: 0, // overwritten in record()
+            id,
+            parent: self.with_ctx(|ctx| ctx.stack.last().copied()),
+            args,
+        });
+    }
+
+    /// Record a point-in-time marker.
+    pub fn instant(&self, name: impl Into<String>, cat: &'static str) {
+        self.instant_with(name, cat, Vec::new());
+    }
+
+    /// Record a point-in-time marker with numeric annotations.
+    pub fn instant_with(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        args: Vec<(&'static str, u64)>,
+    ) {
+        let id = self.next_id();
+        let ts_ns = self.now_ns();
+        self.record(TraceEvent {
+            name: name.into(),
+            cat,
+            kind: EventKind::Instant,
+            ts_ns,
+            tid: 0,
+            id,
+            parent: self.with_ctx(|ctx| ctx.stack.last().copied()),
+            args,
+        });
+    }
+
+    /// Sample a counter value (one Perfetto counter track per name).
+    pub fn counter(&self, name: impl Into<String>, cat: &'static str, value: f64) {
+        let id = self.next_id();
+        let ts_ns = self.now_ns();
+        self.record(TraceEvent {
+            name: name.into(),
+            cat,
+            kind: EventKind::Counter { value },
+            ts_ns,
+            tid: 0,
+            id,
+            parent: None,
+            args: Vec::new(),
+        });
+    }
+
+    fn record(&self, mut ev: TraceEvent) {
+        self.with_ctx(|ctx| {
+            ev.tid = ctx.tid;
+            ctx.buf.lock().unwrap().events.push(ev);
+        });
+    }
+
+    /// Drain every thread's buffer into one list, sorted by timestamp.
+    /// Open spans are not included (they record on guard drop).
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let buffers = self.inner.buffers.lock().unwrap();
+        let mut all = Vec::new();
+        for buf in buffers.iter() {
+            all.append(&mut buf.lock().unwrap().events);
+        }
+        all.sort_by_key(|e| e.ts_ns);
+        all
+    }
+
+    /// Drain and render the capture as Chrome Trace Event JSON
+    /// (openable in `ui.perfetto.dev` or `chrome://tracing`).
+    pub fn chrome_json(&self) -> String {
+        let events = self.drain();
+        let mut b = ChromeTraceBuilder::new();
+        b.process_name(1, "bfp");
+        let mut tids_seen: Vec<u64> = Vec::new();
+        for ev in &events {
+            if !tids_seen.contains(&ev.tid) {
+                tids_seen.push(ev.tid);
+                b.thread_name(1, ev.tid, &format!("thread-{}", ev.tid));
+            }
+            let ts_us = ev.ts_ns as f64 / 1_000.0;
+            match ev.kind {
+                EventKind::Span { dur_ns } => {
+                    b.complete(&ev.name, ev.cat, ts_us, dur_ns as f64 / 1_000.0, 1, ev.tid, &ev.args);
+                }
+                EventKind::Instant => {
+                    b.instant(&ev.name, ev.cat, ts_us, 1, ev.tid, &ev.args);
+                }
+                EventKind::Counter { value } => {
+                    b.counter(&ev.name, ev.cat, ts_us, 1, value);
+                }
+            }
+        }
+        b.finish()
+    }
+}
+
+/// RAII guard for an open span: records a completed event when dropped.
+/// Deliberately `!Send` — a span measures one thread's interval, and
+/// the parent stack it is registered on is thread-local.
+pub struct SpanGuard {
+    tracer: Tracer,
+    name: String,
+    cat: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    start_ns: u64,
+    args: Vec<(&'static str, u64)>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    /// Attach a numeric annotation, shown in the Perfetto args panel.
+    pub fn set_arg(&mut self, key: &'static str, value: u64) {
+        self.args.push((key, value));
+    }
+
+    /// This span's id (usable as a parent for manual bookkeeping).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SpanGuard({:?})", self.name)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let end_ns = self.tracer.now_ns();
+        let ev = TraceEvent {
+            name: std::mem::take(&mut self.name),
+            cat: self.cat,
+            kind: EventKind::Span {
+                dur_ns: end_ns.saturating_sub(self.start_ns),
+            },
+            ts_ns: self.start_ns,
+            tid: 0,
+            id: self.id,
+            parent: self.parent,
+            args: std::mem::take(&mut self.args),
+        };
+        self.tracer.with_ctx(|ctx| {
+            // Pop this span (and anything leaked above it) off the stack.
+            if let Some(pos) = ctx.stack.iter().rposition(|&s| s == self.id) {
+                ctx.stack.truncate(pos);
+            }
+        });
+        self.tracer.record(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_parent() {
+        let t = Tracer::new();
+        {
+            let outer = t.span("outer", "test");
+            let outer_id = outer.id();
+            {
+                let inner = t.span("inner", "test");
+                assert_eq!(inner.parent, Some(outer_id));
+            }
+            let _sibling = t.span("sibling", "test");
+        }
+        let events = t.drain();
+        assert_eq!(events.len(), 3);
+        let outer = events.iter().find(|e| e.name == "outer").unwrap();
+        let inner = events.iter().find(|e| e.name == "inner").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert!(outer.parent.is_none());
+        // Child interval inside parent interval.
+        let (EventKind::Span { dur_ns: od }, EventKind::Span { dur_ns: id }) =
+            (&outer.kind, &inner.kind)
+        else {
+            panic!("spans expected");
+        };
+        assert!(inner.ts_ns >= outer.ts_ns);
+        assert!(inner.ts_ns + id <= outer.ts_ns + od);
+    }
+
+    #[test]
+    fn drain_is_sorted_and_empties() {
+        let t = Tracer::new();
+        t.instant("a", "test");
+        t.instant("b", "test");
+        let events = t.drain();
+        assert_eq!(events.len(), 2);
+        assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        assert!(t.drain().is_empty());
+    }
+
+    #[test]
+    fn threads_get_distinct_tids() {
+        let t = Tracer::new();
+        t.instant("main", "test");
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let _sp = t.span("worker", "test");
+                });
+            }
+        });
+        let events = t.drain();
+        assert_eq!(events.len(), 3);
+        let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 3, "each thread gets its own tid");
+    }
+
+    #[test]
+    fn complete_between_uses_given_interval() {
+        let t = Tracer::new();
+        let start = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let end = Instant::now();
+        t.complete_between_with("phase", "test", start, end, vec![("n", 7)]);
+        let events = t.drain();
+        assert_eq!(events.len(), 1);
+        let EventKind::Span { dur_ns } = events[0].kind else {
+            panic!("span expected");
+        };
+        assert!(dur_ns >= 1_000_000, "dur {dur_ns}");
+        assert_eq!(events[0].args, vec![("n", 7)]);
+    }
+
+    #[test]
+    fn chrome_json_has_events() {
+        let t = Tracer::new();
+        {
+            let mut sp = t.span("work", "test");
+            sp.set_arg("rows", 64);
+        }
+        t.instant("marker", "test");
+        t.counter("depth", "test", 3.0);
+        let json = t.chrome_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"work\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"ph\": \"i\""));
+        assert!(json.contains("\"ph\": \"C\""));
+        assert!(json.contains("\"rows\": 64"));
+    }
+}

@@ -10,6 +10,9 @@ use bfp_arith::int8quant::Int8Tensor;
 use bfp_arith::matrix::MatF32;
 use bfp_arith::packed::PackedBfp;
 use bfp_arith::quant::Quantizer;
+use bfp_telemetry::{Registry, Table};
+#[cfg(feature = "telemetry")]
+use bfp_telemetry::{Counter, Histogram, Tracer};
 
 use crate::reference;
 use crate::vpu::{OpCount, Vpu};
@@ -214,13 +217,74 @@ pub struct PlanCacheStats {
     pub bytes: usize,
 }
 
+impl PlanCacheStats {
+    /// Publish the counters into a metrics [`Registry`] as gauges
+    /// (idempotent: re-publishing overwrites, so periodic snapshots of
+    /// the same engine do not double-count).
+    pub fn publish(&self, reg: &Registry) {
+        reg.gauge("plan_cache_hits").set(self.hits as f64);
+        reg.gauge("plan_cache_misses").set(self.misses as f64);
+        reg.gauge("plan_cache_evictions").set(self.evictions as f64);
+        reg.gauge("plan_cache_entries").set(self.entries as f64);
+        reg.gauge("plan_cache_resident_bytes").set(self.bytes as f64);
+    }
+}
+
 impl fmt::Display for PlanCacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "plan cache: {} hits, {} misses, {} evictions, {} entries ({} B resident)",
-            self.hits, self.misses, self.evictions, self.entries, self.bytes
-        )
+        let mut t = Table::new(
+            "weight-plan cache",
+            &["hits", "misses", "evictions", "entries", "resident B"],
+        );
+        t.row(&[
+            self.hits.to_string(),
+            self.misses.to_string(),
+            self.evictions.to_string(),
+            self.entries.to_string(),
+            self.bytes.to_string(),
+        ]);
+        write!(f, "{}", t.render().trim_end())
+    }
+}
+
+/// Everything a [`MixedEngine`] records about itself when tracing is
+/// attached: the span tracer plus registered hot-path instruments.
+/// Only exists with the `telemetry` cargo feature; without it the
+/// engine carries no field and no instrumentation code at all.
+#[cfg(feature = "telemetry")]
+#[derive(Debug, Clone)]
+pub struct EngineTelemetry {
+    tracer: Tracer,
+    gemms: Counter,
+    macs: Counter,
+    fallbacks: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    saturated: Counter,
+    gemm_ns: Histogram,
+    quantize_pack_ns: Histogram,
+}
+
+#[cfg(feature = "telemetry")]
+impl EngineTelemetry {
+    /// Bind a tracer and register the engine's instruments in `reg`.
+    pub fn new(tracer: Tracer, reg: &Registry) -> Self {
+        EngineTelemetry {
+            tracer,
+            gemms: reg.counter("engine_gemms_total"),
+            macs: reg.counter("engine_macs_total"),
+            fallbacks: reg.counter("engine_fp32_fallbacks_total"),
+            cache_hits: reg.counter("engine_plan_cache_hits_total"),
+            cache_misses: reg.counter("engine_plan_cache_misses_total"),
+            saturated: reg.counter("engine_quantize_saturated_total"),
+            gemm_ns: reg.histogram("engine_gemm_ns"),
+            quantize_pack_ns: reg.histogram("engine_quantize_pack_ns"),
+        }
+    }
+
+    /// The bound tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 }
 
@@ -308,6 +372,10 @@ pub struct MixedEngine {
     /// [`Epilogue`].
     epilogue: Epilogue,
     phase: PhaseTimes,
+    /// Attached observability (spans + registered counters); `None`
+    /// until [`Self::attach_telemetry`] is called.
+    #[cfg(feature = "telemetry")]
+    tel: Option<EngineTelemetry>,
 }
 
 impl Default for MixedEngine {
@@ -333,7 +401,39 @@ impl MixedEngine {
                 .unwrap_or(1),
             epilogue: Epilogue::Fused,
             phase: PhaseTimes::default(),
+            #[cfg(feature = "telemetry")]
+            tel: None,
         }
+    }
+
+    /// Attach a tracer and metrics registry: subsequent engine calls
+    /// emit phase spans and update the registered instruments.
+    #[cfg(feature = "telemetry")]
+    pub fn attach_telemetry(&mut self, tracer: Tracer, reg: &Registry) {
+        self.tel = Some(EngineTelemetry::new(tracer, reg));
+    }
+
+    /// Note a GEMM degraded to the fp32 reference path (no-op unless
+    /// telemetry is compiled in and attached).
+    #[inline]
+    fn tel_fallback(&self) {
+        #[cfg(feature = "telemetry")]
+        if let Some(tel) = &self.tel {
+            tel.fallbacks.inc();
+            tel.tracer.instant("engine.fp32_fallback", "engine");
+        }
+    }
+
+    /// Record a completed VPU phase span (no-op unless telemetry is
+    /// compiled in and attached).
+    #[inline]
+    fn tel_phase(&self, name: &'static str, t0: Instant) {
+        #[cfg(feature = "telemetry")]
+        if let Some(tel) = &self.tel {
+            tel.tracer.complete_between(name, "engine", t0, Instant::now());
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (name, t0);
     }
 
     /// The pre-optimisation execution model, kept runnable as the measured
@@ -460,12 +560,20 @@ impl MixedEngine {
         let key = PlanKey::of(b, self.epilogue);
         if self.plans.contains_key(&key) {
             self.plan_stats.hits += 1;
+            #[cfg(feature = "telemetry")]
+            if let Some(tel) = &self.tel {
+                tel.cache_hits.inc();
+            }
             let plan = self.plans.get_mut(&key).expect("checked");
             plan.hits += 1;
             return Ok(&plan.packed);
         }
         let packed = self.pack_rhs_fresh(b)?;
         self.plan_stats.misses += 1;
+        #[cfg(feature = "telemetry")]
+        if let Some(tel) = &self.tel {
+            tel.cache_misses.inc();
+        }
         if self.plans.len() >= PLAN_CACHE_CAP {
             // Sweep: keep plans that were re-used since the last sweep
             // (weights), drop one-shot entries (activations).
@@ -574,6 +682,16 @@ impl Engine for MixedEngine {
         // packed kernel — bit-identical to `BfpMatrix::try_matmul`, so
         // caching, fusing, and threading change wall-clock only, never a
         // single output bit.
+        #[cfg(feature = "telemetry")]
+        let _mm_span = self.tel.as_ref().map(|tel| {
+            let mut sp = tel.tracer.span("engine.matmul", "engine");
+            sp.set_arg("m", a.rows() as u64);
+            sp.set_arg("k", a.cols() as u64);
+            sp.set_arg("n", b.cols() as u64);
+            sp
+        });
+        #[cfg(feature = "telemetry")]
+        let sat0 = bfp_arith::telemetry::saturation_count();
         let t0 = Instant::now();
         let pa = match self.epilogue {
             Epilogue::Fused => PackedBfp::quantize_pack_lhs(&self.quantizer, a),
@@ -589,6 +707,7 @@ impl Engine for MixedEngine {
             // the per-layer fallback policy of the scheduler.
             Err(_) => {
                 self.census.fp32_fallbacks += 1;
+                self.tel_fallback();
                 return a.matmul(b);
             }
         };
@@ -610,18 +729,40 @@ impl Engine for MixedEngine {
         // quantization arms above, never a panic of this layer's making.
         let Some((result, t1)) = gemm else {
             self.census.fp32_fallbacks += 1;
+            self.tel_fallback();
             return a.matmul(b);
         };
         let out = match result {
             Ok(out) => out,
             Err(_) => {
                 self.census.fp32_fallbacks += 1;
+                self.tel_fallback();
                 return a.matmul(b);
             }
         };
         self.phase.quantize_pack += t1.duration_since(t0);
         self.phase.gemm += t1.elapsed();
         self.census.matmul_macs += macs;
+        #[cfg(feature = "telemetry")]
+        if let Some(tel) = &self.tel {
+            let t2 = Instant::now();
+            // The gemm interval covers the packed kernel end to end:
+            // int8 MACs, aligned accumulate, and the dequantize epilogue.
+            tel.tracer.complete_between("quantize_pack", "engine", t0, t1);
+            tel.tracer
+                .complete_between_with("gemm", "engine", t1, t2, vec![("macs", macs)]);
+            tel.gemms.inc();
+            tel.macs.add(macs);
+            tel.quantize_pack_ns
+                .record_duration(t1.duration_since(t0));
+            tel.gemm_ns.record_duration(t2.duration_since(t1));
+            // Saturation is a process-wide tally (the quantizer is deep
+            // below this crate); the delta attributes this GEMM's share,
+            // exactly under single-engine use and approximately when
+            // several engines quantize concurrently.
+            tel.saturated
+                .add(bfp_arith::telemetry::saturation_count().saturating_sub(sat0));
+        }
         out
     }
 
@@ -638,6 +779,7 @@ impl Engine for MixedEngine {
         });
         self.census.softmax.merge(&delta);
         self.phase.softmax += t0.elapsed();
+        self.tel_phase("vpu.softmax", t0);
     }
 
     fn gelu(&mut self, m: &mut MatF32) {
@@ -649,6 +791,7 @@ impl Engine for MixedEngine {
         });
         self.census.gelu.merge(&delta);
         self.phase.gelu += t0.elapsed();
+        self.tel_phase("vpu.gelu", t0);
     }
 
     fn layernorm(&mut self, m: &mut MatF32, gamma: &[f32], beta: &[f32], eps: f32) {
@@ -664,6 +807,7 @@ impl Engine for MixedEngine {
         });
         self.census.layernorm.merge(&delta);
         self.phase.layernorm += t0.elapsed();
+        self.tel_phase("vpu.layernorm", t0);
     }
 }
 
@@ -989,8 +1133,66 @@ mod tests {
             bytes: 640,
         };
         let text = s.to_string();
-        assert!(text.contains("3 evictions"), "{text}");
-        assert!(text.contains("9 hits"), "{text}");
+        assert!(text.contains("evictions"), "{text}");
+        assert!(text.contains("weight-plan cache"), "{text}");
+        // One data row carrying the counter values, in header order.
+        let row = text.lines().nth(4).expect("data row");
+        let cells: Vec<&str> = row.split('|').map(str::trim).collect();
+        assert_eq!(cells, ["9", "4", "3", "2", "640"], "{text}");
+    }
+
+    #[test]
+    fn plan_cache_stats_publish_lands_in_registry() {
+        let s = PlanCacheStats {
+            hits: 9,
+            misses: 4,
+            evictions: 3,
+            entries: 2,
+            bytes: 640,
+        };
+        let reg = Registry::new();
+        s.publish(&reg);
+        s.publish(&reg); // idempotent: gauges overwrite
+        let text = reg.snapshot().to_prometheus_text();
+        assert!(text.contains("plan_cache_hits 9"), "{text}");
+        assert!(text.contains("plan_cache_resident_bytes 640"), "{text}");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn attached_telemetry_records_spans_and_counters() {
+        use bfp_telemetry::EventKind;
+        let reg = Registry::new();
+        let tracer = Tracer::new();
+        let mut e = MixedEngine::new();
+        e.attach_telemetry(tracer.clone(), &reg);
+        let a = MatF32::from_fn(16, 16, |i, j| ((i * 16 + j) as f32 * 0.01).sin());
+        let _ = e.matmul(&a, &a);
+        let _ = e.matmul(&a, &a); // second RHS resolve hits the cache
+        let mut m = MatF32::from_fn(4, 16, |i, j| (i + j) as f32 * 0.1);
+        e.softmax_rows(&mut m);
+
+        assert_eq!(reg.counter("engine_gemms_total").get(), 2);
+        assert_eq!(reg.counter("engine_macs_total").get(), 2 * 16 * 16 * 16);
+        assert_eq!(reg.counter("engine_plan_cache_hits_total").get(), 1);
+        assert_eq!(reg.counter("engine_plan_cache_misses_total").get(), 1);
+        assert_eq!(reg.histogram("engine_gemm_ns").count(), 2);
+
+        let events = tracer.drain();
+        let matmuls: Vec<_> = events.iter().filter(|e| e.name == "engine.matmul").collect();
+        assert_eq!(matmuls.len(), 2);
+        // Phase spans are children of their matmul span.
+        let phases: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "quantize_pack" || e.name == "gemm")
+            .collect();
+        assert_eq!(phases.len(), 4);
+        for p in &phases {
+            let parent = p.parent.expect("phase has a parent");
+            assert!(matmuls.iter().any(|m| m.id == parent));
+            assert!(matches!(p.kind, EventKind::Span { .. }));
+        }
+        assert!(events.iter().any(|e| e.name == "vpu.softmax"));
     }
 
     #[test]

@@ -34,6 +34,8 @@ pub use engine::{
     DivisionPolicy, Engine, Int8Engine, MixedEngine, OpCensus, PhaseTimes, PlanCacheStats,
     RefEngine,
 };
+#[cfg(feature = "telemetry")]
+pub use engine::EngineTelemetry;
 pub use flops::analytical_census;
 pub use layers::{LayerNormParams, Linear};
 pub use model::{Block, VitModel};
