@@ -45,6 +45,7 @@
 // clearer than iterator chains for the hardware datapath descriptions.
 #![allow(clippy::needless_range_loop)]
 
+pub mod abft;
 pub mod bfp;
 pub mod cancel;
 pub mod error;
@@ -63,6 +64,7 @@ pub mod stats;
 pub mod telemetry;
 pub mod ulp;
 
+pub use abft::{AbftOptions, AbftPacked, AbftReport, TamperFn};
 pub use bfp::{BfpBlock, BlockAcc, WideBlock, BLOCK};
 pub use cancel::CancelToken;
 pub use error::ArithError;

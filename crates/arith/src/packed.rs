@@ -222,6 +222,17 @@ impl PackedBfp {
         self.man.len() + self.exps.len()
     }
 
+    /// The block-contiguous mantissa plane (see struct docs for layout).
+    /// Exposed for the checksum-augmented kernel in [`crate::abft`].
+    pub(crate) fn man_plane(&self) -> &[i8] {
+        &self.man
+    }
+
+    /// The per-tile shared-exponent plane, grid row-major.
+    pub(crate) fn exp_plane(&self) -> &[i8] {
+        &self.exps
+    }
+
     /// Dequantize back to `f32`, one pass per block (padding discarded).
     /// Bit-identical to [`BfpMatrix::dequantize`] on the same data.
     pub fn dequantize(&self) -> MatF32 {
@@ -503,7 +514,7 @@ impl PackedBfp {
 
 /// 8×8 tile-product micro-kernel signature: `out[i·8+j] = Σₖ x[i·8+k]·y[j·8+k]`
 /// (both operands unit-stride in `k` thanks to the block-transposed RHS).
-type Tile8Fn = fn(&[i8; 64], &[i8; 64], &mut [i32; 64]);
+pub(crate) type Tile8Fn = fn(&[i8; 64], &[i8; 64], &mut [i32; 64]);
 
 /// Portable micro-kernel body. Widening to `i16` first keeps the inner
 /// products in the shape SIMD integer-MAC instructions (`pmaddwd` and
@@ -544,7 +555,7 @@ unsafe fn tile8_product_avx2(x: &[i8; 64], y: &[i8; 64], out: &mut [i32; 64]) {
 
 /// Pick the fastest micro-kernel the host supports. Every variant computes
 /// the same exact integer products, so the choice never changes output bits.
-fn select_tile8() -> Tile8Fn {
+pub(crate) fn select_tile8() -> Tile8Fn {
     #[cfg(target_arch = "x86_64")]
     if is_x86_feature_detected!("avx2") {
         // SAFETY: AVX2 support was just verified at runtime.
@@ -556,7 +567,7 @@ fn select_tile8() -> Tile8Fn {
 /// Unit-stride int8 dot product; the paper-shaped 8-element case lowers to
 /// a fixed-size loop LLVM fully vectorises.
 #[inline(always)]
-fn dot_i8(x: &[i8], y: &[i8]) -> i32 {
+pub(crate) fn dot_i8(x: &[i8], y: &[i8]) -> i32 {
     if let (Ok(x8), Ok(y8)) = (
         <&[i8; 8]>::try_from(x),
         <&[i8; 8]>::try_from(y),

@@ -48,8 +48,10 @@ pub use fastgemm::{fast_matmul_f32, packed_matmul, ParallelPolicy};
 pub use graph::{lower_vit, Graph, OpKind, OpNode};
 pub use latency::{Breakdown, LatencyModel, Partition};
 pub use report::{fmt_si, Table};
-pub use resilient::{resilient_matmul, resilient_matmul_with, RecoveryPolicy, ResilientOutcome};
-pub use scheduler::{schedule, Level, Schedule};
+pub use resilient::{
+    resilient_matmul, resilient_matmul_with, RecoveryPolicy, ResilientOutcome, VerifyMode,
+};
+pub use scheduler::{abft_overhead_cycles, schedule, Level, Schedule};
 // Fault accounting types surface through `GemmReport`/`SystemStats`.
 pub use bfp_faults::{FaultCounters, FaultReport};
 pub use vprog::{

@@ -1,29 +1,38 @@
 //! Graceful degradation: execute GEMMs tile by tile with fault detection,
-//! capped-backoff retry, cycle-exact cross-checking, and per-layer fp32
+//! capped-backoff retry, checksum verification, and per-layer fp32
 //! fallback.
 //!
 //! The pipeline mirrors what a radiation-tolerant deployment of the card
 //! would do in firmware:
 //!
-//! 1. **Detect** — after each output block-row ("tile"), read the delta of
+//! 1. **Verify** — the default [`VerifyMode::Abft`] runs the GEMM on the
+//!    checksum-protected packed kernel ([`bfp_arith::AbftPacked`]): every
+//!    output chain carries an exact row/column checksum invariant, so any
+//!    numeric corruption — including silent DSP/PSU upsets with no ECC
+//!    coverage — is detected at chain granularity, and single-element
+//!    faults are *corrected algebraically in place* without re-execution.
+//!    The legacy [`VerifyMode::Stepped`] instead re-executes tiles whose
+//!    injection telemetry reports silent perturbations under
+//!    [`Fidelity::Stepped`] and compares bit-for-bit (a full duplication
+//!    check, ~2× the cost of the ~25% checksum overhead).
+//! 2. **Detect** — after each output block-row ("tile"), read the delta of
 //!    the hardware protection counters (ECC/TMR uncorrected events are
 //!    hardware-visible) and run the `bfp_arith::guard` numeric guardrails
 //!    over the tile's values.
-//! 2. **Cross-check** — when the injection telemetry reports *silent*
-//!    perturbations (P-register/PSU flips, stuck lanes, dropped partials
-//!    have no ECC coverage), optionally re-execute the tile under
-//!    [`Fidelity::Stepped`] and compare bit-for-bit — the model's analogue
-//!    of a residue/duplication check.
-//! 3. **Retry** — a detected tile is re-executed after a capped
-//!    exponential backoff (transient upsets de-assert; `nth`-triggered
-//!    plan entries have already fired, so replays are clean).
+//! 3. **Retry** — a detected-but-uncorrected tile is re-executed after a
+//!    capped exponential backoff (transient upsets de-assert;
+//!    `nth`-triggered plan entries have already fired, so replays are
+//!    clean).
 //! 4. **Fall back** — a tile that stays faulty across all retries (a
 //!    persistent defect: stuck lane, latched BRAM cell) is recomputed in
 //!    fp32 on the vector path, and the degradation is counted.
 //!
 //! Every action is accounted in a [`FaultReport`], which callers surface
-//! through [`crate::GemmReport`] / `SystemStats`.
+//! through [`crate::GemmReport`] / `SystemStats`. ABFT in-place repairs
+//! land in `abft_corrections` — distinct from `fp32_fallbacks`, because a
+//! corrected chain never left the bfp8 path.
 
+use bfp_arith::abft::{AbftOptions, AbftPacked};
 use bfp_arith::cancel::CancelToken;
 use bfp_arith::error::ArithError;
 use bfp_arith::matrix::MatF32;
@@ -31,6 +40,20 @@ use bfp_arith::quant::Quantizer;
 use bfp_faults::FaultReport;
 use bfp_pu::unit::{grid_from_matrix, BlockGrid, Fidelity, ProcessingUnit, UnitConfig};
 use bfp_pu::CycleStats;
+
+/// Which verification scheme guards the primary bfp8 execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// No verification beyond the hardware counters and guardrails.
+    None,
+    /// Re-execute tiles with silent perturbations under
+    /// [`Fidelity::Stepped`] and compare bit-for-bit (duplication check).
+    Stepped,
+    /// Checksum-protected kernel: exact ABFT invariant per output chain
+    /// with in-place single-element correction. The default.
+    #[default]
+    Abft,
+}
 
 /// How hard the recovery layer tries before degrading precision.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,9 +64,8 @@ pub struct RecoveryPolicy {
     pub backoff_base_cycles: u64,
     /// Ceiling for the exponential backoff, in cycles.
     pub backoff_cap_cycles: u64,
-    /// Re-run tiles with silent perturbations under [`Fidelity::Stepped`]
-    /// and compare bit-for-bit.
-    pub stepped_crosscheck: bool,
+    /// Verification scheme for the primary execution (see [`VerifyMode`]).
+    pub verify: VerifyMode,
     /// Recompute irrecoverable tiles (and unquantizable layers) in fp32
     /// instead of returning an error.
     pub fp32_fallback: bool,
@@ -61,7 +83,7 @@ impl Default for RecoveryPolicy {
             max_retries: 2,
             backoff_base_cycles: 32,
             backoff_cap_cycles: 256,
-            stepped_crosscheck: true,
+            verify: VerifyMode::Abft,
             fp32_fallback: true,
             fidelity: Fidelity::Functional,
             overflow_watermark: f32::INFINITY,
@@ -75,7 +97,7 @@ impl RecoveryPolicy {
     pub fn strict() -> Self {
         RecoveryPolicy {
             max_retries: 0,
-            stepped_crosscheck: false,
+            verify: VerifyMode::None,
             fp32_fallback: false,
             ..Self::default()
         }
@@ -154,6 +176,10 @@ pub fn resilient_matmul_with(
         });
     }
 
+    if policy.verify == VerifyMode::Abft {
+        return abft_matmul(a, b, quantizer, policy, cancel);
+    }
+
     let mut report = FaultReport::default();
 
     // Layer-level degradation: operands the quantizer rejects (non-finite
@@ -195,7 +221,7 @@ pub fn resilient_matmul_with(
             // Silent events (no ECC/TMR coverage) may or may not have
             // perturbed the numerics; confirm with a cycle-exact replay
             // before paying for a retry.
-            if !faulty && delta.silent() > 0 && policy.stepped_crosscheck {
+            if !faulty && delta.silent() > 0 && policy.verify == VerifyMode::Stepped {
                 report.stepped_crosschecks += 1;
                 let (check, check_delta, cs) = run_tile(&tile, &gb, Fidelity::Stepped);
                 stats.merge(&cs);
@@ -240,6 +266,124 @@ pub fn resilient_matmul_with(
     }
 
     Ok(ResilientOutcome { out, report, stats })
+}
+
+/// The [`VerifyMode::Abft`] execution path: pack both operands with
+/// checksum lanes once, then run the checked kernel one output block-row
+/// at a time. A chain the kernel corrects in place costs nothing beyond
+/// the checksum maintenance already paid; only *uncorrectable* chains (or
+/// hardware-flagged uncorrected events, or guardrail violations) enter
+/// the retry → fp32-fallback ladder.
+fn abft_matmul(
+    a: &MatF32,
+    b: &MatF32,
+    quantizer: &Quantizer,
+    policy: &RecoveryPolicy,
+    cancel: &CancelToken,
+) -> Result<ResilientOutcome, ArithError> {
+    let mut report = FaultReport::default();
+
+    // Layer-level degradation, same policy as the legacy path: operands
+    // the quantizer rejects can never run on the bfp8 path.
+    let (pa, pb) = match (
+        AbftPacked::quantize_pack_lhs(quantizer, a),
+        AbftPacked::quantize_pack_rhs(quantizer, b),
+    ) {
+        (Ok(pa), Ok(pb)) => (pa, pb),
+        (ra, rb) => {
+            let err = ra.err().or_else(|| rb.err()).expect("one side failed");
+            if !policy.fp32_fallback {
+                return Err(err);
+            }
+            report.detected += 1;
+            report.fp32_fallbacks += 1;
+            return Ok(ResilientOutcome {
+                out: a.matmul(b),
+                report,
+                stats: CycleStats::default(),
+            });
+        }
+    };
+
+    let blk = pa.packed().block();
+    let (mb, _) = pa.packed().grid();
+    let n = b.cols();
+    let k = a.cols();
+    let mut out = MatF32::zeros(a.rows(), n);
+    let mut stats = CycleStats::default();
+    let mem = bfp_platform::MemParams::paper_calibrated();
+
+    for bi in 0..mb {
+        cancel.check()?;
+        let r0 = bi * blk;
+        let r1 = ((bi + 1) * blk).min(a.rows());
+        let mut attempt = 0u32;
+        loop {
+            let buf = &mut out.data_mut()[r0 * n..r1 * n];
+            let before = bfp_faults::counters();
+            let r = pa.matmul_rows_into(&pb, bi, bi + 1, buf, &mut AbftOptions::default());
+            let delta = bfp_faults::counters() - before;
+            report.counters.merge(&delta);
+
+            // Checksum-layer accounting: every invariant mismatch is a
+            // detection; in-place repairs are corrections, reported
+            // distinctly from fp32_fallbacks (the chain never degraded).
+            report.abft_detections += r.detections;
+            report.abft_corrections += r.corrections();
+            report.detected += r.detections;
+            let hw_uncorrected = delta.uncorrected() > 0;
+            if hw_uncorrected && r.detections == 0 {
+                // Hardware flagged an event the checksums cannot see
+                // (e.g. a shared-exponent double-bit upset perturbs data
+                // and checksum paths consistently): still a detection.
+                report.detected += 1;
+            }
+
+            // Modelled cost of this strip: the plain Eqn. 9 pass plus the
+            // checksum-maintenance overhead, prorated to one block-row.
+            let strip = crate::scheduler::gemm_cycles_one_array(r1 - r0, k, n, &mem)
+                + crate::scheduler::abft_overhead_cycles(r1 - r0, k, n);
+            stats.cycles += strip.ceil() as u64;
+            stats.bfp_ops += 2 * ((r1 - r0) * k * n) as u64;
+
+            let faulty =
+                !r.uncorrected.is_empty() || hw_uncorrected || !rows_clean(buf, policy);
+            if !faulty {
+                break;
+            }
+
+            if attempt < policy.max_retries {
+                cancel.check()?;
+                report.retries += 1;
+                report.backoff_cycles += policy.backoff(attempt);
+                attempt += 1;
+                continue;
+            }
+
+            if !policy.fp32_fallback {
+                return Err(ArithError::AccumulatorOverflow);
+            }
+            report.fp32_fallbacks += 1;
+            for i in r0..r1 {
+                for j in 0..n {
+                    let mut acc = 0f64;
+                    for kk in 0..k {
+                        acc += a.get(i, kk) as f64 * b.get(kk, j) as f64;
+                    }
+                    out.set(i, j, acc as f32);
+                }
+            }
+            break;
+        }
+    }
+
+    Ok(ResilientOutcome { out, report, stats })
+}
+
+/// Numeric guardrails over a committed output shard.
+fn rows_clean(rows: &[f32], policy: &RecoveryPolicy) -> bool {
+    rows.iter()
+        .all(|v| v.is_finite() && v.abs() <= policy.overflow_watermark)
 }
 
 /// Execute one tile (a block-row strip against all of `y`) on a fresh
@@ -310,6 +454,45 @@ mod tests {
         assert!(got.report.is_clean(), "{}", got.report);
         assert_eq!(got.out, a.matmul(&b), "exact integer inputs stay exact");
         assert!(got.stats.cycles > 0);
+    }
+
+    #[test]
+    fn default_policy_verifies_with_abft_and_strict_disables_verification() {
+        assert_eq!(RecoveryPolicy::default().verify, VerifyMode::Abft);
+        assert_eq!(RecoveryPolicy::strict().verify, VerifyMode::None);
+    }
+
+    #[test]
+    fn abft_and_stepped_paths_agree_bitwise_on_healthy_hardware() {
+        let a = ramp(24, 16);
+        let b = ramp(16, 24);
+        let q = Quantizer::paper();
+        let abft = resilient_matmul(&a, &b, &q, &RecoveryPolicy::default()).unwrap();
+        let stepped = resilient_matmul(
+            &a,
+            &b,
+            &q,
+            &RecoveryPolicy {
+                verify: VerifyMode::Stepped,
+                ..RecoveryPolicy::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(abft.out, stepped.out, "same bfp8 semantics on both paths");
+        assert!(abft.report.is_clean());
+        assert!(stepped.report.is_clean());
+    }
+
+    #[test]
+    fn abft_path_handles_ragged_shapes() {
+        // Partial final block-row and a non-multiple-of-8 N exercise the
+        // shard clamping in the checked kernel.
+        let a = ramp(13, 24);
+        let b = ramp(24, 10);
+        let q = Quantizer::paper();
+        let got = resilient_matmul(&a, &b, &q, &RecoveryPolicy::default()).unwrap();
+        assert!(got.report.is_clean(), "{}", got.report);
+        assert_eq!(got.out, a.matmul(&b));
     }
 
     #[test]

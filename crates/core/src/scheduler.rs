@@ -83,6 +83,52 @@ impl Schedule {
             + (faults.retries + faults.stepped_crosschecks) as f64 * tile_cycles
             + faults.fp32_fallbacks as f64 * fallback_cycles
     }
+
+    /// [`Schedule::degraded_cycles`] for an ABFT-protected execution: on
+    /// top of the backoff/retry/fallback pricing, every checksum
+    /// detection costs `abft_event_cycles` of localization work (the
+    /// row×column intersection and, when it succeeds, the in-place
+    /// repair). The *steady-state* checksum maintenance is not priced
+    /// here — it belongs in the pass model via
+    /// [`abft_overhead_cycles`], faults or no faults.
+    pub fn degraded_cycles_abft(
+        &self,
+        faults: &bfp_faults::FaultReport,
+        tile_cycles: f64,
+        fallback_cycles: f64,
+        abft_event_cycles: f64,
+    ) -> f64 {
+        self.degraded_cycles(faults, tile_cycles, fallback_cycles)
+            + faults.abft_detections as f64 * abft_event_cycles
+    }
+}
+
+/// Modelled cycle overhead of checksum protection for an `m × k × n`
+/// GEMM on one array, in the same currency as
+/// [`gemm_cycles_one_array`].
+///
+/// The per-step checksum products themselves ride in the augmented PE
+/// row and column of the classic ABFT systolic arrangement — an *area*
+/// cost (`2b + 1` extra PEs over `b²`, ~26% at `b = 8`), not a time
+/// cost: checksum outputs emerge in the same passes as the data. What
+/// does cost cycles, with the array retiring `b² = 64` MAC-equivalents
+/// per cycle:
+///
+/// * pack-time lane generation — `b²` adds per operand tile:
+///   `(mb·kb + kb·nb)` cycles;
+/// * checkpoint re-summations at exponent-rescale (truncation) events —
+///   a `b²`-add re-sync of the running column/row sums, budgeted at one
+///   rescale every fourth accumulation step: `mb·nb·kb/4` cycles;
+/// * final verification — one `b²` re-summation plus compare per output
+///   chain: `mb·nb` cycles.
+pub fn abft_overhead_cycles(m: usize, k: usize, n: usize) -> f64 {
+    let mb = m.div_ceil(8);
+    let kb = k.div_ceil(8);
+    let nb = n.div_ceil(8);
+    let lane_gen = (mb * kb + kb * nb) as f64;
+    let checkpoints = (mb * nb) as f64 * (kb as f64 / 4.0);
+    let final_verify = (mb * nb) as f64;
+    lane_gen + checkpoints + final_verify
 }
 
 /// Serial cycles of one node on a single array.
@@ -345,6 +391,43 @@ mod tests {
         };
         let got = s.degraded_cycles(&faults, 100.0, 1000.0);
         assert_eq!(got, s.makespan_cycles + 96.0 + 3.0 * 100.0 + 1000.0);
+    }
+
+    #[test]
+    fn abft_degraded_mode_prices_detection_events() {
+        let g = lower_vit(&VitConfig::tiny_test());
+        let s = schedule(&g, &sys());
+        let faults = bfp_faults::FaultReport {
+            retries: 1,
+            backoff_cycles: 32,
+            abft_detections: 4,
+            abft_corrections: 3,
+            fp32_fallbacks: 1,
+            ..Default::default()
+        };
+        let got = s.degraded_cycles_abft(&faults, 100.0, 1000.0, 25.0);
+        // Corrections are free beyond the detection's localization work:
+        // only detections are priced, on top of the base degraded model.
+        assert_eq!(
+            got,
+            s.degraded_cycles(&faults, 100.0, 1000.0) + 4.0 * 25.0
+        );
+    }
+
+    #[test]
+    fn abft_overhead_is_a_modest_fraction_of_the_pass_model() {
+        // DeiT-S attention-projection shape: the checksum maintenance must
+        // stay well under the pass cycles it protects (the <10% target the
+        // chaos campaign measures end to end).
+        let mem = MemParams::paper_calibrated();
+        let (m, k, n) = (197, 384, 384);
+        let pass = gemm_cycles_one_array(m, k, n, &mem);
+        let abft = abft_overhead_cycles(m, k, n);
+        assert!(abft > 0.0);
+        assert!(
+            abft < 0.10 * pass,
+            "abft overhead {abft} vs pass {pass} cycles"
+        );
     }
 
     #[test]

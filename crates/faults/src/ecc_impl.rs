@@ -143,4 +143,43 @@ mod tests {
             }
         }
     }
+
+    /// The SECDED promise, exhaustively: for *every* byte value and
+    /// *every* pair of codeword positions, a double upset decodes as
+    /// `Uncorrected` — never as `Clean`, never silently "corrected" to
+    /// the wrong byte. 256 × C(13,2) = 19 968 cases.
+    #[test]
+    fn double_bit_detect_is_exhaustive_over_all_bytes() {
+        for b in 0..=255u8 {
+            let cw = encode(b);
+            for i in 0..CODEWORD_BITS {
+                for j in (i + 1)..CODEWORD_BITS {
+                    let got = decode(cw ^ (1 << i) ^ (1 << j));
+                    assert!(
+                        matches!(got, Decoded::Uncorrected(_)),
+                        "byte {b:#04x} bits {i},{j}: {got:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Double upsets may hand back garbage data bits, but the decoder
+    /// must still say so: `value()` is only trusted on Clean/Corrected.
+    /// Check that at least one double upset actually corrupts the
+    /// payload (i.e. detection is doing real work, not vacuous).
+    #[test]
+    fn some_double_bit_upsets_corrupt_the_payload() {
+        let b = 0x5Au8;
+        let cw = encode(b);
+        let mut corrupted = 0usize;
+        for i in 0..CODEWORD_BITS {
+            for j in (i + 1)..CODEWORD_BITS {
+                if decode(cw ^ (1 << i) ^ (1 << j)).value() != b {
+                    corrupted += 1;
+                }
+            }
+        }
+        assert!(corrupted > 0, "every double upset left the payload intact");
+    }
 }

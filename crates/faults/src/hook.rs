@@ -139,15 +139,24 @@ pub fn bram_read(bram: usize, addr: usize, byte: u8) -> u8 {
     with_state(|state| {
         let mut out = byte;
         for spec in &state.specs {
-            if let FaultSpec::BramFlip {
-                bram: b,
-                addr: a,
-                bits,
-            } = spec
-            {
-                if *b == bram && *a == addr {
+            match spec {
+                FaultSpec::BramFlip {
+                    bram: b,
+                    addr: a,
+                    bits,
+                } if *b == bram && *a == addr => {
                     out = ecc_read(state, "bram_ecc", out, bits);
                 }
+                FaultSpec::BramRawFlip {
+                    bram: b,
+                    addr: a,
+                    mask,
+                } if *b == bram && *a == addr && *mask != 0 => {
+                    state.counters.injected.fetch_add(1, Ordering::Relaxed);
+                    note_injection("bram_raw");
+                    out ^= mask;
+                }
+                _ => {}
             }
         }
         out
@@ -164,10 +173,16 @@ pub fn exp_read(addr: usize, byte: u8) -> u8 {
     with_state(|state| {
         let mut out = byte;
         for spec in &state.specs {
-            if let FaultSpec::ExponentFlip { addr: a, bits } = spec {
-                if *a == addr {
+            match spec {
+                FaultSpec::ExponentFlip { addr: a, bits } if *a == addr => {
                     out = ecc_read(state, "exp_ecc", out, bits);
                 }
+                FaultSpec::ExponentRawFlip { addr: a, mask } if *a == addr && *mask != 0 => {
+                    state.counters.injected.fetch_add(1, Ordering::Relaxed);
+                    note_injection("exp_raw");
+                    out ^= mask;
+                }
+                _ => {}
             }
         }
         out
@@ -326,6 +341,28 @@ mod tests {
         let c = counters();
         assert_eq!(c.ecc_uncorrected, 1);
         assert_eq!(c.uncorrected(), 1);
+    }
+
+    #[test]
+    fn raw_flips_corrupt_without_ecc_counters() {
+        let _g = install(
+            FaultPlan::new()
+                .with(FaultSpec::BramRawFlip {
+                    bram: 1,
+                    addr: 4,
+                    mask: 0b0001_0100,
+                })
+                .with(FaultSpec::ExponentRawFlip { addr: 2, mask: 0x80 }),
+        );
+        assert_eq!(bram_read(1, 4, 0x0F), 0x0F ^ 0b0001_0100);
+        assert_eq!(bram_read(1, 5, 0x0F), 0x0F); // other addr untouched
+        assert_eq!(exp_read(2, 0x01), 0x81);
+        let c = counters();
+        // Raw upsets are invisible to the protection counters: injected
+        // ticks, nothing is corrected or flagged.
+        assert_eq!(c.injected, 2);
+        assert_eq!(c.ecc_corrected + c.ecc_uncorrected, 0);
+        assert_eq!(c.silent(), 2);
     }
 
     #[test]

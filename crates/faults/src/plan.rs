@@ -35,6 +35,27 @@ pub enum FaultSpec {
         /// Codeword bit positions (0..13) to flip.
         bits: Vec<u8>,
     },
+    /// XOR `mask` into the *payload* of the operand-BRAM byte at
+    /// (`bram`, `addr`) with no SECDED in the path — models an
+    /// unprotected memory so campaigns can measure the silent-corruption
+    /// baseline. Applies on every read; counts only as injected.
+    BramRawFlip {
+        /// Mantissa BRAM index within the operand buffer.
+        bram: usize,
+        /// Byte address within the BRAM.
+        addr: usize,
+        /// Payload bits to XOR on every read.
+        mask: u8,
+    },
+    /// XOR `mask` into the shared-exponent byte at `addr` with no SECDED
+    /// in the path (unprotected exponent storage). Applies on every
+    /// read; counts only as injected.
+    ExponentRawFlip {
+        /// Byte address within the exponent BRAM.
+        addr: usize,
+        /// Payload bits to XOR on every read.
+        mask: u8,
+    },
     /// Force one output lane of a systolic-array column to a constant
     /// (a stuck-at defect in the drain path). Applies to every access.
     StuckLane {

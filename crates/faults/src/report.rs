@@ -109,6 +109,13 @@ pub struct FaultReport {
     pub backoff_cycles: u64,
     /// Suspicious tiles re-run under `Fidelity::Stepped` as cross-check.
     pub stepped_crosschecks: u64,
+    /// ABFT checksum mismatches observed (corrected or not). Distinct
+    /// from `detected`, which also counts guardrail trips and hardware
+    /// uncorrected events.
+    pub abft_detections: u64,
+    /// ABFT mismatches repaired algebraically in place (single-element
+    /// row×column localization), with no retry and no fp32 degradation.
+    pub abft_corrections: u64,
     /// Layers degraded from bfp8 to fp32 vector-program execution.
     pub fp32_fallbacks: u64,
 }
@@ -127,6 +134,8 @@ impl FaultReport {
         self.retries += other.retries;
         self.backoff_cycles += other.backoff_cycles;
         self.stepped_crosschecks += other.stepped_crosschecks;
+        self.abft_detections += other.abft_detections;
+        self.abft_corrections += other.abft_corrections;
         self.fp32_fallbacks += other.fp32_fallbacks;
     }
 
@@ -141,8 +150,18 @@ impl FaultReport {
             stepped_crosschecks: self
                 .stepped_crosschecks
                 .saturating_sub(earlier.stepped_crosschecks),
+            abft_detections: self.abft_detections.saturating_sub(earlier.abft_detections),
+            abft_corrections: self
+                .abft_corrections
+                .saturating_sub(earlier.abft_corrections),
             fp32_fallbacks: self.fp32_fallbacks.saturating_sub(earlier.fp32_fallbacks),
         }
+    }
+
+    /// Detected events still standing after in-place ABFT correction —
+    /// the faults a caller must actually discard/retry over.
+    pub fn uncorrected_detections(&self) -> u64 {
+        self.detected.saturating_sub(self.abft_corrections)
     }
 }
 
@@ -234,7 +253,8 @@ impl fmt::Display for FaultReport {
             "faults: {} injected ({} ecc-corrected, {} ecc-uncorrected, \
              {} tmr-corrected, {} tmr-uncorrected, {} stuck, {} dropped) | \
              recovery: {} detected, {} retries ({} backoff cycles), \
-             {} stepped cross-checks, {} fp32 fallbacks",
+             {} stepped cross-checks, {} abft detections \
+             ({} abft-corrected), {} fp32 fallbacks",
             c.injected,
             c.ecc_corrected,
             c.ecc_uncorrected,
@@ -246,6 +266,8 @@ impl fmt::Display for FaultReport {
             self.retries,
             self.backoff_cycles,
             self.stepped_crosschecks,
+            self.abft_detections,
+            self.abft_corrections,
             self.fp32_fallbacks,
         )
     }
@@ -317,6 +339,33 @@ mod tests {
         assert_eq!(rd.detected, 0);
         assert_eq!(rd.retries, 0);
         assert_eq!(rd.counters.injected, 3);
+    }
+
+    #[test]
+    fn abft_fields_thread_through_merge_delta_and_display() {
+        let mut r = FaultReport::default();
+        r.merge(&FaultReport {
+            detected: 3,
+            abft_detections: 3,
+            abft_corrections: 2,
+            ..Default::default()
+        });
+        assert_eq!(r.abft_detections, 3);
+        assert_eq!(r.abft_corrections, 2);
+        assert_eq!(r.uncorrected_detections(), 1);
+        assert!(!r.is_clean());
+
+        let d = r.saturating_delta(&FaultReport {
+            abft_detections: 1,
+            abft_corrections: 5,
+            ..Default::default()
+        });
+        assert_eq!(d.abft_detections, 2);
+        assert_eq!(d.abft_corrections, 0);
+
+        let s = r.to_string();
+        assert!(s.contains("3 abft detections"), "{s}");
+        assert!(s.contains("(2 abft-corrected)"), "{s}");
     }
 
     #[test]

@@ -83,8 +83,10 @@ pub struct ArrayServeStats {
     pub health: ArrayHealth,
     /// Requests completed successfully on this array.
     pub completed: u64,
-    /// Executions discarded because a fault was detected mid-request
-    /// (the request was re-routed, never answered with suspect bits).
+    /// Executions on which a fault was detected mid-request. Outputs
+    /// with *uncorrected* detections are discarded and re-routed;
+    /// ABFT-corrected executions (see `faults.abft_corrections`) are
+    /// bit-exact and served, but still count here for health tracking.
     pub faulted_executions: u64,
     /// Golden self-test probes run while quarantined.
     pub probes_run: u64,
@@ -205,6 +207,10 @@ impl ServeStats {
                 .set(a.faulted_executions as f64);
             reg.gauge(&format!("serve_array{i}_serving"))
                 .set(if a.health.serves() { 1.0 } else { 0.0 });
+            reg.gauge(&format!("serve_array{i}_abft_detections"))
+                .set(a.faults.abft_detections as f64);
+            reg.gauge(&format!("serve_array{i}_abft_corrections"))
+                .set(a.faults.abft_corrections as f64);
         }
     }
 }
@@ -318,6 +324,8 @@ mod tests {
         let mut a1 = ArrayServeStats::new();
         a1.health = ArrayHealth::Quarantined;
         a1.completed = 3;
+        a1.faults.abft_detections = 5;
+        a1.faults.abft_corrections = 4;
         s.per_array = vec![ArrayServeStats::new(), a1];
 
         let reg = bfp_telemetry::Registry::new();
@@ -329,5 +337,7 @@ mod tests {
         assert!(text.contains("serve_serving_arrays 1"), "{text}");
         assert!(text.contains("serve_array1_completed 3"), "{text}");
         assert!(text.contains("serve_array1_serving 0"), "{text}");
+        assert!(text.contains("serve_array1_abft_detections 5"), "{text}");
+        assert!(text.contains("serve_array1_abft_corrections 4"), "{text}");
     }
 }

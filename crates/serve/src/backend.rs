@@ -5,13 +5,16 @@
 //! Why not the hook-based injector in `bfp-faults`? Its session is
 //! process-global (one plan for every thread), so it cannot model "array
 //! 3 is failing while arrays 0–2 are clean" under the fleet's concurrent
-//! workers. The serving runtime instead scripts faults *per backend*:
-//! an [`ArrayFaultPlan`] decides whether an execution is corrupted, and
-//! a corrupted execution always reports itself through the detected
-//! counters — the latched-ECC story, where the protection layer flags
-//! the upset but cannot repair it. The runtime discards every flagged
-//! output, which is what makes the zero-wrong-bit guarantee structural
-//! rather than probabilistic.
+//! workers. The serving runtime instead scripts faults *per backend*,
+//! through the ABFT kernel's tamper seam ([`bfp_arith::AbftOptions`]):
+//! an [`ArrayFaultPlan`] decides whether an execution is corrupted, the
+//! checksum invariant detects the corruption, and the report says
+//! whether the kernel could repair it in place. An execution with
+//! *uncorrected* detections must be discarded; a corrected one is
+//! bit-exact and servable, but still flags the array for the health
+//! state machine. That split is what makes the zero-wrong-bit guarantee
+//! structural rather than probabilistic — nothing suspect is ever
+//! answered, and nothing detected escapes the strike accounting.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -20,14 +23,16 @@ use bfp_arith::cancel::CancelToken;
 use bfp_arith::error::ArithError;
 use bfp_arith::matrix::MatF32;
 use bfp_arith::quant::Quantizer;
-use bfp_core::{fast_matmul_f32, ParallelPolicy};
-use bfp_faults::{FaultCounters, FaultReport};
+use bfp_arith::{AbftOptions, AbftPacked};
+use bfp_faults::FaultReport;
 
 /// What one execution reports back besides its output.
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
     /// Fault events during this execution. `detected > 0` means the
-    /// output is suspect and the runtime must discard it.
+    /// array misbehaved (health strike); the output must be discarded
+    /// only when `faults.uncorrected_detections() > 0` — ABFT-corrected
+    /// chains are bit-exact.
     pub faults: FaultReport,
     /// Modelled array-occupancy seconds at the calibrated operating
     /// point (independent of host scheduling noise).
@@ -36,7 +41,8 @@ pub struct Telemetry {
 
 /// One array's execution engine. `execute` runs a bfp8 GEMM under a
 /// cancel/deadline token; implementations must *flag* corrupted outputs
-/// via `Telemetry::faults.detected` rather than silently returning them.
+/// via `Telemetry::faults` (`detected`, and `abft_corrections` for
+/// repairs) rather than silently returning them.
 pub trait ArrayBackend: Send {
     /// Execute `a × b`, honouring `cancel` between phases.
     fn execute(
@@ -48,6 +54,13 @@ pub trait ArrayBackend: Send {
 }
 
 /// Scripted per-array fault behaviour for [`SimArrayBackend`].
+///
+/// The two fault shapes map onto ABFT's correction boundary: a
+/// [`ArrayFaultPlan::Transient`] upset perturbs a single accumulator
+/// element (an SEU the checksums localize and repair in place), while a
+/// [`ArrayFaultPlan::Latched`] defect smears across several rows and
+/// columns of the chain (a persistent datapath fault the row×column
+/// intersection cannot disentangle — detected, never corrected).
 #[derive(Debug, Clone, Default)]
 pub enum ArrayFaultPlan {
     /// Fault-free array.
@@ -116,7 +129,38 @@ impl ArrayBackend for SimArrayBackend {
         cancel: &CancelToken,
     ) -> Result<(MatF32, Telemetry), ArithError> {
         cancel.check()?;
-        let mut out = fast_matmul_f32(&self.quantizer, a, b, ParallelPolicy::Serial)?;
+        let pa = AbftPacked::quantize_pack_lhs(&self.quantizer, a)?;
+        let pb = AbftPacked::quantize_pack_rhs(&self.quantizer, b)?;
+        cancel.check()?;
+
+        let fire = self.plan.fires();
+        let latched = matches!(self.plan, ArrayFaultPlan::Latched(_));
+        // Scripted corruption of the first output chain's accumulator,
+        // applied between accumulation and the committed-value verify —
+        // exactly where a real upset in the PSU bank would land.
+        let mut tamper = |bi: usize, bj: usize, acc: &mut [i64]| -> u64 {
+            if !fire || (bi, bj) != (0, 0) || acc.len() < 19 {
+                return 0;
+            }
+            if latched {
+                // Persistent datapath defect: three elements across
+                // distinct rows and columns — uncorrectable by design.
+                acc[0] += 1 << 12;
+                acc[9] += 1 << 13;
+                acc[18] += 1 << 14;
+                3
+            } else {
+                // Single-event upset: one accumulator bit, localized by
+                // the row×column intersection and repaired in place.
+                acc[0] ^= 1 << 12;
+                1
+            }
+        };
+        let mut opts = AbftOptions {
+            no_verify: false,
+            tamper: Some(&mut tamper),
+        };
+        let (out, r) = pa.matmul_with(&pb, &mut opts)?;
         cancel.check()?;
 
         let macs = a.rows() as u64 * a.cols() as u64 * b.cols() as u64;
@@ -127,19 +171,10 @@ impl ArrayBackend for SimArrayBackend {
         };
 
         let mut faults = FaultReport::default();
-        if self.plan.fires() && out.rows() > 0 && out.cols() > 0 {
-            // A multi-bit BRAM upset on the output buffer: ECC detects
-            // it but cannot correct, so the data is corrupted *and*
-            // flagged. Flip a mantissa bit of one element.
-            let v = out.get(0, 0);
-            out.set(0, 0, f32::from_bits(v.to_bits() ^ 1));
-            faults.counters = FaultCounters {
-                injected: 1,
-                ecc_uncorrected: 1,
-                ..Default::default()
-            };
-            faults.detected = 1;
-        }
+        faults.counters.injected = r.tampered;
+        faults.abft_detections = r.detections;
+        faults.abft_corrections = r.corrections();
+        faults.detected = r.detections;
         Ok((out, Telemetry { faults, modelled_s }))
     }
 }
@@ -197,6 +232,38 @@ mod tests {
             flagged += t.faults.detected;
         }
         assert_eq!(flagged, 2);
+    }
+
+    #[test]
+    fn transient_upsets_are_corrected_bit_exact() {
+        let (a, b) = mats();
+        let mut clean = SimArrayBackend::new(100.0, ArrayFaultPlan::None);
+        let (want, _) = clean.execute(&a, &b, &CancelToken::new()).unwrap();
+
+        let mut be = SimArrayBackend::new(100.0, ArrayFaultPlan::transient(1));
+        let (out, t) = be.execute(&a, &b, &CancelToken::new()).unwrap();
+        assert_eq!(t.faults.detected, 1, "the upset is flagged");
+        assert_eq!(t.faults.abft_corrections, 1, "and repaired in place");
+        assert_eq!(
+            t.faults.uncorrected_detections(),
+            0,
+            "a corrected output is servable"
+        );
+        assert_eq!(out, want, "correction restores the exact bits");
+    }
+
+    #[test]
+    fn latched_defects_stay_uncorrected() {
+        let (a, b) = mats();
+        let (plan, _heal) = ArrayFaultPlan::latched();
+        let mut be = SimArrayBackend::new(100.0, plan);
+        let (_, t) = be.execute(&a, &b, &CancelToken::new()).unwrap();
+        assert_eq!(t.faults.detected, 1);
+        assert_eq!(t.faults.abft_corrections, 0, "multi-element smear");
+        assert!(
+            t.faults.uncorrected_detections() > 0,
+            "the runtime must discard this output"
+        );
     }
 
     #[test]

@@ -12,9 +12,12 @@
 //!   [`bfp_arith::cancel::CancelToken`]; an expired request never
 //!   occupies an array past the next cancellation point and fails fast
 //!   with [`ServeError::DeadlineExceeded`].
-//! * **Fault handling** — executions flagged by the detection layer are
-//!   *discarded* (never returned), retried with capped backoff on a
-//!   different array, and charged as strikes against the array's health.
+//! * **Fault handling** — executions run on the checksum-protected
+//!   (ABFT) kernel. A detected single-element upset is *corrected in
+//!   place* and served bit-exact; anything uncorrectable is *discarded*
+//!   (never returned) and retried with capped backoff on a different
+//!   array. Either way the detection is charged as a strike against the
+//!   array's health.
 //! * **Health state machine** — per array, `Healthy → Degraded →
 //!   Quarantined → Probing` (see [`bfp_platform::ArrayHealth`]):
 //!   quarantined arrays are drained and periodically re-certified by a
@@ -30,11 +33,12 @@
 //!   records), and [`Server::attach_tracer`] streams the same lifecycle
 //!   as spans/instants into a [`bfp_telemetry::Tracer`] for Perfetto.
 //!
-//! The degradation ladder, in order: retry (same request, different
-//! array) → re-route (health-aware dispatch) → quarantine (array level)
-//! → reject (request level, typed error). Wrong bits are structurally
-//! impossible in a response: only executions with a clean fault report
-//! resolve tickets.
+//! The degradation ladder, in order: ABFT in-place correction (free) →
+//! retry (same request, different array) → re-route (health-aware
+//! dispatch) → quarantine (array level) → reject (request level, typed
+//! error). Wrong bits are structurally impossible in a response: only
+//! executions whose fault report carries no *uncorrected* detections
+//! resolve tickets, and a corrected execution is provably bit-exact.
 //!
 //! ## Quickstart
 //!
@@ -230,26 +234,61 @@ mod tests {
 
     #[test]
     fn response_timeline_records_the_lifecycle() {
-        // Single array with one transient fault: attempt 1 is discarded,
-        // the retry is clean, and the timeline shows both.
+        // Single array with one transient upset: ABFT localizes and
+        // repairs it in place, so the very first attempt serves the
+        // exact bits — no discard, no retry — while the correction
+        // still strikes the array's health accounting.
         let cfg = ServeConfig {
             max_attempts: 4,
             ..Default::default()
         };
         let server = Server::simulated(cfg, vec![ArrayFaultPlan::transient(1)]);
         let resp = server.submit(req(0)).unwrap().wait().unwrap();
-        assert_eq!(resp.attempts, 2, "fault then clean retry");
-        assert_eq!(resp.timeline.attempts.len(), resp.attempts as usize);
+        assert_eq!(resp.attempts, 1, "corrected in place, never retried");
+        assert_eq!(resp.timeline.attempts.len(), 1);
         assert!(resp.timeline.queue_wait_s >= 0.0);
         assert!(resp.timeline.total_s <= resp.wall_s + 1e-9);
         let last = resp.timeline.attempts.last().unwrap();
-        assert!(!last.faulted, "the accepted attempt is clean");
+        assert!(!last.faulted, "a corrected attempt is servable");
         assert_eq!(last.array, resp.array);
         assert!((last.modelled_s - resp.modelled_s).abs() < 1e-12);
-        for a in &resp.timeline.attempts[..resp.timeline.attempts.len() - 1] {
+        assert!(resp.timeline.overhead_s() >= 0.0);
+        server.drain();
+        let s = server.stats();
+        assert_eq!(s.retries, 0);
+        assert_eq!(
+            s.degraded_executions, 1,
+            "the detection still counts against health"
+        );
+        assert_eq!(s.per_array[0].faults.abft_detections, 1);
+        assert_eq!(s.per_array[0].faults.abft_corrections, 1);
+    }
+
+    #[test]
+    fn uncorrectable_fault_is_discarded_and_retried_after_repair() {
+        // A latched, multi-element defect defeats ABFT correction: every
+        // attempt on the sick array is discarded. Repairing the array
+        // (clearing the latch) lets a later retry serve cleanly, and the
+        // timeline shows the discarded attempts.
+        use std::sync::atomic::Ordering;
+        let (plan, heal) = ArrayFaultPlan::latched();
+        let cfg = ServeConfig {
+            max_attempts: 64,
+            ..Default::default()
+        };
+        let server = Server::simulated(cfg, vec![plan]);
+        let ticket = server.submit(req(0)).unwrap();
+        while server.stats().retries == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        heal.store(false, Ordering::Relaxed);
+        let resp = ticket.wait().unwrap();
+        assert!(resp.attempts >= 2, "at least one attempt was discarded");
+        let (clean, discarded) = resp.timeline.attempts.split_last().unwrap();
+        assert!(!clean.faulted, "the accepted attempt is clean");
+        for a in discarded {
             assert!(a.faulted, "earlier attempts were discarded as faulted");
         }
-        assert!(resp.timeline.overhead_s() >= 0.0);
         server.drain();
     }
 
@@ -261,8 +300,9 @@ mod tests {
             ..Default::default()
         };
         // Both arrays carry a transient credit, so whichever array runs
-        // the very first execution faults it: at least one fault and one
-        // retry are guaranteed regardless of worker scheduling.
+        // the very first execution flags it: at least one fault instant
+        // is guaranteed regardless of worker scheduling (ABFT corrects
+        // the upset, so the attempt still serves — no retry needed).
         let server = Server::simulated(
             cfg,
             vec![ArrayFaultPlan::transient(1), ArrayFaultPlan::transient(1)],
@@ -278,10 +318,10 @@ mod tests {
         let count = |name: &str| events.iter().filter(|e| e.name == name).count();
         assert_eq!(count("serve.queue_wait"), 4, "one wait span per request");
         assert!(
-            count("serve.execute") >= 5,
-            "4 requests + at least one retry execution"
+            count("serve.execute") >= 4,
+            "one execution per request (corrected upsets need no retry)"
         );
-        assert!(count("serve.fault") >= 1, "the transient fault is an instant");
+        assert!(count("serve.fault") >= 1, "the corrected upset is an instant");
         assert!(count("serve.queue_depth") >= 4);
         let exec = events.iter().find(|e| e.name == "serve.execute").unwrap();
         assert!(exec.args.iter().any(|(k, _)| *k == "req"));

@@ -689,13 +689,18 @@ fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBack
             Ok((out, Telemetry { faults, modelled_s })) => {
                 inner.arrays[array].stats.modelled_busy_s += modelled_s;
                 inner.ledger.record_delta(array, &faults);
-                let faulted = faults.detected > 0;
+                // Two severities: any detection strikes the array's
+                // health, but only *uncorrected* detections poison the
+                // output — an ABFT-corrected execution is bit-exact and
+                // servable.
+                let flagged = faults.detected > 0;
+                let faulted = faults.uncorrected_detections() > 0;
                 job.attempt_log.push(AttemptRecord {
                     array,
                     modelled_s,
                     faulted,
                 });
-                if faulted {
+                if flagged {
                     if let Some(t) = tr(&shared) {
                         t.instant_with(
                             "serve.fault",
@@ -704,11 +709,12 @@ fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBack
                                 ("req", job.id),
                                 ("array", array as u64),
                                 ("detected", faults.detected),
+                                ("corrected", faults.abft_corrections),
                             ],
                         );
                     }
                 }
-                note_execution(&mut inner, array, faulted, &shared);
+                note_execution(&mut inner, array, flagged, &shared);
                 if !faulted {
                     inner.arrays[array].stats.completed += 1;
                     resolve(

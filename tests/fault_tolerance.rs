@@ -11,7 +11,7 @@ use std::sync::Mutex;
 
 use bfp_arith::matrix::MatF32;
 use bfp_arith::quant::Quantizer;
-use bfp_core::resilient::{resilient_matmul, RecoveryPolicy};
+use bfp_core::resilient::{resilient_matmul, RecoveryPolicy, VerifyMode};
 use bfp_core::Accelerator;
 use bfp_faults::{FaultPlan, FaultSpec};
 use bfp_pu::unit::{grid_from_matrix, Fidelity, ProcessingUnit, UnitConfig};
@@ -224,11 +224,47 @@ fn deit_layer_survives_uncorrected_bram_fault() {
     }
 }
 
-/// A transient PSU upset (single `nth`-triggered bit flip) is caught by
-/// the stepped cross-check and healed by a single retry — no fp32
-/// degradation needed.
+/// Under the legacy stepped cross-check (`VerifyMode::Stepped`), a
+/// transient PSU upset is caught by re-execution and healed by a single
+/// retry — no fp32 degradation needed.
 #[test]
 fn transient_psu_flip_heals_with_one_retry() {
+    let _x = lock();
+    let a = seeded(24, 16, 0xBEEF);
+    let b = seeded(16, 16, 0xFEED);
+    let q = Quantizer::paper();
+
+    let plan = FaultPlan::new().with(FaultSpec::PsuFlip {
+        nth: 0,
+        row: 0,
+        col: 0,
+        bit: 44,
+    });
+    let guard = bfp_faults::install(plan);
+    let policy = RecoveryPolicy {
+        verify: VerifyMode::Stepped,
+        ..RecoveryPolicy::default()
+    };
+    let outcome = resilient_matmul(&a, &b, &q, &policy).unwrap();
+    drop(guard);
+
+    let r = &outcome.report;
+    assert!(r.stepped_crosschecks > 0, "{r}");
+    assert!(r.detected > 0, "{r}");
+    assert!(r.retries > 0, "{r}");
+    assert_eq!(r.fp32_fallbacks, 0, "transient faults heal in place: {r}");
+
+    // Healed means the output equals the healthy quantized product.
+    let healthy = q.quantize(&a).unwrap().matmul(&q.quantize(&b).unwrap());
+    assert!(bits_eq(&outcome.out, &healthy));
+}
+
+/// Under the default ABFT mode, the same transient PSU upset never needs
+/// a retry: the checksum invariant localizes the flipped accumulator
+/// element via the row×column intersection and repairs it in place,
+/// cheaper than the stepped cross-check by a full re-execution.
+#[test]
+fn abft_corrects_transient_psu_flip_in_place() {
     let _x = lock();
     let a = seeded(24, 16, 0xBEEF);
     let b = seeded(16, 16, 0xFEED);
@@ -245,14 +281,62 @@ fn transient_psu_flip_heals_with_one_retry() {
     drop(guard);
 
     let r = &outcome.report;
-    assert!(r.stepped_crosschecks > 0, "{r}");
+    assert!(r.abft_detections > 0, "{r}");
+    assert!(r.abft_corrections > 0, "{r}");
+    assert_eq!(r.detected, r.abft_detections, "{r}");
+    assert_eq!(r.uncorrected_detections(), 0, "corrected output is servable: {r}");
+    assert_eq!(r.retries, 0, "in-place repair needs no re-execution: {r}");
+    assert_eq!(r.stepped_crosschecks, 0, "{r}");
+    assert_eq!(r.fp32_fallbacks, 0, "{r}");
+
+    let healthy = q.quantize(&a).unwrap().matmul(&q.quantize(&b).unwrap());
+    assert!(bits_eq(&outcome.out, &healthy), "repair restores the exact bits");
+}
+
+/// A persistent multi-bit BRAM defect defeats ABFT's single-fault
+/// correction model, so the default mode walks the full ladder: detect,
+/// retry with backoff, and finally degrade the affected rows to fp32 —
+/// with the output still inside the bfp8 quantization envelope.
+#[test]
+fn abft_escalates_persistent_bram_fault_to_fp32() {
+    let _x = lock();
+    let a = seeded(24, 16, 0xB4A0);
+    let b = seeded(16, 16, 0xB4A0 ^ 0xFFFF);
+    let q = Quantizer::paper();
+    let exact = a.matmul(&b);
+    let healthy = q.quantize(&a).unwrap().matmul(&q.quantize(&b).unwrap());
+    let envelope = exact
+        .data()
+        .iter()
+        .zip(healthy.data())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0f32, f32::max);
+
+    // Double-bit upset in the first word of BRAM 0: SECDED flags it on
+    // every read, the corrupted payload breaks the checksum invariant
+    // across multiple columns, and no retry can outlast it.
+    let plan = FaultPlan::new().with(FaultSpec::BramFlip {
+        bram: 0,
+        addr: 0,
+        bits: vec![3, 7],
+    });
+    let guard = bfp_faults::install(plan);
+    let outcome = resilient_matmul(&a, &b, &q, &RecoveryPolicy::default()).unwrap();
+    drop(guard);
+
+    let r = &outcome.report;
+    assert!(r.counters.ecc_uncorrected > 0, "{r}");
     assert!(r.detected > 0, "{r}");
     assert!(r.retries > 0, "{r}");
-    assert_eq!(r.fp32_fallbacks, 0, "transient faults heal in place: {r}");
+    assert!(r.backoff_cycles > 0, "{r}");
+    assert!(r.fp32_fallbacks > 0, "{r}");
 
-    // Healed means the output equals the healthy quantized product.
-    let healthy = q.quantize(&a).unwrap().matmul(&q.quantize(&b).unwrap());
-    assert!(bits_eq(&outcome.out, &healthy));
+    for (got, want) in outcome.out.data().iter().zip(exact.data()) {
+        assert!(
+            (got - want).abs() <= envelope + 1e-4,
+            "degraded output must stay in the bfp8 envelope"
+        );
+    }
 }
 
 /// `System::matmul_blocks` snapshots the fault counters into

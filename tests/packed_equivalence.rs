@@ -5,9 +5,10 @@
 //! non-multiples of the block size) and every mix of block exponents.
 //! The `MixedEngine` weight-plan cache must likewise never change a bit.
 
+use bfp_arith::abft::AbftPacked;
 use bfp_arith::matrix::MatF32;
 use bfp_arith::packed::PackedBfp;
-use bfp_arith::quant::Quantizer;
+use bfp_arith::quant::{Quantizer, RoundMode};
 use bfp_core::{packed_matmul, ParallelPolicy};
 use bfp_pu::unit::{grid_from_matrix, Fidelity, ProcessingUnit, UnitConfig};
 use bfp_transformer::{Engine, MixedEngine, VitConfig, VitModel};
@@ -84,6 +85,50 @@ proptest! {
 
         let sim = cycle_sim_product(&qa, &qb, m, n);
         prop_assert!(bits_eq(&sim, &naive), "cycle simulator diverged");
+    }
+
+    /// The ABFT-checked kernel is part of the same contract: bit-identical
+    /// to the unchecked packed kernel on healthy hardware for every shape,
+    /// every rounding mode, and every scale regime — operands scaled down
+    /// into the subnormal range and up to the edge of f32 overflow — with
+    /// the checksum invariant verifying clean throughout. This is the
+    /// "no false positives, no silent drift" half of the ABFT story; the
+    /// fault_tolerance suite covers the detection half.
+    #[test]
+    fn abft_kernel_is_bit_exact_and_provably_clean(
+        m in 1usize..34,
+        k in 1usize..34,
+        n in 1usize..34,
+        seed in any::<u64>(),
+        spread in 0u32..3,
+        round_ix in 0usize..3,
+        scale_exp in -140i32..57,
+    ) {
+        let round = [
+            RoundMode::NearestEven,
+            RoundMode::Truncate,
+            RoundMode::Stochastic,
+        ][round_ix];
+        let scale = (scale_exp as f32).exp2();
+        let mut a = tiered(m, k, seed, spread);
+        let mut b = tiered(k, n, seed ^ 0x0DD_BA11, spread);
+        for v in a.data_mut().iter_mut().chain(b.data_mut().iter_mut()) {
+            *v *= scale;
+        }
+        let q = Quantizer {
+            round,
+            ..Quantizer::paper()
+        };
+        let (qa, qb) = (q.quantize(&a).unwrap(), q.quantize(&b).unwrap());
+
+        let packed = PackedBfp::pack_lhs(&qa).matmul(&PackedBfp::pack_rhs(&qb)).unwrap();
+        let (ca, cb) = (AbftPacked::pack_lhs(&qa), AbftPacked::pack_rhs(&qb));
+        let (checked, report) = ca.matmul(&cb).unwrap();
+
+        prop_assert!(report.clean(), "healthy hardware flagged: {report:?}");
+        prop_assert_eq!(report.chains, (m.div_ceil(8) * n.div_ceil(8)) as u64);
+        prop_assert!(report.checks >= report.chains, "every chain ends in a verify");
+        prop_assert!(bits_eq(&checked, &packed), "checked kernel diverged");
     }
 
     /// The weight-plan cache is invisible to numerics: a cache-enabled
