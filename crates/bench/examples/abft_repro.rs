@@ -1,0 +1,31 @@
+// Repro: single persistent raw BRAM operand fault under ABFT.
+use bfp_arith::matrix::MatF32;
+use bfp_arith::quant::Quantizer;
+use bfp_arith::AbftPacked;
+use bfp_faults::{FaultPlan, FaultSpec};
+
+fn main() {
+    let q = Quantizer::paper();
+    let a = MatF32::from_fn(16, 16, |i, j| ((i * 31 + j * 7) % 13) as f32 - 6.0);
+    let b = MatF32::from_fn(16, 16, |i, j| ((i * 17 + j * 5) % 11) as f32 - 5.0);
+    let pa = AbftPacked::quantize_pack_lhs(&q, &a).unwrap();
+    let pb = AbftPacked::quantize_pack_rhs(&q, &b).unwrap();
+    let (golden, rg) = pa.matmul(&pb).unwrap();
+    assert!(rg.clean());
+
+    // One persistent raw flip in the operand BRAM pool.
+    let plan = FaultPlan::new().with(FaultSpec::BramRawFlip { bram: 0, addr: 0, mask: 0x10 });
+    let guard = bfp_faults::install(plan);
+    let (out, r) = pa.matmul(&pb).unwrap();
+    drop(guard);
+
+    let equal = golden.data().iter().zip(out.data()).all(|(x, y)| x.to_bits() == y.to_bits());
+    println!("report: detections={} corrected_elements={} corrected_checksums={} uncorrected={:?}",
+        r.detections, r.corrected_elements, r.corrected_checksums, r.uncorrected);
+    println!("output bit-equal to golden: {equal}");
+    println!("uncorrected_detections would be: detected({}) - corrections({}) = {}",
+        r.detections, r.corrections(), r.detections as i64 - r.corrections() as i64);
+    if !equal && r.uncorrected.is_empty() {
+        println!("BUG CONFIRMED: corrupted output accepted with no uncorrected chains");
+    }
+}
