@@ -1,0 +1,157 @@
+//! L-Mul: the addition-based approximate floating-point multiplier
+//! ("Addition is All You Need"; hardware implementation in "A
+//! Power-Efficient Hardware Implementation of L-Mul").
+//!
+//! For `x = (1 + x_m) · 2^{x_e}` and `y = (1 + y_m) · 2^{y_e}` the exact
+//! product mantissa is `1 + x_m + y_m + x_m·y_m`; L-Mul drops the
+//! `x_m·y_m` cross term and replaces it with a constant offset `2^{-l(m)}`
+//! (its expected value, `l(m) = 4` for mantissas wider than 4 bits):
+//!
+//! ```text
+//! x · y ≈ (1 + x_m + y_m + 2^{-l(m)}) · 2^{x_e + y_e}
+//! ```
+//!
+//! On packed IEEE-754 bit patterns this whole expression is **one integer
+//! addition**: adding the exponent|mantissa fields adds the exponents and
+//! the mantissa fractions, and a mantissa-field carry lands exactly on the
+//! exponent increment the `≥ 2` renormalisation case needs. No partial
+//! products, no DSP multiplier — which is why the VPU cost model prices an
+//! L-Mul lane like an integer adder (see `bfp-platform`'s nonlinear-unit
+//! model).
+//!
+//! This module is the *numerical* model of that multiplier, used to
+//! characterise what the fast nonlinear kernels would lose if their
+//! polynomial multiplies ran on L-Mul lanes instead of fp32 DSP lanes.
+//! The measured error envelope lives in the tests below: the relative
+//! error is bounded by ~2^-3.4 worst-case (the dropped `x_m·y_m` term
+//! reaches 1 as both mantissas approach 2), with a near-zero mean.
+
+/// The L-Mul mantissa offset exponent `l(m)` for fp32 (mantissa m = 23:
+/// the paper's rule gives `l = 4` for all m > 4).
+pub const L_FP32: u32 = 4;
+
+/// The packed-field offset: bias correction plus the `2^{-l}` mantissa
+/// offset, applied in one constant. Subtracting one bias (`127 << 23`)
+/// re-centres the summed exponents; adding `1 << (23 - L)` injects the
+/// expected value of the dropped cross term.
+const LMUL_OFFSET: i64 = -(127i64 << 23) + (1i64 << (23 - L_FP32));
+
+/// Approximate `a * b` with the L-Mul integer-addition algorithm.
+///
+/// Gate conditions mirror a hardware implementation: a zero or subnormal
+/// operand flushes to a (signed) zero result, infinities and NaNs
+/// propagate, and exponent overflow/underflow of the sum saturates to
+/// infinity / flushes to zero. The core path is the single addition
+/// `bits(a) + bits(b) + OFFSET` on the magnitude fields with the sign
+/// handled by XOR.
+pub fn lmul(a: f32, b: f32) -> f32 {
+    let sign = (a.to_bits() ^ b.to_bits()) & 0x8000_0000;
+    if a.is_nan() || b.is_nan() {
+        return f32::NAN;
+    }
+    let ka = (a.to_bits() & 0x7fff_ffff) as i64;
+    let kb = (b.to_bits() & 0x7fff_ffff) as i64;
+    let inf = 0x7f80_0000i64;
+    if ka >= inf || kb >= inf {
+        // inf * 0 is NaN; inf * finite is a signed inf.
+        if ka == 0 || kb == 0 {
+            return f32::NAN;
+        }
+        return f32::from_bits(sign | inf as u32);
+    }
+    // Zero and subnormal operands flush: the adder datapath carries no
+    // implicit-one for them, and FTZ matches the rest of the datapath.
+    if ka < (1 << 23) || kb < (1 << 23) {
+        return f32::from_bits(sign);
+    }
+    let sum = ka + kb + LMUL_OFFSET;
+    if sum >= inf {
+        return f32::from_bits(sign | inf as u32);
+    }
+    if sum < (1 << 23) {
+        return f32::from_bits(sign); // exponent underflow: FTZ
+    }
+    f32::from_bits(sign | sum as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ulp::rel_error;
+
+    #[test]
+    fn exact_on_powers_of_two_up_to_offset() {
+        // 2^a * 2^b has zero mantissa on both sides; the only deviation is
+        // the injected 2^-l offset on the result mantissa.
+        let got = lmul(4.0, 8.0);
+        let want = 32.0 * (1.0 + (0.5f32).powi(L_FP32 as i32));
+        assert_eq!(got, want, "offset lands on the mantissa: {got} vs {want}");
+    }
+
+    #[test]
+    fn relative_error_is_bounded_and_small_on_average() {
+        // Deterministic sweep over mantissa/exponent space. The worst case
+        // of the dropped x_m·y_m cross term is bounded by 2^-3.4 ≈ 0.095
+        // relative; the mean signed error is near zero by construction of
+        // the 2^-l offset.
+        let mut max_rel = 0.0f64;
+        let mut sum_signed = 0.0f64;
+        let mut n = 0u64;
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200_000 {
+            let a = f32::from_bits(0x3f80_0000 | (next() as u32 & 0x007f_ffff))
+                * (((next() % 17) as i32 - 8) as f32).exp2();
+            let b = f32::from_bits(0x3f80_0000 | (next() as u32 & 0x007f_ffff))
+                * (((next() % 17) as i32 - 8) as f32).exp2();
+            let got = lmul(a, b) as f64;
+            let want = a as f64 * b as f64;
+            let rel = (got - want) / want;
+            max_rel = max_rel.max(rel.abs());
+            sum_signed += rel;
+            n += 1;
+        }
+        assert!(max_rel < 0.096, "worst relative error {max_rel}");
+        assert!(max_rel > 0.05, "sweep must reach the known worst region");
+        let mean = sum_signed / n as f64;
+        assert!(mean.abs() < 0.01, "offset keeps the error centred: {mean}");
+    }
+
+    #[test]
+    fn signs_specials_and_range_edges() {
+        assert_eq!(lmul(-3.0, 2.0), -lmul(3.0, 2.0));
+        assert_eq!(lmul(-3.0, -2.0), lmul(3.0, 2.0));
+        assert_eq!(lmul(0.0, 55.0), 0.0);
+        assert!(lmul(0.0, -55.0).is_sign_negative());
+        assert_eq!(lmul(f32::INFINITY, 2.0), f32::INFINITY);
+        assert_eq!(lmul(f32::NEG_INFINITY, 2.0), f32::NEG_INFINITY);
+        assert!(lmul(f32::INFINITY, 0.0).is_nan());
+        assert!(lmul(f32::NAN, 1.0).is_nan());
+        // Exponent overflow saturates; underflow flushes.
+        assert_eq!(lmul(f32::MAX, f32::MAX), f32::INFINITY);
+        assert_eq!(lmul(f32::MIN_POSITIVE, f32::MIN_POSITIVE), 0.0);
+        // Subnormal operands flush to zero.
+        assert_eq!(lmul(f32::from_bits(1), 1.0), 0.0);
+    }
+
+    #[test]
+    fn tracks_true_product_within_ten_percent_everywhere_normal() {
+        for ea in (-20..=20).step_by(5) {
+            for eb in (-20..=20).step_by(5) {
+                for ma in 0..8u32 {
+                    for mb in 0..8u32 {
+                        let a = f32::from_bits(0x3f80_0000 | (ma << 20)) * (ea as f32).exp2();
+                        let b = f32::from_bits(0x3f80_0000 | (mb << 20)) * (eb as f32).exp2();
+                        let rel = rel_error(lmul(a, b), a * b);
+                        assert!(rel < 0.096, "lmul({a}, {b}) rel {rel}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -32,6 +32,111 @@ pub fn ulp_distance(a: f32, b: f32) -> u64 {
     (ordered(a) - ordered(b)).unsigned_abs()
 }
 
+/// A tested error envelope for an approximate kernel against its exact
+/// oracle: a ULP bound with an absolute floor. A sample is admitted when
+/// **either** bound holds.
+///
+/// The floor is not a loophole — it is how cancellation regions are stated
+/// honestly. Where the oracle itself cancels (e.g. `1 + tanh(u)` for very
+/// negative `u`, where both paths compute a result of size `2^-20` with an
+/// absolute rounding error of `2^-24`), the *relative* divergence between
+/// two faithful evaluations is unbounded while the *absolute* divergence
+/// stays at a few ulps **of the cancelled operands' scale**. The envelope
+/// therefore reads: "within `max_ulp` of the oracle, except where both
+/// values are within `abs_floor` of each other".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UlpEnvelope {
+    /// Maximum admitted ULP distance.
+    pub max_ulp: u64,
+    /// Absolute-difference floor admitting cancellation regions.
+    pub abs_floor: f32,
+}
+
+impl UlpEnvelope {
+    /// An envelope with the given bounds.
+    pub const fn new(max_ulp: u64, abs_floor: f32) -> Self {
+        UlpEnvelope { max_ulp, abs_floor }
+    }
+
+    /// A pure ULP bound (zero absolute floor).
+    pub const fn ulp_only(max_ulp: u64) -> Self {
+        UlpEnvelope {
+            max_ulp,
+            abs_floor: 0.0,
+        }
+    }
+
+    /// Whether `got` is admitted against the oracle value `want`.
+    ///
+    /// Non-finite values must match exactly: NaN admits only NaN, and an
+    /// infinity admits only the same infinity (hardware clamp regions are
+    /// part of the kernel contract, not of its rounding error).
+    pub fn admits(&self, got: f32, want: f32) -> bool {
+        if got.is_nan() || want.is_nan() {
+            return got.is_nan() && want.is_nan();
+        }
+        if got.is_infinite() || want.is_infinite() {
+            return got == want;
+        }
+        ulp_distance(got, want) <= self.max_ulp || (got - want).abs() <= self.abs_floor
+    }
+}
+
+/// Running worst-case tracker for an approximate-vs-oracle comparison:
+/// feeds a bench report or an envelope assertion with the observed maxima.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnvelopeStats {
+    /// Samples recorded.
+    pub samples: u64,
+    /// Samples rejected by the envelope passed to [`Self::record`].
+    pub violations: u64,
+    /// Largest finite ULP distance observed.
+    pub max_ulp: u64,
+    /// Largest finite absolute difference observed.
+    pub max_abs: f32,
+    /// Sum of squared oracle values (for SQNR).
+    sig: f64,
+    /// Sum of squared differences (for SQNR).
+    noise: f64,
+}
+
+impl EnvelopeStats {
+    /// A fresh tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one `(got, want)` pair, returning whether `env` admits it.
+    /// Non-finite mismatches count as violations with saturated maxima.
+    pub fn record(&mut self, got: f32, want: f32, env: &UlpEnvelope) -> bool {
+        self.samples += 1;
+        let ok = env.admits(got, want);
+        if !ok {
+            self.violations += 1;
+        }
+        if got.is_finite() && want.is_finite() {
+            self.max_ulp = self.max_ulp.max(ulp_distance(got, want));
+            self.max_abs = self.max_abs.max((got - want).abs());
+            self.sig += (want as f64) * (want as f64);
+            self.noise += (got as f64 - want as f64) * (got as f64 - want as f64);
+        } else if !ok {
+            self.max_ulp = u64::MAX;
+            self.max_abs = f32::INFINITY;
+        }
+        ok
+    }
+
+    /// Signal-to-quantization-noise ratio of the recorded finite pairs, in
+    /// dB (`inf` when no noise was observed).
+    pub fn sqnr_db(&self) -> f64 {
+        if self.noise == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (self.sig / self.noise).log10()
+        }
+    }
+}
+
 /// Relative error `|got - want| / |want|`, computed in `f64`. Returns 0 when
 /// both are zero and infinity when only `want` is zero.
 pub fn rel_error(got: f32, want: f32) -> f64 {
@@ -93,5 +198,41 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn nan_panics() {
         ulp_distance(f32::NAN, 1.0);
+    }
+
+    #[test]
+    fn envelope_admits_by_ulp_or_abs_floor() {
+        let env = UlpEnvelope::new(4, 1e-9);
+        assert!(env.admits(1.0, 1.0));
+        assert!(env.admits(1.0, f32::from_bits(1.0f32.to_bits() + 4)));
+        assert!(!env.admits(1.0, f32::from_bits(1.0f32.to_bits() + 5)));
+        // Far apart in ULP terms but inside the absolute floor.
+        assert!(env.admits(1.0e-20, 9.0e-21));
+        // The pure-ULP envelope rejects the same pair.
+        assert!(!UlpEnvelope::ulp_only(4).admits(1.0e-20, 9.0e-21));
+    }
+
+    #[test]
+    fn envelope_non_finite_must_match_exactly() {
+        let env = UlpEnvelope::new(u64::MAX, f32::INFINITY);
+        assert!(env.admits(f32::INFINITY, f32::INFINITY));
+        assert!(!env.admits(f32::INFINITY, f32::NEG_INFINITY));
+        assert!(!env.admits(f32::INFINITY, 1.0));
+        assert!(env.admits(f32::NAN, f32::NAN));
+        assert!(!env.admits(f32::NAN, 0.0));
+    }
+
+    #[test]
+    fn envelope_stats_track_worst_case_and_sqnr() {
+        let env = UlpEnvelope::new(2, 0.0);
+        let mut s = EnvelopeStats::new();
+        assert!(s.record(1.0, 1.0, &env));
+        let off = f32::from_bits(1.0f32.to_bits() + 8);
+        assert!(!s.record(off, 1.0, &env));
+        assert_eq!(s.samples, 2);
+        assert_eq!(s.violations, 1);
+        assert_eq!(s.max_ulp, 8);
+        assert!(s.max_abs > 0.0);
+        assert!(s.sqnr_db() > 100.0, "{}", s.sqnr_db());
     }
 }

@@ -40,6 +40,7 @@ pub mod report;
 pub mod resilient;
 pub mod scheduler;
 pub mod vprog;
+pub mod vpucost;
 
 pub use accelerator::{Accelerator, GemmReport, InferenceReport};
 pub use batch::{BatchLatency, BatchResult};
@@ -57,6 +58,7 @@ pub use bfp_faults::{FaultCounters, FaultReport};
 pub use vprog::{
     compile_exp, compile_recip, compile_softmax, DivMode, VBuilder, VInstr, VMachine, VProgram,
 };
+pub use vpucost::{nonlinear_cycles, nonlinear_latency_s, op_mix};
 
 /// Commonly used types from across the workspace.
 pub mod prelude {

@@ -11,6 +11,7 @@
 pub mod axi;
 pub mod energy;
 pub mod hbm;
+pub mod nonlinear;
 pub mod related;
 pub mod resources;
 pub mod roofline;
@@ -21,6 +22,7 @@ pub mod u280;
 pub use axi::AxiParams;
 pub use energy::{PowerMode, PowerModel};
 pub use hbm::MemParams;
+pub use nonlinear::{MulLane, NonlinearUnit, VpuOpMix};
 pub use related::{paper_ours_row, prior_works, RelatedWork};
 pub use resources::{ArrayParams, Component, DesignVariant, PuCostModel, ResourceVec};
 pub use roofline::{bfp8_pass_intensity, fp32_stream_intensity, Roofline};

@@ -1,0 +1,76 @@
+//! One-shot dump of exact-path VPU output bits (golden capture).
+use bfp_transformer::engine::DivisionPolicy;
+use bfp_transformer::{NonlinearMode, Vpu};
+
+fn main() {
+    let xs: [f32; 16] = [
+        -8.5,
+        -3.2,
+        -1.0,
+        -0.125,
+        -1.0e-6,
+        -0.0,
+        0.0,
+        1.0e-6,
+        0.33,
+        1.0,
+        2.7,
+        5.0,
+        9.1,
+        f32::from_bits(0x0000_0001), // smallest subnormal
+        f32::from_bits(0x7f7f_ffff), // f32::MAX
+        -87.2,
+    ];
+    let mut vpu = Vpu::new();
+    print!("gelu: ");
+    for &x in &xs {
+        print!("0x{:08x},", vpu.gelu(x).to_bits());
+    }
+    println!();
+    print!("gelu_onchip: ");
+    for &x in &xs {
+        print!("0x{:08x},", vpu.gelu_onchip(x).to_bits());
+    }
+    println!();
+    print!("exp: ");
+    for &x in &xs {
+        print!("0x{:08x},", vpu.exp(x).to_bits());
+    }
+    println!();
+    print!("tanh: ");
+    for &x in &xs {
+        print!("0x{:08x},", vpu.tanh(x).to_bits());
+    }
+    println!();
+    print!("rsqrt: ");
+    for &x in &xs {
+        if x >= 0.0 {
+            print!("0x{:08x},", vpu.rsqrt_onchip(x, 3).to_bits());
+        } else {
+            print!("skip,");
+        }
+    }
+    println!();
+    // A softmax row and a layernorm row, both division policies.
+    let row: Vec<f32> = (0..11).map(|k| (k as f32 * 0.61).sin() * 4.0).collect();
+    for (name, div) in [("host", DivisionPolicy::Host), ("chip", DivisionPolicy::OnChip)] {
+        let mut r = row.clone();
+        vpu.softmax_rows_batch(&mut r, 11, div, NonlinearMode::Exact);
+        print!("softmax_{name}: ");
+        for v in &r {
+            print!("0x{:08x},", v.to_bits());
+        }
+        println!();
+    }
+    let gamma: Vec<f32> = (0..11).map(|j| 1.0 + j as f32 * 0.01).collect();
+    let beta: Vec<f32> = (0..11).map(|j| (j as f32 * 0.3).cos()).collect();
+    for (name, div) in [("host", DivisionPolicy::Host), ("chip", DivisionPolicy::OnChip)] {
+        let mut r = row.clone();
+        vpu.layernorm_rows_batch(&mut r, 11, &gamma, &beta, 1e-6, div, NonlinearMode::Exact);
+        print!("layernorm_{name}: ");
+        for v in &r {
+            print!("0x{:08x},", v.to_bits());
+        }
+        println!();
+    }
+}

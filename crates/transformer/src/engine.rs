@@ -15,7 +15,7 @@ use bfp_telemetry::{Registry, Table};
 use bfp_telemetry::{Counter, Histogram, Tracer};
 
 use crate::reference;
-use crate::vpu::{OpCount, Vpu};
+use crate::vpu::{NonlinearMode, OpCount, Vpu};
 
 /// Operation census of an inference pass, split the way Table IV splits it.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -263,6 +263,10 @@ pub struct EngineTelemetry {
     saturated: Counter,
     gemm_ns: Histogram,
     quantize_pack_ns: Histogram,
+    fast_mul: Counter,
+    fast_add: Counter,
+    fast_exp_adjust: Counter,
+    fast_lut: Counter,
 }
 
 #[cfg(feature = "telemetry")]
@@ -279,6 +283,13 @@ impl EngineTelemetry {
             saturated: reg.counter("engine_quantize_saturated_total"),
             gemm_ns: reg.histogram("engine_gemm_ns"),
             quantize_pack_ns: reg.histogram("engine_quantize_pack_ns"),
+            // The fast nonlinear unit's op mix, one counter per hardware
+            // resource class. Cross-checkable against the analytic cycle
+            // model: `bfp_core::vpucost` prices exactly these four counts.
+            fast_mul: reg.counter("engine_fast_nl_fp_mul_total"),
+            fast_add: reg.counter("engine_fast_nl_fp_add_total"),
+            fast_exp_adjust: reg.counter("engine_fast_nl_exp_adjust_total"),
+            fast_lut: reg.counter("engine_fast_nl_lut_total"),
         }
     }
 
@@ -332,11 +343,18 @@ impl PhaseTimes {
 /// `bfp_core::fastgemm::PARALLEL_MAC_THRESHOLD`).
 const GEMM_PARALLEL_MACS: u64 = 2_000_000;
 
-/// Minimum f32 elements per worker shard of a non-linear kernel: below
-/// this, a shard's work does not amortise its thread's fork/join cost
-/// (measured break-even on the e2e model — a VPU op is bit-level
-/// emulation, so the batch is far smaller than the GEMM threshold).
+/// Minimum f32 elements per worker shard of an **exact-mode** non-linear
+/// kernel: below this, a shard's work does not amortise its thread's
+/// fork/join cost (measured break-even on the e2e model — a VPU op is
+/// bit-level emulation, so the batch is far smaller than the GEMM
+/// threshold).
 const VPU_PARALLEL_ELEMS: usize = 4_096;
+
+/// Minimum elements per shard in **fast** nonlinear mode. A fast-kernel
+/// element costs tens of native flops instead of thousands of emulation
+/// instructions, so the fork/join break-even sits ~16× higher; sharding
+/// small fast batches is how the thread sweep went non-monotone.
+const VPU_PARALLEL_ELEMS_FAST: usize = 65_536;
 
 /// Where fp32 divisions and square roots execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -358,6 +376,9 @@ pub struct MixedEngine {
     vpu: Vpu,
     census: OpCensus,
     division: DivisionPolicy,
+    /// Which nonlinear kernel family the VPU runs (exact oracle vs the
+    /// fast LUT/polynomial unit with tested ULP envelopes).
+    nonlinear: NonlinearMode,
     /// Content-keyed quantize-and-pack cache for RHS operands. Weight
     /// matrices are constant across tokens, layers, images, and batches,
     /// so their plans are built once and reused; activation operands churn
@@ -368,6 +389,11 @@ pub struct MixedEngine {
     /// Thread budget shared by the sharded GEMM and the sharded VPU
     /// kernels. Sharding is bit-invariant, so this trades wall-clock only.
     threads: usize,
+    /// Threads the host actually has. The effective parallelism is
+    /// `min(threads, host_cap)`: a budget above the core count cannot buy
+    /// wall-clock, only fork/join overhead — the regression that made the
+    /// e2e thread sweep non-monotone on small hosts.
+    host_cap: usize,
     /// Which quantize epilogue (and plan-key hash) this engine runs; see
     /// [`Epilogue`].
     epilogue: Epilogue,
@@ -393,10 +419,14 @@ impl MixedEngine {
             vpu: Vpu::new(),
             census: OpCensus::default(),
             division: DivisionPolicy::Host,
+            nonlinear: NonlinearMode::Exact,
             plans: HashMap::new(),
             plan_stats: PlanCacheStats::default(),
             cache_enabled: true,
             threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            host_cap: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
             epilogue: Epilogue::Fused,
@@ -451,9 +481,38 @@ impl MixedEngine {
     }
 
     /// Set the thread budget for the sharded GEMM and VPU kernels
-    /// (`0` is clamped to 1). Outputs are bit-identical for any value.
+    /// (`0` is clamped to 1). Outputs are bit-identical for any value;
+    /// the effective parallelism additionally never exceeds the host's
+    /// core count.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+    }
+
+    /// Select the nonlinear kernel family for subsequent VPU calls.
+    /// [`NonlinearMode::Exact`] is bit-identical to the pre-knob engine;
+    /// [`NonlinearMode::Fast`] trades a tested ULP envelope for the
+    /// LUT/polynomial unit's throughput.
+    pub fn set_nonlinear_mode(&mut self, mode: NonlinearMode) {
+        self.nonlinear = mode;
+    }
+
+    /// Builder form of [`Self::set_nonlinear_mode`].
+    pub fn with_nonlinear(mut self, mode: NonlinearMode) -> Self {
+        self.set_nonlinear_mode(mode);
+        self
+    }
+
+    /// The configured nonlinear kernel family.
+    pub fn nonlinear_mode(&self) -> NonlinearMode {
+        self.nonlinear
+    }
+
+    /// The paper-configured engine with the fast nonlinear unit enabled.
+    pub fn fast_nonlinear() -> Self {
+        MixedEngine {
+            nonlinear: NonlinearMode::Fast,
+            ..Self::new()
+        }
     }
 
     /// Builder form of [`Self::set_threads`].
@@ -614,16 +673,43 @@ impl MixedEngine {
             fp_add: after.fp_add - before.fp_add,
             exp_adjust: after.exp_adjust - before.exp_adjust,
             cmp: after.cmp - before.cmp,
+            lut: after.lut - before.lut,
             host_div: after.host_div - before.host_div,
             host_sqrt: after.host_sqrt - before.host_sqrt,
         }
     }
 
+    /// The thread budget clamped at the host's core count: oversubscribing
+    /// buys nothing and costs fork/join per kernel call.
+    fn effective_threads(&self) -> usize {
+        self.threads.min(self.host_cap).max(1)
+    }
+
     /// How many threads a non-linear kernel over `elems` f32 values gets:
-    /// the budget, capped so every shard carries at least the break-even
-    /// batch (one shard → no fork at all).
+    /// the (host-capped) budget, capped so every shard carries at least
+    /// the break-even batch for the active kernel family (one shard → no
+    /// fork at all).
     fn vpu_threads_for(&self, elems: usize) -> usize {
-        self.threads.min(elems / VPU_PARALLEL_ELEMS).max(1)
+        let min_shard = match self.nonlinear {
+            NonlinearMode::Exact => VPU_PARALLEL_ELEMS,
+            NonlinearMode::Fast => VPU_PARALLEL_ELEMS_FAST,
+        };
+        self.effective_threads().min(elems / min_shard).max(1)
+    }
+
+    /// Publish a fast-mode nonlinear op-mix delta to the registered
+    /// counters (no-op unless telemetry is compiled in and attached).
+    #[inline]
+    fn tel_fast_mix(&self, delta: &OpCount) {
+        #[cfg(feature = "telemetry")]
+        if let Some(tel) = &self.tel {
+            tel.fast_mul.add(delta.fp_mul);
+            tel.fast_add.add(delta.fp_add);
+            tel.fast_exp_adjust.add(delta.exp_adjust);
+            tel.fast_lut.add(delta.lut);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = delta;
     }
 
     /// Run a batched VPU kernel over `data` split into `threads` disjoint
@@ -715,7 +801,7 @@ impl Engine for MixedEngine {
         let threads = if macs < GEMM_PARALLEL_MACS {
             1
         } else {
-            self.threads
+            self.effective_threads()
         };
         let gemm = match self.rhs_plan(b) {
             Ok(pb) => {
@@ -773,11 +859,15 @@ impl Engine for MixedEngine {
             return;
         }
         let division = self.division;
+        let mode = self.nonlinear;
         let threads = self.vpu_threads_for(m.rows() * cols);
         let delta = self.vpu_parallel(m.data_mut(), cols, threads, |vpu, shard| {
-            vpu.softmax_rows_batch(shard, cols, division)
+            vpu.softmax_rows_batch(shard, cols, division, mode)
         });
         self.census.softmax.merge(&delta);
+        if mode == NonlinearMode::Fast {
+            self.tel_fast_mix(&delta);
+        }
         self.phase.softmax += t0.elapsed();
         self.tel_phase("vpu.softmax", t0);
     }
@@ -785,11 +875,15 @@ impl Engine for MixedEngine {
     fn gelu(&mut self, m: &mut MatF32) {
         let t0 = Instant::now();
         let division = self.division;
+        let mode = self.nonlinear;
         let threads = self.vpu_threads_for(m.rows() * m.cols());
         let delta = self.vpu_parallel(m.data_mut(), 1, threads, |vpu, shard| {
-            vpu.gelu_slice(shard, division)
+            vpu.gelu_slice(shard, division, mode)
         });
         self.census.gelu.merge(&delta);
+        if mode == NonlinearMode::Fast {
+            self.tel_fast_mix(&delta);
+        }
         self.phase.gelu += t0.elapsed();
         self.tel_phase("vpu.gelu", t0);
     }
@@ -801,11 +895,15 @@ impl Engine for MixedEngine {
             return;
         }
         let division = self.division;
+        let mode = self.nonlinear;
         let threads = self.vpu_threads_for(m.rows() * cols);
         let delta = self.vpu_parallel(m.data_mut(), cols, threads, |vpu, shard| {
-            vpu.layernorm_rows_batch(shard, cols, gamma, beta, eps, division)
+            vpu.layernorm_rows_batch(shard, cols, gamma, beta, eps, division, mode)
         });
         self.census.layernorm.merge(&delta);
+        if mode == NonlinearMode::Fast {
+            self.tel_fast_mix(&delta);
+        }
         self.phase.layernorm += t0.elapsed();
         self.tel_phase("vpu.layernorm", t0);
     }
@@ -1193,6 +1291,39 @@ mod tests {
             assert!(matches!(p.kind, EventKind::Span { .. }));
         }
         assert!(events.iter().any(|e| e.name == "vpu.softmax"));
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn fast_mix_counters_equal_census() {
+        // The engine_fast_nl_* registry counters and the OpCensus are
+        // accumulated by independent code paths (tel_fast_mix vs the
+        // census merge); after any Fast-mode workload they must agree,
+        // which is what lets operators cross-check live telemetry
+        // against the modelled VPU cycle cost.
+        let reg = Registry::new();
+        let tracer = Tracer::new();
+        let mut e = MixedEngine::fast_nonlinear().with_threads(3);
+        e.attach_telemetry(tracer, &reg);
+        let mut m = MatF32::from_fn(17, 33, |i, j| ((i * 33 + j) as f32 * 0.03).sin() * 4.0);
+        e.softmax_rows(&mut m);
+        e.gelu(&mut m);
+        let gamma = vec![1.0; 33];
+        let beta = vec![0.0; 33];
+        e.layernorm(&mut m, &gamma, &beta, 1e-5);
+
+        let c = e.take_census();
+        let mut mix = c.softmax;
+        mix.merge(&c.gelu);
+        mix.merge(&c.layernorm);
+        assert!(mix.lut > 0, "fast path must take LUT hits: {mix:?}");
+        assert_eq!(reg.counter("engine_fast_nl_fp_mul_total").get(), mix.fp_mul);
+        assert_eq!(reg.counter("engine_fast_nl_fp_add_total").get(), mix.fp_add);
+        assert_eq!(
+            reg.counter("engine_fast_nl_exp_adjust_total").get(),
+            mix.exp_adjust
+        );
+        assert_eq!(reg.counter("engine_fast_nl_lut_total").get(), mix.lut);
     }
 
     #[test]

@@ -4,11 +4,21 @@
 
 use crate::config::VitConfig;
 use crate::engine::OpCensus;
-use crate::vpu::{cost, OpCount};
+use crate::vpu::{cost, fast, NonlinearMode};
 
 /// Exact operation census of a forward pass through all encoder blocks of
-/// `cfg` — the same accounting [`crate::engine::MixedEngine`] performs live.
+/// `cfg` — the same accounting [`crate::engine::MixedEngine`] performs live
+/// (in its default [`NonlinearMode::Exact`] configuration).
 pub fn analytical_census(cfg: &VitConfig) -> OpCensus {
+    analytical_census_mode(cfg, NonlinearMode::Exact)
+}
+
+/// The census for either nonlinear kernel family. `Fast` swaps in the
+/// LUT/polynomial unit's per-element mixes ([`fast::cost`]): host
+/// divisions and square roots vanish, ROM lookups appear, and the live
+/// engine's counts match this *exactly* in both modes — the fast batched
+/// kernels charge these very formulas.
+pub fn analytical_census_mode(cfg: &VitConfig, mode: NonlinearMode) -> OpCensus {
     let s = cfg.seq as u64;
     let d = cfg.dim as u64;
     let h = cfg.heads as u64;
@@ -19,33 +29,20 @@ pub fn analytical_census(cfg: &VitConfig) -> OpCensus {
     // scores and weighted sum (2·S²·D), and the MLP (2·S·D·hidden).
     let macs_per_block = 4 * s * d * d + 2 * s * s * d + 2 * s * d * hidden;
 
-    // Softmax: one row of length S per (head, query row).
-    let mut softmax = OpCount::default();
-    let sm_rows = h * s;
-    let sm = cost::softmax_row(s);
-    softmax.fp_mul = sm.fp_mul * sm_rows;
-    softmax.fp_add = sm.fp_add * sm_rows;
-    softmax.exp_adjust = sm.exp_adjust * sm_rows;
-    softmax.cmp = sm.cmp * sm_rows;
-    softmax.host_div = sm.host_div * sm_rows;
-
-    // GELU: every element of the MLP hidden activation.
-    let mut gelu = OpCount::default();
-    let g = cost::gelu();
-    let g_elems = s * hidden;
-    gelu.fp_mul = g.fp_mul * g_elems;
-    gelu.fp_add = g.fp_add * g_elems;
-    gelu.exp_adjust = g.exp_adjust * g_elems;
-    gelu.host_div = g.host_div * g_elems;
-
-    // LayerNorm: two per block, one row of length D per token.
-    let mut layernorm = OpCount::default();
-    let ln = cost::layernorm_row(d);
-    let ln_rows = 2 * s;
-    layernorm.fp_mul = ln.fp_mul * ln_rows;
-    layernorm.fp_add = ln.fp_add * ln_rows;
-    layernorm.host_div = ln.host_div * ln_rows;
-    layernorm.host_sqrt = ln.host_sqrt * ln_rows;
+    let (sm, g, ln) = match mode {
+        NonlinearMode::Exact => (cost::softmax_row(s), cost::gelu(), cost::layernorm_row(d)),
+        NonlinearMode::Fast => (
+            fast::cost::softmax_row(s),
+            fast::cost::gelu(),
+            fast::cost::layernorm_row(d),
+        ),
+    };
+    // Softmax: one row of length S per (head, query row). GELU: every
+    // element of the MLP hidden activation. LayerNorm: two per block, one
+    // row of length D per token.
+    let softmax = sm.times(h * s);
+    let gelu = g.times(s * hidden);
+    let layernorm = ln.times(2 * s);
 
     let mut census = OpCensus::default();
     for _ in 0..depth {
@@ -111,6 +108,24 @@ mod tests {
         assert_eq!(live.softmax, analytic.softmax, "softmax ops");
         assert_eq!(live.gelu, analytic.gelu, "gelu ops");
         assert_eq!(live.layernorm, analytic.layernorm, "layernorm ops");
+    }
+
+    #[test]
+    fn fast_analytical_census_matches_live_fast_execution() {
+        use crate::vpu::NonlinearMode;
+        let cfg = VitConfig::tiny_test();
+        let model = VitModel::new_random(cfg, 3);
+        let x = model.synthetic_input(4);
+        let mut e = MixedEngine::fast_nonlinear();
+        let _ = model.forward(&mut e, &x);
+        let live = e.census();
+        let analytic = analytical_census_mode(&cfg, NonlinearMode::Fast);
+        assert_eq!(live.softmax, analytic.softmax, "softmax ops");
+        assert_eq!(live.gelu, analytic.gelu, "gelu ops");
+        assert_eq!(live.layernorm, analytic.layernorm, "layernorm ops");
+        // The fast unit never leaves the array and does use its ROMs.
+        assert_eq!(live.host_ops(), 0);
+        assert!(live.gelu.lut > 0 && live.softmax.lut > 0);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub use engine::{
 };
 #[cfg(feature = "telemetry")]
 pub use engine::EngineTelemetry;
-pub use flops::analytical_census;
+pub use flops::{analytical_census, analytical_census_mode};
 pub use layers::{LayerNormParams, Linear};
 pub use model::{Block, VitModel};
-pub use vpu::{OpCount, Vpu};
+pub use vpu::{NonlinearMode, OpCount, Vpu};

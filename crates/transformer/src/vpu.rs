@@ -16,6 +16,37 @@ use bfp_arith::fpmul::{HwFp32Mul, MulVariant};
 
 use crate::engine::DivisionPolicy;
 
+pub mod fast;
+
+/// Selects which nonlinear kernel family the batched VPU entry points
+/// run.
+///
+/// `Exact` is the bit-level emulated hardware datapath — every multiply
+/// and add goes through `HwFp32Mul`/`HwFp32Add`, and it is the oracle the
+/// [`fast`] kernels' ULP envelopes are proven against. `Fast` models the
+/// optimised LUT/polynomial nonlinear unit (range reduction + 64-entry
+/// `2^f` ROM + degree-2 residual polynomial + NR reciprocal/rsqrt), which
+/// in simulation evaluates in native f32 — the kernels themselves live in
+/// [`fast`], and their per-element hardware op mixes in [`fast::cost`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum NonlinearMode {
+    /// Bit-exact emulated hardware kernels (the oracle path).
+    #[default]
+    Exact,
+    /// LUT/polynomial fast kernels with tested ULP envelopes.
+    Fast,
+}
+
+impl NonlinearMode {
+    /// Stable lowercase label for telemetry and bench reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            NonlinearMode::Exact => "exact",
+            NonlinearMode::Fast => "fast",
+        }
+    }
+}
+
 /// Operation counters for VPU execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpCount {
@@ -27,6 +58,8 @@ pub struct OpCount {
     pub exp_adjust: u64,
     /// Comparator operations (max reductions; not FLOPs).
     pub cmp: u64,
+    /// ROM/LUT lookups of the fast nonlinear unit (not FLOPs).
+    pub lut: u64,
     /// Divisions delegated to the host CPU.
     pub host_div: u64,
     /// Square roots delegated to the host CPU.
@@ -50,8 +83,22 @@ impl OpCount {
         self.fp_add += o.fp_add;
         self.exp_adjust += o.exp_adjust;
         self.cmp += o.cmp;
+        self.lut += o.lut;
         self.host_div += o.host_div;
         self.host_sqrt += o.host_sqrt;
+    }
+
+    /// This mix repeated `k` times (per-element formula × element count).
+    pub const fn times(&self, k: u64) -> OpCount {
+        OpCount {
+            fp_mul: self.fp_mul * k,
+            fp_add: self.fp_add * k,
+            exp_adjust: self.exp_adjust * k,
+            cmp: self.cmp * k,
+            lut: self.lut * k,
+            host_div: self.host_div * k,
+            host_sqrt: self.host_sqrt * k,
+        }
     }
 }
 
@@ -114,6 +161,18 @@ impl Vpu {
             add: HwFp32Add::new(AddVariant::Exact48),
             via_partials: false,
             count: OpCount::default(),
+        }
+    }
+
+    /// A VPU with an explicit datapath rounding selection (the multiplier
+    /// variant and adder alignment width). The envelope tests verify the
+    /// fast kernels' documented bounds against **every** oracle rounding
+    /// configuration, not only the paper default.
+    pub fn with_datapath(mul: MulVariant, add: AddVariant) -> Self {
+        Vpu {
+            mul: HwFp32Mul::new(mul),
+            add: HwFp32Add::new(add),
+            ..Self::new()
         }
     }
 
@@ -484,14 +543,16 @@ impl Vpu {
 
     // ------------------------------------------------------------------
     // Batched slice kernels: the per-batch entry points the engine (and
-    // its row-sharded parallel path) drives. The `DivisionPolicy` match
-    // happens once per batch here — not once per row or per element as
-    // the engine's old loops did — and the multiplier/adder rounding-path
-    // configuration is a fixed field of `self`, resolved once when the
-    // VPU is built (the closed-form `HwFp32Mul` fast path removed the
-    // per-multiply partial-product enumeration entirely). Each kernel is
-    // a straight loop over the scalar kernels above, so results are
-    // bit-identical to calling those directly.
+    // its row-sharded parallel path) drives. The `(NonlinearMode,
+    // DivisionPolicy)` match happens once per batch here — not once per
+    // row or per element as the engine's old loops did — so each arm is a
+    // monomorphized straight loop over one scalar kernel, and the
+    // multiplier/adder rounding-path configuration is a fixed field of
+    // `self`, resolved once when the VPU is built. The `Exact` arms are
+    // bit-identical to calling the scalar kernels directly (oracle
+    // contract); the `Fast` arms run the [`fast`] kernels and charge
+    // their analytic per-element op mixes in one merge, since the fast
+    // unit is a pipeline whose cost is data-independent.
     // ------------------------------------------------------------------
 
     /// Softmax over every `cols`-wide row of `data` (a whole matrix or a
@@ -499,38 +560,58 @@ impl Vpu {
     ///
     /// # Panics
     /// Panics if `data.len()` is not a multiple of `cols`.
-    pub fn softmax_rows_batch(&mut self, data: &mut [f32], cols: usize, division: DivisionPolicy) {
+    pub fn softmax_rows_batch(
+        &mut self,
+        data: &mut [f32],
+        cols: usize,
+        division: DivisionPolicy,
+        mode: NonlinearMode,
+    ) {
         if cols == 0 {
             return;
         }
         assert_eq!(data.len() % cols, 0, "batch must hold whole rows");
-        match division {
-            DivisionPolicy::Host => {
+        match (mode, division) {
+            (NonlinearMode::Exact, DivisionPolicy::Host) => {
                 for row in data.chunks_exact_mut(cols) {
                     self.softmax_row(row);
                 }
             }
-            DivisionPolicy::OnChip => {
+            (NonlinearMode::Exact, DivisionPolicy::OnChip) => {
                 for row in data.chunks_exact_mut(cols) {
                     self.softmax_row_onchip(row);
                 }
+            }
+            // The fast unit never leaves the array; DivisionPolicy is moot.
+            (NonlinearMode::Fast, _) => {
+                let rows = (data.len() / cols) as u64;
+                for row in data.chunks_exact_mut(cols) {
+                    fast::softmax_row(row);
+                }
+                self.count.merge(&fast::cost::softmax_row(cols as u64).times(rows));
             }
         }
     }
 
     /// Element-wise GELU over a slice (any tile of a matrix; GELU has no
     /// row structure, so shards may cut anywhere).
-    pub fn gelu_slice(&mut self, data: &mut [f32], division: DivisionPolicy) {
-        match division {
-            DivisionPolicy::Host => {
+    pub fn gelu_slice(&mut self, data: &mut [f32], division: DivisionPolicy, mode: NonlinearMode) {
+        match (mode, division) {
+            (NonlinearMode::Exact, DivisionPolicy::Host) => {
                 for v in data.iter_mut() {
                     *v = self.gelu(*v);
                 }
             }
-            DivisionPolicy::OnChip => {
+            (NonlinearMode::Exact, DivisionPolicy::OnChip) => {
                 for v in data.iter_mut() {
                     *v = self.gelu_onchip(*v);
                 }
+            }
+            (NonlinearMode::Fast, _) => {
+                for v in data.iter_mut() {
+                    *v = fast::gelu(*v);
+                }
+                self.count.merge(&fast::cost::gelu().times(data.len() as u64));
             }
         }
     }
@@ -540,6 +621,7 @@ impl Vpu {
     /// # Panics
     /// Panics if `data.len()` is not a multiple of `cols`, or if
     /// `gamma`/`beta` lengths differ from `cols`.
+    #[allow(clippy::too_many_arguments)]
     pub fn layernorm_rows_batch(
         &mut self,
         data: &mut [f32],
@@ -548,21 +630,30 @@ impl Vpu {
         beta: &[f32],
         eps: f32,
         division: DivisionPolicy,
+        mode: NonlinearMode,
     ) {
         if cols == 0 {
             return;
         }
         assert_eq!(data.len() % cols, 0, "batch must hold whole rows");
-        match division {
-            DivisionPolicy::Host => {
+        match (mode, division) {
+            (NonlinearMode::Exact, DivisionPolicy::Host) => {
                 for row in data.chunks_exact_mut(cols) {
                     self.layernorm_row(row, gamma, beta, eps);
                 }
             }
-            DivisionPolicy::OnChip => {
+            (NonlinearMode::Exact, DivisionPolicy::OnChip) => {
                 for row in data.chunks_exact_mut(cols) {
                     self.layernorm_row_onchip(row, gamma, beta, eps);
                 }
+            }
+            (NonlinearMode::Fast, _) => {
+                let rows = (data.len() / cols) as u64;
+                for row in data.chunks_exact_mut(cols) {
+                    fast::layernorm_row(row, gamma, beta, eps);
+                }
+                self.count
+                    .merge(&fast::cost::layernorm_row(cols as u64).times(rows));
             }
         }
     }
@@ -581,6 +672,7 @@ pub mod cost {
             fp_add: 9,
             exp_adjust: 1,
             cmp: 0,
+            lut: 0,
             host_div: 0,
             host_sqrt: 0,
         }
@@ -594,6 +686,7 @@ pub mod cost {
             fp_add: 2 + 2 + exp().fp_add,
             exp_adjust: 1,
             cmp: 0,
+            lut: 0,
             host_div: 1,
             host_sqrt: 0,
         }
@@ -606,6 +699,7 @@ pub mod cost {
             fp_add: n * (exp().fp_add + 2), // subtract max + running sum
             exp_adjust: n,
             cmp: n.saturating_sub(1),
+            lut: 0,
             host_div: n,
             host_sqrt: 0,
         }
@@ -620,6 +714,7 @@ pub mod cost {
             fp_add: 4 * n + 1,
             exp_adjust: 0,
             cmp: 0,
+            lut: 0,
             host_div: 1,
             host_sqrt: 1,
         }
