@@ -1,0 +1,110 @@
+//! Per-request nonlinear-mode plumbing for degraded-mode serving.
+//!
+//! `MixedEngine` carries its nonlinear kernel family as engine-level
+//! state (`set_nonlinear_mode`), which is the right shape for a model
+//! run but the wrong shape for a serving runtime: under a brownout
+//! ladder each *request* runs in the tier it was dispatched at, and one
+//! engine instance serves requests from different tiers back to back.
+//! [`gelu_with_mode`] is the seam — it scopes a mode to a single kernel
+//! invocation (set, run, restore) and returns exactly the op count that
+//! invocation added to the census, so the caller can price the work and
+//! pin bit-exactness *for the mode that ran*.
+
+use bfp_arith::matrix::MatF32;
+use bfp_platform::nonlinear::NonlinearUnit;
+use bfp_transformer::{Engine, MixedEngine, NonlinearMode, OpCount};
+
+use crate::vpucost::op_mix;
+
+/// Run the engine's GELU over `m` in `mode`, restoring the engine's
+/// configured mode afterwards, and return the VPU op count this call
+/// contributed. Outputs are bit-identical to an engine permanently
+/// configured in `mode` — the knob is engine state, not kernel state,
+/// so scoping it around one call is exact.
+pub fn gelu_with_mode(engine: &mut MixedEngine, m: &mut MatF32, mode: NonlinearMode) -> OpCount {
+    let saved = engine.nonlinear_mode();
+    let before = engine.census().gelu;
+    engine.set_nonlinear_mode(mode);
+    engine.gelu(m);
+    engine.set_nonlinear_mode(saved);
+    let after = engine.census().gelu;
+    OpCount {
+        fp_mul: after.fp_mul - before.fp_mul,
+        fp_add: after.fp_add - before.fp_add,
+        exp_adjust: after.exp_adjust - before.exp_adjust,
+        cmp: after.cmp - before.cmp,
+        lut: after.lut - before.lut,
+        host_div: after.host_div - before.host_div,
+        host_sqrt: after.host_sqrt - before.host_sqrt,
+    }
+}
+
+/// Modelled wall-clock seconds to drain `count` on `unit` — the same
+/// pricing the latency model applies to whole-census nonlinear work,
+/// specialised to one request's op count so serving backends can fold
+/// degraded-tier savings into their modelled service time.
+pub fn op_count_latency_s(unit: &NonlinearUnit, count: &OpCount) -> f64 {
+    unit.cycles(&op_mix(count)) / unit.freq_hz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows: usize, cols: usize) -> MatF32 {
+        MatF32::from_fn(rows, cols, |i, j| ((i * 31 + j * 7) as f32 * 0.13).sin() * 3.0)
+    }
+
+    #[test]
+    fn scoped_mode_matches_configured_engine_bit_for_bit() {
+        for mode in [NonlinearMode::Exact, NonlinearMode::Fast] {
+            // Engine left in the *other* mode: the scope must win.
+            let other = match mode {
+                NonlinearMode::Exact => NonlinearMode::Fast,
+                NonlinearMode::Fast => NonlinearMode::Exact,
+            };
+            let mut scoped_engine = MixedEngine::new().with_nonlinear(other);
+            let mut scoped = sample(5, 17);
+            gelu_with_mode(&mut scoped_engine, &mut scoped, mode);
+            assert_eq!(scoped_engine.nonlinear_mode(), other, "mode restored");
+
+            let mut configured_engine = MixedEngine::new().with_nonlinear(mode);
+            let mut configured = sample(5, 17);
+            configured_engine.gelu(&mut configured);
+
+            for i in 0..scoped.rows() {
+                for j in 0..scoped.cols() {
+                    assert_eq!(
+                        scoped.get(i, j).to_bits(),
+                        configured.get(i, j).to_bits(),
+                        "mode {mode:?} at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn returned_count_is_the_delta_and_fast_is_cheaper() {
+        let mut e = MixedEngine::new();
+        let mut m1 = sample(8, 8);
+        let exact = gelu_with_mode(&mut e, &mut m1, NonlinearMode::Exact);
+        let mut m2 = sample(8, 8);
+        let fast = gelu_with_mode(&mut e, &mut m2, NonlinearMode::Fast);
+        assert!(exact.flops() > 0);
+        assert!(fast.lut > 0, "fast GELU uses the LUT unit");
+        // Deltas, not cumulative totals: same-size inputs give
+        // same-size counts regardless of call order.
+        let mut m3 = sample(8, 8);
+        let exact2 = gelu_with_mode(&mut e, &mut m3, NonlinearMode::Exact);
+        assert_eq!(exact, exact2);
+
+        let unit = NonlinearUnit::recommended();
+        let (se, sf) = (
+            op_count_latency_s(&unit, &exact),
+            op_count_latency_s(&unit, &fast),
+        );
+        assert!(se > sf, "fast mode must price below exact: {se} vs {sf}");
+        assert!(sf > 0.0);
+    }
+}

@@ -33,6 +33,7 @@
 pub mod accelerator;
 pub mod batch;
 pub mod compiler;
+pub mod degrade;
 pub mod fastgemm;
 pub mod graph;
 pub mod latency;
@@ -45,6 +46,7 @@ pub mod vpucost;
 pub use accelerator::{Accelerator, GemmReport, InferenceReport};
 pub use batch::{BatchLatency, BatchResult};
 pub use compiler::{compile_gemm, compile_gemm_blocks, CompiledGemm, DrainSlot};
+pub use degrade::{gelu_with_mode, op_count_latency_s};
 pub use fastgemm::{fast_matmul_f32, packed_matmul, ParallelPolicy};
 pub use graph::{lower_vit, Graph, OpKind, OpNode};
 pub use latency::{Breakdown, LatencyModel, Partition};
@@ -67,5 +69,5 @@ pub mod prelude {
     pub use bfp_arith::stats::ErrorStats;
     pub use bfp_platform::{System, SystemConfig, U280};
     pub use bfp_pu::unit::ProcessingUnit;
-    pub use bfp_transformer::{MixedEngine, RefEngine, VitConfig, VitModel};
+    pub use bfp_transformer::{Engine, MixedEngine, NonlinearMode, RefEngine, VitConfig, VitModel};
 }

@@ -26,6 +26,9 @@ pub use nonlinear::{MulLane, NonlinearUnit, VpuOpMix};
 pub use related::{paper_ours_row, prior_works, RelatedWork};
 pub use resources::{ArrayParams, Component, DesignVariant, PuCostModel, ResourceVec};
 pub use roofline::{bfp8_pass_intensity, fp32_stream_intensity, Roofline};
-pub use serving::{ArrayHealth, ArrayServeStats, HealthEvent, ServeStats};
+pub use serving::{
+    ArrayHealth, ArrayServeStats, BrownoutStats, HealthEvent, Priority, PriorityServeStats,
+    ServeStats, TenantId, TenantServeStats,
+};
 pub use system::{System, SystemStats, SHELL};
 pub use u280::{SystemConfig, U280};

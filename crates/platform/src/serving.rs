@@ -9,7 +9,66 @@
 use std::fmt;
 
 use bfp_faults::FaultReport;
-use bfp_telemetry::{Registry, Table};
+use bfp_telemetry::{series, Registry, Table};
+
+/// Identity of a serving tenant. The runtime keys quotas, weighted-fair
+/// scheduling deficits, circuit breakers, and the per-tenant counters on
+/// this id; tenant `0` is the implicit default for requests that never
+/// set one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TenantId(pub u64);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
+
+/// Request priority class. Classes are served in strict order (all
+/// runnable `Critical` work dispatches before any `Standard`, which
+/// dispatches before any `Bulk`); weighted fairness applies *between
+/// tenants inside one class*. Shedding walks the ladder bottom-up —
+/// `Bulk` first, then `Standard` — and `Critical` is never shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Best-effort background work: first to be shed under pressure,
+    /// refused outright at brownout tier 2.
+    Bulk,
+    /// The default class for ordinary traffic.
+    #[default]
+    Standard,
+    /// Latency-critical work. Never shed, dispatched first.
+    Critical,
+}
+
+impl Priority {
+    /// All classes, lowest first (the shed order).
+    pub const ALL: [Priority; 3] = [Priority::Bulk, Priority::Standard, Priority::Critical];
+
+    /// Dense index: `Bulk` = 0, `Standard` = 1, `Critical` = 2.
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Bulk => 0,
+            Priority::Standard => 1,
+            Priority::Critical => 2,
+        }
+    }
+
+    /// Stable lowercase label for telemetry and bench reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Bulk => "bulk",
+            Priority::Standard => "standard",
+            Priority::Critical => "critical",
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Health state of one accelerator array, as driven by the serving
 /// runtime's strike/probe state machine:
@@ -128,13 +187,86 @@ impl Default for ArrayServeStats {
     }
 }
 
+/// Serving counters for one tenant. The admission identity
+/// `admitted == completed + failed + queued + in_flight` holds per
+/// tenant in every snapshot, exactly as it does fleet-wide.
+#[derive(Debug, Clone, Default)]
+pub struct TenantServeStats {
+    /// Which tenant.
+    pub tenant: TenantId,
+    /// Scheduling weight in force (deficit-weighted round robin).
+    pub weight: u32,
+    /// Requests this tenant offered to `submit`.
+    pub submitted: u64,
+    /// Requests accepted into the scheduler.
+    pub admitted: u64,
+    /// Requests refused at admission, for any reason (queue full, quota,
+    /// open breaker, unmeetable deadline, brownout).
+    pub rejected: u64,
+    /// Rejections charged specifically to an empty token bucket.
+    pub quota_rejected: u64,
+    /// Rejections charged to this tenant's open circuit breaker.
+    pub breaker_rejected: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Admitted requests that ended in a typed error.
+    pub failed: u64,
+    /// Admitted requests evicted from the queue (backpressure or
+    /// brownout shedding); a subset of `failed`.
+    pub shed: u64,
+    /// Requests waiting in the scheduler at snapshot time.
+    pub queued: usize,
+    /// Requests executing at snapshot time.
+    pub in_flight: usize,
+    /// Whether the tenant's circuit breaker is currently refusing work.
+    pub breaker_open: bool,
+}
+
+/// Serving counters for one priority class (fleet-wide). The same
+/// admission identity holds per class in every snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct PriorityServeStats {
+    /// Requests admitted at this priority.
+    pub admitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Admitted requests that ended in a typed error.
+    pub failed: u64,
+    /// Admitted requests evicted from the queue; for
+    /// [`Priority::Critical`] this must be 0 — criticals are never shed.
+    pub shed: u64,
+    /// Requests waiting in the scheduler at snapshot time.
+    pub queued: usize,
+    /// Requests executing at snapshot time.
+    pub in_flight: usize,
+}
+
+/// Brownout-ladder state and accounting: the runtime sheds *quality*
+/// before it sheds *work* (tier 1 switches the nonlinear kernels to the
+/// fast LUT/polynomial family with proven ULP envelopes; tier 2 starts
+/// refusing and shedding `Bulk` work), driven by queue-depth/latency
+/// pressure with hysteresis so the ladder does not flap.
+#[derive(Debug, Clone, Default)]
+pub struct BrownoutStats {
+    /// Ladder tier at snapshot time (0 = exact, 1 = fast nonlinear,
+    /// 2 = fast nonlinear + `Bulk` shedding).
+    pub tier: u8,
+    /// Highest tier reached so far.
+    pub max_tier: u8,
+    /// Tier transitions (each one-step move counts once).
+    pub transitions: u64,
+    /// Queued `Bulk` requests shed by tier-2 entry or while at tier 2.
+    pub sheds: u64,
+}
+
 /// Snapshot of the serving runtime's counters, surfaced through
 /// [`crate::SystemStats::serve`].
 ///
 /// Accounting identities (checked by the runtime's tests):
-/// `admitted + rejected == submitted` and, once drained,
-/// `completed + failed == admitted` (shed requests were admitted first
-/// and count under `failed` as well as `shed`).
+/// `admitted + rejected == submitted` and, in *every* snapshot,
+/// `admitted == completed + failed + queued + in_flight` — fleet-wide,
+/// per tenant, and per priority class (shed requests were admitted
+/// first and count under `failed` as well as `shed`).
 #[derive(Debug, Clone, Default)]
 pub struct ServeStats {
     /// Requests offered to `submit`.
@@ -151,8 +283,21 @@ pub struct ServeStats {
     /// Admitted requests that ended in an error (deadline, shed,
     /// shutdown, exhausted retries).
     pub failed: u64,
-    /// Requests that failed specifically because their deadline passed.
+    /// Requests that missed their deadline — failed after admission, or
+    /// (under `Block` backpressure) refused at the gate because the
+    /// budget expired while blocked. The latter also count as `rejected`.
     pub deadline_missed: u64,
+    /// Rejections charged to empty per-tenant token buckets.
+    pub quota_rejected: u64,
+    /// Rejections charged to open per-tenant circuit breakers.
+    pub breaker_rejected: u64,
+    /// Rejections by the early-deadline admission check (remaining
+    /// budget below the calibrated service estimate: queueing the work
+    /// is doomed, so it is refused up front).
+    pub deadline_rejected: u64,
+    /// Admissions refused because the brownout ladder is at tier 2 and
+    /// the request was `Bulk`.
+    pub brownout_rejected: u64,
     /// Executions retried on a different array after a detected fault.
     pub retries: u64,
     /// Executions discarded due to detected faults (fleet-wide sum of
@@ -164,6 +309,12 @@ pub struct ServeStats {
     pub queued: usize,
     /// Requests being executed at snapshot time.
     pub in_flight: usize,
+    /// Brownout-ladder state and accounting.
+    pub brownout: BrownoutStats,
+    /// Per-tenant counters, sorted by tenant id.
+    pub per_tenant: Vec<TenantServeStats>,
+    /// Per-priority-class counters, indexed by [`Priority::index`].
+    pub per_priority: [PriorityServeStats; 3],
     /// Per-array health and counters.
     pub per_array: Vec<ArrayServeStats>,
 }
@@ -177,6 +328,16 @@ impl ServeStats {
     /// Fleet-wide modelled busy seconds.
     pub fn modelled_busy_s(&self) -> f64 {
         self.per_array.iter().map(|a| a.modelled_busy_s).sum()
+    }
+
+    /// The counters for one tenant, if it has been seen.
+    pub fn tenant(&self, id: TenantId) -> Option<&TenantServeStats> {
+        self.per_tenant.iter().find(|t| t.tenant == id)
+    }
+
+    /// The counters for one priority class.
+    pub fn priority(&self, p: Priority) -> &PriorityServeStats {
+        &self.per_priority[p.index()]
     }
 
     /// Publish the snapshot into a metrics [`Registry`] as gauges
@@ -200,6 +361,58 @@ impl ServeStats {
         reg.gauge("serve_serving_arrays")
             .set(self.serving_arrays() as f64);
         reg.gauge("serve_modelled_busy_s").set(self.modelled_busy_s());
+        reg.gauge("serve_quota_rejected")
+            .set(self.quota_rejected as f64);
+        reg.gauge("serve_breaker_rejected")
+            .set(self.breaker_rejected as f64);
+        reg.gauge("serve_deadline_rejected")
+            .set(self.deadline_rejected as f64);
+        reg.gauge("serve_brownout_rejected")
+            .set(self.brownout_rejected as f64);
+        reg.gauge("serve_brownout_tier").set(self.brownout.tier as f64);
+        reg.gauge("serve_brownout_transitions")
+            .set(self.brownout.transitions as f64);
+        reg.gauge("serve_brownout_sheds")
+            .set(self.brownout.sheds as f64);
+        for t in &self.per_tenant {
+            let id = t.tenant.0.to_string();
+            let labels = [("tenant", id.as_str())];
+            reg.gauge(&series("serve_tenant_submitted", &labels))
+                .set(t.submitted as f64);
+            reg.gauge(&series("serve_tenant_admitted", &labels))
+                .set(t.admitted as f64);
+            reg.gauge(&series("serve_tenant_rejected", &labels))
+                .set(t.rejected as f64);
+            reg.gauge(&series("serve_tenant_quota_rejected", &labels))
+                .set(t.quota_rejected as f64);
+            reg.gauge(&series("serve_tenant_completed", &labels))
+                .set(t.completed as f64);
+            reg.gauge(&series("serve_tenant_failed", &labels))
+                .set(t.failed as f64);
+            reg.gauge(&series("serve_tenant_shed", &labels))
+                .set(t.shed as f64);
+            reg.gauge(&series("serve_tenant_queued", &labels))
+                .set(t.queued as f64);
+            reg.gauge(&series("serve_tenant_in_flight", &labels))
+                .set(t.in_flight as f64);
+            reg.gauge(&series("serve_tenant_breaker_open", &labels))
+                .set(if t.breaker_open { 1.0 } else { 0.0 });
+        }
+        for (p, c) in Priority::ALL.iter().zip(self.per_priority.iter()) {
+            let labels = [("priority", p.as_str())];
+            reg.gauge(&series("serve_class_admitted", &labels))
+                .set(c.admitted as f64);
+            reg.gauge(&series("serve_class_completed", &labels))
+                .set(c.completed as f64);
+            reg.gauge(&series("serve_class_failed", &labels))
+                .set(c.failed as f64);
+            reg.gauge(&series("serve_class_shed", &labels))
+                .set(c.shed as f64);
+            reg.gauge(&series("serve_class_queued", &labels))
+                .set(c.queued as f64);
+            reg.gauge(&series("serve_class_in_flight", &labels))
+                .set(c.in_flight as f64);
+        }
         for (i, a) in self.per_array.iter().enumerate() {
             reg.gauge(&format!("serve_array{i}_completed"))
                 .set(a.completed as f64);
@@ -236,6 +449,44 @@ impl fmt::Display for ServeStats {
             self.queued,
             self.in_flight,
         )?;
+        if self.brownout.max_tier > 0 || self.quota_rejected > 0 || self.breaker_rejected > 0 {
+            writeln!(
+                f,
+                "overload: brownout tier {} (max {}, {} transitions, {} sheds) | \
+                 {} quota-rejected, {} breaker-rejected, {} deadline-rejected, {} brownout-rejected",
+                self.brownout.tier,
+                self.brownout.max_tier,
+                self.brownout.transitions,
+                self.brownout.sheds,
+                self.quota_rejected,
+                self.breaker_rejected,
+                self.deadline_rejected,
+                self.brownout_rejected,
+            )?;
+        }
+        if !self.per_tenant.is_empty() {
+            let mut t = Table::new(
+                "per-tenant serving state",
+                &[
+                    "tenant", "weight", "admitted", "rejected", "completed", "failed", "shed",
+                    "queued", "breaker",
+                ],
+            );
+            for ts in &self.per_tenant {
+                t.row(&[
+                    ts.tenant.0.to_string(),
+                    ts.weight.to_string(),
+                    ts.admitted.to_string(),
+                    ts.rejected.to_string(),
+                    ts.completed.to_string(),
+                    ts.failed.to_string(),
+                    ts.shed.to_string(),
+                    format!("{}+{}", ts.queued, ts.in_flight),
+                    if ts.breaker_open { "open" } else { "closed" }.to_string(),
+                ]);
+            }
+            write!(f, "{}", t.render())?;
+        }
         if self.per_array.is_empty() {
             return Ok(());
         }
@@ -261,6 +512,88 @@ impl fmt::Display for ServeStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn priority_order_and_labels() {
+        assert!(Priority::Bulk < Priority::Standard);
+        assert!(Priority::Standard < Priority::Critical);
+        assert_eq!(Priority::default(), Priority::Standard);
+        for (i, p) in Priority::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Priority::Critical.as_str(), "critical");
+        assert_eq!(TenantId(7).to_string(), "tenant7");
+    }
+
+    #[test]
+    fn tenant_and_priority_accessors() {
+        let mut s = ServeStats::default();
+        s.per_tenant.push(TenantServeStats {
+            tenant: TenantId(3),
+            completed: 5,
+            ..Default::default()
+        });
+        s.per_priority[Priority::Critical.index()].admitted = 2;
+        assert_eq!(s.tenant(TenantId(3)).unwrap().completed, 5);
+        assert!(s.tenant(TenantId(4)).is_none());
+        assert_eq!(s.priority(Priority::Critical).admitted, 2);
+    }
+
+    #[test]
+    fn publish_lands_tenant_and_class_series() {
+        let mut s = ServeStats::default();
+        s.per_tenant.push(TenantServeStats {
+            tenant: TenantId(2),
+            admitted: 9,
+            quota_rejected: 3,
+            breaker_open: true,
+            ..Default::default()
+        });
+        s.per_priority[Priority::Bulk.index()].shed = 4;
+        s.brownout = BrownoutStats {
+            tier: 1,
+            max_tier: 2,
+            transitions: 5,
+            sheds: 4,
+        };
+        let reg = bfp_telemetry::Registry::new();
+        s.publish(&reg);
+        let text = reg.snapshot().to_prometheus_text();
+        assert!(
+            text.contains("serve_tenant_admitted{tenant=\"2\"} 9"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_tenant_quota_rejected{tenant=\"2\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_tenant_breaker_open{tenant=\"2\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("serve_class_shed{priority=\"bulk\"} 4"), "{text}");
+        assert!(text.contains("serve_brownout_tier 1"), "{text}");
+        assert!(text.contains("serve_brownout_transitions 5"), "{text}");
+    }
+
+    #[test]
+    fn display_includes_overload_and_tenant_tables() {
+        let mut s = ServeStats::default();
+        s.brownout.max_tier = 2;
+        s.brownout.tier = 1;
+        s.quota_rejected = 6;
+        s.per_tenant.push(TenantServeStats {
+            tenant: TenantId(1),
+            weight: 4,
+            admitted: 10,
+            completed: 8,
+            ..Default::default()
+        });
+        let text = s.to_string();
+        assert!(text.contains("brownout tier 1 (max 2"), "{text}");
+        assert!(text.contains("6 quota-rejected"), "{text}");
+        assert!(text.contains("per-tenant serving state"), "{text}");
+    }
 
     #[test]
     fn health_serving_predicate() {

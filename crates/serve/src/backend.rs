@@ -24,7 +24,33 @@ use bfp_arith::error::ArithError;
 use bfp_arith::matrix::MatF32;
 use bfp_arith::quant::Quantizer;
 use bfp_arith::{AbftOptions, AbftPacked};
+use bfp_core::degrade::{gelu_with_mode, op_count_latency_s};
+use bfp_core::prelude::{MixedEngine, NonlinearMode};
 use bfp_faults::FaultReport;
+use bfp_platform::nonlinear::NonlinearUnit;
+
+/// What one request asks an array to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeOp {
+    /// The bare bfp8 GEMM (`a × b`).
+    #[default]
+    Gemm,
+    /// The fused serving shape: bfp8 GEMM with a GELU epilogue on the
+    /// VPU. This is the op the brownout ladder degrades — at tier ≥ 1
+    /// the epilogue runs the fast LUT/polynomial kernels instead of the
+    /// bit-exact emulated datapath.
+    GemmGelu,
+}
+
+impl ServeOp {
+    /// Stable lowercase label for telemetry and bench reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ServeOp::Gemm => "gemm",
+            ServeOp::GemmGelu => "gemm_gelu",
+        }
+    }
+}
 
 /// What one execution reports back besides its output.
 #[derive(Debug, Clone, Default)]
@@ -39,18 +65,41 @@ pub struct Telemetry {
     pub modelled_s: f64,
 }
 
-/// One array's execution engine. `execute` runs a bfp8 GEMM under a
-/// cancel/deadline token; implementations must *flag* corrupted outputs
-/// via `Telemetry::faults` (`detected`, and `abft_corrections` for
-/// repairs) rather than silently returning them.
+/// One array's execution engine. `execute` runs `op` under a
+/// cancel/deadline token, with nonlinear epilogues in `mode`;
+/// implementations must *flag* corrupted outputs via `Telemetry::faults`
+/// (`detected`, and `abft_corrections` for repairs) rather than
+/// silently returning them, and must be bit-exact for the mode they ran
+/// in (see [`reference_bits`]).
 pub trait ArrayBackend: Send {
-    /// Execute `a × b`, honouring `cancel` between phases.
+    /// Execute `op` over `a × b`, honouring `cancel` between phases.
     fn execute(
         &mut self,
         a: &MatF32,
         b: &MatF32,
+        op: ServeOp,
+        mode: NonlinearMode,
         cancel: &CancelToken,
     ) -> Result<(MatF32, Telemetry), ArithError>;
+}
+
+/// The expected bits of a fault-free execution of `op` in `mode`: the
+/// quantized bfp8 GEMM, plus (for [`ServeOp::GemmGelu`]) the engine's
+/// GELU in the given nonlinear mode. This is the oracle the serving
+/// tests and benches compare completed responses against — "bit-exact
+/// for the mode it ran in" means equal to *this*, bit for bit.
+pub fn reference_bits(a: &MatF32, b: &MatF32, op: ServeOp, mode: NonlinearMode) -> MatF32 {
+    let q = Quantizer::paper();
+    let mut out = q
+        .quantize(a)
+        .expect("reference operand quantizes")
+        .try_matmul(&q.quantize(b).expect("reference operand quantizes"))
+        .expect("reference GEMM executes");
+    if op == ServeOp::GemmGelu {
+        let mut engine = MixedEngine::new().with_threads(1);
+        gelu_with_mode(&mut engine, &mut out, mode);
+    }
+    out
 }
 
 /// Scripted per-array fault behaviour for [`SimArrayBackend`].
@@ -100,13 +149,18 @@ impl ArrayFaultPlan {
 }
 
 /// Simulated array: the packed bfp8 fast path (bit-identical to the
-/// cycle simulator) plus scripted fault injection and a modelled
-/// occupancy clock.
+/// cycle simulator) plus scripted fault injection, a VPU engine for
+/// nonlinear epilogues, and a modelled occupancy clock.
 pub struct SimArrayBackend {
     quantizer: Quantizer,
-    /// Sustained throughput of this single array, GOPS.
+    /// Sustained GEMM throughput of this single array, GOPS.
     gops: f64,
     plan: ArrayFaultPlan,
+    /// VPU engine for nonlinear epilogues; single-threaded — the
+    /// serving runtime already runs one worker thread per array.
+    engine: MixedEngine,
+    /// Nonlinear-unit pricing for the epilogue's modelled seconds.
+    vpu_unit: NonlinearUnit,
 }
 
 impl SimArrayBackend {
@@ -117,6 +171,8 @@ impl SimArrayBackend {
             quantizer: Quantizer::paper(),
             gops,
             plan,
+            engine: MixedEngine::new().with_threads(1),
+            vpu_unit: NonlinearUnit::recommended(),
         }
     }
 }
@@ -126,6 +182,8 @@ impl ArrayBackend for SimArrayBackend {
         &mut self,
         a: &MatF32,
         b: &MatF32,
+        op: ServeOp,
+        mode: NonlinearMode,
         cancel: &CancelToken,
     ) -> Result<(MatF32, Telemetry), ArithError> {
         cancel.check()?;
@@ -160,15 +218,24 @@ impl ArrayBackend for SimArrayBackend {
             no_verify: false,
             tamper: Some(&mut tamper),
         };
-        let (out, r) = pa.matmul_with(&pb, &mut opts)?;
+        let (mut out, r) = pa.matmul_with(&pb, &mut opts)?;
         cancel.check()?;
 
         let macs = a.rows() as u64 * a.cols() as u64 * b.cols() as u64;
-        let modelled_s = if self.gops > 0.0 {
+        let mut modelled_s = if self.gops > 0.0 {
             2.0 * macs as f64 / (self.gops * 1e9)
         } else {
             0.0
         };
+
+        // Nonlinear epilogue, in the dispatched mode. Skipped when the
+        // GEMM carries uncorrected detections — the runtime discards
+        // such outputs, so the VPU pass would be wasted occupancy.
+        if op == ServeOp::GemmGelu && r.detections.saturating_sub(r.corrections()) == 0 {
+            let count = gelu_with_mode(&mut self.engine, &mut out, mode);
+            modelled_s += op_count_latency_s(&self.vpu_unit, &count);
+            cancel.check()?;
+        }
 
         let mut faults = FaultReport::default();
         faults.counters.injected = r.tampered;
@@ -193,7 +260,7 @@ mod tests {
     fn clean_backend_matches_reference_bits() {
         let (a, b) = mats();
         let mut be = SimArrayBackend::new(100.0, ArrayFaultPlan::None);
-        let (out, t) = be.execute(&a, &b, &CancelToken::new()).unwrap();
+        let (out, t) = be.execute(&a, &b, ServeOp::Gemm, NonlinearMode::Exact, &CancelToken::new()).unwrap();
         let q = Quantizer::paper();
         let want = q
             .quantize(&a)
@@ -211,14 +278,14 @@ mod tests {
         let (plan, heal) = ArrayFaultPlan::latched();
         let mut be = SimArrayBackend::new(100.0, plan);
         for _ in 0..3 {
-            let (_, t) = be.execute(&a, &b, &CancelToken::new()).unwrap();
+            let (_, t) = be.execute(&a, &b, ServeOp::Gemm, NonlinearMode::Exact, &CancelToken::new()).unwrap();
             assert_eq!(t.faults.detected, 1, "latched faults are always flagged");
         }
         heal.store(false, Ordering::Relaxed);
-        let (out, t) = be.execute(&a, &b, &CancelToken::new()).unwrap();
+        let (out, t) = be.execute(&a, &b, ServeOp::Gemm, NonlinearMode::Exact, &CancelToken::new()).unwrap();
         assert!(t.faults.is_clean());
         let mut clean = SimArrayBackend::new(100.0, ArrayFaultPlan::None);
-        let (want, _) = clean.execute(&a, &b, &CancelToken::new()).unwrap();
+        let (want, _) = clean.execute(&a, &b, ServeOp::Gemm, NonlinearMode::Exact, &CancelToken::new()).unwrap();
         assert_eq!(out, want, "healed array is bit-clean again");
     }
 
@@ -228,7 +295,7 @@ mod tests {
         let mut be = SimArrayBackend::new(100.0, ArrayFaultPlan::transient(2));
         let mut flagged = 0;
         for _ in 0..5 {
-            let (_, t) = be.execute(&a, &b, &CancelToken::new()).unwrap();
+            let (_, t) = be.execute(&a, &b, ServeOp::Gemm, NonlinearMode::Exact, &CancelToken::new()).unwrap();
             flagged += t.faults.detected;
         }
         assert_eq!(flagged, 2);
@@ -238,10 +305,10 @@ mod tests {
     fn transient_upsets_are_corrected_bit_exact() {
         let (a, b) = mats();
         let mut clean = SimArrayBackend::new(100.0, ArrayFaultPlan::None);
-        let (want, _) = clean.execute(&a, &b, &CancelToken::new()).unwrap();
+        let (want, _) = clean.execute(&a, &b, ServeOp::Gemm, NonlinearMode::Exact, &CancelToken::new()).unwrap();
 
         let mut be = SimArrayBackend::new(100.0, ArrayFaultPlan::transient(1));
-        let (out, t) = be.execute(&a, &b, &CancelToken::new()).unwrap();
+        let (out, t) = be.execute(&a, &b, ServeOp::Gemm, NonlinearMode::Exact, &CancelToken::new()).unwrap();
         assert_eq!(t.faults.detected, 1, "the upset is flagged");
         assert_eq!(t.faults.abft_corrections, 1, "and repaired in place");
         assert_eq!(
@@ -257,7 +324,7 @@ mod tests {
         let (a, b) = mats();
         let (plan, _heal) = ArrayFaultPlan::latched();
         let mut be = SimArrayBackend::new(100.0, plan);
-        let (_, t) = be.execute(&a, &b, &CancelToken::new()).unwrap();
+        let (_, t) = be.execute(&a, &b, ServeOp::Gemm, NonlinearMode::Exact, &CancelToken::new()).unwrap();
         assert_eq!(t.faults.detected, 1);
         assert_eq!(t.faults.abft_corrections, 0, "multi-element smear");
         assert!(
@@ -267,12 +334,53 @@ mod tests {
     }
 
     #[test]
+    fn gelu_epilogue_is_bit_exact_for_the_mode_it_ran_in() {
+        let (a, b) = mats();
+        let mut be = SimArrayBackend::new(100.0, ArrayFaultPlan::None);
+        for mode in [NonlinearMode::Exact, NonlinearMode::Fast] {
+            let (out, t) = be
+                .execute(&a, &b, ServeOp::GemmGelu, mode, &CancelToken::new())
+                .unwrap();
+            let want = reference_bits(&a, &b, ServeOp::GemmGelu, mode);
+            assert_eq!(out, want, "mode {mode:?}");
+            assert!(t.faults.is_clean());
+        }
+        // The two modes really are different computations on these bits.
+        let exact = reference_bits(&a, &b, ServeOp::GemmGelu, NonlinearMode::Exact);
+        let fast = reference_bits(&a, &b, ServeOp::GemmGelu, NonlinearMode::Fast);
+        assert_ne!(exact, fast, "fast GELU is a distinct (cheaper) kernel");
+    }
+
+    #[test]
+    fn fast_epilogue_prices_below_exact() {
+        let (a, b) = mats();
+        let mut be = SimArrayBackend::new(100.0, ArrayFaultPlan::None);
+        let (_, gemm) = be
+            .execute(&a, &b, ServeOp::Gemm, NonlinearMode::Exact, &CancelToken::new())
+            .unwrap();
+        let (_, exact) = be
+            .execute(&a, &b, ServeOp::GemmGelu, NonlinearMode::Exact, &CancelToken::new())
+            .unwrap();
+        let (_, fast) = be
+            .execute(&a, &b, ServeOp::GemmGelu, NonlinearMode::Fast, &CancelToken::new())
+            .unwrap();
+        assert!(exact.modelled_s > gemm.modelled_s, "the epilogue costs time");
+        assert!(fast.modelled_s > gemm.modelled_s);
+        assert!(
+            fast.modelled_s < exact.modelled_s,
+            "fast mode must shrink the epilogue: {} vs {}",
+            fast.modelled_s,
+            exact.modelled_s
+        );
+    }
+
+    #[test]
     fn cancelled_token_aborts_execution() {
         let (a, b) = mats();
         let mut be = SimArrayBackend::new(100.0, ArrayFaultPlan::None);
         let token = CancelToken::new();
         token.cancel();
-        let err = be.execute(&a, &b, &token).unwrap_err();
+        let err = be.execute(&a, &b, ServeOp::Gemm, NonlinearMode::Exact, &token).unwrap_err();
         assert_eq!(err, ArithError::Cancelled { expired: false });
     }
 }

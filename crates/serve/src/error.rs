@@ -12,8 +12,21 @@ pub enum ServeError {
     /// Refused at admission: the queue stayed full for the whole
     /// [`crate::Backpressure::Block`] timeout.
     AdmissionTimeout,
-    /// Admitted, then evicted by [`crate::Backpressure::ShedOldest`] to
-    /// make room for a newer request.
+    /// Refused at admission: the tenant's token bucket was empty.
+    QuotaExceeded,
+    /// Refused at admission: the tenant's circuit breaker is open
+    /// (sustained rejections/failures; it re-probes after a cooldown).
+    CircuitOpen,
+    /// Refused at admission: the request's deadline budget is below the
+    /// calibrated service estimate — queueing it could only produce a
+    /// deadline miss.
+    DeadlineUnmeetable,
+    /// Refused at admission: the brownout ladder is at tier 2 and the
+    /// request is `Bulk` priority.
+    Brownout,
+    /// Admitted, then evicted — by [`crate::Backpressure::ShedOldest`]
+    /// making room for newer work, or by tier-2 brownout shedding of
+    /// `Bulk` requests.
     Shed,
     /// The deadline budget elapsed before a clean answer was produced
     /// (while queued or mid-execution — the array is released either way).
@@ -33,6 +46,12 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::QueueFull => write!(f, "admission queue full"),
             ServeError::AdmissionTimeout => write!(f, "admission blocked past its timeout"),
+            ServeError::QuotaExceeded => write!(f, "tenant quota exhausted"),
+            ServeError::CircuitOpen => write!(f, "tenant circuit breaker open"),
+            ServeError::DeadlineUnmeetable => {
+                write!(f, "deadline budget below the calibrated service estimate")
+            }
+            ServeError::Brownout => write!(f, "bulk work refused at brownout tier 2"),
             ServeError::Shed => write!(f, "shed from the queue to admit newer work"),
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
             ServeError::FaultsExhausted { attempts } => {

@@ -1,44 +1,69 @@
-//! # bfp-serve — resilient serving runtime over the simulated fleet
+//! # bfp-serve — overload-robust multi-tenant serving over the simulated fleet
 //!
 //! The paper's deployment argument is that a bfp8 multi-mode card can
 //! hold up *production* Transformer serving. This crate supplies the
 //! runtime side of that claim: a synchronous-core, thread-pooled server
 //! that owns N simulated accelerator arrays and keeps answering —
-//! correctly — while individual arrays fault.
+//! correctly — while individual arrays fault and while the offered load
+//! exceeds capacity.
 //!
-//! * **Admission control** — a bounded queue with configurable
-//!   [`Backpressure`]: reject, shed-oldest, or block-with-timeout.
+//! * **Tenancy** — every [`ServeRequest`] carries a
+//!   [`TenantId`] and a [`Priority`] (`Bulk` < `Standard` <
+//!   `Critical`). Scheduling is strict across priority classes and
+//!   deficit-weighted round robin across tenants *within* a class, so
+//!   one abusive tenant cannot starve the others (weights come from
+//!   [`TenantQuota`]).
+//! * **Admission control** — applied in order at `submit`: per-tenant
+//!   circuit breaker ([`CircuitPolicy`]), token-bucket quota
+//!   ([`TenantQuota`]), brownout refusal of `Bulk` at tier 2, the
+//!   early-deadline gate (a budget below the calibrated service
+//!   estimate is refused as [`ServeError::DeadlineUnmeetable`] instead
+//!   of queueing doomed work), then queue capacity under the configured
+//!   [`Backpressure`]. Shedding is priority-aware — `Critical` work is
+//!   never evicted.
+//! * **Brownout ladder** — under pressure the runtime sheds *quality*
+//!   before *work* ([`BrownoutPolicy`]): tier 1 switches nonlinear
+//!   epilogues to the fast LUT/polynomial kernels, tier 2 additionally
+//!   refuses and sheds `Bulk`. Escalation is immediate, de-escalation
+//!   waits out a dwell, and every transition is a trace instant.
 //! * **Deadlines** — per-request budgets propagate into the engine as a
 //!   [`bfp_arith::cancel::CancelToken`]; an expired request never
 //!   occupies an array past the next cancellation point and fails fast
-//!   with [`ServeError::DeadlineExceeded`].
+//!   with [`ServeError::DeadlineExceeded`]. A [`Backpressure::Block`]
+//!   wait is capped by the remaining budget and booked as a deadline
+//!   miss, not an admission timeout.
 //! * **Fault handling** — executions run on the checksum-protected
 //!   (ABFT) kernel. A detected single-element upset is *corrected in
 //!   place* and served bit-exact; anything uncorrectable is *discarded*
-//!   (never returned) and retried with capped backoff on a different
-//!   array. Either way the detection is charged as a strike against the
-//!   array's health.
+//!   (never returned) and retried with capped backoff — on a different
+//!   array while one is available, on the same array after a grace
+//!   window otherwise (a fleet of one never starves a retry).
 //! * **Health state machine** — per array, `Healthy → Degraded →
 //!   Quarantined → Probing` (see [`bfp_platform::ArrayHealth`]):
 //!   quarantined arrays are drained and periodically re-certified by a
 //!   golden self-test GEMM bit-checked against the softfp reference,
 //!   then re-admitted.
 //! * **Observability** — [`Server::stats`] snapshots the
-//!   [`bfp_platform::ServeStats`] counters (admission, deadline misses,
-//!   queue high-water, per-array health history) under one lock, so the
-//!   identity `admitted == completed + failed + queued + in_flight`
-//!   holds in every snapshot; [`Server::system_stats`] surfaces them
-//!   through [`bfp_platform::SystemStats`]. Every [`ServeResponse`]
-//!   carries a [`RequestTimeline`] (queue wait + per-attempt execution
-//!   records), and [`Server::attach_tracer`] streams the same lifecycle
-//!   as spans/instants into a [`bfp_telemetry::Tracer`] for Perfetto.
+//!   [`bfp_platform::ServeStats`] counters (admission, per-tenant and
+//!   per-priority rollups, brownout state, per-array health history)
+//!   under one lock, so the identity
+//!   `admitted == completed + failed + queued + in_flight` holds in
+//!   every snapshot — fleet-wide, per tenant, and per priority class;
+//!   [`Server::system_stats`] surfaces them through
+//!   [`bfp_platform::SystemStats`]. Every [`ServeResponse`] carries a
+//!   [`RequestTimeline`] (queue wait + per-attempt execution records)
+//!   and the [`NonlinearMode`] it actually ran in, and
+//!   [`Server::attach_tracer`] streams the same lifecycle as
+//!   spans/instants into a [`bfp_telemetry::Tracer`] for Perfetto.
 //!
 //! The degradation ladder, in order: ABFT in-place correction (free) →
 //! retry (same request, different array) → re-route (health-aware
-//! dispatch) → quarantine (array level) → reject (request level, typed
+//! dispatch) → fast nonlinear kernels (brownout tier 1) → shed `Bulk`
+//! (tier 2) → quarantine (array level) → reject (request level, typed
 //! error). Wrong bits are structurally impossible in a response: only
 //! executions whose fault report carries no *uncorrected* detections
-//! resolve tickets, and a corrected execution is provably bit-exact.
+//! resolve tickets, and every completed response is bit-exact *for the
+//! mode it ran in* (see [`reference_bits`]).
 //!
 //! ## Quickstart
 //!
@@ -54,6 +79,42 @@
 //! assert_eq!(resp.out.rows(), 16);
 //! server.drain();
 //! ```
+//!
+//! ## Multi-tenant quickstart
+//!
+//! ```
+//! use bfp_serve::{
+//!     ArrayFaultPlan, Priority, ServeConfig, ServeOp, ServeRequest, Server, TenantId,
+//!     TenantQuota,
+//! };
+//! use bfp_arith::matrix::MatF32;
+//!
+//! let cfg = ServeConfig {
+//!     quotas: vec![
+//!         // An interactive tenant with 4x the scheduling share…
+//!         (TenantId(1), TenantQuota { weight: 4, ..Default::default() }),
+//!         // …and a rate-limited batch tenant.
+//!         (TenantId(2), TenantQuota { weight: 1, rate_rps: 50.0, burst: 8.0 }),
+//!     ],
+//!     ..Default::default()
+//! };
+//! let server = Server::simulated(cfg, vec![ArrayFaultPlan::None; 2]);
+//! let a = MatF32::from_fn(16, 16, |i, j| (i + j) as f32 / 32.0);
+//! let b = MatF32::from_fn(16, 16, |i, j| (i as f32 - j as f32) / 32.0);
+//! let t = server
+//!     .submit(
+//!         ServeRequest::new(a, b)
+//!             .for_tenant(TenantId(1))
+//!             .with_priority(Priority::Critical)
+//!             .with_op(ServeOp::GemmGelu),
+//!     )
+//!     .unwrap();
+//! let resp = t.wait().unwrap();
+//! assert_eq!(resp.tenant, TenantId(1));
+//! server.drain();
+//! let stats = server.stats();
+//! assert_eq!(stats.tenant(TenantId(1)).unwrap().completed, 1);
+//! ```
 
 mod backend;
 mod config;
@@ -61,16 +122,20 @@ mod error;
 mod server;
 mod ticket;
 
-pub use backend::{ArrayBackend, ArrayFaultPlan, SimArrayBackend, Telemetry};
-pub use config::{Backpressure, HealthPolicy, ServeConfig};
+pub use backend::{reference_bits, ArrayBackend, ArrayFaultPlan, ServeOp, SimArrayBackend, Telemetry};
+pub use config::{Backpressure, BrownoutPolicy, CircuitPolicy, HealthPolicy, ServeConfig, TenantQuota};
 pub use error::ServeError;
 pub use server::{ServeRequest, Server};
 pub use ticket::{AttemptRecord, RequestTimeline, ServeResponse, Ticket};
 
 // Re-export the observability vocabulary so downstream code does not
-// need a direct bfp-platform / bfp-telemetry dependency to inspect
-// snapshots, attach a tracer, or publish metrics.
-pub use bfp_platform::{ArrayHealth, ArrayServeStats, HealthEvent, ServeStats};
+// need a direct bfp-platform / bfp-telemetry / bfp-core dependency to
+// inspect snapshots, attach a tracer, or publish metrics.
+pub use bfp_core::prelude::NonlinearMode;
+pub use bfp_platform::{
+    ArrayHealth, ArrayServeStats, BrownoutStats, HealthEvent, Priority, PriorityServeStats,
+    ServeStats, TenantId, TenantServeStats,
+};
 pub use bfp_telemetry::{Registry, Tracer};
 
 #[cfg(test)]
@@ -370,6 +435,512 @@ mod tests {
         let s = server.stats();
         check(&s);
         assert_eq!(s.completed, 48);
+    }
+
+    use bfp_arith::cancel::CancelToken;
+    use bfp_arith::error::ArithError;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// A backend whose executions block until the test grants permits —
+    /// turns worker scheduling into a deterministic script. Records the
+    /// `a[0][0]` tag of every execution, in order.
+    struct GateBackend {
+        gate: Gate,
+        order: ExecOrder,
+        delegate: SimArrayBackend,
+    }
+
+    type Gate = Arc<(Mutex<u64>, Condvar)>;
+    type ExecOrder = Arc<Mutex<Vec<u64>>>;
+
+    impl GateBackend {
+        fn fleet(n: usize) -> (Vec<Box<dyn ArrayBackend>>, Gate, ExecOrder) {
+            let gate = Arc::new((Mutex::new(0u64), Condvar::new()));
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let backends = (0..n)
+                .map(|_| {
+                    Box::new(GateBackend {
+                        gate: gate.clone(),
+                        order: order.clone(),
+                        delegate: SimArrayBackend::new(100.0, ArrayFaultPlan::None),
+                    }) as Box<dyn ArrayBackend>
+                })
+                .collect();
+            (backends, gate, order)
+        }
+
+        fn release(gate: &Gate, permits: u64) {
+            let (m, cv) = &**gate;
+            *m.lock().unwrap() += permits;
+            cv.notify_all();
+        }
+    }
+
+    impl ArrayBackend for GateBackend {
+        fn execute(
+            &mut self,
+            a: &bfp_arith::matrix::MatF32,
+            b: &bfp_arith::matrix::MatF32,
+            op: ServeOp,
+            mode: NonlinearMode,
+            cancel: &CancelToken,
+        ) -> Result<(bfp_arith::matrix::MatF32, Telemetry), ArithError> {
+            let (m, cv) = &*self.gate;
+            let mut permits = m.lock().unwrap();
+            // Failsafe so a buggy test fails instead of hanging shutdown.
+            let mut patience = 500;
+            while *permits == 0 && patience > 0 {
+                permits = cv
+                    .wait_timeout(permits, Duration::from_millis(10))
+                    .unwrap()
+                    .0;
+                cancel.check()?;
+                patience -= 1;
+            }
+            *permits = permits.saturating_sub(1);
+            drop(permits);
+            self.order.lock().unwrap().push(a.get(0, 0) as u64);
+            self.delegate.execute(a, b, op, mode, cancel)
+        }
+    }
+
+    /// A request whose execution order is observable via `a[0][0]`.
+    fn tagged(tag: u64, priority: Priority) -> ServeRequest {
+        let a = MatF32::from_fn(16, 16, |i, j| {
+            if (i, j) == (0, 0) {
+                tag as f32
+            } else {
+                ((i + j * 3) % 5) as f32 - 2.0
+            }
+        });
+        let b = MatF32::from_fn(16, 16, |i, j| ((i * 7 + j) % 5) as f32 - 2.0);
+        ServeRequest::new(a, b).with_priority(priority)
+    }
+
+    fn wait_in_flight(server: &Server, n: usize) {
+        let mut spins = 0;
+        while server.stats().in_flight < n {
+            std::thread::sleep(Duration::from_millis(1));
+            spins += 1;
+            assert!(spins < 5000, "worker never dispatched");
+        }
+    }
+
+    /// Brownout disabled (thresholds unreachable) so queue-pressure
+    /// tests exercise exactly one mechanism at a time.
+    fn no_brownout() -> BrownoutPolicy {
+        BrownoutPolicy {
+            tier1_pressure: 1e9,
+            tier2_pressure: 2e9,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn strict_priority_then_fifo_within_a_class() {
+        let (backends, gate, order) = GateBackend::fleet(1);
+        let cfg = ServeConfig {
+            brownout: no_brownout(),
+            ..Default::default()
+        };
+        let server = Server::new(cfg, backends);
+        // Occupy the single array, then queue a mix while it is held.
+        let first = server.submit(tagged(100, Priority::Standard)).unwrap();
+        wait_in_flight(&server, 1);
+        let rest: Vec<_> = [
+            tagged(1, Priority::Bulk),
+            tagged(2, Priority::Bulk),
+            tagged(3, Priority::Critical),
+            tagged(4, Priority::Standard),
+        ]
+        .into_iter()
+        .map(|r| server.submit(r).unwrap())
+        .collect();
+        GateBackend::release(&gate, 100);
+        first.wait().unwrap();
+        for t in &rest {
+            t.wait().unwrap();
+        }
+        server.drain();
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec![100, 3, 4, 1, 2],
+            "critical first, then standard FIFO, bulk last"
+        );
+    }
+
+    #[test]
+    fn dwrr_interleaves_tenants_by_weight() {
+        let (backends, gate, order) = GateBackend::fleet(1);
+        let cfg = ServeConfig {
+            quotas: vec![
+                (TenantId(1), TenantQuota { weight: 2, ..Default::default() }),
+                (TenantId(2), TenantQuota { weight: 1, ..Default::default() }),
+            ],
+            brownout: no_brownout(),
+            ..Default::default()
+        };
+        let server = Server::new(cfg, backends);
+        let first = server.submit(tagged(100, Priority::Standard)).unwrap();
+        wait_in_flight(&server, 1);
+        // Tenant 1 (weight 2) tags 10..16, tenant 2 (weight 1) tags 20..23.
+        let mut tickets = Vec::new();
+        for tag in [10u64, 11, 12, 13, 14, 15] {
+            tickets.push(
+                server
+                    .submit(tagged(tag, Priority::Standard).for_tenant(TenantId(1)))
+                    .unwrap(),
+            );
+        }
+        for tag in [20u64, 21, 22] {
+            tickets.push(
+                server
+                    .submit(tagged(tag, Priority::Standard).for_tenant(TenantId(2)))
+                    .unwrap(),
+            );
+        }
+        GateBackend::release(&gate, 100);
+        first.wait().unwrap();
+        for t in &tickets {
+            t.wait().unwrap();
+        }
+        server.drain();
+        let got = order.lock().unwrap().clone();
+        // After the opener, the DWRR serves 2 from tenant 1 per 1 from
+        // tenant 2 until a queue drains.
+        assert_eq!(
+            got,
+            vec![100, 10, 11, 20, 12, 13, 21, 14, 15, 22],
+            "2:1 deficit-weighted interleave"
+        );
+    }
+
+    #[test]
+    fn quota_breaker_trips_opens_and_recovers() {
+        let cfg = ServeConfig {
+            quotas: vec![(
+                TenantId(7),
+                TenantQuota {
+                    weight: 1,
+                    rate_rps: 5.0,
+                    burst: 1.0,
+                },
+            )],
+            breaker: CircuitPolicy {
+                trip_after: 3,
+                cooldown: Duration::from_millis(50),
+                half_open_probes: 1,
+            },
+            ..Default::default()
+        };
+        let server = Server::simulated(cfg, vec![ArrayFaultPlan::None]);
+        let t7 = |s: u64| req(s).for_tenant(TenantId(7));
+        // One token in the bucket: the first request is served…
+        server.submit(t7(0)).unwrap().wait().unwrap();
+        // …then three immediate submissions drain into quota rejections,
+        // which trip the breaker.
+        for s in 1..4 {
+            assert_eq!(server.submit(t7(s)).unwrap_err(), ServeError::QuotaExceeded);
+        }
+        assert_eq!(server.submit(t7(4)).unwrap_err(), ServeError::CircuitOpen);
+        assert!(server.stats().tenant(TenantId(7)).unwrap().breaker_open);
+        // Past the cooldown (and with the bucket refilled) a half-open
+        // probe is admitted; its success closes the breaker.
+        std::thread::sleep(Duration::from_millis(250));
+        server.submit(t7(5)).unwrap().wait().unwrap();
+        server.drain();
+        let s = server.stats();
+        let ts = s.tenant(TenantId(7)).unwrap();
+        assert_eq!(ts.quota_rejected, 3);
+        assert_eq!(ts.breaker_rejected, 1);
+        assert_eq!(ts.completed, 2);
+        assert!(!ts.breaker_open, "successful probe closed the breaker");
+        assert_eq!(s.quota_rejected, 3);
+        assert_eq!(s.breaker_rejected, 1);
+        // Fleet identity including refusals.
+        assert_eq!(s.submitted, s.admitted + s.rejected);
+    }
+
+    #[test]
+    fn brownout_ladder_degrades_then_sheds_bulk() {
+        let (backends, gate, _order) = GateBackend::fleet(1);
+        let cfg = ServeConfig {
+            queue_capacity: 4,
+            brownout: BrownoutPolicy {
+                // 1/4 queued (the opener) stays tier 0; 2/4 is tier 1,
+                // 3/4 is tier 2.
+                tier1_pressure: 0.3,
+                tier2_pressure: 0.75,
+                min_dwell: Duration::from_secs(30),
+                latency_target: Duration::from_secs(30),
+            },
+            ..Default::default()
+        };
+        let server = Server::new(cfg, backends);
+        let tracer = Tracer::new();
+        assert!(server.attach_tracer(tracer.clone()));
+
+        let gelu = |tag: u64, p: Priority| tagged(tag, p).with_op(ServeOp::GemmGelu);
+        // Occupy the array, then build queue pressure: two Bulk, then
+        // Standards pushing pressure through 0.25 (tier 1) and 0.75
+        // (tier 2, which sheds the queued Bulk).
+        let opener = server.submit(gelu(100, Priority::Standard)).unwrap();
+        wait_in_flight(&server, 1);
+        let b1 = server.submit(gelu(1, Priority::Bulk)).unwrap();
+        let b2 = server.submit(gelu(2, Priority::Bulk)).unwrap();
+        let s2 = server.submit(gelu(3, Priority::Standard)).unwrap();
+        let s3 = server.submit(gelu(4, Priority::Standard)).unwrap();
+        assert_eq!(server.stats().brownout.tier, 2, "pressure reached tier 2");
+        assert_eq!(b1.wait(), Err(ServeError::Shed), "tier-2 entry sheds Bulk");
+        assert_eq!(b2.wait(), Err(ServeError::Shed));
+        // Incoming Bulk is refused at the door while at tier 2.
+        assert_eq!(
+            server.submit(gelu(5, Priority::Bulk)).unwrap_err(),
+            ServeError::Brownout
+        );
+        GateBackend::release(&gate, 100);
+        let opened = opener.wait().unwrap();
+        let deg2 = s2.wait().unwrap();
+        let deg3 = s3.wait().unwrap();
+        server.drain();
+
+        // The opener was dispatched at tier 0 (exact); the Standards
+        // were dispatched under brownout and ran the fast kernels. Each
+        // response is bit-exact for the mode it actually ran in.
+        assert_eq!(opened.mode, NonlinearMode::Exact);
+        for resp in [&deg2, &deg3] {
+            assert_eq!(resp.mode, NonlinearMode::Fast);
+        }
+        let (a3, b3) = (
+            tagged(3, Priority::Standard).a,
+            tagged(3, Priority::Standard).b,
+        );
+        assert_eq!(
+            deg2.out,
+            reference_bits(&a3, &b3, ServeOp::GemmGelu, NonlinearMode::Fast),
+            "degraded response is bit-exact for Fast"
+        );
+        assert_ne!(
+            deg2.out,
+            reference_bits(&a3, &b3, ServeOp::GemmGelu, NonlinearMode::Exact),
+            "and genuinely differs from the exact kernel's bits"
+        );
+
+        let s = server.stats();
+        assert_eq!(s.brownout.max_tier, 2);
+        assert!(s.brownout.transitions >= 1);
+        assert_eq!(s.brownout.sheds, 2, "both queued Bulk were shed");
+        assert_eq!(s.brownout_rejected, 1);
+        assert_eq!(s.per_priority[Priority::Bulk.index()].shed, 2);
+        assert_eq!(s.per_priority[Priority::Critical.index()].shed, 0);
+        // Transitions are visible in the trace.
+        let events = tracer.drain();
+        let ups: Vec<_> = events.iter().filter(|e| e.name == "serve.brownout").collect();
+        assert!(!ups.is_empty(), "brownout transitions traced");
+        assert!(ups[0].args.iter().any(|(k, _)| *k == "from"));
+        assert!(ups[0].args.iter().any(|(k, _)| *k == "to"));
+        assert!(events.iter().any(|e| e.name == "serve.brownout_tier"));
+    }
+
+    #[test]
+    fn blocked_admission_is_capped_by_the_deadline() {
+        let (backends, gate, _order) = GateBackend::fleet(1);
+        let cfg = ServeConfig {
+            queue_capacity: 1,
+            backpressure: Backpressure::Block {
+                timeout: Duration::from_secs(30),
+            },
+            brownout: no_brownout(),
+            ..Default::default()
+        };
+        let server = Server::new(cfg, backends);
+        let opener = server.submit(tagged(100, Priority::Standard)).unwrap();
+        wait_in_flight(&server, 1);
+        let queued = server.submit(tagged(1, Priority::Standard)).unwrap();
+        // The queue is full and the array is held: this submission can
+        // only block. Its 50ms budget expires long before the 30s block
+        // timeout — it must come back as a deadline miss, quickly.
+        let t0 = std::time::Instant::now();
+        let err = server
+            .submit(tagged(2, Priority::Standard).with_deadline(Duration::from_millis(50)))
+            .unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded);
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "the wait was capped by the deadline, not the block timeout"
+        );
+        GateBackend::release(&gate, 100);
+        opener.wait().unwrap();
+        queued.wait().unwrap();
+        server.drain();
+        let s = server.stats();
+        assert_eq!(s.admitted, 2, "the expired submission was never admitted");
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.deadline_missed, 1, "booked as a deadline miss");
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.submitted, s.admitted + s.rejected);
+    }
+
+    #[test]
+    fn critical_is_never_shed_even_by_critical_arrivals() {
+        let (backends, gate, _order) = GateBackend::fleet(1);
+        let cfg = ServeConfig {
+            queue_capacity: 2,
+            backpressure: Backpressure::ShedOldest,
+            brownout: no_brownout(),
+            ..Default::default()
+        };
+        let server = Server::new(cfg, backends);
+        let opener = server.submit(tagged(100, Priority::Critical)).unwrap();
+        wait_in_flight(&server, 1);
+        let c1 = server.submit(tagged(1, Priority::Critical)).unwrap();
+        let c2 = server.submit(tagged(2, Priority::Critical)).unwrap();
+        // Queue full of Critical: neither a Bulk nor another Critical
+        // arrival may evict them — both fall back to QueueFull.
+        assert_eq!(
+            server.submit(tagged(3, Priority::Bulk)).unwrap_err(),
+            ServeError::QueueFull
+        );
+        assert_eq!(
+            server.submit(tagged(4, Priority::Critical)).unwrap_err(),
+            ServeError::QueueFull
+        );
+        GateBackend::release(&gate, 100);
+        for t in [&opener, &c1, &c2] {
+            t.wait().unwrap();
+        }
+        server.drain();
+        let s = server.stats();
+        assert_eq!(s.per_priority[Priority::Critical.index()].shed, 0);
+        assert_eq!(s.per_priority[Priority::Critical.index()].completed, 3);
+
+        // A Standard arrival does evict queued Bulk, oldest first.
+        let (backends, gate, _order) = GateBackend::fleet(1);
+        let cfg = ServeConfig {
+            queue_capacity: 2,
+            backpressure: Backpressure::ShedOldest,
+            brownout: no_brownout(),
+            ..Default::default()
+        };
+        let server = Server::new(cfg, backends);
+        let opener = server.submit(tagged(100, Priority::Standard)).unwrap();
+        wait_in_flight(&server, 1);
+        let b1 = server.submit(tagged(1, Priority::Bulk)).unwrap();
+        let b2 = server.submit(tagged(2, Priority::Bulk)).unwrap();
+        let s1 = server.submit(tagged(3, Priority::Standard)).unwrap();
+        assert_eq!(b1.wait(), Err(ServeError::Shed), "oldest Bulk was evicted");
+        GateBackend::release(&gate, 100);
+        for t in [&opener, &b2, &s1] {
+            t.wait().unwrap();
+        }
+        server.drain();
+        let s = server.stats();
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.per_priority[Priority::Bulk.index()].shed, 1);
+    }
+
+    #[test]
+    fn lone_faulting_array_still_retries_its_own_work() {
+        // Two arrays: one latched (every execution faults, quarantines
+        // quickly), one with a transient burst. Once the latched array
+        // quarantines, the transient array is the only runnable one —
+        // requests it faulted on must retry on it rather than starve.
+        let (latched, _heal) = ArrayFaultPlan::latched();
+        let cfg = ServeConfig {
+            max_attempts: 16,
+            health: HealthPolicy {
+                // The latched array (faulting every run) quarantines
+                // fast; the single transient upset leaves the other
+                // array serving.
+                quarantine_strikes: 2,
+                // Keep probes far away so the latched array stays out.
+                probe_interval: Duration::from_secs(30),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let server = Server::simulated(cfg, vec![ArrayFaultPlan::transient(1), latched]);
+        let tickets: Vec<_> = (0..8).map(|s| server.submit(req(s)).unwrap()).collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        server.drain();
+        let s = server.stats();
+        assert_eq!(s.completed, 8, "no request starved");
+        assert!(s.retries >= 1, "faulted attempts were retried");
+        assert_eq!(s.serving_arrays(), 1, "the latched array is quarantined");
+    }
+
+    #[test]
+    fn deadline_gate_refuses_unmeetable_budgets_once_calibrated() {
+        let server = Server::simulated(ServeConfig::default(), vec![ArrayFaultPlan::None; 2]);
+        // Calibrate the service estimate with a batch of clean requests.
+        let tickets: Vec<_> = (0..24).map(|s| server.submit(req(s)).unwrap()).collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        // A nanosecond budget is now provably unmeetable: refused at
+        // admission instead of being queued to miss.
+        let err = server
+            .submit(req(0).with_deadline(Duration::from_nanos(1)))
+            .unwrap_err();
+        assert_eq!(err, ServeError::DeadlineUnmeetable);
+        server.drain();
+        let s = server.stats();
+        assert_eq!(s.deadline_rejected, 1);
+        assert_eq!(s.deadline_missed, 0, "the doomed request never queued");
+        assert_eq!(s.completed, 24);
+    }
+
+    #[test]
+    fn per_tenant_and_per_priority_identities_hold_at_quiescence() {
+        let cfg = ServeConfig {
+            quotas: vec![
+                (TenantId(1), TenantQuota { weight: 3, ..Default::default() }),
+                (TenantId(2), TenantQuota { weight: 1, ..Default::default() }),
+            ],
+            ..Default::default()
+        };
+        let server = Server::simulated(
+            cfg,
+            vec![ArrayFaultPlan::transient(4), ArrayFaultPlan::None],
+        );
+        let mut tickets = Vec::new();
+        for s in 0..30 {
+            let tenant = TenantId(1 + s % 2);
+            let prio = Priority::ALL[(s % 3) as usize];
+            tickets.push(
+                server
+                    .submit(req(s).for_tenant(tenant).with_priority(prio))
+                    .unwrap(),
+            );
+        }
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        server.drain();
+        let s = server.stats();
+        assert_eq!(s.completed, 30);
+        for ts in &s.per_tenant {
+            assert_eq!(
+                ts.admitted,
+                ts.completed + ts.failed + ts.queued as u64 + ts.in_flight as u64,
+                "tenant identity: {ts:?}"
+            );
+            assert_eq!(ts.submitted, ts.admitted + ts.rejected);
+        }
+        assert_eq!(s.tenant(TenantId(1)).unwrap().weight, 3);
+        for (i, ps) in s.per_priority.iter().enumerate() {
+            assert_eq!(
+                ps.admitted,
+                ps.completed + ps.failed + ps.queued as u64 + ps.in_flight as u64,
+                "priority identity at {i}"
+            );
+        }
+        let tenant_sum: u64 = s.per_tenant.iter().map(|t| t.admitted).sum();
+        let prio_sum: u64 = s.per_priority.iter().map(|p| p.admitted).sum();
+        assert_eq!(tenant_sum, s.admitted, "tenant rollup covers the fleet");
+        assert_eq!(prio_sum, s.admitted, "priority rollup covers the fleet");
     }
 
     #[test]

@@ -1,14 +1,25 @@
-//! The serving runtime: bounded admission, per-request deadlines,
-//! retry/re-route of faulted executions, and the array-health state
-//! machine with golden-probe re-admission.
+//! The serving runtime: tenancy-aware weighted-fair admission,
+//! per-request deadlines, a priority brownout ladder, retry/re-route of
+//! faulted executions, and the array-health state machine with
+//! golden-probe re-admission.
 //!
-//! Concurrency shape: one `Mutex<Inner>` holds the queue, the health
-//! states and every counter; three condvars signal workers (`work_cv`),
-//! blocked submitters (`space_cv`) and drainers (`idle_cv`). Each array
-//! is one OS worker thread owning its [`ArrayBackend`]; executions and
-//! probes run outside the lock.
+//! Concurrency shape: one `Mutex<Inner>` holds the scheduler, tenant
+//! table, health states and every counter; three condvars signal
+//! workers (`work_cv`), blocked submitters (`space_cv`) and drainers
+//! (`idle_cv`). Each array is one OS worker thread owning its
+//! [`ArrayBackend`]; executions and probes run outside the lock.
+//!
+//! Scheduling shape: three strict priority classes (`Critical` >
+//! `Standard` > `Bulk`), each a deficit-weighted round robin across
+//! tenant FIFOs. Retries live in a separate queue scanned first — they
+//! were already admitted, charged, and partially served, so finishing
+//! them frees capacity fastest. The brownout ladder watches queue depth
+//! and queue-wait EWMA: tier 1 flips nonlinear epilogues to the fast
+//! kernels, tier 2 additionally sheds `Bulk` work; escalation is
+//! immediate, de-escalation waits out a dwell (hysteresis).
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use std::ops::Bound;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -18,17 +29,28 @@ use bfp_arith::error::ArithError;
 use bfp_arith::matrix::MatF32;
 use bfp_arith::quant::Quantizer;
 use bfp_arith::{AddVariant, HwFp32Add, HwFp32Mul, MulVariant};
+use bfp_core::prelude::NonlinearMode;
 use bfp_faults::FleetLedger;
-use bfp_platform::{ArrayHealth, ArrayServeStats, HealthEvent, ServeStats, System, SystemStats};
+use bfp_platform::{
+    ArrayHealth, ArrayServeStats, BrownoutStats, HealthEvent, Priority, PriorityServeStats,
+    ServeStats, System, SystemStats, TenantId, TenantServeStats,
+};
 use bfp_telemetry::Tracer;
 
-use crate::backend::{ArrayBackend, ArrayFaultPlan, SimArrayBackend, Telemetry};
-use crate::config::{Backpressure, ServeConfig};
+use crate::backend::{ArrayBackend, ArrayFaultPlan, ServeOp, SimArrayBackend, Telemetry};
+use crate::config::{Backpressure, ServeConfig, TenantQuota};
 use crate::error::ServeError;
 use crate::ticket::{AttemptRecord, RequestTimeline, ServeResponse, Ticket, TicketInner};
 
-/// One GEMM request. The deadline budget (if any) starts counting at
-/// admission.
+/// Executions that calibrate the service estimate before the
+/// early-deadline admission gate activates.
+const SVC_CALIBRATION_MIN: u64 = 16;
+/// EWMA smoothing for the service estimate and queue-wait signals.
+const EWMA_ALPHA: f64 = 0.2;
+
+/// One request. The deadline budget (if any) starts counting when
+/// `submit` is entered — time spent blocked at the admission gate
+/// burns it.
 #[derive(Debug, Clone)]
 pub struct ServeRequest {
     /// Left operand.
@@ -37,21 +59,58 @@ pub struct ServeRequest {
     pub b: MatF32,
     /// Per-request deadline budget; `None` uses the config default.
     pub budget: Option<Duration>,
+    /// Tenant the request is charged to (quota, weight, breaker).
+    pub tenant: TenantId,
+    /// Priority class (scheduling strictness and shed eligibility).
+    pub priority: Priority,
+    /// What to compute.
+    pub op: ServeOp,
 }
 
 impl ServeRequest {
-    /// A request with the config-default deadline.
+    /// A request with the config-default deadline, tenant 0,
+    /// `Standard` priority, and the bare GEMM op.
     pub fn new(a: MatF32, b: MatF32) -> Self {
-        ServeRequest { a, b, budget: None }
+        ServeRequest {
+            a,
+            b,
+            budget: None,
+            tenant: TenantId::default(),
+            priority: Priority::default(),
+            op: ServeOp::default(),
+        }
     }
 
     /// A request with an explicit deadline budget.
     pub fn with_budget(a: MatF32, b: MatF32, budget: Duration) -> Self {
         ServeRequest {
-            a,
-            b,
             budget: Some(budget),
+            ..ServeRequest::new(a, b)
         }
+    }
+
+    /// Builder: charge the request to `tenant`.
+    pub fn for_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Builder: run at `priority`.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Builder: compute `op`.
+    pub fn with_op(mut self, op: ServeOp) -> Self {
+        self.op = op;
+        self
+    }
+
+    /// Builder: replace the deadline budget.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
     }
 }
 
@@ -59,6 +118,9 @@ struct Job {
     id: u64,
     a: MatF32,
     b: MatF32,
+    op: ServeOp,
+    tenant: TenantId,
+    priority: Priority,
     deadline: Option<Instant>,
     cancel: CancelToken,
     submitted_at: Instant,
@@ -66,6 +128,11 @@ struct Job {
     attempts: u32,
     attempt_log: Vec<AttemptRecord>,
     not_before: Instant,
+    /// Until this instant a retry prefers a *different* array than the
+    /// one that faulted on it; after it, any serving array (including
+    /// the faulting one) may run it — so a fleet of one, or a fleet
+    /// with every other array quarantined, never starves a retry.
+    avoid_until: Instant,
     last_array: Option<usize>,
     ticket: Arc<TicketInner>,
 }
@@ -94,6 +161,144 @@ impl ArrayState {
     }
 }
 
+/// One priority class's deficit-weighted round robin across tenant
+/// FIFOs. The cursor rests on one tenant with a credit of its weight;
+/// each pop spends one credit, and an exhausted credit (or drained
+/// queue) moves the cursor to the next tenant in id order, wrapping.
+/// Over a full rotation every backlogged tenant is served in
+/// proportion to its weight.
+#[derive(Default)]
+struct ClassSched {
+    queues: BTreeMap<u64, VecDeque<Job>>,
+    cursor: Option<u64>,
+    credit: u32,
+}
+
+impl ClassSched {
+    fn push(&mut self, job: Job) {
+        self.queues.entry(job.tenant.0).or_default().push_back(job);
+    }
+
+    fn len(&self) -> usize {
+        self.queues.values().map(|q| q.len()).sum()
+    }
+
+    fn next_tenant_after(&self, t: Option<u64>) -> Option<u64> {
+        let first = self.queues.keys().next().copied();
+        match t {
+            Some(t) => self
+                .queues
+                .range((Bound::Excluded(t), Bound::Unbounded))
+                .next()
+                .map(|(k, _)| *k)
+                .or(first),
+            None => first,
+        }
+    }
+
+    fn pop(&mut self, weight_of: impl Fn(u64) -> u32) -> Option<Job> {
+        let cur = match self.cursor {
+            Some(t) if self.credit > 0 && self.queues.contains_key(&t) => t,
+            prev => {
+                let t = self.next_tenant_after(prev)?;
+                self.cursor = Some(t);
+                self.credit = weight_of(t).max(1);
+                t
+            }
+        };
+        self.credit -= 1;
+        let q = self.queues.get_mut(&cur).expect("cursor tenant queued");
+        let job = q.pop_front().expect("cursor queue non-empty");
+        if q.is_empty() {
+            self.queues.remove(&cur);
+            self.credit = 0;
+        }
+        Some(job)
+    }
+
+    /// Pop the oldest queued job in this class (shed victim selection).
+    fn pop_oldest(&mut self) -> Option<Job> {
+        let (&t, _) = self
+            .queues
+            .iter()
+            .min_by_key(|(_, q)| q.front().map(|j| j.submitted_at))?;
+        let q = self.queues.get_mut(&t).unwrap();
+        let job = q.pop_front()?;
+        if q.is_empty() {
+            self.queues.remove(&t);
+        }
+        Some(job)
+    }
+}
+
+enum Breaker {
+    Closed,
+    Open { until: Instant },
+    HalfOpen { probes_left: u32 },
+}
+
+struct TenantState {
+    quota: TenantQuota,
+    tokens: f64,
+    last_refill: Instant,
+    breaker: Breaker,
+    consec_bad: u32,
+    in_flight: usize,
+    stats: TenantServeStats,
+}
+
+impl TenantState {
+    fn new(tenant: TenantId, quota: TenantQuota, now: Instant) -> Self {
+        TenantState {
+            quota,
+            tokens: quota.burst.max(1.0),
+            last_refill: now,
+            breaker: Breaker::Closed,
+            consec_bad: 0,
+            in_flight: 0,
+            stats: TenantServeStats {
+                tenant,
+                weight: quota.weight.max(1),
+                ..TenantServeStats::default()
+            },
+        }
+    }
+
+    /// Refill the token bucket and try to take one token. `true` when
+    /// the request is within quota (always, for unlimited tenants).
+    fn take_token(&mut self, now: Instant) -> bool {
+        if self.quota.rate_rps <= 0.0 {
+            return true;
+        }
+        let dt = now.saturating_duration_since(self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        self.tokens = (self.tokens + dt * self.quota.rate_rps).min(self.quota.burst.max(1.0));
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn refusing(&self, now: Instant) -> bool {
+        match self.breaker {
+            Breaker::Open { until } => now < until,
+            Breaker::HalfOpen { probes_left } => probes_left == 0,
+            Breaker::Closed => false,
+        }
+    }
+}
+
+#[derive(Default)]
+struct PrioCounters {
+    admitted: u64,
+    completed: u64,
+    failed: u64,
+    shed: u64,
+    in_flight: usize,
+}
+
 #[derive(Default)]
 struct Counters {
     submitted: u64,
@@ -106,10 +311,25 @@ struct Counters {
     retries: u64,
     degraded_executions: u64,
     queue_depth_high_water: usize,
+    quota_rejected: u64,
+    breaker_rejected: u64,
+    deadline_rejected: u64,
+    brownout_rejected: u64,
+    prio: [PrioCounters; 3],
+}
+
+#[derive(Default)]
+struct BrownoutState {
+    tier: u8,
+    since: Option<Instant>,
+    max_tier: u8,
+    transitions: u64,
+    sheds: u64,
 }
 
 struct Inner {
-    queue: VecDeque<Job>,
+    classes: [ClassSched; 3],
+    retryq: VecDeque<Job>,
     inflight: usize,
     shutdown: bool,
     next_id: u64,
@@ -117,6 +337,19 @@ struct Inner {
     counters: Counters,
     arrays: Vec<ArrayState>,
     ledger: FleetLedger,
+    tenants: BTreeMap<u64, TenantState>,
+    brownout: BrownoutState,
+    /// EWMA of first-dispatch queue wait, seconds (pressure signal).
+    wait_ewma_s: f64,
+    /// EWMA of clean execution wall time, seconds (service estimate).
+    svc_ewma_s: f64,
+    svc_samples: u64,
+}
+
+impl Inner {
+    fn queued_len(&self) -> usize {
+        self.classes.iter().map(|c| c.len()).sum::<usize>() + self.retryq.len()
+    }
 }
 
 struct Shared {
@@ -198,7 +431,8 @@ impl Server {
         let arrays = backends.len();
         let shared = Arc::new(Shared {
             m: Mutex::new(Inner {
-                queue: VecDeque::with_capacity(cfg.queue_capacity),
+                classes: [ClassSched::default(), ClassSched::default(), ClassSched::default()],
+                retryq: VecDeque::new(),
                 inflight: 0,
                 shutdown: false,
                 next_id: 0,
@@ -206,6 +440,11 @@ impl Server {
                 counters: Counters::default(),
                 arrays: (0..arrays).map(|_| ArrayState::new(now)).collect(),
                 ledger: FleetLedger::new(arrays),
+                tenants: BTreeMap::new(),
+                brownout: BrownoutState::default(),
+                wait_ewma_s: 0.0,
+                svc_ewma_s: 0.0,
+                svc_samples: 0,
             }),
             work_cv: Condvar::new(),
             space_cv: Condvar::new(),
@@ -246,55 +485,137 @@ impl Server {
 
     /// Attach a span [`Tracer`]: per-request lifecycle events (queue
     /// wait, executions, retries, faults, deadline misses, admission
-    /// refusals) are recorded into it from here on. One tracer per
-    /// server lifetime; returns `false` if one was already attached.
+    /// refusals, brownout transitions) are recorded into it from here
+    /// on. One tracer per server lifetime; returns `false` if one was
+    /// already attached.
     pub fn attach_tracer(&self, tracer: Tracer) -> bool {
         self.shared.tracer.set(tracer).is_ok()
     }
 
     /// Offer a request. `Ok(Ticket)` means admitted; the typed errors
-    /// are the admission-time refusals.
+    /// are the admission-time refusals, applied in order: shutdown,
+    /// circuit breaker, quota, brownout (tier 2 refuses `Bulk`),
+    /// early-deadline gate, then queue capacity under the configured
+    /// [`Backpressure`].
     pub fn submit(&self, req: ServeRequest) -> Result<Ticket, ServeError> {
         let cfg = &self.shared.cfg;
+        let t_submit = Instant::now();
+        let budget = req.budget.or(cfg.default_budget);
+        let deadline = budget.map(|b| t_submit + b);
+        let tenant = req.tenant;
+        let priority = req.priority;
+
         let mut inner = self.shared.m.lock().unwrap();
         inner.counters.submitted += 1;
+        let quota = cfg.quota_for(tenant);
+        let ts = inner
+            .tenants
+            .entry(tenant.0)
+            .or_insert_with(|| TenantState::new(tenant, quota, t_submit));
+        ts.stats.submitted += 1;
         if inner.shutdown {
-            inner.counters.rejected += 1;
-            if let Some(t) = tr(&self.shared) {
-                t.instant("serve.reject", "serve");
-            }
-            return Err(ServeError::Shutdown);
+            return Err(self.refuse(&mut inner, tenant, ServeError::Shutdown, false));
         }
 
-        if inner.queue.len() >= cfg.queue_capacity {
+        // Circuit breaker: open refuses outright; an elapsed cooldown
+        // moves to half-open, where a limited number of probe
+        // admissions decide whether to close or re-open.
+        if cfg.breaker.trip_after > 0 {
+            let ts = inner.tenants.get_mut(&tenant.0).unwrap();
+            if let Breaker::Open { until } = ts.breaker {
+                if t_submit >= until {
+                    ts.breaker = Breaker::HalfOpen {
+                        probes_left: cfg.breaker.half_open_probes.max(1),
+                    };
+                }
+            }
+            if ts.refusing(t_submit) {
+                return Err(self.refuse(&mut inner, tenant, ServeError::CircuitOpen, false));
+            }
+            if let Breaker::HalfOpen { ref mut probes_left } = ts.breaker {
+                *probes_left -= 1;
+            }
+        }
+
+        // Token-bucket quota.
+        if !inner
+            .tenants
+            .get_mut(&tenant.0)
+            .unwrap()
+            .take_token(t_submit)
+        {
+            return Err(self.refuse(&mut inner, tenant, ServeError::QuotaExceeded, true));
+        }
+
+        // Brownout tier 2 refuses Bulk work at the door.
+        update_brownout(&mut inner, &self.shared, t_submit);
+        if inner.brownout.tier >= 2 && priority == Priority::Bulk {
+            return Err(self.refuse(&mut inner, tenant, ServeError::Brownout, true));
+        }
+
+        // Early-deadline gate: once calibrated, a budget below the
+        // service estimate can only produce a deadline miss — refuse it
+        // now instead of queueing doomed work.
+        if cfg.deadline_gate && inner.svc_samples >= SVC_CALIBRATION_MIN {
+            if let Some(b) = budget {
+                if b.as_secs_f64() < inner.svc_ewma_s {
+                    return Err(self.refuse(
+                        &mut inner,
+                        tenant,
+                        ServeError::DeadlineUnmeetable,
+                        true,
+                    ));
+                }
+            }
+        }
+
+        if inner.queued_len() >= cfg.queue_capacity {
             match cfg.backpressure {
                 Backpressure::Reject => {
-                    inner.counters.rejected += 1;
-                    if let Some(t) = tr(&self.shared) {
-                        t.instant("serve.reject", "serve");
-                    }
-                    return Err(ServeError::QueueFull);
+                    return Err(self.refuse(&mut inner, tenant, ServeError::QueueFull, true));
                 }
                 Backpressure::ShedOldest => {
-                    if let Some(victim) = inner.queue.pop_front() {
-                        victim.cancel.cancel();
-                        inner.counters.shed += 1;
-                        if let Some(t) = tr(&self.shared) {
-                            t.instant_with("serve.shed", "serve", vec![("req", victim.id)]);
+                    // Shed from the lowest non-Critical class at or
+                    // below the incoming priority; Critical is never a
+                    // victim. No eligible victim → refuse the newcomer.
+                    let ceiling = priority.index().min(Priority::Standard.index());
+                    let victim = (0..=ceiling).find_map(|c| inner.classes[c].pop_oldest());
+                    match victim {
+                        Some(victim) => {
+                            victim.cancel.cancel();
+                            if let Some(t) = tr(&self.shared) {
+                                t.instant_with("serve.shed", "serve", vec![("req", victim.id)]);
+                            }
+                            resolve(&mut inner, &self.shared, &victim, Err(ServeError::Shed));
                         }
-                        resolve(&mut inner, &victim.ticket, Err(ServeError::Shed));
+                        None => {
+                            return Err(self.refuse(
+                                &mut inner,
+                                tenant,
+                                ServeError::QueueFull,
+                                true,
+                            ));
+                        }
                     }
                 }
                 Backpressure::Block { timeout } => {
-                    let gate = Instant::now() + timeout;
-                    while inner.queue.len() >= cfg.queue_capacity && !inner.shutdown {
+                    // The wait is capped by the request's own remaining
+                    // deadline: burning the whole budget at the gate is
+                    // a deadline miss, not an admission timeout.
+                    let timeout_gate = t_submit + timeout;
+                    let gate = match deadline {
+                        Some(d) => timeout_gate.min(d),
+                        None => timeout_gate,
+                    };
+                    while inner.queued_len() >= cfg.queue_capacity && !inner.shutdown {
                         let now = Instant::now();
                         if now >= gate {
-                            inner.counters.rejected += 1;
-                            if let Some(t) = tr(&self.shared) {
-                                t.instant("serve.reject", "serve");
-                            }
-                            return Err(ServeError::AdmissionTimeout);
+                            let (err, is_reason) = if deadline.is_some_and(|d| gate == d) {
+                                (ServeError::DeadlineExceeded, true)
+                            } else {
+                                (ServeError::AdmissionTimeout, true)
+                            };
+                            return Err(self.refuse(&mut inner, tenant, err, is_reason));
                         }
                         let (guard, _) = self
                             .shared
@@ -304,19 +625,13 @@ impl Server {
                         inner = guard;
                     }
                     if inner.shutdown {
-                        inner.counters.rejected += 1;
-                        if let Some(t) = tr(&self.shared) {
-                            t.instant("serve.reject", "serve");
-                        }
-                        return Err(ServeError::Shutdown);
+                        return Err(self.refuse(&mut inner, tenant, ServeError::Shutdown, false));
                     }
                 }
             }
         }
 
         let now = Instant::now();
-        let budget = req.budget.or(cfg.default_budget);
-        let deadline = budget.map(|b| now + b);
         let cancel = match deadline {
             Some(d) => CancelToken::with_deadline(d),
             None => CancelToken::new(),
@@ -324,10 +639,13 @@ impl Server {
         let id = inner.next_id;
         inner.next_id += 1;
         let ticket_inner = TicketInner::new();
-        inner.queue.push_back(Job {
+        let job = Job {
             id,
             a: req.a,
             b: req.b,
+            op: req.op,
+            tenant,
+            priority,
             deadline,
             cancel,
             submitted_at: now,
@@ -335,11 +653,15 @@ impl Server {
             attempts: 0,
             attempt_log: Vec::new(),
             not_before: now,
+            avoid_until: now,
             last_array: None,
             ticket: ticket_inner.clone(),
-        });
+        };
         inner.counters.admitted += 1;
-        let depth = inner.queue.len();
+        inner.counters.prio[priority.index()].admitted += 1;
+        inner.tenants.get_mut(&tenant.0).unwrap().stats.admitted += 1;
+        inner.classes[priority.index()].push(job);
+        let depth = inner.queued_len();
         if depth > inner.counters.queue_depth_high_water {
             inner.counters.queue_depth_high_water = depth;
         }
@@ -351,12 +673,49 @@ impl Server {
         Ok(Ticket::new(id, ticket_inner))
     }
 
-    /// Block until every admitted request has resolved (the queue is
-    /// empty and no execution is in flight). New submissions during the
-    /// wait extend it.
+    /// Book an admission refusal: fleet + tenant counters, the typed
+    /// reason counter, the breaker's consecutive-bad feed (skipped for
+    /// refusals that are not the tenant's doing), and the trace
+    /// instant. Returns the error for the caller to propagate.
+    fn refuse(
+        &self,
+        inner: &mut Inner,
+        tenant: TenantId,
+        err: ServeError,
+        counts_as_bad: bool,
+    ) -> ServeError {
+        inner.counters.rejected += 1;
+        match err {
+            ServeError::QuotaExceeded => inner.counters.quota_rejected += 1,
+            ServeError::CircuitOpen => inner.counters.breaker_rejected += 1,
+            ServeError::DeadlineUnmeetable => inner.counters.deadline_rejected += 1,
+            ServeError::Brownout => inner.counters.brownout_rejected += 1,
+            ServeError::DeadlineExceeded => inner.counters.deadline_missed += 1,
+            _ => {}
+        }
+        if let Some(ts) = inner.tenants.get_mut(&tenant.0) {
+            ts.stats.rejected += 1;
+            match err {
+                ServeError::QuotaExceeded => ts.stats.quota_rejected += 1,
+                ServeError::CircuitOpen => ts.stats.breaker_rejected += 1,
+                _ => {}
+            }
+        }
+        if counts_as_bad {
+            breaker_note_bad(inner, &self.shared, tenant);
+        }
+        if let Some(t) = tr(&self.shared) {
+            t.instant_with("serve.reject", "serve", vec![("tenant", tenant.0)]);
+        }
+        err
+    }
+
+    /// Block until every admitted request has resolved (the scheduler
+    /// is empty and no execution is in flight). New submissions during
+    /// the wait extend it.
     pub fn drain(&self) {
         let mut inner = self.shared.m.lock().unwrap();
-        while !(inner.queue.is_empty() && inner.inflight == 0) {
+        while !(inner.queued_len() == 0 && inner.inflight == 0) {
             inner = self.shared.idle_cv.wait(inner).unwrap();
         }
     }
@@ -371,10 +730,10 @@ impl Server {
                 return;
             }
             inner.shutdown = true;
-            let victims: Vec<Job> = inner.queue.drain(..).collect();
+            let victims = take_all_queued(&mut inner);
             for job in victims {
                 job.cancel.cancel();
-                resolve(&mut inner, &job.ticket, Err(ServeError::Shutdown));
+                resolve(&mut inner, &self.shared, &job, Err(ServeError::Shutdown));
             }
             if inner.inflight == 0 {
                 self.shared.idle_cv.notify_all();
@@ -387,13 +746,52 @@ impl Server {
         }
     }
 
-    /// Snapshot of the runtime counters and per-array health, taken
-    /// under one lock acquisition so the accounting identity
+    /// Snapshot of the runtime counters, per-tenant and per-priority
+    /// rollups, brownout state, and per-array health — taken under one
+    /// lock acquisition so the accounting identity
     /// `admitted == completed + failed + queued + in_flight` holds in
-    /// every snapshot, not just at quiescence.
+    /// every snapshot (fleet-wide, per tenant, and per priority), not
+    /// just at quiescence.
     pub fn stats(&self) -> ServeStats {
+        let now = Instant::now();
         let inner = self.shared.m.lock().unwrap();
         let c = &inner.counters;
+
+        // Queued rollups are derived from the scheduler itself — the
+        // ground truth — rather than shadow counters.
+        let mut tenant_queued: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut prio_queued = [0usize; 3];
+        for (ci, cls) in inner.classes.iter().enumerate() {
+            for (t, q) in &cls.queues {
+                *tenant_queued.entry(*t).or_default() += q.len();
+                prio_queued[ci] += q.len();
+            }
+        }
+        for job in &inner.retryq {
+            *tenant_queued.entry(job.tenant.0).or_default() += 1;
+            prio_queued[job.priority.index()] += 1;
+        }
+
+        let per_tenant = inner
+            .tenants
+            .values()
+            .map(|ts| {
+                let mut s = ts.stats.clone();
+                s.queued = tenant_queued.get(&s.tenant.0).copied().unwrap_or(0);
+                s.in_flight = ts.in_flight;
+                s.breaker_open = ts.refusing(now);
+                s
+            })
+            .collect();
+        let per_priority = std::array::from_fn(|i| PriorityServeStats {
+            admitted: c.prio[i].admitted,
+            completed: c.prio[i].completed,
+            failed: c.prio[i].failed,
+            shed: c.prio[i].shed,
+            queued: prio_queued[i],
+            in_flight: c.prio[i].in_flight,
+        });
+
         ServeStats {
             submitted: c.submitted,
             admitted: c.admitted,
@@ -405,8 +803,20 @@ impl Server {
             retries: c.retries,
             degraded_executions: c.degraded_executions,
             queue_depth_high_water: c.queue_depth_high_water,
-            queued: inner.queue.len(),
+            quota_rejected: c.quota_rejected,
+            breaker_rejected: c.breaker_rejected,
+            deadline_rejected: c.deadline_rejected,
+            brownout_rejected: c.brownout_rejected,
+            queued: inner.queued_len(),
             in_flight: inner.inflight,
+            brownout: BrownoutStats {
+                tier: inner.brownout.tier,
+                max_tier: inner.brownout.max_tier,
+                transitions: inner.brownout.transitions,
+                sheds: inner.brownout.sheds,
+            },
+            per_tenant,
+            per_priority,
             per_array: inner
                 .arrays
                 .iter()
@@ -446,24 +856,168 @@ impl Drop for Server {
     }
 }
 
-/// Fill a ticket and book the outcome into the counters. No-op on a
+/// Fill a ticket and book the outcome into the fleet, tenant, and
+/// priority counters, feeding the tenant's circuit breaker. No-op on a
 /// ticket that already resolved (e.g. shed racing completion).
-fn resolve(inner: &mut Inner, ticket: &Arc<TicketInner>, result: Result<ServeResponse, ServeError>) {
+fn resolve(inner: &mut Inner, shared: &Shared, job: &Job, result: Result<ServeResponse, ServeError>) {
     let failure = match &result {
         Ok(_) => None,
         Err(e) => Some(e.clone()),
     };
-    if !ticket.resolve(result) {
+    if !job.ticket.resolve(result) {
         return;
     }
+    let pi = job.priority.index();
     match failure {
-        None => inner.counters.completed += 1,
-        Some(e) => {
-            inner.counters.failed += 1;
-            if e == ServeError::DeadlineExceeded {
-                inner.counters.deadline_missed += 1;
+        None => {
+            inner.counters.completed += 1;
+            inner.counters.prio[pi].completed += 1;
+            if let Some(ts) = inner.tenants.get_mut(&job.tenant.0) {
+                ts.stats.completed += 1;
+                ts.consec_bad = 0;
+                if matches!(ts.breaker, Breaker::HalfOpen { .. }) {
+                    ts.breaker = Breaker::Closed;
+                }
             }
         }
+        Some(e) => {
+            inner.counters.failed += 1;
+            inner.counters.prio[pi].failed += 1;
+            if let Some(ts) = inner.tenants.get_mut(&job.tenant.0) {
+                ts.stats.failed += 1;
+            }
+            match e {
+                ServeError::DeadlineExceeded => {
+                    inner.counters.deadline_missed += 1;
+                    breaker_note_bad(inner, shared, job.tenant);
+                }
+                ServeError::Shed => {
+                    inner.counters.shed += 1;
+                    inner.counters.prio[pi].shed += 1;
+                    if let Some(ts) = inner.tenants.get_mut(&job.tenant.0) {
+                        ts.stats.shed += 1;
+                    }
+                }
+                ServeError::FaultsExhausted { .. } => breaker_note_bad(inner, shared, job.tenant),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Feed one bad outcome (rejection or failure) into a tenant's breaker.
+fn breaker_note_bad(inner: &mut Inner, shared: &Shared, tenant: TenantId) {
+    let policy = &shared.cfg.breaker;
+    if policy.trip_after == 0 {
+        return;
+    }
+    let Some(ts) = inner.tenants.get_mut(&tenant.0) else {
+        return;
+    };
+    ts.consec_bad = ts.consec_bad.saturating_add(1);
+    let trip = match ts.breaker {
+        Breaker::Closed => ts.consec_bad >= policy.trip_after,
+        // A failed half-open probe re-opens immediately.
+        Breaker::HalfOpen { .. } => true,
+        Breaker::Open { .. } => false,
+    };
+    if trip {
+        ts.breaker = Breaker::Open {
+            until: Instant::now() + policy.cooldown,
+        };
+        ts.consec_bad = 0;
+    }
+}
+
+/// Re-evaluate the brownout ladder from the pressure signals. Escalates
+/// immediately; de-escalates one decision at a time only after
+/// `min_dwell` at the current tier. Entering tier 2 sheds queued `Bulk`
+/// work on the spot.
+fn update_brownout(inner: &mut Inner, shared: &Shared, now: Instant) {
+    let policy = &shared.cfg.brownout;
+    let cap = shared.cfg.queue_capacity.max(1) as f64;
+    let depth_pressure = inner.queued_len() as f64 / cap;
+    let latency_target = policy.latency_target.as_secs_f64();
+    let wait_pressure = if latency_target > 0.0 {
+        inner.wait_ewma_s / latency_target
+    } else {
+        0.0
+    };
+    let pressure = depth_pressure.max(wait_pressure);
+    let target: u8 = if pressure >= policy.tier2_pressure {
+        2
+    } else if pressure >= policy.tier1_pressure {
+        1
+    } else {
+        0
+    };
+    let tier = inner.brownout.tier;
+    let next = if target > tier {
+        target
+    } else if target < tier {
+        // Hysteresis: hold the tier until it has dwelt long enough.
+        let dwelt = inner
+            .brownout
+            .since
+            .is_none_or(|s| now.saturating_duration_since(s) >= policy.min_dwell);
+        if dwelt {
+            target
+        } else {
+            tier
+        }
+    } else {
+        tier
+    };
+    if next == tier {
+        return;
+    }
+    inner.brownout.tier = next;
+    inner.brownout.since = Some(now);
+    inner.brownout.transitions += 1;
+    inner.brownout.max_tier = inner.brownout.max_tier.max(next);
+    if let Some(t) = tr(shared) {
+        t.instant_with(
+            "serve.brownout",
+            "serve",
+            vec![
+                ("from", tier as u64),
+                ("to", next as u64),
+                ("pressure_pct", (pressure * 100.0) as u64),
+            ],
+        );
+        t.counter("serve.brownout_tier", "serve", next as f64);
+    }
+    if next >= 2 && tier < 2 {
+        shed_bulk(inner, shared);
+    }
+}
+
+/// Shed every queued `Bulk` request (tier-2 brownout entry).
+fn shed_bulk(inner: &mut Inner, shared: &Shared) {
+    let bulk = Priority::Bulk.index();
+    let mut victims: Vec<Job> = Vec::new();
+    let queues = std::mem::take(&mut inner.classes[bulk].queues);
+    for (_, mut q) in queues {
+        victims.extend(q.drain(..));
+    }
+    inner.classes[bulk].cursor = None;
+    inner.classes[bulk].credit = 0;
+    let mut i = 0;
+    while i < inner.retryq.len() {
+        if inner.retryq[i].priority == Priority::Bulk {
+            victims.push(inner.retryq.remove(i).unwrap());
+        } else {
+            i += 1;
+        }
+    }
+    for job in victims {
+        job.cancel.cancel();
+        inner.brownout.sheds += 1;
+        if let Some(t) = tr(shared) {
+            t.instant_with("serve.shed", "serve", vec![("req", job.id), ("brownout", 1)]);
+        }
+        resolve(inner, shared, &job, Err(ServeError::Shed));
+        shared.space_cv.notify_one();
     }
 }
 
@@ -517,28 +1071,109 @@ fn note_execution(inner: &mut Inner, array: usize, faulted: bool, shared: &Share
     }
 }
 
+/// Pull every queued job (all classes + retries) out of the scheduler.
+fn take_all_queued(inner: &mut Inner) -> Vec<Job> {
+    let mut out = Vec::new();
+    for cls in inner.classes.iter_mut() {
+        let queues = std::mem::take(&mut cls.queues);
+        for (_, mut q) in queues {
+            out.extend(q.drain(..));
+        }
+        cls.cursor = None;
+        cls.credit = 0;
+    }
+    out.extend(inner.retryq.drain(..));
+    out
+}
+
 /// Resolve every queued job whose deadline has already passed. Runs on
 /// each worker wake-up so expired requests clear even when no array can
 /// serve (e.g. the whole fleet quarantined).
 fn sweep_expired(inner: &mut Inner, shared: &Shared, now: Instant) {
-    let mut i = 0;
-    while i < inner.queue.len() {
-        let expired = inner.queue[i].deadline.is_some_and(|d| now >= d);
-        if expired {
-            let job = inner.queue.remove(i).unwrap();
-            job.cancel.cancel();
-            if let Some(t) = tr(shared) {
-                t.instant_with("serve.deadline_miss", "serve", vec![("req", job.id)]);
+    let mut expired: Vec<Job> = Vec::new();
+    for cls in inner.classes.iter_mut() {
+        let mut drained: Vec<u64> = Vec::new();
+        for (t, q) in cls.queues.iter_mut() {
+            let mut i = 0;
+            while i < q.len() {
+                if q[i].deadline.is_some_and(|d| now >= d) {
+                    expired.push(q.remove(i).unwrap());
+                } else {
+                    i += 1;
+                }
             }
-            resolve(inner, &job.ticket, Err(ServeError::DeadlineExceeded));
-            shared.space_cv.notify_one();
+            if q.is_empty() {
+                drained.push(*t);
+            }
+        }
+        for t in drained {
+            cls.queues.remove(&t);
+        }
+    }
+    let mut i = 0;
+    while i < inner.retryq.len() {
+        if inner.retryq[i].deadline.is_some_and(|d| now >= d) {
+            expired.push(inner.retryq.remove(i).unwrap());
         } else {
             i += 1;
         }
     }
-    if inner.queue.is_empty() && inner.inflight == 0 {
+    for job in expired {
+        job.cancel.cancel();
+        if let Some(t) = tr(shared) {
+            t.instant_with("serve.deadline_miss", "serve", vec![("req", job.id)]);
+        }
+        resolve(inner, shared, &job, Err(ServeError::DeadlineExceeded));
+        shared.space_cv.notify_one();
+    }
+    if inner.queued_len() == 0 && inner.inflight == 0 {
         shared.idle_cv.notify_all();
     }
+}
+
+/// Pick the next job for `array`: runnable retries first (oldest
+/// admitted work; finishing it frees capacity fastest), then the
+/// highest non-empty priority class under its DWRR. Returns the job or
+/// the soonest instant a backoff expires.
+fn pick_job(inner: &mut Inner, array: usize, now: Instant) -> Result<Job, Option<Instant>> {
+    let serving = inner.arrays.iter().filter(|a| a.health.serves()).count();
+    let mut soonest: Option<Instant> = None;
+    let mut pick: Option<usize> = None;
+    for (i, job) in inner.retryq.iter().enumerate() {
+        if job.not_before > now {
+            soonest = Some(soonest.map_or(job.not_before, |s| s.min(job.not_before)));
+            continue;
+        }
+        // Prefer a different array than the one that faulted on the
+        // job — but only until `avoid_until`: with one serving array
+        // (or after the grace), the same array may retry it rather
+        // than starving the request.
+        if job.last_array == Some(array) && serving > 1 && now < job.avoid_until {
+            soonest = Some(soonest.map_or(job.avoid_until, |s| s.min(job.avoid_until)));
+            continue;
+        }
+        pick = Some(i);
+        break;
+    }
+    if let Some(i) = pick {
+        return Ok(inner.retryq.remove(i).unwrap());
+    }
+    let Inner {
+        classes, tenants, ..
+    } = inner;
+    for cls in classes.iter_mut().rev() {
+        let weight_of = |t: u64| {
+            tenants
+                .get(&t)
+                .map(|ts| ts.quota.weight)
+                .unwrap_or(1)
+                .max(1)
+        };
+        if let Some(job) = cls.pop(weight_of) {
+            return Ok(job);
+        }
+    }
+    Err(soonest)
 }
 
 fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBackend>) {
@@ -546,7 +1181,8 @@ fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBack
     loop {
         let now = Instant::now();
         sweep_expired(&mut inner, &shared, now);
-        if inner.shutdown && inner.queue.is_empty() {
+        update_brownout(&mut inner, &shared, now);
+        if inner.shutdown && inner.queued_len() == 0 {
             return;
         }
 
@@ -562,7 +1198,13 @@ fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBack
                 inner.arrays[array].stats.probes_run += 1;
                 drop(inner);
                 let t0 = Instant::now();
-                let probe = backend.execute(&shared.golden.a, &shared.golden.b, &CancelToken::new());
+                let probe = backend.execute(
+                    &shared.golden.a,
+                    &shared.golden.b,
+                    ServeOp::Gemm,
+                    NonlinearMode::Exact,
+                    &CancelToken::new(),
+                );
                 let t1 = Instant::now();
                 inner = shared.m.lock().unwrap();
                 let policy = &shared.cfg.health;
@@ -615,45 +1257,42 @@ fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBack
             ArrayHealth::Healthy | ArrayHealth::Degraded => {}
         }
 
-        // Pick the first runnable job. A retry avoids the array that
-        // just faulted on it whenever another serving array exists.
-        let serving = inner.arrays.iter().filter(|a| a.health.serves()).count();
-        let mut pick = None;
-        let mut soonest: Option<Instant> = None;
-        for (i, job) in inner.queue.iter().enumerate() {
-            if job.not_before > now {
-                soonest = Some(soonest.map_or(job.not_before, |s| s.min(job.not_before)));
+        let mut job = match pick_job(&mut inner, array, now) {
+            Ok(job) => job,
+            Err(soonest) => {
+                if inner.shutdown {
+                    return;
+                }
+                let wait = soonest
+                    .map(|s| s.saturating_duration_since(now))
+                    .unwrap_or(Duration::from_millis(20));
+                let (guard, _) = shared
+                    .work_cv
+                    .wait_timeout(inner, wait.max(Duration::from_micros(100)))
+                    .unwrap();
+                inner = guard;
                 continue;
             }
-            if job.last_array == Some(array) && serving > 1 {
-                continue;
-            }
-            pick = Some(i);
-            break;
-        }
-        let Some(i) = pick else {
-            if inner.shutdown {
-                return;
-            }
-            let wait = soonest
-                .map(|s| s.saturating_duration_since(now))
-                .unwrap_or(Duration::from_millis(20));
-            let (guard, _) = shared
-                .work_cv
-                .wait_timeout(inner, wait.max(Duration::from_micros(100)))
-                .unwrap();
-            inner = guard;
-            continue;
         };
 
-        let mut job = inner.queue.remove(i).unwrap();
         inner.inflight += 1;
+        inner.counters.prio[job.priority.index()].in_flight += 1;
+        if let Some(ts) = inner.tenants.get_mut(&job.tenant.0) {
+            ts.in_flight += 1;
+        }
+        // The dispatch tier decides the nonlinear mode of this attempt.
+        let mode = if inner.brownout.tier >= 1 {
+            NonlinearMode::Fast
+        } else {
+            NonlinearMode::Exact
+        };
         shared.space_cv.notify_one();
-        drop(inner);
 
         let dispatched = Instant::now();
         if job.first_dispatch.is_none() {
             job.first_dispatch = Some(dispatched);
+            let wait_s = (dispatched - job.submitted_at).as_secs_f64();
+            inner.wait_ewma_s = (1.0 - EWMA_ALPHA) * inner.wait_ewma_s + EWMA_ALPHA * wait_s;
             if let Some(t) = tr(&shared) {
                 t.complete_between_with(
                     "serve.queue_wait",
@@ -664,23 +1303,28 @@ fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBack
                 );
             }
         }
+        drop(inner);
         job.attempts += 1;
-        let outcome = backend.execute(&job.a, &job.b, &job.cancel);
+        let outcome = backend.execute(&job.a, &job.b, job.op, mode, &job.cancel);
+        let finished = Instant::now();
         if let Some(t) = tr(&shared) {
             t.complete_between_with(
                 "serve.execute",
                 "serve",
                 dispatched,
-                Instant::now(),
+                finished,
                 vec![
                     ("req", job.id),
                     ("array", array as u64),
                     ("attempt", job.attempts as u64),
+                    ("tenant", job.tenant.0),
+                    ("tier", (mode == NonlinearMode::Fast) as u64),
                 ],
             );
         }
 
         inner = shared.m.lock().unwrap();
+        let (job_tenant, job_priority) = (job.tenant, job.priority);
         let wall_s = job.submitted_at.elapsed().as_secs_f64();
         let queue_wait_s = job
             .first_dispatch
@@ -699,6 +1343,7 @@ fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBack
                     array,
                     modelled_s,
                     faulted,
+                    mode,
                 });
                 if flagged {
                     if let Some(t) = tr(&shared) {
@@ -716,43 +1361,69 @@ fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBack
                 }
                 note_execution(&mut inner, array, flagged, &shared);
                 if !faulted {
+                    // Clean execution: fold its wall time into the
+                    // service estimate the deadline gate consults.
+                    let svc_s = (finished - dispatched).as_secs_f64();
+                    inner.svc_ewma_s = if inner.svc_samples == 0 {
+                        svc_s
+                    } else {
+                        (1.0 - EWMA_ALPHA) * inner.svc_ewma_s + EWMA_ALPHA * svc_s
+                    };
+                    inner.svc_samples += 1;
                     inner.arrays[array].stats.completed += 1;
-                    resolve(
-                        &mut inner,
-                        &job.ticket,
-                        Ok(ServeResponse {
-                            out,
-                            array,
-                            attempts: job.attempts,
-                            modelled_s,
-                            wall_s,
-                            timeline: RequestTimeline {
-                                queue_wait_s,
-                                attempts: std::mem::take(&mut job.attempt_log),
-                                total_s: wall_s,
-                            },
-                        }),
-                    );
+                    let resp = ServeResponse {
+                        out,
+                        array,
+                        tenant: job.tenant,
+                        priority: job.priority,
+                        mode,
+                        attempts: job.attempts,
+                        modelled_s,
+                        wall_s,
+                        timeline: RequestTimeline {
+                            queue_wait_s,
+                            attempts: std::mem::take(&mut job.attempt_log),
+                            total_s: wall_s,
+                        },
+                    };
+                    resolve(&mut inner, &shared, &job, Ok(resp));
                 } else if job.attempts >= shared.cfg.max_attempts {
                     resolve(
                         &mut inner,
-                        &job.ticket,
+                        &shared,
+                        &job,
                         Err(ServeError::FaultsExhausted {
                             attempts: job.attempts,
                         }),
                     );
                 } else if inner.shutdown {
-                    resolve(&mut inner, &job.ticket, Err(ServeError::Shutdown));
+                    resolve(&mut inner, &shared, &job, Err(ServeError::Shutdown));
+                } else if inner.brownout.tier >= 2 && job.priority == Priority::Bulk {
+                    // Tier 2 is shedding Bulk: don't requeue a Bulk
+                    // retry into a scheduler that just evicted its
+                    // peers.
+                    inner.brownout.sheds += 1;
+                    if let Some(t) = tr(&shared) {
+                        t.instant_with("serve.shed", "serve", vec![("req", job.id), ("brownout", 1)]);
+                    }
+                    resolve(&mut inner, &shared, &job, Err(ServeError::Shed));
                 } else {
-                    // Discard the suspect output; retry later, elsewhere.
-                    // Requeue and notify without releasing the lock: the
-                    // whole post-execution section is one critical
-                    // section, so a concurrent `stats()` never sees the
-                    // job double-counted as both queued and in-flight.
+                    // Discard the suspect output; retry later, elsewhere
+                    // if possible. Requeue and notify without releasing
+                    // the lock: the whole post-execution section is one
+                    // critical section, so a concurrent `stats()` never
+                    // sees the job double-counted as both queued and
+                    // in-flight.
                     inner.counters.retries += 1;
-                    job.not_before = Instant::now() + shared.cfg.retry_backoff(job.attempts);
+                    let backoff = shared.cfg.retry_backoff(job.attempts);
+                    let now = Instant::now();
+                    job.not_before = now + backoff;
+                    // Grace window for preferring a different array: one
+                    // further backoff past `not_before` (at least 1ms),
+                    // after which the faulting array itself may retry.
+                    job.avoid_until = job.not_before + backoff.max(Duration::from_millis(1));
                     job.last_array = Some(array);
-                    inner.queue.push_back(job);
+                    inner.retryq.push_back(job);
                     shared.work_cv.notify_all();
                 }
             }
@@ -767,14 +1438,15 @@ fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBack
                         t.instant_with("serve.deadline_miss", "serve", vec![("req", job.id)]);
                     }
                 }
-                resolve(&mut inner, &job.ticket, Err(err));
+                resolve(&mut inner, &shared, &job, Err(err));
             }
             Err(_) => {
                 // Guardrail errors (shape/finite) are deterministic: a
                 // retry cannot help, so fail the request as exhausted.
                 resolve(
                     &mut inner,
-                    &job.ticket,
+                    &shared,
+                    &job,
                     Err(ServeError::FaultsExhausted {
                         attempts: job.attempts,
                     }),
@@ -782,7 +1454,12 @@ fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBack
             }
         }
         inner.inflight -= 1;
-        if inner.queue.is_empty() && inner.inflight == 0 {
+        inner.counters.prio[job_priority.index()].in_flight -= 1;
+        if let Some(ts) = inner.tenants.get_mut(&job_tenant.0) {
+            ts.in_flight -= 1;
+        }
+        update_brownout(&mut inner, &shared, Instant::now());
+        if inner.queued_len() == 0 && inner.inflight == 0 {
             shared.idle_cv.notify_all();
         }
     }

@@ -4,6 +4,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use bfp_arith::matrix::MatF32;
+use bfp_core::prelude::NonlinearMode;
+use bfp_platform::{Priority, TenantId};
 
 use crate::error::ServeError;
 
@@ -17,6 +19,9 @@ pub struct AttemptRecord {
     /// Whether the detection layer flagged the execution (its output was
     /// discarded and the request re-routed).
     pub faulted: bool,
+    /// Nonlinear mode the attempt was dispatched in (set by the
+    /// brownout ladder tier at dispatch time).
+    pub mode: NonlinearMode,
 }
 
 /// Where one request spent its life, attempt by attempt — the per-request
@@ -44,10 +49,18 @@ impl RequestTimeline {
 /// A successful answer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeResponse {
-    /// The GEMM result (bit-identical to the fault-free bfp8 path).
+    /// The result — bit-identical to the fault-free path *for the
+    /// nonlinear mode in `mode`* (see `bfp_serve::reference_bits`).
     pub out: MatF32,
     /// Array that produced the accepted execution.
     pub array: usize,
+    /// Tenant the request was submitted under.
+    pub tenant: TenantId,
+    /// Priority class the request ran at.
+    pub priority: Priority,
+    /// Nonlinear mode of the accepted execution (the brownout tier it
+    /// actually ran in).
+    pub mode: NonlinearMode,
     /// Executions consumed (1 = first try succeeded).
     pub attempts: u32,
     /// Modelled array-occupancy seconds of the accepted execution.

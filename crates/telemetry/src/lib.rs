@@ -61,6 +61,6 @@ pub mod report;
 pub mod trace;
 
 pub use chrome::ChromeTraceBuilder;
-pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use registry::{series, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
 pub use report::{fmt_si, Table};
 pub use trace::{EventKind, SpanGuard, TraceEvent, Tracer};

@@ -224,6 +224,29 @@ fn bucket_upper(i: usize) -> u64 {
     }
 }
 
+/// Render a labeled series name in Prometheus exposition form:
+/// `series("x", &[("tenant", "3")])` → `x{tenant="3"}`. With no labels
+/// the bare name is returned. The registry itself is label-unaware —
+/// the full string is the instrument key — so labeled families stay
+/// cheap (one map entry per combination actually used) and render
+/// correctly in `to_prometheus_text` without a schema change.
+pub fn series(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""));
+    }
+    out.push('}');
+    out
+}
+
 #[derive(Default)]
 struct Inner {
     counters: Mutex<BTreeMap<String, Counter>>,
@@ -422,6 +445,24 @@ mod tests {
         assert!(s.quantile(0.99) >= 1000);
         assert!((s.mean() - 1105.0 / 6.0).abs() < 1e-9);
         assert_eq!(HistogramSnapshot { buckets: [0; HIST_BUCKETS], count: 0, sum: 0 }.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn series_renders_labels() {
+        assert_eq!(series("x", &[]), "x");
+        assert_eq!(series("x", &[("tenant", "3")]), "x{tenant=\"3\"}");
+        assert_eq!(
+            series("q", &[("a", "1"), ("b", "two")]),
+            "q{a=\"1\",b=\"two\"}"
+        );
+        // Quotes and backslashes in values are escaped.
+        assert_eq!(series("e", &[("k", "a\"b")]), "e{k=\"a\\\"b\"}");
+        // Same labeled series name → same cell.
+        let reg = Registry::new();
+        reg.gauge(&series("depth", &[("tenant", "1")])).set(4.0);
+        assert_eq!(reg.gauge(&series("depth", &[("tenant", "1")])).get(), 4.0);
+        let text = reg.snapshot().to_prometheus_text();
+        assert!(text.contains("depth{tenant=\"1\"} 4"), "{text}");
     }
 
     #[test]

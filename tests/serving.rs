@@ -1,5 +1,7 @@
-//! Serving-runtime properties: admission accounting, drain semantics,
-//! deadline enforcement, and the quarantine → probe → re-admit cycle.
+//! Serving-runtime properties: admission accounting (fleet-wide, per
+//! tenant, and per priority class), tenant quotas, priority-aware
+//! shedding, drain semantics, deadline enforcement, and the
+//! quarantine → probe → re-admit cycle.
 //!
 //! These tests drive `bfp-serve`'s scripted per-array fault injection,
 //! so they need no cargo feature (the hook-based injector in
@@ -11,8 +13,8 @@ use std::time::{Duration, Instant};
 use bfp_arith::matrix::MatF32;
 use bfp_arith::quant::Quantizer;
 use bfp_serve::{
-    ArrayFaultPlan, ArrayHealth, Backpressure, HealthPolicy, ServeConfig, ServeError,
-    ServeRequest, Server,
+    ArrayFaultPlan, ArrayHealth, Backpressure, BrownoutPolicy, HealthPolicy, Priority,
+    ServeConfig, ServeError, ServeRequest, ServeStats, Server, TenantId, TenantQuota,
 };
 use proptest::prelude::*;
 
@@ -108,6 +110,201 @@ proptest! {
         }
         prop_assert_eq!(completed, st.completed);
     }
+}
+
+/// Brownout thresholds no storm can reach, so a test exercises only the
+/// mechanism it targets.
+fn no_brownout() -> BrownoutPolicy {
+    BrownoutPolicy {
+        tier1_pressure: 1e9,
+        tier2_pressure: 2e9,
+        ..Default::default()
+    }
+}
+
+/// The accounting identity, at every level the snapshot reports.
+fn assert_identities(s: &ServeStats) {
+    assert_eq!(
+        s.admitted,
+        s.completed + s.failed + s.queued as u64 + s.in_flight as u64,
+        "fleet identity broken"
+    );
+    assert_eq!(s.submitted, s.admitted + s.rejected, "fleet admission split");
+    for ts in &s.per_tenant {
+        assert_eq!(
+            ts.admitted,
+            ts.completed + ts.failed + ts.queued as u64 + ts.in_flight as u64,
+            "tenant {} identity broken",
+            ts.tenant
+        );
+        assert_eq!(ts.submitted, ts.admitted + ts.rejected);
+    }
+    for (i, ps) in s.per_priority.iter().enumerate() {
+        assert_eq!(
+            ps.admitted,
+            ps.completed + ps.failed + ps.queued as u64 + ps.in_flight as u64,
+            "priority class {i} identity broken"
+        );
+    }
+}
+
+#[test]
+fn tenant_and_priority_identities_hold_under_concurrent_snapshots() {
+    // Two tenants, all three priorities, a faulty array keeping the
+    // retry path hot, and a snapshot thread hammering stats() the whole
+    // time: the identity must hold in EVERY observation, not just at
+    // quiescence — per tenant and per class as well as fleet-wide.
+    let cfg = ServeConfig {
+        queue_capacity: 256,
+        max_attempts: 6,
+        quotas: vec![
+            (TenantId(1), TenantQuota { weight: 3, ..Default::default() }),
+            (TenantId(2), TenantQuota { weight: 1, ..Default::default() }),
+        ],
+        brownout: no_brownout(),
+        ..Default::default()
+    };
+    let server = Server::simulated(
+        cfg,
+        vec![ArrayFaultPlan::transient(12), ArrayFaultPlan::None],
+    );
+    let done = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let snapshots = scope.spawn({
+            let server = &server;
+            let done = &done;
+            move || {
+                let mut seen = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    assert_identities(&server.stats());
+                    seen += 1;
+                    std::thread::yield_now();
+                }
+                seen
+            }
+        });
+        let mut tickets = Vec::new();
+        for s in 0..60u64 {
+            let r = request(s)
+                .for_tenant(TenantId(1 + s % 2))
+                .with_priority(Priority::ALL[(s % 3) as usize]);
+            tickets.push(server.submit(r).unwrap());
+            assert_identities(&server.stats());
+        }
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        server.drain();
+        done.store(true, Ordering::Relaxed);
+        assert!(snapshots.join().unwrap() > 0, "snapshot thread observed nothing");
+    });
+    let s = server.stats();
+    assert_identities(&s);
+    assert_eq!(s.completed, 60);
+    // The rollups partition the fleet totals exactly.
+    let tenant_admitted: u64 = s.per_tenant.iter().map(|t| t.admitted).sum();
+    let prio_admitted: u64 = s.per_priority.iter().map(|p| p.admitted).sum();
+    assert_eq!(tenant_admitted, s.admitted);
+    assert_eq!(prio_admitted, s.admitted);
+    let tenant_completed: u64 = s.per_tenant.iter().map(|t| t.completed).sum();
+    assert_eq!(tenant_completed, s.completed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Token-bucket quotas are never exceeded: however fast a tenant
+    /// submits, its admissions stay within burst + rate × elapsed.
+    #[test]
+    fn quotas_are_never_exceeded(
+        seed in any::<u64>(),
+        rate in 20.0f64..400.0,
+        burst in 1.0f64..6.0,
+        storm in 30usize..90,
+    ) {
+        let burst = burst.floor();
+        let cfg = ServeConfig {
+            queue_capacity: 512,
+            quotas: vec![(TenantId(9), TenantQuota { weight: 1, rate_rps: rate, burst })],
+            brownout: no_brownout(),
+            ..Default::default()
+        };
+        let server = Server::simulated(cfg, vec![ArrayFaultPlan::None; 2]);
+        let t0 = Instant::now();
+        let mut admitted = 0u64;
+        let mut quota_rejected = 0u64;
+        for s in 0..storm as u64 {
+            match server.submit(request(seed ^ s).for_tenant(TenantId(9))) {
+                Ok(_) => admitted += 1,
+                Err(ServeError::QuotaExceeded) => quota_rejected += 1,
+                Err(e) => panic!("unexpected refusal: {e}"),
+            }
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        server.drain();
+        // The bucket held `burst` tokens at first submit and refilled at
+        // `rate` thereafter; +1.0 absorbs a refill racing the last take.
+        let ceiling = burst + rate * elapsed + 1.0;
+        prop_assert!(
+            (admitted as f64) <= ceiling,
+            "{admitted} admissions exceed the quota ceiling {ceiling:.1}"
+        );
+        let st = server.stats();
+        prop_assert_eq!(st.quota_rejected, quota_rejected);
+        let ts = st.tenant(TenantId(9)).unwrap();
+        prop_assert_eq!(ts.quota_rejected, quota_rejected);
+        prop_assert_eq!(ts.admitted, admitted);
+        assert_identities(&st);
+    }
+}
+
+#[test]
+fn critical_work_survives_storms_that_shed_bulk() {
+    // A shed-oldest storm of mixed priorities over a tiny queue: Bulk
+    // and Standard get evicted under pressure, Critical never does —
+    // every admitted Critical request completes.
+    let cfg = ServeConfig {
+        queue_capacity: 2,
+        backpressure: Backpressure::ShedOldest,
+        brownout: no_brownout(),
+        ..Default::default()
+    };
+    let server = Server::simulated(cfg, vec![ArrayFaultPlan::None]);
+    let mut critical = Vec::new();
+    let mut other = Vec::new();
+    for s in 0..120u64 {
+        let prio = Priority::ALL[(s % 3) as usize];
+        match server.submit(request(s).with_priority(prio)) {
+            Ok(t) if prio == Priority::Critical => critical.push(t),
+            Ok(t) => other.push(t),
+            Err(ServeError::QueueFull) => {}
+            Err(e) => panic!("unexpected refusal: {e}"),
+        }
+    }
+    server.drain();
+    for t in &critical {
+        assert!(
+            t.wait().is_ok(),
+            "an admitted Critical request must complete, never shed"
+        );
+    }
+    let shed_seen = other
+        .iter()
+        .filter(|t| t.wait() == Err(ServeError::Shed))
+        .count() as u64;
+    let s = server.stats();
+    assert_identities(&s);
+    assert_eq!(s.per_priority[Priority::Critical.index()].shed, 0);
+    assert_eq!(s.shed, shed_seen);
+    assert!(
+        s.shed > 0,
+        "the storm must actually shed lower-priority work"
+    );
+    assert_eq!(
+        s.per_priority[Priority::Bulk.index()].shed
+            + s.per_priority[Priority::Standard.index()].shed,
+        s.shed
+    );
 }
 
 #[test]
