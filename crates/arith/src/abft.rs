@@ -58,8 +58,14 @@
 use crate::bfp::shift_right_trunc;
 use crate::error::ArithError;
 use crate::matrix::MatF32;
-use crate::packed::{dot_i8, select_tile8, PackedBfp};
+use crate::packed::{dot_i8, select_tile8, EpilogueCtx, PackedBfp};
 use crate::quant::{BfpMatrix, Quantizer};
+
+/// Fused per-tile epilogue for the checked kernel: applied to an output
+/// tile at drain time, after the chain's final verify, and **only** when
+/// the chain is clean or repaired — an uncorrected chain's bits are
+/// suspect and stay raw (the caller discards/retries them anyway).
+pub type AbftEpilogue<'a> = &'a mut dyn FnMut(&mut [f32], &EpilogueCtx);
 
 /// Map a packed-plane element to its modelled BRAM site, so fault
 /// campaigns can aim at real storage positions: tiles stripe across the
@@ -223,6 +229,34 @@ impl AbftPacked {
         Ok((out, report))
     }
 
+    /// Checked GEMM with a fused per-tile epilogue applied while the
+    /// drained tile is hot (see [`AbftEpilogue`]). For verified-clean
+    /// chains the epilogue sees exactly the bits [`AbftPacked::matmul_with`]
+    /// would have written, so an element-wise epilogue (bias, GELU) is
+    /// bit-identical to running the same pass over the materialised
+    /// output; uncorrected chains bypass it and keep their raw bits.
+    /// `K = 0` chains run the epilogue over their zero tile, matching the
+    /// composed path's pass over the zero region.
+    pub fn matmul_with_epilogue(
+        &self,
+        rhs: &AbftPacked,
+        opts: &mut AbftOptions,
+        epi: AbftEpilogue,
+    ) -> Result<(MatF32, AbftReport), ArithError> {
+        self.packed.check_compatible(&rhs.packed)?;
+        let b = self.packed.block();
+        let mut out = MatF32::zeros(self.packed.rows(), rhs.packed.cols());
+        let (mb, _) = self.packed.grid();
+        let mut report = AbftReport::default();
+        let mut epi = Some(epi);
+        if b == 8 {
+            self.rows_checked_b8(rhs, 0, mb, out.data_mut(), opts, &mut report, &mut epi);
+        } else {
+            self.rows_checked_generic(rhs, 0, mb, out.data_mut(), opts, &mut report, &mut epi);
+        }
+        Ok((out, report))
+    }
+
     /// Compute output block-rows `bi_lo..bi_hi` into `out_rows` (same
     /// contract as [`PackedBfp::matmul_rows_into`]) under the checksum
     /// invariant. Callers shard retries at this granularity.
@@ -251,9 +285,9 @@ impl AbftPacked {
         );
         let mut report = AbftReport::default();
         if b == 8 {
-            self.rows_checked_b8(rhs, bi_lo, bi_hi, out_rows, opts, &mut report);
+            self.rows_checked_b8(rhs, bi_lo, bi_hi, out_rows, opts, &mut report, &mut None);
         } else {
-            self.rows_checked_generic(rhs, bi_lo, bi_hi, out_rows, opts, &mut report);
+            self.rows_checked_generic(rhs, bi_lo, bi_hi, out_rows, opts, &mut report, &mut None);
         }
         report
     }
@@ -270,9 +304,11 @@ impl AbftPacked {
         out_rows: &mut [f32],
         opts: &mut AbftOptions,
         report: &mut AbftReport,
+        epi: &mut Option<AbftEpilogue>,
     ) {
         const B: usize = 8;
         const BB: usize = 64;
+        let mut etile = [0f32; BB];
         let tile8 = select_tile8();
         let verify = !opts.no_verify;
         let inject = injecting();
@@ -421,10 +457,30 @@ impl AbftPacked {
                         }
                     }
                 }
+                let ctx = EpilogueCtx {
+                    r0: bi * B,
+                    c0: bj * B,
+                    imax,
+                    jmax,
+                    b: B,
+                };
                 if first {
-                    // K = 0: the reference kernel leaves zeros.
-                    for i in 0..imax {
-                        out_rows[(bi * B + i - r0) * out_cols + bj * B..][..jmax].fill(0.0);
+                    // K = 0: the reference kernel leaves zeros; a fused
+                    // epilogue still runs over the zero tile, as the
+                    // composed path's element pass covers the zero region.
+                    if let Some(e) = epi.as_mut() {
+                        for i in 0..imax {
+                            etile[i * B..][..jmax].fill(0.0);
+                        }
+                        e(&mut etile, &ctx);
+                        for i in 0..imax {
+                            out_rows[(bi * B + i - r0) * out_cols + bj * B..][..jmax]
+                                .copy_from_slice(&etile[i * B..][..jmax]);
+                        }
+                    } else {
+                        for i in 0..imax {
+                            out_rows[(bi * B + i - r0) * out_cols + bj * B..][..jmax].fill(0.0);
+                        }
                     }
                     continue;
                 }
@@ -439,19 +495,38 @@ impl AbftPacked {
                         }
                     }
                 }
+                let mut chain_ok = true;
                 if verify {
-                    let ok =
-                        !dirty && verify_correct(&mut acc, B, &mut chk, &mut rchk, report);
-                    if !ok {
+                    chain_ok = !dirty && verify_correct(&mut acc, B, &mut chk, &mut rchk, report);
+                    if !chain_ok {
                         report.uncorrected.push((bi, bj));
                     }
                 }
                 let scale = (acc_exp as f64).exp2();
-                for i in 0..imax {
-                    let ar = &acc[i * B..][..B];
-                    let dst = &mut out_rows[(bi * B + i - r0) * out_cols + bj * B..][..jmax];
-                    for (o, &a) in dst.iter_mut().zip(ar.iter()) {
-                        *o = (a as f64 * scale) as f32;
+                match epi.as_mut() {
+                    Some(e) if chain_ok => {
+                        for i in 0..imax {
+                            let ar = &acc[i * B..][..B];
+                            let tr = &mut etile[i * B..][..jmax];
+                            for (o, &a) in tr.iter_mut().zip(ar.iter()) {
+                                *o = (a as f64 * scale) as f32;
+                            }
+                        }
+                        e(&mut etile, &ctx);
+                        for i in 0..imax {
+                            out_rows[(bi * B + i - r0) * out_cols + bj * B..][..jmax]
+                                .copy_from_slice(&etile[i * B..][..jmax]);
+                        }
+                    }
+                    _ => {
+                        for i in 0..imax {
+                            let ar = &acc[i * B..][..B];
+                            let dst =
+                                &mut out_rows[(bi * B + i - r0) * out_cols + bj * B..][..jmax];
+                            for (o, &a) in dst.iter_mut().zip(ar.iter()) {
+                                *o = (a as f64 * scale) as f32;
+                            }
+                        }
                     }
                 }
             }
@@ -469,9 +544,11 @@ impl AbftPacked {
         out_rows: &mut [f32],
         opts: &mut AbftOptions,
         report: &mut AbftReport,
+        epi: &mut Option<AbftEpilogue>,
     ) {
         let b = self.packed.block();
         let bb = b * b;
+        let mut etile = vec![0f32; bb];
         let verify = !opts.no_verify;
         let inject = injecting();
         let r0 = bi_lo * b;
@@ -598,9 +675,27 @@ impl AbftPacked {
                         }
                     }
                 }
+                let ctx = EpilogueCtx {
+                    r0: bi * b,
+                    c0: bj * b,
+                    imax,
+                    jmax,
+                    b,
+                };
                 if first {
-                    for i in 0..imax {
-                        out_rows[(bi * b + i - r0) * out_cols + bj * b..][..jmax].fill(0.0);
+                    if let Some(e) = epi.as_mut() {
+                        for i in 0..imax {
+                            etile[i * b..][..jmax].fill(0.0);
+                        }
+                        e(&mut etile, &ctx);
+                        for i in 0..imax {
+                            out_rows[(bi * b + i - r0) * out_cols + bj * b..][..jmax]
+                                .copy_from_slice(&etile[i * b..][..jmax]);
+                        }
+                    } else {
+                        for i in 0..imax {
+                            out_rows[(bi * b + i - r0) * out_cols + bj * b..][..jmax].fill(0.0);
+                        }
                     }
                     continue;
                 }
@@ -615,18 +710,38 @@ impl AbftPacked {
                         }
                     }
                 }
+                let mut chain_ok = true;
                 if verify {
-                    let ok = !dirty && verify_correct(&mut acc, b, &mut chk, &mut rchk, report);
-                    if !ok {
+                    chain_ok = !dirty && verify_correct(&mut acc, b, &mut chk, &mut rchk, report);
+                    if !chain_ok {
                         report.uncorrected.push((bi, bj));
                     }
                 }
                 let scale = (acc_exp as f64).exp2();
-                for i in 0..imax {
-                    let ar = &acc[i * b..][..b];
-                    let dst = &mut out_rows[(bi * b + i - r0) * out_cols + bj * b..][..jmax];
-                    for (o, &a) in dst.iter_mut().zip(ar.iter()) {
-                        *o = (a as f64 * scale) as f32;
+                match epi.as_mut() {
+                    Some(e) if chain_ok => {
+                        for i in 0..imax {
+                            let ar = &acc[i * b..][..b];
+                            let tr = &mut etile[i * b..][..jmax];
+                            for (o, &a) in tr.iter_mut().zip(ar.iter()) {
+                                *o = (a as f64 * scale) as f32;
+                            }
+                        }
+                        e(&mut etile, &ctx);
+                        for i in 0..imax {
+                            out_rows[(bi * b + i - r0) * out_cols + bj * b..][..jmax]
+                                .copy_from_slice(&etile[i * b..][..jmax]);
+                        }
+                    }
+                    _ => {
+                        for i in 0..imax {
+                            let ar = &acc[i * b..][..b];
+                            let dst =
+                                &mut out_rows[(bi * b + i - r0) * out_cols + bj * b..][..jmax];
+                            for (o, &a) in dst.iter_mut().zip(ar.iter()) {
+                                *o = (a as f64 * scale) as f32;
+                            }
+                        }
                     }
                 }
             }
@@ -970,6 +1085,89 @@ mod tests {
         assert!(!verify_correct(&mut data, b, &mut chk, &mut rchk, &mut report));
         assert_eq!(report.detections, 1);
         assert_eq!(report.corrections(), 0);
+    }
+
+    #[test]
+    fn epilogue_on_clean_chains_matches_composed_pass() {
+        let q = Quantizer::paper();
+        for (m, k, n) in [(16, 32, 16), (11, 13, 7), (40, 24, 17)] {
+            let a = spiky(m, k);
+            let b = spiky(k, n);
+            let pa = AbftPacked::quantize_pack_lhs(&q, &a).unwrap();
+            let pb = AbftPacked::quantize_pack_rhs(&q, &b).unwrap();
+            let (raw, _) = pa.matmul(&pb).unwrap();
+            let want = MatF32::from_fn(raw.rows(), raw.cols(), |i, j| {
+                (raw.get(i, j) * 0.25).tanh()
+            });
+            let mut epi = |tile: &mut [f32], ctx: &EpilogueCtx| {
+                for i in 0..ctx.imax {
+                    for v in &mut tile[i * ctx.b..][..ctx.jmax] {
+                        *v = (*v * 0.25).tanh();
+                    }
+                }
+            };
+            let (got, report) = pa
+                .matmul_with_epilogue(&pb, &mut AbftOptions::default(), &mut epi)
+                .unwrap();
+            assert!(report.clean(), "{report:?}");
+            assert_bits_eq(&got, &want);
+        }
+    }
+
+    #[test]
+    fn epilogue_skips_uncorrected_chains_and_runs_on_repaired_ones() {
+        let q = Quantizer::paper();
+        let a = spiky(16, 32);
+        let b = spiky(32, 16);
+        let pa = AbftPacked::quantize_pack_lhs(&q, &a).unwrap();
+        let pb = AbftPacked::quantize_pack_rhs(&q, &b).unwrap();
+        let (raw, _) = pa.matmul(&pb).unwrap();
+        // Chain (0,0): 3-element smear — uncorrectable, epilogue must not
+        // run there. Chain (1,1): single-bit flip — repaired, epilogue
+        // sees the corrected bits.
+        let mut tamper = |bi: usize, bj: usize, acc: &mut [i64]| -> u64 {
+            if (bi, bj) == (0, 0) {
+                acc[0] += 1 << 12;
+                acc[9] += 1 << 13;
+                acc[18] += 1 << 14;
+                3
+            } else if (bi, bj) == (1, 1) {
+                acc[27] ^= 1 << 17;
+                1
+            } else {
+                0
+            }
+        };
+        let mut opts = AbftOptions {
+            no_verify: false,
+            tamper: Some(&mut tamper),
+        };
+        let mut applied = 0u64;
+        let mut epi = |tile: &mut [f32], ctx: &EpilogueCtx| {
+            for i in 0..ctx.imax {
+                for v in &mut tile[i * ctx.b..][..ctx.jmax] {
+                    *v += 1.0;
+                    applied += 1;
+                }
+            }
+        };
+        let (got, report) = pa.matmul_with_epilogue(&pb, &mut opts, &mut epi).unwrap();
+        assert_eq!(report.uncorrected, vec![(0, 0)]);
+        assert_eq!(report.corrected_elements, 1);
+        // Epilogue covered every tile except the condemned one.
+        assert_eq!(applied, 16 * 16 - 64);
+        for i in 0..16 {
+            for j in 0..16 {
+                if i < 8 && j < 8 {
+                    continue; // condemned chain: raw (tampered) bits.
+                }
+                assert_eq!(
+                    got.get(i, j).to_bits(),
+                    (raw.get(i, j) + 1.0).to_bits(),
+                    "({i},{j})"
+                );
+            }
+        }
     }
 
     #[test]

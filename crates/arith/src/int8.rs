@@ -31,9 +31,24 @@ pub fn dot8(x: &[i8; 8], y: &[i8; 8]) -> i32 {
 pub const DOT8_MAX_MAG: i32 = 8 * 128 * 128;
 
 /// Round a finite `f64` to the nearest `i8`, ties to even, saturating.
+///
+/// This is the per-element body of every quantize-pack and fused
+/// requantize loop, so it uses the double-rounding magic constant
+/// (`1.5·2^52`): adding and subtracting it rounds to the nearest integer
+/// under the default FPU mode, which IS ties-to-even — branch-free and
+/// exact for `|x| < 2^51`. Larger magnitudes (already integral at that
+/// spacing, and far past the clamp) skip the trick; the result at the
+/// `i8` level is bit-identical to `round_ties_even` + clamp for every
+/// input including ties, NaN, and infinities.
 #[inline]
 pub fn round_i8_rne(x: f64) -> i8 {
-    let r = round_ties_even(x);
+    const MAGIC: f64 = 6755399441055744.0; // 1.5 * 2^52
+    let r = if x.abs() < 2251799813685248.0 {
+        // 2^51
+        (x + MAGIC) - MAGIC
+    } else {
+        x
+    };
     r.clamp(i8::MIN as f64, i8::MAX as f64) as i8
 }
 
@@ -69,23 +84,13 @@ pub fn mix_hash(row: usize, col: usize, value_bits: u32) -> u32 {
     (z ^ (z >> 31)) as u32
 }
 
-/// Round-half-to-even on `f64` (stable replacement for unstable
-/// `f64::round_ties_even` on older toolchains; exact for our magnitudes).
+/// Round-half-to-even on `f64`. Delegates to [`f64::round_ties_even`],
+/// which lowers to a single rounding instruction on x86/ARM — this sits
+/// in the per-element quantization loop of every pack and requantize, so
+/// the branchy open-coded tie check it replaced showed up in profiles.
 #[inline]
 pub fn round_ties_even(x: f64) -> f64 {
-    let r = x.round(); // half away from zero
-    if (x - x.trunc()).abs() == 0.5 {
-        // A tie: pick the even neighbour.
-        let down = x.trunc();
-        let up = down + x.signum();
-        if (down as i64) % 2 == 0 {
-            down
-        } else {
-            up
-        }
-    } else {
-        r
-    }
+    x.round_ties_even()
 }
 
 #[cfg(test)]

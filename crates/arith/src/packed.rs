@@ -512,6 +512,537 @@ impl PackedBfp {
     }
 }
 
+/// Geometry of one hot output tile as seen by a fused epilogue: the tile
+/// is anchored at `(r0, c0)` of the logical output matrix and only its
+/// `imax × jmax` top-left region holds real (unpadded) elements.
+#[derive(Debug, Clone, Copy)]
+pub struct EpilogueCtx {
+    /// Absolute output row of the tile's first element.
+    pub r0: usize,
+    /// Absolute output column of the tile's first element.
+    pub c0: usize,
+    /// Valid rows in this tile (`<= block`).
+    pub imax: usize,
+    /// Valid columns in this tile (`<= block`).
+    pub jmax: usize,
+    /// Block side length; the tile buffer is `block × block` row-major.
+    pub b: usize,
+}
+
+impl PackedBfp {
+    /// Packed GEMM with a fused per-tile epilogue: each output tile is
+    /// dequantized into a `b×b` scratch buffer, handed to `epi` while
+    /// still register/L1-hot, and only then written to the f32 output.
+    ///
+    /// The GEMM bits entering the epilogue are identical to
+    /// [`PackedBfp::matmul`]'s output (same accumulation chain, same
+    /// `(acc · 2^exp) as f32` dequantize), so an element-wise epilogue —
+    /// bias add, activation, residual add — produces exactly the bits the
+    /// composed GEMM-then-separate-pass pipeline produces, without
+    /// materialising the intermediate matrix twice. Tiles are visited in
+    /// the same `(bi, bj)` row-major order as the serial kernel.
+    ///
+    /// `K = 0` chains still run the epilogue over an all-zero tile, just
+    /// as the composed path applies its element passes to the zero matrix.
+    pub fn matmul_epilogue<E>(&self, rhs: &PackedBfp, mut epi: E) -> Result<MatF32, ArithError>
+    where
+        E: FnMut(&mut [f32], &EpilogueCtx),
+    {
+        self.check_compatible(rhs)?;
+        let b = self.block;
+        let mut out = MatF32::zeros(self.rows, rhs.cols);
+        let out_cols = rhs.cols;
+        let data = out.data_mut();
+        self.fused_rows(rhs, 0, self.block_rows, &mut epi, &mut |tile: &mut [f32],
+                                                                 ctx: &EpilogueCtx| {
+            for i in 0..ctx.imax {
+                let src = &tile[i * b..][..ctx.jmax];
+                let dst = &mut data[(ctx.r0 + i) * out_cols + ctx.c0..][..ctx.jmax];
+                dst.copy_from_slice(src);
+            }
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// [`PackedBfp::matmul_epilogue`] with block-row shards on scoped
+    /// threads. `epis` supplies one independent epilogue per shard (so
+    /// stateful epilogues — op-counting VPU emulations — never race);
+    /// fewer shards than epilogues is fine, the extras stay unused.
+    /// Bit-identical to the serial fused kernel for any thread count
+    /// because every `(bi, bj)` chain is independent and each shard owns a
+    /// disjoint output slice.
+    pub fn matmul_epilogue_parallel<E>(
+        &self,
+        rhs: &PackedBfp,
+        threads: usize,
+        epis: &mut [E],
+    ) -> Result<MatF32, ArithError>
+    where
+        E: FnMut(&mut [f32], &EpilogueCtx) + Send,
+    {
+        self.check_compatible(rhs)?;
+        let b = self.block;
+        let mb = self.block_rows;
+        let threads = threads.min(mb.max(1)).min(epis.len().max(1));
+        let mut out = MatF32::zeros(self.rows, rhs.cols);
+        if threads <= 1 {
+            let epi = epis.first_mut().expect("at least one epilogue");
+            let out_cols = rhs.cols;
+            let data = out.data_mut();
+            self.fused_rows(rhs, 0, mb, epi, &mut |tile: &mut [f32], ctx: &EpilogueCtx| {
+                for i in 0..ctx.imax {
+                    let src = &tile[i * b..][..ctx.jmax];
+                    let dst = &mut data[(ctx.r0 + i) * out_cols + ctx.c0..][..ctx.jmax];
+                    dst.copy_from_slice(src);
+                }
+                Ok(())
+            })?;
+            return Ok(out);
+        }
+        let rows = self.rows;
+        let cols = rhs.cols;
+        let per = mb.div_ceil(threads);
+        let mut shards: Vec<(usize, usize, &mut [f32], &mut E)> = Vec::with_capacity(threads);
+        let mut rest = out.data_mut();
+        let mut epi_rest = epis;
+        for t in 0..threads {
+            let lo = (t * per).min(mb);
+            let hi = ((t + 1) * per).min(mb);
+            if lo >= hi {
+                break;
+            }
+            let shard_rows = (hi * b).min(rows) - lo * b;
+            let (head, tail) = rest.split_at_mut(shard_rows * cols);
+            let (epi, etail) = epi_rest.split_first_mut().expect("one epilogue per shard");
+            rest = tail;
+            epi_rest = etail;
+            shards.push((lo, hi, head, epi));
+        }
+        let mut results: Vec<Result<(), ArithError>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|(lo, hi, buf, epi)| {
+                    scope.spawn(move |_| {
+                        let r0 = lo * b;
+                        self.fused_rows(rhs, lo, hi, epi, &mut |tile: &mut [f32],
+                                                                ctx: &EpilogueCtx| {
+                            for i in 0..ctx.imax {
+                                let src = &tile[i * b..][..ctx.jmax];
+                                let dst =
+                                    &mut buf[(ctx.r0 + i - r0) * cols + ctx.c0..][..ctx.jmax];
+                                dst.copy_from_slice(src);
+                            }
+                            Ok(())
+                        })
+                    })
+                })
+                .collect();
+            results = handles.into_iter().map(|h| h.join().expect("shard")).collect();
+        })
+        .expect("fused GEMM shard thread panicked");
+        // Errors resolve in shard (block-row) order, matching the serial
+        // kernel's first-error semantics.
+        for r in results {
+            r?;
+        }
+        Ok(out)
+    }
+
+    /// Packed GEMM with a fused epilogue whose output is **requantized in
+    /// place** into a fresh left-operand [`PackedBfp`]: each post-epilogue
+    /// tile runs the quantizer's tile scan (`Quantizer::tile_exp` order and
+    /// semantics, via its slice twin) and mantissa rounding while still
+    /// hot, writing straight into the block-major mantissa plane the next
+    /// GEMM consumes. The f32 materialize → re-scan → re-pack round trip
+    /// of the composed path disappears, yet the result is bit-identical to
+    /// `matmul` → epilogue over the full matrix → `quantize_pack_lhs` —
+    /// including which non-finite/saturation error fires first, because
+    /// tiles are visited in the same row-major order and the rounding
+    /// helpers are shared.
+    pub fn matmul_epilogue_requant<E>(
+        &self,
+        rhs: &PackedBfp,
+        q: &Quantizer,
+        mut epi: E,
+    ) -> Result<PackedBfp, ArithError>
+    where
+        E: FnMut(&mut [f32], &EpilogueCtx),
+    {
+        self.check_compatible(rhs)?;
+        if q.block != self.block {
+            return Err(ArithError::DimensionMismatch {
+                got: format!("quantizer block {} vs operand block {}", q.block, self.block),
+                expected: "matching block sizes".into(),
+            });
+        }
+        let b = self.block;
+        let bb = b * b;
+        let br = self.block_rows;
+        let bc = rhs.block_cols;
+        let clamp = q.max_mag() as i8;
+        let mut exps = vec![0i8; br * bc];
+        let mut man = vec![0i8; br * bc * bb];
+        {
+            let exps = &mut exps[..];
+            let man = &mut man[..];
+            self.fused_rows(rhs, 0, br, &mut epi, &mut |tile: &mut [f32], ctx: &EpilogueCtx| {
+                let (bi, bj) = (ctx.r0 / b, ctx.c0 / b);
+                requant_tile(q, tile, ctx, clamp, &mut exps[bi * bc + bj], &mut man
+                    [(bi * bc + bj) * bb..][..bb])
+            })?;
+        }
+        Ok(PackedBfp {
+            rows: self.rows,
+            cols: rhs.cols,
+            block: b,
+            block_rows: br,
+            block_cols: bc,
+            side: PackSide::Lhs,
+            exps,
+            man,
+        })
+    }
+
+    /// [`PackedBfp::matmul_epilogue_requant`] with block-row shards on
+    /// scoped threads (one epilogue per shard, like
+    /// [`PackedBfp::matmul_epilogue_parallel`]). The output mantissa plane
+    /// is tile-major, so a block-row shard owns a contiguous disjoint
+    /// slice of it; errors resolve in shard order, so the first-error
+    /// semantics match the serial kernel.
+    #[allow(clippy::type_complexity)]
+    pub fn matmul_epilogue_requant_parallel<E>(
+        &self,
+        rhs: &PackedBfp,
+        q: &Quantizer,
+        threads: usize,
+        epis: &mut [E],
+    ) -> Result<PackedBfp, ArithError>
+    where
+        E: FnMut(&mut [f32], &EpilogueCtx) + Send,
+    {
+        self.check_compatible(rhs)?;
+        let b = self.block;
+        let mb = self.block_rows;
+        let threads = threads.min(mb.max(1)).min(epis.len().max(1));
+        if threads <= 1 {
+            let epi = epis.first_mut().expect("at least one epilogue");
+            return self.matmul_epilogue_requant(rhs, q, epi);
+        }
+        if q.block != self.block {
+            return Err(ArithError::DimensionMismatch {
+                got: format!("quantizer block {} vs operand block {}", q.block, self.block),
+                expected: "matching block sizes".into(),
+            });
+        }
+        let bb = b * b;
+        let bc = rhs.block_cols;
+        let clamp = q.max_mag() as i8;
+        let mut exps = vec![0i8; mb * bc];
+        let mut man = vec![0i8; mb * bc * bb];
+        let per = mb.div_ceil(threads);
+        let mut shards: Vec<(usize, usize, &mut [i8], &mut [i8], &mut E)> = Vec::new();
+        let mut exp_rest = &mut exps[..];
+        let mut man_rest = &mut man[..];
+        let mut epi_rest = epis;
+        for t in 0..threads {
+            let lo = (t * per).min(mb);
+            let hi = ((t + 1) * per).min(mb);
+            if lo >= hi {
+                break;
+            }
+            let tiles = (hi - lo) * bc;
+            let (ehead, etail) = exp_rest.split_at_mut(tiles);
+            let (mhead, mtail) = man_rest.split_at_mut(tiles * bb);
+            let (epi, epitail) = epi_rest.split_first_mut().expect("one epilogue per shard");
+            exp_rest = etail;
+            man_rest = mtail;
+            epi_rest = epitail;
+            shards.push((lo, hi, ehead, mhead, epi));
+        }
+        let mut results: Vec<Result<(), ArithError>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|(lo, hi, exps_s, man_s, epi)| {
+                    scope.spawn(move |_| {
+                        self.fused_rows(rhs, lo, hi, epi, &mut |tile: &mut [f32],
+                                                                ctx: &EpilogueCtx| {
+                            let (bi, bj) = (ctx.r0 / b, ctx.c0 / b);
+                            let t = (bi - lo) * bc + bj;
+                            requant_tile(
+                                q,
+                                tile,
+                                ctx,
+                                clamp,
+                                &mut exps_s[t],
+                                &mut man_s[t * bb..][..bb],
+                            )
+                        })
+                    })
+                })
+                .collect();
+            results = handles.into_iter().map(|h| h.join().expect("shard")).collect();
+        })
+        .expect("fused GEMM shard thread panicked");
+        for r in results {
+            r?;
+        }
+        Ok(PackedBfp {
+            rows: self.rows,
+            cols: rhs.cols,
+            block: b,
+            block_rows: mb,
+            block_cols: bc,
+            side: PackSide::Lhs,
+            exps,
+            man,
+        })
+    }
+
+    /// Shared fused-kernel driver: computes output tiles `bi_lo..bi_hi` in
+    /// `(bi, bj)` row-major order, dequantizes each into a `b×b` scratch
+    /// buffer, applies `epi` to the hot tile, then hands it to `sink`.
+    /// The accumulation chain is the same shift/truncate chain as
+    /// [`PackedBfp::matmul_rows_into`], so the pre-epilogue bits match the
+    /// unfused kernel exactly.
+    fn fused_rows<E, S>(
+        &self,
+        rhs: &PackedBfp,
+        bi_lo: usize,
+        bi_hi: usize,
+        epi: &mut E,
+        sink: &mut S,
+    ) -> Result<(), ArithError>
+    where
+        E: FnMut(&mut [f32], &EpilogueCtx),
+        S: FnMut(&mut [f32], &EpilogueCtx) -> Result<(), ArithError>,
+    {
+        if self.block == 8 {
+            return self.fused_rows_b8(rhs, bi_lo, bi_hi, epi, sink);
+        }
+        let b = self.block;
+        let bb = b * b;
+        let kb = self.block_cols;
+        let nb = rhs.block_cols;
+        let tile8 = if b == 8 { Some(select_tile8()) } else { None };
+        let mut prod32 = [0i32; 64];
+        let mut acc = vec![0i64; bb];
+        let mut tile = vec![0f32; bb];
+        for bi in bi_lo..bi_hi {
+            let imax = b.min(self.rows - bi * b);
+            for bj in 0..nb {
+                let jmax = b.min(rhs.cols - bj * b);
+                let mut acc_exp = 0i32;
+                let mut first = true;
+                for bk in 0..kb {
+                    let x = &self.man[(bi * kb + bk) * bb..][..bb];
+                    let y = &rhs.man[(bk * nb + bj) * bb..][..bb];
+                    let pexp = self.exps[bi * kb + bk] as i32 + rhs.exps[bk * nb + bj] as i32;
+                    if let Some(t8) = tile8 {
+                        t8(
+                            x.try_into().expect("b==8 tile"),
+                            y.try_into().expect("b==8 tile"),
+                            &mut prod32,
+                        );
+                        if first {
+                            first = false;
+                            acc_exp = pexp;
+                            for t in 0..64 {
+                                acc[t] = prod32[t] as i64;
+                            }
+                        } else if pexp >= acc_exp {
+                            let sh = (pexp - acc_exp) as u32;
+                            acc_exp = pexp;
+                            for t in 0..64 {
+                                acc[t] = shift_right_trunc(acc[t], sh) + prod32[t] as i64;
+                            }
+                        } else {
+                            let sh = (acc_exp - pexp) as u32;
+                            for t in 0..64 {
+                                acc[t] += shift_right_trunc(prod32[t] as i64, sh);
+                            }
+                        }
+                    } else if first {
+                        first = false;
+                        acc_exp = pexp;
+                        for i in 0..b {
+                            let xr = &x[i * b..][..b];
+                            for j in 0..b {
+                                acc[i * b + j] = dot_i8(xr, &y[j * b..][..b]) as i64;
+                            }
+                        }
+                    } else if pexp >= acc_exp {
+                        let sh = (pexp - acc_exp) as u32;
+                        acc_exp = pexp;
+                        for i in 0..b {
+                            let xr = &x[i * b..][..b];
+                            for j in 0..b {
+                                let a = &mut acc[i * b + j];
+                                *a = shift_right_trunc(*a, sh) + dot_i8(xr, &y[j * b..][..b]) as i64;
+                            }
+                        }
+                    } else {
+                        let sh = (acc_exp - pexp) as u32;
+                        for i in 0..b {
+                            let xr = &x[i * b..][..b];
+                            for j in 0..b {
+                                acc[i * b + j] +=
+                                    shift_right_trunc(dot_i8(xr, &y[j * b..][..b]) as i64, sh);
+                            }
+                        }
+                    }
+                }
+                let ctx = EpilogueCtx {
+                    r0: bi * b,
+                    c0: bj * b,
+                    imax,
+                    jmax,
+                    b,
+                };
+                if first {
+                    // K = 0: the unfused kernel leaves zeros; the epilogue
+                    // still runs, as the composed path applies its element
+                    // passes to the zero matrix.
+                    for i in 0..imax {
+                        tile[i * b..][..jmax].fill(0.0);
+                    }
+                } else {
+                    let scale = (acc_exp as f64).exp2();
+                    for i in 0..imax {
+                        let ar = &acc[i * b..][..b];
+                        let tr = &mut tile[i * b..][..jmax];
+                        for (o, &a) in tr.iter_mut().zip(ar.iter()) {
+                            *o = (a as f64 * scale) as f32;
+                        }
+                    }
+                }
+                epi(&mut tile, &ctx);
+                sink(&mut tile, &ctx)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper-shaped `b == 8` fused drain: same fixed-size stack
+    /// accumulators and runtime-dispatched 8×8 micro-kernel as
+    /// [`PackedBfp::matmul_rows_into`]'s specialized path, so carrying an
+    /// epilogue costs only the epilogue itself — not a slower GEMM.
+    /// Bit-identical to the generic drain (integer tile products are
+    /// exact; the alignment chain is shared).
+    fn fused_rows_b8<E, S>(
+        &self,
+        rhs: &PackedBfp,
+        bi_lo: usize,
+        bi_hi: usize,
+        epi: &mut E,
+        sink: &mut S,
+    ) -> Result<(), ArithError>
+    where
+        E: FnMut(&mut [f32], &EpilogueCtx),
+        S: FnMut(&mut [f32], &EpilogueCtx) -> Result<(), ArithError>,
+    {
+        const B: usize = 8;
+        const BB: usize = 64;
+        let tile8 = select_tile8();
+        let kb = self.block_cols;
+        let nb = rhs.block_cols;
+        let mut prod = [0i32; BB];
+        let mut acc = [0i64; BB];
+        let mut tile = [0f32; BB];
+        for bi in bi_lo..bi_hi {
+            let imax = B.min(self.rows - bi * B);
+            for bj in 0..nb {
+                let jmax = B.min(rhs.cols - bj * B);
+                let mut acc_exp = 0i32;
+                let mut first = true;
+                for bk in 0..kb {
+                    let x: &[i8; BB] = self.man[(bi * kb + bk) * BB..][..BB].try_into().unwrap();
+                    let y: &[i8; BB] = rhs.man[(bk * nb + bj) * BB..][..BB].try_into().unwrap();
+                    let pexp = self.exps[bi * kb + bk] as i32 + rhs.exps[bk * nb + bj] as i32;
+                    tile8(x, y, &mut prod);
+                    if first {
+                        first = false;
+                        acc_exp = pexp;
+                        for t in 0..BB {
+                            acc[t] = prod[t] as i64;
+                        }
+                    } else if pexp >= acc_exp {
+                        let sh = (pexp - acc_exp) as u32;
+                        acc_exp = pexp;
+                        for t in 0..BB {
+                            acc[t] = shift_right_trunc(acc[t], sh) + prod[t] as i64;
+                        }
+                    } else {
+                        let sh = (acc_exp - pexp) as u32;
+                        for t in 0..BB {
+                            acc[t] += shift_right_trunc(prod[t] as i64, sh);
+                        }
+                    }
+                }
+                let ctx = EpilogueCtx {
+                    r0: bi * B,
+                    c0: bj * B,
+                    imax,
+                    jmax,
+                    b: B,
+                };
+                if first {
+                    // K = 0: the unfused kernel leaves zeros; the epilogue
+                    // still runs, as the composed path applies its element
+                    // passes to the zero matrix.
+                    tile[..imax * B].fill(0.0);
+                } else {
+                    let scale = (acc_exp as f64).exp2();
+                    for t in 0..imax * B {
+                        tile[t] = (acc[t] as f64 * scale) as f32;
+                    }
+                }
+                epi(&mut tile, &ctx);
+                sink(&mut tile, &ctx)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Requantize one hot post-epilogue tile into its slot of a packed LHS
+/// plane: the quantizer's tile scan + rounding, per-tile saturation
+/// accounting included, exactly as `PackedBfp::quantize_pack` does for a
+/// materialised matrix tile.
+fn requant_tile(
+    q: &Quantizer,
+    tile: &[f32],
+    ctx: &EpilogueCtx,
+    clamp: i8,
+    exp_out: &mut i8,
+    man_out: &mut [i8],
+) -> Result<(), ArithError> {
+    let b = ctx.b;
+    let exp = match q.tile_exp_slice(tile, ctx.r0, ctx.c0, ctx.imax, ctx.jmax)? {
+        // All-zero tile: canonical exponent 0, mantissas stay 0.
+        None => {
+            *exp_out = 0;
+            return Ok(());
+        }
+        Some(exp) => exp,
+    };
+    *exp_out = exp;
+    let scale = (-(exp as i32) as f64).exp2();
+    let mut saturated = 0u64;
+    for i in 0..ctx.imax {
+        let src = &tile[i * b..][..ctx.jmax];
+        for (j, &v) in src.iter().enumerate() {
+            let (qv, sat) = q.round_elem(v, scale, ctx.r0 + i, ctx.c0 + j, clamp);
+            saturated += sat as u64;
+            man_out[i * b + j] = qv;
+        }
+    }
+    crate::telemetry::note_saturated(saturated);
+    q.saturation.check(saturated)
+}
+
 /// 8×8 tile-product micro-kernel signature: `out[i·8+j] = Σₖ x[i·8+k]·y[j·8+k]`
 /// (both operands unit-stride in `k` thanks to the block-transposed RHS).
 pub(crate) type Tile8Fn = fn(&[i8; 64], &[i8; 64], &mut [i32; 64]);
@@ -542,15 +1073,47 @@ fn tile8_product(x: &[i8; 64], y: &[i8; 64], out: &mut [i32; 64]) {
     }
 }
 
-/// The same body compiled with AVX2 enabled, so the auto-vectoriser can use
-/// 256-bit integer MACs regardless of the crate's baseline target.
+/// Hand-scheduled AVX2 kernel: widen the eight RHS runs to i16 once, then
+/// per LHS row one `vpmaddwd` against each run pair and a three-level
+/// `vphaddd` reduction tree. Every sum is an exact i32 addition of the
+/// same i16×i16 products the portable body computes (peak magnitude
+/// 8·127·127 ≪ 2³¹), and integer addition is associative — so the result
+/// is bit-identical to [`tile8_product`] by construction, and the
+/// equivalence tests pin it.
 ///
 /// # Safety
 /// Callers must have verified AVX2 support (see [`select_tile8`]).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn tile8_product_avx2(x: &[i8; 64], y: &[i8; 64], out: &mut [i32; 64]) {
-    tile8_product(x, y, out)
+    use std::arch::x86_64::*;
+    // SAFETY: all loads/stores are unaligned-width intrinsics inside the
+    // fixed 64-element arrays.
+    unsafe {
+        let yp = y.as_ptr();
+        // y runs 2a (lower 128-bit lane) and 2a+1 (upper lane) as i16.
+        let y01 = _mm256_cvtepi8_epi16(_mm_loadu_si128(yp as *const __m128i));
+        let y23 = _mm256_cvtepi8_epi16(_mm_loadu_si128(yp.add(16) as *const __m128i));
+        let y45 = _mm256_cvtepi8_epi16(_mm_loadu_si128(yp.add(32) as *const __m128i));
+        let y67 = _mm256_cvtepi8_epi16(_mm_loadu_si128(yp.add(48) as *const __m128i));
+        // Interleave fix-up for the hadd tree: [d0 d2 d4 d6 | d1 d3 d5 d7]
+        // back to natural j order.
+        let unshuffle = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+        for i in 0..8 {
+            let xr = _mm_cvtepi8_epi16(_mm_loadl_epi64(x.as_ptr().add(i * 8) as *const __m128i));
+            let xx = _mm256_set_m128i(xr, xr);
+            // Lane half k of t_ab: pairwise i32 sums of x·y_{a or b}.
+            let t01 = _mm256_madd_epi16(xx, y01);
+            let t23 = _mm256_madd_epi16(xx, y23);
+            let t45 = _mm256_madd_epi16(xx, y45);
+            let t67 = _mm256_madd_epi16(xx, y67);
+            let h1 = _mm256_hadd_epi32(t01, t23);
+            let h2 = _mm256_hadd_epi32(t45, t67);
+            let h3 = _mm256_hadd_epi32(h1, h2);
+            let row = _mm256_permutevar8x32_epi32(h3, unshuffle);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i * 8) as *mut __m256i, row);
+        }
+    }
 }
 
 /// Pick the fastest micro-kernel the host supports. Every variant computes
@@ -831,6 +1394,218 @@ mod tests {
             pb.matmul_parallel(&pb, 4),
             Err(ArithError::DimensionMismatch { .. })
         ));
+    }
+
+    /// The composed oracle for the fused kernels: full GEMM, then the same
+    /// element-wise epilogue applied over the materialised matrix.
+    fn composed_epilogue(
+        pa: &PackedBfp,
+        pb: &PackedBfp,
+        epi: impl Fn(f32, usize, usize) -> f32,
+    ) -> MatF32 {
+        let out = pa.matmul(pb).unwrap();
+        MatF32::from_fn(out.rows(), out.cols(), |i, j| epi(out.get(i, j), i, j))
+    }
+
+    #[test]
+    fn fused_epilogue_matches_composed_pass() {
+        let q = Quantizer::paper();
+        let bias: Vec<f32> = (0..17).map(|j| (j as f32 * 0.3).sin()).collect();
+        for (m, k, n) in [(40, 24, 17), (8, 8, 8), (11, 13, 7), (1, 9, 16)] {
+            let a = spiky(m, k);
+            let b = spiky(k, n);
+            let pa = PackedBfp::quantize_pack_lhs(&q, &a).unwrap();
+            let pb = PackedBfp::quantize_pack_rhs(&q, &b).unwrap();
+            let want = composed_epilogue(&pa, &pb, |v, _i, j| (v + bias[j]).tanh());
+            let got = pa
+                .matmul_epilogue(&pb, |tile: &mut [f32], ctx: &EpilogueCtx| {
+                    for i in 0..ctx.imax {
+                        let row = &mut tile[i * ctx.b..][..ctx.jmax];
+                        for (j, v) in row.iter_mut().enumerate() {
+                            *v = (*v + bias[ctx.c0 + j]).tanh();
+                        }
+                    }
+                })
+                .unwrap();
+            assert_bits_eq(&got, &want);
+        }
+    }
+
+    #[test]
+    fn fused_epilogue_parallel_is_bit_identical() {
+        let q = Quantizer::paper();
+        let a = spiky(40, 24);
+        let b = spiky(24, 17);
+        let pa = PackedBfp::quantize_pack_lhs(&q, &a).unwrap();
+        let pb = PackedBfp::quantize_pack_rhs(&q, &b).unwrap();
+        let epi = |tile: &mut [f32], ctx: &EpilogueCtx| {
+            for i in 0..ctx.imax {
+                for v in &mut tile[i * ctx.b..][..ctx.jmax] {
+                    *v = v.mul_add(0.5, 1.0);
+                }
+            }
+        };
+        let want = pa.matmul_epilogue(&pb, epi).unwrap();
+        for threads in [1usize, 2, 3, 5, 64] {
+            let mut epis: Vec<_> = (0..threads).map(|_| epi).collect();
+            let got = pa.matmul_epilogue_parallel(&pb, threads, &mut epis).unwrap();
+            assert_bits_eq(&got, &want);
+        }
+    }
+
+    #[test]
+    fn fused_requant_matches_composed_quantize_pack_across_round_modes() {
+        use crate::quant::RoundMode;
+        let bias: Vec<f32> = (0..32).map(|j| (j as f32 * 0.7).cos() * 0.1).collect();
+        for round in [RoundMode::NearestEven, RoundMode::Truncate, RoundMode::Stochastic] {
+            let q = Quantizer {
+                round,
+                ..Quantizer::paper()
+            };
+            for (m, k, n) in [(40, 24, 17), (8, 8, 8), (23, 16, 32), (1, 8, 9)] {
+                let a = spiky(m, k);
+                let b = spiky(k, n);
+                let pa = PackedBfp::quantize_pack_lhs(&q, &a).unwrap();
+                let pb = PackedBfp::quantize_pack_rhs(&q, &b).unwrap();
+                let epi = |tile: &mut [f32], ctx: &EpilogueCtx| {
+                    for i in 0..ctx.imax {
+                        let row = &mut tile[i * ctx.b..][..ctx.jmax];
+                        for (j, v) in row.iter_mut().enumerate() {
+                            *v += bias[ctx.c0 + j];
+                        }
+                    }
+                };
+                let composed = composed_epilogue(&pa, &pb, |v, _i, j| v + bias[j]);
+                let want = PackedBfp::quantize_pack_lhs(&q, &composed).unwrap();
+                let got = pa.matmul_epilogue_requant(&pb, &q, epi).unwrap();
+                assert_eq!(got, want, "{round:?} {m}x{k}x{n}");
+                // Parallel fused requant: same bits for any shard count.
+                for threads in [2usize, 3, 8] {
+                    let mut epis: Vec<_> = (0..threads).map(|_| epi).collect();
+                    let gp = pa
+                        .matmul_epilogue_requant_parallel(&pb, &q, threads, &mut epis)
+                        .unwrap();
+                    assert_eq!(gp, want, "{round:?} {m}x{k}x{n} {threads}t");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_requant_handles_zero_tiles_and_extreme_scales() {
+        let q = Quantizer::paper();
+        // Near-overflow and subnormal-ish scales in the same operand, plus
+        // an epilogue that zeroes a whole tile column band.
+        let a = MatF32::from_fn(24, 16, |i, j| {
+            let base = ((i * 7 + j * 3) % 11) as f32 - 5.0;
+            if i < 8 {
+                base * 3.0e35
+            } else if i < 16 {
+                base * 1.0e-38
+            } else {
+                base
+            }
+        });
+        let b = MatF32::from_fn(16, 24, |i, j| ((i + 2 * j) % 7) as f32 - 3.0);
+        let pa = PackedBfp::quantize_pack_lhs(&q, &a).unwrap();
+        let pb = PackedBfp::quantize_pack_rhs(&q, &b).unwrap();
+        let epi = |tile: &mut [f32], ctx: &EpilogueCtx| {
+            for i in 0..ctx.imax {
+                let row = &mut tile[i * ctx.b..][..ctx.jmax];
+                for (j, v) in row.iter_mut().enumerate() {
+                    if ctx.c0 + j >= 8 && ctx.c0 + j < 16 {
+                        *v = 0.0;
+                    }
+                }
+            }
+        };
+        let composed = composed_epilogue(&pa, &pb, |v, _i, j| if (8..16).contains(&j) { 0.0 } else { v });
+        let want = PackedBfp::quantize_pack_lhs(&q, &composed).unwrap();
+        let got = pa.matmul_epilogue_requant(&pb, &q, epi).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fused_requant_reports_identical_first_error() {
+        let q = Quantizer::paper();
+        let a = spiky(24, 16);
+        let b = spiky(16, 24);
+        let pa = PackedBfp::quantize_pack_lhs(&q, &a).unwrap();
+        let pb = PackedBfp::quantize_pack_rhs(&q, &b).unwrap();
+        // An epilogue that plants NaNs in two different tiles: the fused
+        // path must report the same (first, row-major) position as the
+        // composed scan of the materialised matrix.
+        let poison = |tile: &mut [f32], ctx: &EpilogueCtx| {
+            for i in 0..ctx.imax {
+                let row = &mut tile[i * ctx.b..][..ctx.jmax];
+                for (j, v) in row.iter_mut().enumerate() {
+                    if (ctx.r0 + i, ctx.c0 + j) == (9, 13) || (ctx.r0 + i, ctx.c0 + j) == (2, 20) {
+                        *v = f32::NAN;
+                    }
+                }
+            }
+        };
+        let composed = composed_epilogue(&pa, &pb, |v, i, j| {
+            if (i, j) == (9, 13) || (i, j) == (2, 20) {
+                f32::NAN
+            } else {
+                v
+            }
+        });
+        let want = format!("{:?}", PackedBfp::quantize_pack_lhs(&q, &composed).unwrap_err());
+        let got = format!("{:?}", pa.matmul_epilogue_requant(&pb, &q, poison).unwrap_err());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fused_requant_output_feeds_next_gemm_bit_identically() {
+        // The fused kernel's whole point: its packed output, used as the
+        // next GEMM's LHS, matches packing the composed f32 intermediate.
+        let q = Quantizer::paper();
+        let a = spiky(40, 24);
+        let b = spiky(24, 32);
+        let c = spiky(32, 16);
+        let pa = PackedBfp::quantize_pack_lhs(&q, &a).unwrap();
+        let pb = PackedBfp::quantize_pack_rhs(&q, &b).unwrap();
+        let pc = PackedBfp::quantize_pack_rhs(&q, &c).unwrap();
+        let epi = |tile: &mut [f32], ctx: &EpilogueCtx| {
+            for i in 0..ctx.imax {
+                for v in &mut tile[i * ctx.b..][..ctx.jmax] {
+                    *v = v.max(0.0); // relu-shaped, cheap stand-in
+                }
+            }
+        };
+        let mid_fused = pa.matmul_epilogue_requant(&pb, &q, epi).unwrap();
+        let mid_f32 = composed_epilogue(&pa, &pb, |v, _, _| v.max(0.0));
+        let mid_composed = PackedBfp::quantize_pack_lhs(&q, &mid_f32).unwrap();
+        assert_eq!(mid_fused, mid_composed);
+        assert_bits_eq(
+            &mid_fused.matmul(&pc).unwrap(),
+            &mid_composed.matmul(&pc).unwrap(),
+        );
+    }
+
+    #[test]
+    fn fused_generic_block_sizes_match_composed() {
+        for blk in [4usize, 16] {
+            let q = Quantizer::with_block(blk);
+            let a = spiky(19, 21);
+            let b = spiky(21, 10);
+            let pa = PackedBfp::quantize_pack_lhs(&q, &a).unwrap();
+            let pb = PackedBfp::quantize_pack_rhs(&q, &b).unwrap();
+            let epi = |tile: &mut [f32], ctx: &EpilogueCtx| {
+                for i in 0..ctx.imax {
+                    for v in &mut tile[i * ctx.b..][..ctx.jmax] {
+                        *v *= 2.0;
+                    }
+                }
+            };
+            let composed = composed_epilogue(&pa, &pb, |v, _, _| v * 2.0);
+            let got = pa.matmul_epilogue(&pb, epi).unwrap();
+            assert_bits_eq(&got, &composed);
+            let want_q = PackedBfp::quantize_pack_lhs(&q, &composed).unwrap();
+            assert_eq!(pa.matmul_epilogue_requant(&pb, &q, epi).unwrap(), want_q);
+        }
     }
 
     #[test]

@@ -170,6 +170,39 @@ impl Quantizer {
         self.exp_for_max_abs(max_abs).map(Some)
     }
 
+    /// [`Quantizer::tile_exp`] for a tile that lives in a local `b×b`
+    /// row-major buffer instead of a full matrix: scan the valid
+    /// `imax × jmax` region in the same (i, j) order and derive the shared
+    /// exponent. `(r0, c0)` is the tile's anchor in the logical output
+    /// matrix, used only to report the absolute position of a non-finite
+    /// element — so a fused GEMM epilogue that never materialises the f32
+    /// matrix still errors with the coordinates the composed path reports.
+    pub(crate) fn tile_exp_slice(
+        &self,
+        tile: &[f32],
+        r0: usize,
+        c0: usize,
+        imax: usize,
+        jmax: usize,
+    ) -> Result<Option<i8>, ArithError> {
+        let b = self.block;
+        let mut max_abs = 0f32;
+        for i in 0..imax {
+            let row = &tile[i * b..][..jmax];
+            for (j, &v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(ArithError::NonFinite { at: (r0 + i, c0 + j) });
+                }
+                max_abs = max_abs.max(v.abs());
+            }
+        }
+        let max_abs = max_abs as f64;
+        if max_abs == 0.0 {
+            return Ok(None);
+        }
+        self.exp_for_max_abs(max_abs).map(Some)
+    }
+
     /// The pre-optimisation tile scan: per-element `get` with bounds
     /// branches and an f64 running max. Kept runnable as the oracle
     /// [`Quantizer::tile_exp`] is pinned against and as the epilogue the

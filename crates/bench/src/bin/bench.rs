@@ -147,6 +147,25 @@ fn bench_gemms(reps: usize) -> Vec<GemmRow> {
         .collect()
 }
 
+/// Gate each shape's thread sweep monotone-within-noise: granting more
+/// threads must never slow the kernel below `tol` × the best smaller
+/// budget (the PR-8 regression was exactly this — a 2-thread row slower
+/// than 1-thread on a core-starved host until `effective_threads`
+/// learned to clamp).
+fn assert_sweep_monotone(rows: &[GemmRow], tol: f64) {
+    for r in rows {
+        let mut best = f64::INFINITY;
+        for &(t, ms) in &r.parallel_sweep {
+            assert!(
+                ms * tol <= best,
+                "{}: {t}-thread kernel at {ms:.3} ms regressed vs best {best:.3} ms (tolerance {tol})",
+                r.name
+            );
+            best = best.min(ms);
+        }
+    }
+}
+
 struct InferRow {
     images: usize,
     uncached_ips: f64,
@@ -270,6 +289,9 @@ fn main() {
         reps, threads, THREAD_SWEEP
     );
     let rows = bench_gemms(reps);
+    // Quick mode shares loaded CI runners; the full run publishes from a
+    // quieter host and holds the tighter bar.
+    assert_sweep_monotone(&rows, if quick { 0.65 } else { 0.80 });
     let mut t = Table::new(
         "GEMM kernel wall-clock (pre-quantized operands)",
         &[

@@ -13,6 +13,15 @@
 //!   (`NonlinearMode::Fast`: LUT/polynomial GELU–exp–rsqrt on a modelled
 //!   nonlinear unit — see DESIGN.md for its tested ULP envelope).
 //!
+//! The fast-path engines run under the **compiled fusion plan**: the
+//! core planner lowers the bench model to the graph IR, pattern-matches
+//! the GEMM→bias→GELU and GEMM→bias→residual chains, and the distilled
+//! [`CompiledVitPlan`] routes every block through the fused drain
+//! kernels (shared q/k/v pack, requantizing fc1→fc2 edge). A dedicated
+//! fused-vs-unfused A/B pair measures what the plan buys and lands in
+//! the JSON's `fusion` block, together with the planner's per-node
+//! decisions and priced cycle variants.
+//!
 //! Every exact configuration's logits are checked **bit-identical** to
 //! the baseline before any number is written. Fast-nonlinear logits are
 //! checked identical across thread counts (sharding stays bit-invariant)
@@ -20,7 +29,7 @@
 //! (max ULP / max abs / SQNR). Both thread sweeps are gated monotone:
 //! more budget must never cost throughput beyond noise tolerance — the
 //! regression that flat-lined the PR-6 sweep. Results land in
-//! `BENCH_E2E.json` (schema `bench_e2e/v2`).
+//! `BENCH_E2E.json` (schema `bench_e2e/v3`).
 //!
 //! ```sh
 //! cargo run --release -p bfp-bench --bin e2e            # full run
@@ -39,9 +48,11 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use bfp_arith::ulp::{EnvelopeStats, UlpEnvelope};
-use bfp_core::Table;
+use bfp_core::prelude::System;
+use bfp_core::{lower_vit, plan_fusion, FuseDecision, FuseKind, FusePlan, Table};
 use bfp_transformer::{
-    DeitConfig, DeitModel, Image, MixedEngine, NonlinearMode, OpCensus, PhaseTimes, VitConfig,
+    CompiledVitPlan, DeitConfig, DeitModel, Image, MixedEngine, NonlinearMode, OpCensus,
+    PhaseTimes, VitConfig,
 };
 
 /// The bench model: a scaled-down DeiT (same shape family as the paper's
@@ -70,6 +81,15 @@ struct E2eRow {
     wall_ms: f64,
     phases: PhaseTimes,
     misc_ms: f64,
+    /// Fused-kernel GEMMs vs composed GEMMs over the timed passes.
+    fusion_hits: u64,
+    fusion_misses: u64,
+    /// Minimum quantize-pack phase time across all timed passes (ms).
+    /// The pack work per pass is deterministic, so the minimum is the
+    /// lowest-noise estimate of its true cost — the A/B reduction metric
+    /// uses this rather than the best-throughput pass's (possibly noisy)
+    /// phase split.
+    qp_min_ms: f64,
 }
 
 impl E2eRow {
@@ -93,43 +113,60 @@ impl E2eRow {
     }
 }
 
-/// Run `images` inferences on `engine` (after a one-image warmup that
-/// also fills the weight-plan cache), returning the throughput row, the
-/// logits of every image for equivalence checking, and the VPU op census
-/// of the timed passes.
+/// Run `passes` timed sweeps of `images` inferences on `engine` (after a
+/// one-image warmup that also fills the weight-plan cache), keeping the
+/// best-throughput pass — the pass least perturbed by host noise; the
+/// shared runners this bench lives on swing 30%+ between identical
+/// passes. Returns the best pass's throughput row, the logits of every
+/// image for equivalence checking (identical across passes — the engine
+/// is deterministic), and that pass's VPU op census.
 fn run(
     label: &str,
     mut engine: MixedEngine,
     imgs: &[Image],
     model: &DeitModel,
+    passes: usize,
 ) -> (E2eRow, Vec<Vec<f32>>, OpCensus) {
     std::hint::black_box(model.forward(&mut engine, &imgs[0]));
     let _ = engine.take_phase_times();
     let _ = engine.take_census();
     let threads = engine.threads();
-    let t0 = Instant::now();
-    let logits: Vec<Vec<f32>> = imgs
-        .iter()
-        .map(|img| model.forward(&mut engine, img))
-        .collect();
-    let wall = t0.elapsed();
-    let phases = engine.take_phase_times();
-    let census = engine.take_census();
-    let wall_ms = wall.as_secs_f64() * 1e3;
-    let misc_ms = (wall.saturating_sub(phases.accounted())).as_secs_f64() * 1e3;
-    (
-        E2eRow {
+    let mut best: Option<(E2eRow, Vec<Vec<f32>>, OpCensus)> = None;
+    let mut qp_min_ms = f64::INFINITY;
+    for _ in 0..passes.max(1) {
+        let (warm_hits, warm_misses) = engine.fusion_stats();
+        let t0 = Instant::now();
+        let logits: Vec<Vec<f32>> = imgs
+            .iter()
+            .map(|img| model.forward(&mut engine, img))
+            .collect();
+        let wall = t0.elapsed();
+        let phases = engine.take_phase_times();
+        let census = engine.take_census();
+        let (hits, misses) = engine.fusion_stats();
+        qp_min_ms = qp_min_ms.min(phases.quantize_pack.as_secs_f64() * 1e3);
+        let row = E2eRow {
             label: label.to_string(),
             threads,
             nonlinear: engine.nonlinear_mode(),
             images_per_s: imgs.len() as f64 / wall.as_secs_f64(),
-            wall_ms,
+            wall_ms: wall.as_secs_f64() * 1e3,
             phases,
-            misc_ms,
-        },
-        logits,
-        census,
-    )
+            misc_ms: (wall.saturating_sub(phases.accounted())).as_secs_f64() * 1e3,
+            fusion_hits: hits - warm_hits,
+            fusion_misses: misses - warm_misses,
+            qp_min_ms: 0.0,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|(b, _, _)| row.images_per_s > b.images_per_s)
+        {
+            best = Some((row, logits, census));
+        }
+    }
+    let mut best = best.expect("at least one pass");
+    best.0.qp_min_ms = qp_min_ms;
+    best
 }
 
 fn assert_bit_identical(label: &str, got: &[Vec<f32>], want: &[Vec<f32>]) {
@@ -217,11 +254,120 @@ fn row_json(s: &mut String, row: &E2eRow, indent: &str, last: bool) {
     let _ = writeln!(s, "{indent}  \"label\": \"{}\",", row.label);
     let _ = writeln!(s, "{indent}  \"threads\": {},", row.threads);
     let _ = writeln!(s, "{indent}  \"nonlinear\": \"{}\",", row.nonlinear.as_str());
+    let _ = writeln!(s, "{indent}  \"fusion_hits\": {},", row.fusion_hits);
+    let _ = writeln!(s, "{indent}  \"fusion_misses\": {},", row.fusion_misses);
     let _ = writeln!(s, "{indent}  \"largest_phase\": \"{}\",", row.largest_phase());
     phases_json(s, row, &format!("{indent}  "));
     let _ = writeln!(s, "{indent}  \"wall_ms\": {:.3},", row.wall_ms);
     let _ = writeln!(s, "{indent}  \"images_per_s\": {:.3}", row.images_per_s);
     let _ = write!(s, "{indent}}}{}", if last { "\n" } else { ",\n" });
+}
+
+/// Fused-vs-unfused A/B measurement: same model, same thread budget, the
+/// only difference is the compiled plan. Two operating points:
+///
+/// * **exact** — anchors bit-identity (both sides must match the scalar
+///   oracle) and the quantize-pack phase reduction; its throughput delta
+///   is modest because the exact GELU dominates and fusion cannot shrink
+///   it;
+/// * **fastnl** — the production operating point, where the pack-cycle
+///   elimination is a visible fraction of the wall clock; the throughput
+///   gate runs here.
+struct FusionAb {
+    unfused: E2eRow,
+    fused: E2eRow,
+    fastnl_unfused: E2eRow,
+    fastnl_fused: E2eRow,
+    /// Fused/unfused img/s at the exact operating point.
+    speedup_exact: f64,
+    /// Fused/unfused img/s at the fast-nonlinear operating point.
+    speedup_fastnl: f64,
+    quantize_pack_reduction: f64,
+}
+
+fn decision_str(d: FuseDecision) -> String {
+    match d {
+        FuseDecision::Standalone => "standalone".into(),
+        FuseDecision::FusedGemm(FuseKind::BiasGelu) => "fused_gemm:bias_gelu".into(),
+        FuseDecision::FusedGemm(FuseKind::BiasGeluRequant) => {
+            "fused_gemm:bias_gelu_requant".into()
+        }
+        FuseDecision::FusedGemm(FuseKind::BiasResidual) => "fused_gemm:bias_residual".into(),
+        FuseDecision::FusedInto(i) => format!("fused_into:{i}"),
+        FuseDecision::SharedPack(g) => format!("shared_pack:{g}"),
+    }
+}
+
+/// The `fusion` block: the planner's verdict (per-node decisions, priced
+/// cycle variants) plus the measured fused-vs-unfused A/B.
+fn fusion_json(s: &mut String, plan: &FusePlan, compiled: &CompiledVitPlan, ab: &FusionAb) {
+    s.push_str("  \"fusion\": {\n");
+    s.push_str("    \"plan\": {\n");
+    let _ = writeln!(s, "      \"fuse_qkv\": {},", compiled.fuse_qkv);
+    let _ = writeln!(s, "      \"fuse_wo_residual\": {},", compiled.fuse_wo_residual);
+    let _ = writeln!(s, "      \"fuse_fc1_gelu\": {},", compiled.fuse_fc1_gelu);
+    let _ = writeln!(s, "      \"fuse_fc2_residual\": {},", compiled.fuse_fc2_residual);
+    let _ = writeln!(s, "      \"prefetch_weights\": {},", compiled.prefetch_weights);
+    let _ = writeln!(
+        s,
+        "      \"fused_gemms_per_block\": {}",
+        compiled.fused_gemms_per_block()
+    );
+    s.push_str("    },\n");
+    s.push_str("    \"planner\": {\n");
+    let _ = writeln!(s, "      \"fused_gemms\": {},", plan.fused_gemms);
+    let _ = writeln!(s, "      \"absorbed_nodes\": {},", plan.absorbed_nodes);
+    let _ = writeln!(s, "      \"shared_pack_groups\": {},", plan.shared_pack_groups);
+    let _ = writeln!(s, "      \"pack_reduction\": {:.3},", plan.pack_reduction());
+    s.push_str("      \"timing_cycles\": {\n");
+    let _ = writeln!(s, "        \"unfused\": {:.0},", plan.timing.unfused_cycles);
+    let _ = writeln!(s, "        \"fused\": {:.0},", plan.timing.fused_cycles);
+    let _ = writeln!(
+        s,
+        "        \"double_buffered\": {:.0}",
+        plan.timing.double_buffered_cycles
+    );
+    s.push_str("      }\n");
+    s.push_str("    },\n");
+    s.push_str("    \"nodes\": [\n");
+    for (i, n) in plan.nodes.iter().enumerate() {
+        let _ = write!(
+            s,
+            "      {{\"name\": \"{}\", \"decision\": \"{}\"}}{}",
+            n.name,
+            decision_str(n.decision),
+            if i + 1 == plan.nodes.len() { "\n" } else { ",\n" }
+        );
+    }
+    s.push_str("    ],\n");
+    for (key, row) in [
+        ("unfused", &ab.unfused),
+        ("fused", &ab.fused),
+        ("fastnl_unfused", &ab.fastnl_unfused),
+        ("fastnl_fused", &ab.fastnl_fused),
+    ] {
+        let _ = write!(s, "    \"{key}\": ");
+        let mut b = String::new();
+        row_json(&mut b, row, "    ", true);
+        s.push_str(b.trim_start());
+        s.push_str(",\n");
+    }
+    let _ = writeln!(
+        s,
+        "    \"speedup_fused_vs_unfused\": {:.3},",
+        ab.speedup_fastnl
+    );
+    let _ = writeln!(
+        s,
+        "    \"speedup_fused_vs_unfused_exact\": {:.3},",
+        ab.speedup_exact
+    );
+    let _ = writeln!(
+        s,
+        "    \"quantize_pack_reduction_measured\": {:.3}",
+        ab.quantize_pack_reduction
+    );
+    s.push_str("  },\n");
 }
 
 fn op_mix_json(s: &mut String, census: &OpCensus, indent: &str) {
@@ -246,6 +392,9 @@ fn to_json(
     fast_sweep: &[E2eRow],
     fast_census: &OpCensus,
     envelope: &LogitEnvelope,
+    plan: &FusePlan,
+    compiled: &CompiledVitPlan,
+    ab: &FusionAb,
     images: usize,
     host_threads: usize,
     quick: bool,
@@ -268,11 +417,12 @@ fn to_json(
         .unwrap_or("none");
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"bench_e2e/v2\",");
+    let _ = writeln!(s, "  \"schema\": \"bench_e2e/v3\",");
     let _ = writeln!(s, "  \"quick\": {quick},");
     let _ = writeln!(s, "  \"images\": {images},");
     let _ = writeln!(s, "  \"host_threads\": {host_threads},");
     let _ = writeln!(s, "  \"bit_identical\": true,");
+    fusion_json(&mut s, plan, compiled, ab);
     s.push_str("  \"baseline\": ");
     {
         let mut b = String::new();
@@ -351,6 +501,10 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned());
 
     let images = if quick { 2 } else { 8 };
+    // Best-of-N timed passes per configuration; see `run` — the gates
+    // compare configurations against each other, so each side must be a
+    // low-noise estimate or the comparison gates flake on shared hosts.
+    let passes = if quick { 2 } else { 3 };
     // Quick mode runs on loaded CI runners; the full run publishes the
     // checked-in numbers from a quiet host.
     let sweep_tol = if quick { 0.65 } else { 0.80 };
@@ -365,9 +519,23 @@ fn main() {
         .map(|s| Image::synthetic(3, cfg.img, cfg.img, s as u64))
         .collect();
 
+    // Compile the fusion plan: lower the encoder to the graph IR, let the
+    // planner price and pattern-match it, and distill the verdict into
+    // the switch set the engine executes.
+    let graph = lower_vit(&cfg.vit);
+    let sys = System::paper();
+    let fuse_plan = plan_fusion(&graph, &sys);
+    let compiled = fuse_plan.compiled_vit_plan(&graph, &sys);
+
     println!(
-        "end-to-end DeiT inference, {} images, {} host threads\n",
-        images, host_threads
+        "end-to-end DeiT inference, {} images, {} host threads\n\
+         fusion plan: {} fused GEMMs, {} shared-pack groups, \
+         {:.0}% of quantize-pack cycles eliminated\n",
+        images,
+        host_threads,
+        fuse_plan.fused_gemms,
+        fuse_plan.shared_pack_groups,
+        100.0 * fuse_plan.pack_reduction(),
     );
 
     let (baseline, base_logits, _) = run(
@@ -375,16 +543,19 @@ fn main() {
         MixedEngine::baseline_scalar(),
         &imgs,
         &model,
+        passes,
     );
     let mut exact_sweep = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         let (row, logits, _) = run(
             &format!("fast_{threads}t"),
-            MixedEngine::new().with_threads(threads),
+            MixedEngine::new().with_threads(threads).with_vit_plan(compiled),
             &imgs,
             &model,
+            passes,
         );
-        // Hard gate: the exact path must not move a single logit bit.
+        // Hard gate: the compiled fused path must not move a single
+        // logit bit against the hand-wired scalar oracle.
         assert_bit_identical(&row.label, &logits, &base_logits);
         exact_sweep.push(row);
     }
@@ -396,9 +567,12 @@ fn main() {
     for threads in [1usize, 2, 4, 8] {
         let (row, logits, census) = run(
             &format!("fastnl_{threads}t"),
-            MixedEngine::fast_nonlinear().with_threads(threads),
+            MixedEngine::fast_nonlinear()
+                .with_threads(threads)
+                .with_vit_plan(compiled),
             &imgs,
             &model,
+            passes,
         );
         // Sharding stays bit-invariant inside the fast path too: every
         // thread budget must produce the same logits.
@@ -412,6 +586,76 @@ fn main() {
     assert_monotone(&fast_sweep, sweep_tol);
     let envelope = logit_envelope(fast_logits.as_ref().unwrap(), &base_logits);
 
+    // Fused-vs-unfused A/B pairs at the single-thread operating point:
+    // same engine, same model, the only difference is the compiled plan.
+    // The exact pair anchors bit-identity against the scalar oracle and
+    // the quantize-pack reduction; the fastnl pair is where fusion's
+    // eliminated pack cycles show as throughput, so the speedup gate
+    // runs there.
+    let (unfused_row, unfused_logits, _) = run(
+        "exact_unfused_1t",
+        MixedEngine::new().with_threads(1),
+        &imgs,
+        &model,
+        passes,
+    );
+    assert_bit_identical(&unfused_row.label, &unfused_logits, &base_logits);
+    let (fused_row, fused_logits, _) = run(
+        "exact_fused_1t",
+        MixedEngine::new().with_threads(1).with_vit_plan(compiled),
+        &imgs,
+        &model,
+        passes,
+    );
+    assert_bit_identical(&fused_row.label, &fused_logits, &base_logits);
+    assert_eq!(unfused_row.fusion_hits, 0, "plan-less engine never fuses");
+    assert!(fused_row.fusion_hits > 0, "compiled plan must hit");
+
+    let (fnl_unfused_row, fnl_unfused_logits, _) = run(
+        "fastnl_unfused_1t",
+        MixedEngine::fast_nonlinear().with_threads(1),
+        &imgs,
+        &model,
+        passes,
+    );
+    // Fusion must not move a fast-nonlinear bit either: both sides of
+    // the fastnl pair must match the planned fastnl sweep exactly.
+    assert_bit_identical(
+        &fnl_unfused_row.label,
+        &fnl_unfused_logits,
+        fast_logits.as_ref().unwrap(),
+    );
+    let (fnl_fused_row, fnl_fused_logits, _) = run(
+        "fastnl_fused_1t",
+        MixedEngine::fast_nonlinear()
+            .with_threads(1)
+            .with_vit_plan(compiled),
+        &imgs,
+        &model,
+        passes,
+    );
+    assert_bit_identical(
+        &fnl_fused_row.label,
+        &fnl_fused_logits,
+        fast_logits.as_ref().unwrap(),
+    );
+    assert_eq!(fnl_unfused_row.fusion_hits, 0, "plan-less engine never fuses");
+    assert!(fnl_fused_row.fusion_hits > 0, "compiled plan must hit");
+
+    let ab = FusionAb {
+        speedup_exact: fused_row.images_per_s / unfused_row.images_per_s,
+        speedup_fastnl: fnl_fused_row.images_per_s / fnl_unfused_row.images_per_s,
+        // Min-over-passes quantize-pack times at the production operating
+        // point: the pack work is nonlinear-mode independent, and the
+        // minimum filters host noise out of a millisecond-scale phase.
+        quantize_pack_reduction: 1.0
+            - fnl_fused_row.qp_min_ms / fnl_unfused_row.qp_min_ms.max(1e-9),
+        unfused: unfused_row,
+        fused: fused_row,
+        fastnl_unfused: fnl_unfused_row,
+        fastnl_fused: fnl_fused_row,
+    };
+
     let mut t = Table::new(
         "per-phase wall clock (ms, whole run)",
         &[
@@ -422,6 +666,7 @@ fn main() {
     for r in std::iter::once(&baseline)
         .chain(exact_sweep.iter())
         .chain(fast_sweep.iter())
+        .chain([&ab.unfused, &ab.fused, &ab.fastnl_unfused, &ab.fastnl_fused])
     {
         t.row(&[
             r.label.clone(),
@@ -442,12 +687,43 @@ fn main() {
         &fast_sweep,
         &fast_census,
         &envelope,
+        &fuse_plan,
+        &compiled,
+        &ab,
         images,
         host_threads,
         quick,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_E2E.json");
     println!("\nwrote {out_path}");
+    println!(
+        "fusion A/B: {:.2}x img/s fused vs unfused at fastnl ({:.2}x exact); \
+         quantize-pack time -{:.0}%",
+        ab.speedup_fastnl,
+        ab.speedup_exact,
+        100.0 * ab.quantize_pack_reduction
+    );
+
+    // Acceptance gates (after the report, so a failing run still shows
+    // its numbers): the fused path must never cost throughput at the
+    // production (fast-nonlinear) operating point and must eliminate the
+    // quantize-pack round trip on fused edges. At this scaled-down bench
+    // model the structural fusion win is a few percent of wall clock
+    // (the pack phase it deletes is already small), so the speedup gate
+    // is a no-regression floor and the quantize-pack reduction is the
+    // quantitative fusion gate. Quick mode runs two images on loaded CI
+    // hosts, so its bars are looser.
+    let (min_speedup, min_qp) = if quick { (0.90, 0.30) } else { (1.00, 0.40) };
+    assert!(
+        ab.speedup_fastnl >= min_speedup,
+        "fused path regressed: {:.3}x vs unfused at fastnl (floor {min_speedup})",
+        ab.speedup_fastnl
+    );
+    assert!(
+        ab.quantize_pack_reduction >= min_qp,
+        "quantize-pack reduction {:.3} below floor {min_qp}",
+        ab.quantize_pack_reduction
+    );
 
     let best = |rows: &[E2eRow]| rows.iter().map(|r| r.images_per_s).fold(0.0f64, f64::max);
     println!(

@@ -50,6 +50,29 @@ impl ParallelPolicy {
     }
 }
 
+/// Host hardware thread count (what [`ParallelPolicy::Auto`] resolves to).
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The thread count [`packed_matmul`] actually uses for a GEMM with `mb`
+/// block-rows and `macs` scalar MACs under `policy`: the policy's budget
+/// clamped so that (a) no shard falls below [`PARALLEL_MAC_THRESHOLD`]
+/// MACs of work, (b) the kernel never runs more threads than the host
+/// has cores — an explicit `Threads(n)` larger than the machine only
+/// adds context-switch overhead on the same silicon — and (c) at most
+/// one thread per block-row.
+pub fn effective_threads(policy: ParallelPolicy, mb: usize, macs: u64) -> usize {
+    let shard_cap = (macs / PARALLEL_MAC_THRESHOLD).max(1) as usize;
+    policy
+        .threads()
+        .min(host_parallelism())
+        .min(shard_cap)
+        .min(mb.max(1))
+}
+
 /// Packed GEMM with block-row sharding under `policy`. Bit-identical to
 /// [`PackedBfp::matmul`] (and therefore to `BfpMatrix::try_matmul` and the
 /// cycle simulator) for every policy.
@@ -61,8 +84,8 @@ pub fn packed_matmul(
     a.check_compatible(b)?;
     let (mb, _) = a.grid();
     let macs = a.rows() as u64 * a.cols() as u64 * b.cols() as u64;
-    let threads = policy.threads().min(mb.max(1));
-    if threads <= 1 || macs < PARALLEL_MAC_THRESHOLD {
+    let threads = effective_threads(policy, mb, macs);
+    if threads <= 1 {
         return a.matmul(b);
     }
     // The shard mechanism itself lives next to the kernel in bfp-arith so
@@ -170,5 +193,24 @@ mod tests {
         assert_eq!(ParallelPolicy::Threads(0).threads(), 1);
         assert_eq!(ParallelPolicy::Threads(6).threads(), 6);
         assert!(ParallelPolicy::Auto.threads() >= 1);
+    }
+
+    #[test]
+    fn effective_threads_respects_every_clamp() {
+        // DeiT-Small projection shape: 197·384·384 ≈ 29 M MACs, 25 block
+        // rows. The per-shard minimum caps at 14 threads regardless of the
+        // policy budget.
+        let macs = 197u64 * 384 * 384;
+        let host = ParallelPolicy::Auto.threads();
+        let t = effective_threads(ParallelPolicy::Threads(64), 25, macs);
+        assert!(t <= 14, "per-shard MAC minimum: {t}");
+        assert!(t <= host, "never oversubscribe the host: {t} > {host}");
+        assert!(t <= 25, "never more threads than block rows");
+        // Below the fork/join threshold everything degenerates to serial,
+        // even with an explicit multi-thread budget.
+        assert_eq!(effective_threads(ParallelPolicy::Threads(8), 25, 1_000_000), 1);
+        assert_eq!(effective_threads(ParallelPolicy::Serial, 25, macs), 1);
+        // A shape with a single block row cannot shard.
+        assert_eq!(effective_threads(ParallelPolicy::Auto, 1, macs), 1);
     }
 }

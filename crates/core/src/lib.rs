@@ -37,6 +37,7 @@ pub mod degrade;
 pub mod fastgemm;
 pub mod graph;
 pub mod latency;
+pub mod planner;
 pub mod report;
 pub mod resilient;
 pub mod scheduler;
@@ -47,14 +48,15 @@ pub use accelerator::{Accelerator, GemmReport, InferenceReport};
 pub use batch::{BatchLatency, BatchResult};
 pub use compiler::{compile_gemm, compile_gemm_blocks, CompiledGemm, DrainSlot};
 pub use degrade::{gelu_with_mode, op_count_latency_s};
-pub use fastgemm::{fast_matmul_f32, packed_matmul, ParallelPolicy};
+pub use fastgemm::{effective_threads, fast_matmul_f32, packed_matmul, ParallelPolicy};
 pub use graph::{lower_vit, Graph, OpKind, OpNode};
 pub use latency::{Breakdown, LatencyModel, Partition};
+pub use planner::{plan_fusion, FuseDecision, FuseKind, FusePlan, PlanNode, PlanTiming};
 pub use report::{fmt_si, Table};
 pub use resilient::{
     resilient_matmul, resilient_matmul_with, RecoveryPolicy, ResilientOutcome, VerifyMode,
 };
-pub use scheduler::{abft_overhead_cycles, schedule, Level, Schedule};
+pub use scheduler::{abft_overhead_cycles, quantize_pack_cycles, schedule, Level, Schedule};
 // Fault accounting types surface through `GemmReport`/`SystemStats`.
 pub use bfp_faults::{FaultCounters, FaultReport};
 pub use vprog::{
@@ -69,5 +71,8 @@ pub mod prelude {
     pub use bfp_arith::stats::ErrorStats;
     pub use bfp_platform::{System, SystemConfig, U280};
     pub use bfp_pu::unit::ProcessingUnit;
-    pub use bfp_transformer::{Engine, MixedEngine, NonlinearMode, RefEngine, VitConfig, VitModel};
+    pub use bfp_transformer::{
+        DivisionPolicy, Engine, MixedEngine, NonlinearMode, OpCount, RefEngine, VitConfig,
+        VitModel, Vpu,
+    };
 }

@@ -164,6 +164,17 @@ pub fn gemm_cycles_one_array(m: usize, k: usize, n: usize, mem: &MemParams) -> f
     cycles
 }
 
+/// Cycles to quantize-pack a `rows × cols` f32 operand into the bfp8
+/// block-major layout: one shared-exponent scan pass plus one
+/// round-and-pack pass, each streaming every element through the
+/// 64-lane (8×8-tile) pack datapath. This is the cost a fused
+/// requantizing epilogue eliminates when it writes the GEMM drain
+/// straight into the next GEMM's packed layout, and what a shared-LHS
+/// group saves `size − 1` times over.
+pub fn quantize_pack_cycles(rows: usize, cols: usize) -> f64 {
+    2.0 * (rows * cols) as f64 / 64.0
+}
+
 /// Maximum useful parallelism of a node (how many arrays can share it).
 pub fn node_parallelism(kind: &OpKind) -> usize {
     match *kind {

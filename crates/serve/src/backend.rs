@@ -22,10 +22,11 @@ use std::sync::Arc;
 use bfp_arith::cancel::CancelToken;
 use bfp_arith::error::ArithError;
 use bfp_arith::matrix::MatF32;
+use bfp_arith::packed::EpilogueCtx;
 use bfp_arith::quant::Quantizer;
 use bfp_arith::{AbftOptions, AbftPacked};
 use bfp_core::degrade::{gelu_with_mode, op_count_latency_s};
-use bfp_core::prelude::{MixedEngine, NonlinearMode};
+use bfp_core::prelude::{DivisionPolicy, MixedEngine, NonlinearMode, Vpu};
 use bfp_faults::FaultReport;
 use bfp_platform::nonlinear::NonlinearUnit;
 
@@ -149,16 +150,13 @@ impl ArrayFaultPlan {
 }
 
 /// Simulated array: the packed bfp8 fast path (bit-identical to the
-/// cycle simulator) plus scripted fault injection, a VPU engine for
-/// nonlinear epilogues, and a modelled occupancy clock.
+/// cycle simulator) plus scripted fault injection, a fused VPU drain
+/// for nonlinear epilogues, and a modelled occupancy clock.
 pub struct SimArrayBackend {
     quantizer: Quantizer,
     /// Sustained GEMM throughput of this single array, GOPS.
     gops: f64,
     plan: ArrayFaultPlan,
-    /// VPU engine for nonlinear epilogues; single-threaded — the
-    /// serving runtime already runs one worker thread per array.
-    engine: MixedEngine,
     /// Nonlinear-unit pricing for the epilogue's modelled seconds.
     vpu_unit: NonlinearUnit,
 }
@@ -171,7 +169,6 @@ impl SimArrayBackend {
             quantizer: Quantizer::paper(),
             gops,
             plan,
-            engine: MixedEngine::new().with_threads(1),
             vpu_unit: NonlinearUnit::recommended(),
         }
     }
@@ -218,7 +215,29 @@ impl ArrayBackend for SimArrayBackend {
             no_verify: false,
             tamper: Some(&mut tamper),
         };
-        let (mut out, r) = pa.matmul_with(&pb, &mut opts)?;
+        // The GELU epilogue runs fused at the GEMM drain: each
+        // verified-clean output chain passes through the VPU while the
+        // tile is hot instead of being materialised and re-read. GELU is
+        // element-independent and the VPU kernel has no cross-tile
+        // state, so the bits equal the composed GEMM→GELU pass
+        // ([`reference_bits`]) exactly; chains with uncorrected
+        // detections keep their raw GEMM bits, which the runtime
+        // discards anyway.
+        let mut vpu = Vpu::new();
+        let (out, r) = if op == ServeOp::GemmGelu {
+            let mut epi = |tile: &mut [f32], ctx: &EpilogueCtx| {
+                for i in 0..ctx.imax {
+                    vpu.gelu_slice(
+                        &mut tile[i * ctx.b..][..ctx.jmax],
+                        DivisionPolicy::Host,
+                        mode,
+                    );
+                }
+            };
+            pa.matmul_with_epilogue(&pb, &mut opts, &mut epi)?
+        } else {
+            pa.matmul_with(&pb, &mut opts)?
+        };
         cancel.check()?;
 
         let macs = a.rows() as u64 * a.cols() as u64 * b.cols() as u64;
@@ -228,13 +247,12 @@ impl ArrayBackend for SimArrayBackend {
             0.0
         };
 
-        // Nonlinear epilogue, in the dispatched mode. Skipped when the
-        // GEMM carries uncorrected detections — the runtime discards
-        // such outputs, so the VPU pass would be wasted occupancy.
+        // Epilogue occupancy is only billed for servable outputs — an
+        // execution with uncorrected detections is discarded by the
+        // runtime, so its drain work is written off, exactly as the
+        // composed path skipped the VPU pass entirely.
         if op == ServeOp::GemmGelu && r.detections.saturating_sub(r.corrections()) == 0 {
-            let count = gelu_with_mode(&mut self.engine, &mut out, mode);
-            modelled_s += op_count_latency_s(&self.vpu_unit, &count);
-            cancel.check()?;
+            modelled_s += op_count_latency_s(&self.vpu_unit, &vpu.count);
         }
 
         let mut faults = FaultReport::default();

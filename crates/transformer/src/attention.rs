@@ -51,6 +51,16 @@ impl Attention {
         }
     }
 
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Per-head feature width.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
     /// Self-attention over `x` (`seq × dim`).
     pub fn forward<E: Engine>(&self, e: &mut E, x: &MatF32) -> MatF32 {
         let seq = x.rows();
@@ -80,7 +90,7 @@ impl Attention {
 }
 
 /// Copy a column range out of a matrix.
-fn slice_cols(m: &MatF32, start: usize, width: usize) -> MatF32 {
+pub(crate) fn slice_cols(m: &MatF32, start: usize, width: usize) -> MatF32 {
     MatF32::from_fn(m.rows(), width, |i, j| m.get(i, start + j))
 }
 

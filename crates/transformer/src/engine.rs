@@ -8,12 +8,16 @@ use std::time::{Duration, Instant};
 use bfp_arith::error::ArithError;
 use bfp_arith::int8quant::Int8Tensor;
 use bfp_arith::matrix::MatF32;
-use bfp_arith::packed::PackedBfp;
+use bfp_arith::packed::{EpilogueCtx, PackedBfp};
 use bfp_arith::quant::Quantizer;
 use bfp_telemetry::{Registry, Table};
 #[cfg(feature = "telemetry")]
 use bfp_telemetry::{Counter, Histogram, Tracer};
 
+use crate::attention::slice_cols;
+use crate::layers::Linear;
+use crate::model::{residual_add, Block};
+use crate::plan::CompiledVitPlan;
 use crate::reference;
 use crate::vpu::{NonlinearMode, OpCount, Vpu};
 
@@ -81,6 +85,13 @@ pub trait Engine {
     fn gelu(&mut self, m: &mut MatF32);
     /// Row-wise LayerNorm in place.
     fn layernorm(&mut self, m: &mut MatF32, gamma: &[f32], beta: &[f32], eps: f32);
+    /// Run one encoder block through a compiled execution plan, if this
+    /// engine carries one. `None` (the default for every engine without
+    /// plan support) routes the caller to the hand-wired oracle sequence;
+    /// `Some` must be bit-identical to that sequence.
+    fn forward_block_planned(&mut self, _block: &Block, _x: &MatF32) -> Option<MatF32> {
+        None
+    }
 }
 
 /// Pure f32/f64 reference engine (the "fp32 model as trained" baseline).
@@ -124,29 +135,17 @@ impl PlanKey {
     }
 
     fn of_fast(m: &MatF32) -> PlanKey {
-        // Word-at-a-time rotate-xor-multiply mixing over the bit patterns
-        // (one 64-bit multiply per two f32s instead of the byte-wise FNV
-        // loop this replaced — the hash ran on every GEMM's RHS and showed
-        // up in the quantize/pack phase). Still bit-exact and NaN-payload
-        // sensitive; the key only gates the plan cache, so the hash choice
-        // can never affect output bits.
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        let mut eat = |v: u64| {
-            h = (h.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
-        };
-        eat(m.rows() as u64);
-        eat(m.cols() as u64);
-        let mut chunks = m.data().chunks_exact(2);
-        for pair in &mut chunks {
-            eat((pair[0].to_bits() as u64) << 32 | pair[1].to_bits() as u64);
-        }
-        if let [last] = chunks.remainder() {
-            eat(last.to_bits() as u64);
-        }
+        // `MatF32::content_hash` is the word-at-a-time mixer, *memoized in
+        // the matrix*: a weight hashed once stays hashed until mutated, so
+        // steady-state lookups cost six u64 loads instead of a full rescan
+        // of the weight bytes per GEMM (which showed up in the
+        // quantize/pack phase). Still bit-exact and NaN-payload sensitive;
+        // the key only gates the plan cache, so the hash choice can never
+        // affect output bits.
         PlanKey {
             rows: m.rows(),
             cols: m.cols(),
-            hash: h,
+            hash: m.content_hash(),
         }
     }
 
@@ -267,6 +266,8 @@ pub struct EngineTelemetry {
     fast_add: Counter,
     fast_exp_adjust: Counter,
     fast_lut: Counter,
+    fusion_hits: Counter,
+    fusion_misses: Counter,
 }
 
 #[cfg(feature = "telemetry")]
@@ -290,6 +291,10 @@ impl EngineTelemetry {
             fast_add: reg.counter("engine_fast_nl_fp_add_total"),
             fast_exp_adjust: reg.counter("engine_fast_nl_exp_adjust_total"),
             fast_lut: reg.counter("engine_fast_nl_lut_total"),
+            // Compiled-plan routing: GEMMs drained through a fused
+            // epilogue kernel vs GEMMs a plan had to run composed.
+            fusion_hits: reg.counter("engine_fusion_hits_total"),
+            fusion_misses: reg.counter("engine_fusion_misses_total"),
         }
     }
 
@@ -397,6 +402,14 @@ pub struct MixedEngine {
     /// Which quantize epilogue (and plan-key hash) this engine runs; see
     /// [`Epilogue`].
     epilogue: Epilogue,
+    /// Compiled block plan; `None` (the default) keeps `Block::forward`
+    /// on the hand-wired oracle path.
+    vit_plan: Option<CompiledVitPlan>,
+    /// GEMMs drained through a fused epilogue kernel under the plan.
+    fusion_hits: u64,
+    /// GEMMs a plan ran through the composed passes (per-head attention
+    /// GEMMs, disabled patterns, and fused-kernel error replays).
+    fusion_misses: u64,
     phase: PhaseTimes,
     /// Attached observability (spans + registered counters); `None`
     /// until [`Self::attach_telemetry`] is called.
@@ -430,6 +443,9 @@ impl MixedEngine {
                 .map(|n| n.get())
                 .unwrap_or(1),
             epilogue: Epilogue::Fused,
+            vit_plan: None,
+            fusion_hits: 0,
+            fusion_misses: 0,
             phase: PhaseTimes::default(),
             #[cfg(feature = "telemetry")]
             tel: None,
@@ -759,6 +775,680 @@ impl MixedEngine {
         self.vpu.count.merge(&total);
         total
     }
+
+    // ------------------------------------------------------------------
+    // Compiled-plan execution: the graph planner's fused kernels.
+    // ------------------------------------------------------------------
+
+    /// Install a compiled block plan: subsequent `Block::forward` calls on
+    /// this engine route through the fused packed kernels. Outputs are
+    /// bit-identical to the hand-wired path for any plan (pinned by the
+    /// tests below and by `bfp_arith::packed`); the plan trades wall-clock
+    /// only.
+    pub fn install_vit_plan(&mut self, plan: CompiledVitPlan) {
+        self.vit_plan = Some(plan);
+    }
+
+    /// Builder form of [`Self::install_vit_plan`].
+    pub fn with_vit_plan(mut self, plan: CompiledVitPlan) -> Self {
+        self.install_vit_plan(plan);
+        self
+    }
+
+    /// Remove the compiled plan: back to the hand-wired oracle path.
+    pub fn clear_vit_plan(&mut self) {
+        self.vit_plan = None;
+    }
+
+    /// The installed compiled plan, if any.
+    pub fn vit_plan(&self) -> Option<CompiledVitPlan> {
+        self.vit_plan
+    }
+
+    /// Fusion routing counters as `(hits, misses)`: GEMMs drained through
+    /// a fused epilogue kernel vs GEMMs a plan ran composed.
+    pub fn fusion_stats(&self) -> (u64, u64) {
+        (self.fusion_hits, self.fusion_misses)
+    }
+
+    #[inline]
+    fn note_fusion_hit(&mut self) {
+        self.fusion_hits += 1;
+        #[cfg(feature = "telemetry")]
+        if let Some(tel) = &self.tel {
+            tel.fusion_hits.inc();
+        }
+    }
+
+    #[inline]
+    fn note_fusion_miss(&mut self) {
+        self.fusion_misses += 1;
+        #[cfg(feature = "telemetry")]
+        if let Some(tel) = &self.tel {
+            tel.fusion_misses.inc();
+        }
+    }
+
+    /// Record a completed `plan.node.<name>` span for one graph node of
+    /// the compiled plan (no-op unless telemetry is attached).
+    #[inline]
+    fn tel_node(&self, name: &str, t0: Instant) {
+        #[cfg(feature = "telemetry")]
+        if let Some(tel) = &self.tel {
+            tel.tracer
+                .complete_between(format!("plan.node.{name}"), "plan", t0, Instant::now());
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (name, t0);
+    }
+
+    /// Process-wide saturation tally mark, for attributing a fused GEMM's
+    /// share (mirrors the hand-wired `matmul` instrumentation).
+    #[inline]
+    fn sat_mark(&self) -> u64 {
+        #[cfg(feature = "telemetry")]
+        {
+            bfp_arith::telemetry::saturation_count()
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            0
+        }
+    }
+
+    /// Record a fused GEMM's counters, histograms, and phase spans —
+    /// the same instruments the hand-wired `matmul` updates, so fused
+    /// and composed GEMMs are indistinguishable to dashboards except
+    /// through the fusion counters.
+    #[inline]
+    fn tel_fused_gemm(&self, macs: u64, t0: Instant, t1: Instant, t2: Instant, sat0: u64) {
+        #[cfg(feature = "telemetry")]
+        if let Some(tel) = &self.tel {
+            tel.tracer.complete_between("quantize_pack", "engine", t0, t1);
+            tel.tracer
+                .complete_between_with("gemm", "engine", t1, t2, vec![("macs", macs)]);
+            tel.gemms.inc();
+            tel.macs.add(macs);
+            tel.quantize_pack_ns.record_duration(t1.duration_since(t0));
+            tel.gemm_ns.record_duration(t2.duration_since(t1));
+            tel.saturated
+                .add(bfp_arith::telemetry::saturation_count().saturating_sub(sat0));
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (macs, t0, t1, t2, sat0);
+    }
+
+    /// GEMM thread budget for `macs` scalar MACs (same rule as `matmul`).
+    #[inline]
+    fn gemm_threads_for(&self, macs: u64) -> usize {
+        if macs < GEMM_PARALLEL_MACS {
+            1
+        } else {
+            self.effective_threads()
+        }
+    }
+
+    /// Quantize-pack an LHS operand, billing the time to the
+    /// quantize_pack phase.
+    fn pack_lhs_timed(&mut self, m: &MatF32) -> Result<PackedBfp, ArithError> {
+        let t0 = Instant::now();
+        let r = PackedBfp::quantize_pack_lhs(&self.quantizer, m);
+        self.phase.quantize_pack += t0.elapsed();
+        r
+    }
+
+    /// Fused GEMM + bias drain over an already-packed LHS. Accounting on
+    /// success mirrors `Engine::matmul`: RHS plan resolution bills
+    /// quantize_pack, the fused kernel bills gemm, MACs land in the
+    /// census. On error nothing is recorded — the caller replays the
+    /// composed oracle ops, which do their own accounting.
+    fn fused_linear_bias(&mut self, ph: &PackedBfp, lin: &Linear) -> Result<MatF32, ArithError> {
+        let macs = (ph.rows() * ph.cols() * lin.w.cols()) as u64;
+        let threads = self.gemm_threads_for(macs);
+        let sat0 = self.sat_mark();
+        let t0 = Instant::now();
+        let pb = self.rhs_plan(&lin.w)?;
+        let t1 = Instant::now();
+        let bias = lin.b.as_slice();
+        let out = if threads <= 1 {
+            ph.matmul_epilogue(pb, |tile, ctx| bias_epi(tile, ctx, bias))?
+        } else {
+            let mut epis: Vec<_> = (0..threads)
+                .map(|_| |tile: &mut [f32], ctx: &EpilogueCtx| bias_epi(tile, ctx, bias))
+                .collect();
+            ph.matmul_epilogue_parallel(pb, threads, &mut epis)?
+        };
+        let t2 = Instant::now();
+        self.phase.quantize_pack += t1.duration_since(t0);
+        self.phase.gemm += t2.duration_since(t1);
+        self.census.matmul_macs += macs;
+        self.note_fusion_hit();
+        self.tel_fused_gemm(macs, t0, t1, t2, sat0);
+        Ok(out)
+    }
+
+    /// Fused GEMM + bias + residual drain: produces
+    /// `skip + (GEMM + bias)` with exactly the element order of the
+    /// composed `Linear::forward` + `residual_add` sequence.
+    fn fused_linear_bias_residual(
+        &mut self,
+        ph: &PackedBfp,
+        lin: &Linear,
+        skip: &MatF32,
+    ) -> Result<MatF32, ArithError> {
+        let macs = (ph.rows() * ph.cols() * lin.w.cols()) as u64;
+        let threads = self.gemm_threads_for(macs);
+        let sat0 = self.sat_mark();
+        let t0 = Instant::now();
+        let pb = self.rhs_plan(&lin.w)?;
+        let t1 = Instant::now();
+        let bias = lin.b.as_slice();
+        let out = if threads <= 1 {
+            ph.matmul_epilogue(pb, |tile, ctx| bias_residual_epi(tile, ctx, bias, skip))?
+        } else {
+            let mut epis: Vec<_> = (0..threads)
+                .map(|_| {
+                    |tile: &mut [f32], ctx: &EpilogueCtx| bias_residual_epi(tile, ctx, bias, skip)
+                })
+                .collect();
+            ph.matmul_epilogue_parallel(pb, threads, &mut epis)?
+        };
+        let t2 = Instant::now();
+        self.phase.quantize_pack += t1.duration_since(t0);
+        self.phase.gemm += t2.duration_since(t1);
+        self.census.matmul_macs += macs;
+        self.note_fusion_hit();
+        self.tel_fused_gemm(macs, t0, t1, t2, sat0);
+        Ok(out)
+    }
+
+    /// Fused GEMM + bias + GELU drain to f32. The GELU runs per tile row
+    /// on a per-shard VPU while the tile is hot; counts merge in shard
+    /// order into the live VPU and the gelu census, exactly matching the
+    /// composed `Linear::forward` + `Engine::gelu` totals (GELU is
+    /// element-independent, so tile order cannot change bits or counts).
+    fn fused_linear_bias_gelu(
+        &mut self,
+        ph: &PackedBfp,
+        lin: &Linear,
+    ) -> Result<MatF32, ArithError> {
+        let macs = (ph.rows() * ph.cols() * lin.w.cols()) as u64;
+        let threads = self.gemm_threads_for(macs);
+        let division = self.division;
+        let mode = self.nonlinear;
+        let mut vpus: Vec<Vpu> = (0..threads.max(1)).map(|_| self.vpu.fresh()).collect();
+        let sat0 = self.sat_mark();
+        let t0 = Instant::now();
+        let pb = self.rhs_plan(&lin.w)?;
+        let t1 = Instant::now();
+        let bias = lin.b.as_slice();
+        let out = if threads <= 1 {
+            let vpu = &mut vpus[0];
+            ph.matmul_epilogue(pb, |tile, ctx| {
+                bias_epi(tile, ctx, bias);
+                gelu_epi(vpu, tile, ctx, division, mode);
+            })?
+        } else {
+            let mut epis: Vec<_> = vpus
+                .iter_mut()
+                .map(|vpu| {
+                    move |tile: &mut [f32], ctx: &EpilogueCtx| {
+                        bias_epi(tile, ctx, bias);
+                        gelu_epi(vpu, tile, ctx, division, mode);
+                    }
+                })
+                .collect();
+            ph.matmul_epilogue_parallel(pb, threads, &mut epis)?
+        };
+        let t2 = Instant::now();
+        let mut delta = OpCount::default();
+        for v in &vpus {
+            delta.merge(&v.count);
+        }
+        self.vpu.count.merge(&delta);
+        self.census.gelu.merge(&delta);
+        if mode == NonlinearMode::Fast {
+            self.tel_fast_mix(&delta);
+        }
+        self.phase.quantize_pack += t1.duration_since(t0);
+        self.phase.gemm += t2.duration_since(t1);
+        self.census.matmul_macs += macs;
+        self.note_fusion_hit();
+        self.tel_fused_gemm(macs, t0, t1, t2, sat0);
+        Ok(out)
+    }
+
+    /// [`Self::fused_linear_bias_gelu`] with the drain **requantized in
+    /// place** into the next GEMM's packed block-major LHS: the f32
+    /// intermediate never materialises, its scan never runs, and its
+    /// repack never happens — the round trip the fused edge eliminates.
+    /// Bit-identical to the composed pipeline including first-error
+    /// semantics (pinned in `bfp_arith::packed`).
+    fn fused_linear_bias_gelu_requant(
+        &mut self,
+        ph: &PackedBfp,
+        lin: &Linear,
+    ) -> Result<PackedBfp, ArithError> {
+        let macs = (ph.rows() * ph.cols() * lin.w.cols()) as u64;
+        let threads = self.gemm_threads_for(macs);
+        let division = self.division;
+        let mode = self.nonlinear;
+        let qz = self.quantizer;
+        let mut vpus: Vec<Vpu> = (0..threads.max(1)).map(|_| self.vpu.fresh()).collect();
+        let sat0 = self.sat_mark();
+        let t0 = Instant::now();
+        let pb = self.rhs_plan(&lin.w)?;
+        let t1 = Instant::now();
+        let bias = lin.b.as_slice();
+        let packed = if threads <= 1 {
+            let vpu = &mut vpus[0];
+            ph.matmul_epilogue_requant(pb, &qz, |tile, ctx| {
+                bias_epi(tile, ctx, bias);
+                gelu_epi(vpu, tile, ctx, division, mode);
+            })?
+        } else {
+            let mut epis: Vec<_> = vpus
+                .iter_mut()
+                .map(|vpu| {
+                    move |tile: &mut [f32], ctx: &EpilogueCtx| {
+                        bias_epi(tile, ctx, bias);
+                        gelu_epi(vpu, tile, ctx, division, mode);
+                    }
+                })
+                .collect();
+            ph.matmul_epilogue_requant_parallel(pb, &qz, threads, &mut epis)?
+        };
+        let t2 = Instant::now();
+        let mut delta = OpCount::default();
+        for v in &vpus {
+            delta.merge(&v.count);
+        }
+        self.vpu.count.merge(&delta);
+        self.census.gelu.merge(&delta);
+        if mode == NonlinearMode::Fast {
+            self.tel_fast_mix(&delta);
+        }
+        self.phase.quantize_pack += t1.duration_since(t0);
+        self.phase.gemm += t2.duration_since(t1);
+        self.census.matmul_macs += macs;
+        self.note_fusion_hit();
+        self.tel_fused_gemm(macs, t0, t1, t2, sat0);
+        Ok(packed)
+    }
+
+    /// The composed bias-linear exactly as `Linear::forward` runs it —
+    /// the replay target when a fused attempt reports an error.
+    fn linear_composed(&mut self, lin: &Linear, x: &MatF32) -> MatF32 {
+        let mut y = self.matmul(x, &lin.w);
+        for i in 0..y.rows() {
+            for j in 0..y.cols() {
+                y.set(i, j, y.get(i, j) + lin.b[j]);
+            }
+        }
+        y
+    }
+
+    /// A composed bias-linear under a plan: counted as a fusion miss and
+    /// wrapped in its `plan.node` span.
+    fn miss_linear(&mut self, lin: &Linear, x: &MatF32, node: &str) -> MatF32 {
+        let t = Instant::now();
+        self.note_fusion_miss();
+        let out = self.linear_composed(lin, x);
+        self.tel_node(node, t);
+        out
+    }
+
+    /// A fused bias-linear over a shared packed LHS, replaying composed
+    /// on error.
+    fn planned_linear(&mut self, ph: &PackedBfp, lin: &Linear, x: &MatF32, node: &str) -> MatF32 {
+        let t = Instant::now();
+        let out = match self.fused_linear_bias(ph, lin) {
+            Ok(out) => out,
+            Err(_) => {
+                self.note_fusion_miss();
+                self.linear_composed(lin, x)
+            }
+        };
+        self.tel_node(node, t);
+        out
+    }
+
+    /// The composed MLP (fc1 → GELU → fc2 → residual), the replay target
+    /// when a fused MLP attempt reports an error before committing any
+    /// accounting.
+    fn mlp_composed(&mut self, blk: &Block, res1: &MatF32, h2: &MatF32) -> MatF32 {
+        let mut mid = self.linear_composed(&blk.fc1, h2);
+        self.gelu(&mut mid);
+        let mlp = self.linear_composed(&blk.fc2, &mid);
+        residual_add(res1, &mlp)
+    }
+
+    /// Double-buffered weight prefetch: quantize-pack the plans for
+    /// weights this block needs *after* the attention GEMMs on a spare
+    /// host thread, overlapping pack with compute. Plans are a pure
+    /// function of (quantizer, weight), so a prefetched plan is
+    /// bit-identical to one built inline; an errored pack is dropped and
+    /// the inline path re-derives (and re-encounters) the error.
+    #[allow(clippy::type_complexity)]
+    fn spawn_weight_prefetch(
+        &self,
+        weights: &[&MatF32],
+    ) -> Option<std::thread::JoinHandle<Vec<(PlanKey, Result<PackedBfp, ArithError>)>>> {
+        if !self.cache_enabled || self.effective_threads() < 2 || self.epilogue != Epilogue::Fused
+        {
+            return None;
+        }
+        let missing: Vec<(PlanKey, MatF32)> = weights
+            .iter()
+            .map(|w| (PlanKey::of(w, self.epilogue), (*w).clone()))
+            .filter(|(k, _)| !self.plans.contains_key(k))
+            .collect();
+        if missing.is_empty() {
+            return None;
+        }
+        let qz = self.quantizer;
+        Some(std::thread::spawn(move || {
+            missing
+                .into_iter()
+                .map(|(k, w)| (k, PackedBfp::quantize_pack_rhs(&qz, &w)))
+                .collect()
+        }))
+    }
+
+    /// Join a prefetch and install its plans, counted as plan-cache
+    /// misses exactly as inline resolution would have counted them.
+    #[allow(clippy::type_complexity)]
+    fn absorb_weight_prefetch(
+        &mut self,
+        handle: Option<std::thread::JoinHandle<Vec<(PlanKey, Result<PackedBfp, ArithError>)>>>,
+    ) {
+        let Some(h) = handle else { return };
+        for (key, packed) in h.join().unwrap_or_default() {
+            if let Ok(packed) = packed {
+                if !self.plans.contains_key(&key) {
+                    self.plan_stats.misses += 1;
+                    #[cfg(feature = "telemetry")]
+                    if let Some(tel) = &self.tel {
+                        tel.cache_misses.inc();
+                    }
+                    self.plans.insert(key, WeightPlan { packed, hits: 0 });
+                }
+            }
+        }
+    }
+
+    /// Execute one encoder block through the compiled plan. Every fused
+    /// kernel is bit-identical to the hand-wired sequence; any fused
+    /// error replays the composed oracle ops (which do their own census
+    /// and fallback accounting), so error behaviour matches the
+    /// hand-wired path too.
+    fn forward_block_compiled(&mut self, blk: &Block, x: &MatF32, plan: CompiledVitPlan) -> MatF32 {
+        let heads = blk.attn.heads();
+        let hd = blk.attn.head_dim();
+        let seq = x.rows();
+
+        let t = Instant::now();
+        let mut h = x.clone();
+        self.layernorm(&mut h, &blk.ln1.gamma, &blk.ln1.beta, blk.ln1.eps);
+        self.tel_node("ln1", t);
+
+        // Double-buffer: pack the weight plans needed after the attention
+        // GEMMs while those GEMMs run.
+        let prefetch = if plan.prefetch_weights {
+            self.spawn_weight_prefetch(&[&blk.attn.wo.w, &blk.fc1.w, &blk.fc2.w])
+        } else {
+            None
+        };
+
+        // q/k/v: one shared packed LHS (the CSE the planner finds on
+        // three MatMuls with an identical LayerNorm dep), fused bias
+        // drains.
+        let (q, k, v) = if plan.fuse_qkv {
+            match self.pack_lhs_timed(&h) {
+                Ok(ph) => (
+                    self.planned_linear(&ph, &blk.attn.wq, &h, "wq"),
+                    self.planned_linear(&ph, &blk.attn.wk, &h, "wk"),
+                    self.planned_linear(&ph, &blk.attn.wv, &h, "wv"),
+                ),
+                Err(_) => (
+                    self.miss_linear(&blk.attn.wq, &h, "wq"),
+                    self.miss_linear(&blk.attn.wk, &h, "wk"),
+                    self.miss_linear(&blk.attn.wv, &h, "wv"),
+                ),
+            }
+        } else {
+            (
+                self.miss_linear(&blk.attn.wq, &h, "wq"),
+                self.miss_linear(&blk.attn.wk, &h, "wk"),
+                self.miss_linear(&blk.attn.wv, &h, "wv"),
+            )
+        };
+
+        // Per-head attention: composed GEMMs (the planner prices these
+        // unfused — softmax consumes the whole scores matrix, so there is
+        // no elementwise epilogue to fold).
+        let mut concat = MatF32::zeros(seq, heads * hd);
+        for hi in 0..heads {
+            let qh = slice_cols(&q, hi * hd, hd);
+            let kh = slice_cols(&k, hi * hd, hd);
+            let vh = slice_cols(&v, hi * hd, hd);
+            let t = Instant::now();
+            let mut scores = self.matmul(&qh, &kh.transpose());
+            self.note_fusion_miss();
+            self.tel_node(&format!("h{hi}.scores"), t);
+            let t = Instant::now();
+            self.softmax_rows(&mut scores);
+            self.tel_node(&format!("h{hi}.softmax"), t);
+            let t = Instant::now();
+            let ctx = self.matmul(&scores, &vh);
+            self.note_fusion_miss();
+            self.tel_node(&format!("h{hi}.ctx"), t);
+            for i in 0..seq {
+                for j in 0..hd {
+                    concat.set(i, hi * hd + j, ctx.get(i, j));
+                }
+            }
+        }
+
+        self.absorb_weight_prefetch(prefetch);
+
+        // Output projection + first residual.
+        let t = Instant::now();
+        let res1 = if plan.fuse_wo_residual {
+            let pc = self.pack_lhs_timed(&concat);
+            let fused = match pc {
+                Ok(pc) => self.fused_linear_bias_residual(&pc, &blk.attn.wo, x),
+                Err(e) => Err(e),
+            };
+            match fused {
+                Ok(r) => r,
+                Err(_) => {
+                    self.note_fusion_miss();
+                    let wo = self.linear_composed(&blk.attn.wo, &concat);
+                    residual_add(x, &wo)
+                }
+            }
+        } else {
+            self.note_fusion_miss();
+            let wo = self.linear_composed(&blk.attn.wo, &concat);
+            residual_add(x, &wo)
+        };
+        self.tel_node("wo", t);
+
+        let t = Instant::now();
+        let mut h2 = res1.clone();
+        self.layernorm(&mut h2, &blk.ln2.gamma, &blk.ln2.beta, blk.ln2.eps);
+        self.tel_node("ln2", t);
+
+        self.planned_mlp(blk, &res1, &h2, plan)
+    }
+
+    /// The MLP half of the compiled block: fc1 (+bias+GELU fused, with
+    /// requantize-into-packed when fc2 is also fused) then fc2
+    /// (+bias+residual fused).
+    fn planned_mlp(
+        &mut self,
+        blk: &Block,
+        res1: &MatF32,
+        h2: &MatF32,
+        plan: CompiledVitPlan,
+    ) -> MatF32 {
+        if !plan.fuse_fc1_gelu {
+            // Composed fc1 + GELU; fc2 may still fuse its drain.
+            let t = Instant::now();
+            self.note_fusion_miss();
+            let mut mid = self.linear_composed(&blk.fc1, h2);
+            self.tel_node("fc1", t);
+            let t = Instant::now();
+            self.gelu(&mut mid);
+            self.tel_node("gelu", t);
+            return self.planned_fc2(blk, res1, &mid, plan);
+        }
+
+        let Ok(p2) = self.pack_lhs_timed(h2) else {
+            self.note_fusion_miss();
+            self.note_fusion_miss();
+            return self.mlp_composed(blk, res1, h2);
+        };
+
+        if plan.fuse_fc2_residual && blk.fc1.w.cols() == blk.fc2.w.rows() {
+            // Pre-resolve fc2's weight plan: after this, the fused fc2
+            // over the requantized intermediate cannot fail (shapes
+            // pre-checked, plan content-cached), so it is safe for the
+            // intermediate to exist only in packed form.
+            let tq = Instant::now();
+            let fc2_ready = self.rhs_plan(&blk.fc2.w).is_ok();
+            self.phase.quantize_pack += tq.elapsed();
+            if fc2_ready {
+                let t = Instant::now();
+                match self.fused_linear_bias_gelu_requant(&p2, &blk.fc1) {
+                    Ok(pmid) => {
+                        self.tel_node("fc1+gelu", t);
+                        let t = Instant::now();
+                        match self.fused_linear_bias_residual(&pmid, &blk.fc2, res1) {
+                            Ok(o) => {
+                                self.tel_node("fc2", t);
+                                return o;
+                            }
+                            Err(_) => {
+                                // Unreachable given the pre-checks; replay
+                                // the composed oracle for safety.
+                                self.note_fusion_miss();
+                                self.tel_node("fc2", t);
+                                return self.mlp_composed(blk, res1, h2);
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        // Requant refused (e.g. non-finite GELU output
+                        // under a strict saturation policy). Nothing was
+                        // committed; the composed replay reproduces the
+                        // hand-wired accounting including fc2's fallback.
+                        self.note_fusion_miss();
+                        self.note_fusion_miss();
+                        self.tel_node("fc1+gelu", t);
+                        return self.mlp_composed(blk, res1, h2);
+                    }
+                }
+            }
+            // fc2's weights cannot quantize: fall through to the f32-out
+            // fused fc1; the composed fc2 will count its own fallback.
+        }
+
+        let t = Instant::now();
+        let mid = match self.fused_linear_bias_gelu(&p2, &blk.fc1) {
+            Ok(mid) => {
+                self.tel_node("fc1+gelu", t);
+                mid
+            }
+            Err(_) => {
+                self.note_fusion_miss();
+                self.tel_node("fc1+gelu", t);
+                let mut mid = self.linear_composed(&blk.fc1, h2);
+                let tg = Instant::now();
+                self.gelu(&mut mid);
+                self.tel_node("gelu", tg);
+                mid
+            }
+        };
+        self.planned_fc2(blk, res1, &mid, plan)
+    }
+
+    /// fc2 over an f32 intermediate: fused bias+residual drain when the
+    /// plan asks for it, composed otherwise.
+    fn planned_fc2(&mut self, blk: &Block, res1: &MatF32, mid: &MatF32, plan: CompiledVitPlan) -> MatF32 {
+        let t = Instant::now();
+        let out = if plan.fuse_fc2_residual {
+            let pm = self.pack_lhs_timed(mid);
+            let fused = match pm {
+                Ok(pm) => self.fused_linear_bias_residual(&pm, &blk.fc2, res1),
+                Err(e) => Err(e),
+            };
+            match fused {
+                Ok(o) => o,
+                Err(_) => {
+                    self.note_fusion_miss();
+                    let y = self.linear_composed(&blk.fc2, mid);
+                    residual_add(res1, &y)
+                }
+            }
+        } else {
+            self.note_fusion_miss();
+            let y = self.linear_composed(&blk.fc2, mid);
+            residual_add(res1, &y)
+        };
+        self.tel_node("fc2", t);
+        out
+    }
+}
+
+/// Bias-add drain over one hot output tile: the element order of the
+/// composed `Linear::forward` bias loop restricted to the tile.
+#[inline]
+fn bias_epi(tile: &mut [f32], ctx: &EpilogueCtx, bias: &[f32]) {
+    for i in 0..ctx.imax {
+        let row = &mut tile[i * ctx.b..][..ctx.jmax];
+        for (j, v) in row.iter_mut().enumerate() {
+            *v += bias[ctx.c0 + j];
+        }
+    }
+}
+
+/// Bias + residual drain: `skip + (y + bias)`, the exact operand order of
+/// `Linear::forward` followed by `residual_add(skip, y)`.
+#[inline]
+fn bias_residual_epi(tile: &mut [f32], ctx: &EpilogueCtx, bias: &[f32], skip: &MatF32) {
+    for i in 0..ctx.imax {
+        let r = ctx.r0 + i;
+        let row = &mut tile[i * ctx.b..][..ctx.jmax];
+        for (j, v) in row.iter_mut().enumerate() {
+            let y = *v + bias[ctx.c0 + j];
+            *v = skip.get(r, ctx.c0 + j) + y;
+        }
+    }
+}
+
+/// GELU drain over one hot tile. Full-width tiles (the common case —
+/// every model dimension here is a multiple of the block) take a single
+/// VPU slice call over the contiguous valid region; only right-edge
+/// partial tiles pay one call per row. GELU is element-independent and
+/// the VPU op cost is per-element, so tile-order evaluation is bit- and
+/// count-identical to the composed whole-matrix pass either way.
+#[inline]
+fn gelu_epi(
+    vpu: &mut Vpu,
+    tile: &mut [f32],
+    ctx: &EpilogueCtx,
+    division: DivisionPolicy,
+    mode: NonlinearMode,
+) {
+    if ctx.jmax == ctx.b {
+        vpu.gelu_slice(&mut tile[..ctx.imax * ctx.b], division, mode);
+    } else {
+        for i in 0..ctx.imax {
+            vpu.gelu_slice(&mut tile[i * ctx.b..][..ctx.jmax], division, mode);
+        }
+    }
 }
 
 impl Engine for MixedEngine {
@@ -906,6 +1596,16 @@ impl Engine for MixedEngine {
         }
         self.phase.layernorm += t0.elapsed();
         self.tel_phase("vpu.layernorm", t0);
+    }
+
+    fn forward_block_planned(&mut self, block: &Block, x: &MatF32) -> Option<MatF32> {
+        let plan = self.vit_plan?;
+        // The reference epilogue *is* the oracle configuration; it never
+        // routes through the compiled plan even if one is installed.
+        if self.epilogue != Epilogue::Fused {
+            return None;
+        }
+        Some(self.forward_block_compiled(block, x, plan))
     }
 }
 
@@ -1469,6 +2169,181 @@ mod tests {
         assert!(t.accounted() >= t.softmax + t.gemm);
         // take_phase_times resets.
         assert_eq!(e.phase_times(), PhaseTimes::default());
+    }
+
+    #[test]
+    fn compiled_plan_is_bit_identical_to_hand_wired_for_full_model() {
+        // The tentpole invariant: routing `Block::forward` through the
+        // compiled plan (shared q/k/v pack, fused bias / bias+GELU /
+        // bias+residual drains, requantize-into-packed MLP edge) changes
+        // wall-clock only — never an output bit, never a census count —
+        // for either nonlinear family, any thread budget, and both the
+        // all-on and all-off plans.
+        use crate::config::VitConfig;
+        use crate::model::VitModel;
+        let model = VitModel::new_random(VitConfig::tiny_test(), 11);
+        let x = model.synthetic_input(12);
+        for mode in [NonlinearMode::Exact, NonlinearMode::Fast] {
+            let mut oracle = MixedEngine::new().with_threads(1).with_nonlinear(mode);
+            let want = model.forward(&mut oracle, &x);
+            let want_census = oracle.census();
+            for threads in [1usize, 2, 4] {
+                for plan in [CompiledVitPlan::fuse_all(), CompiledVitPlan::unfused()] {
+                    let mut e = MixedEngine::new()
+                        .with_threads(threads)
+                        .with_nonlinear(mode)
+                        .with_vit_plan(plan);
+                    let got = model.forward(&mut e, &x);
+                    for (p, q) in got.data().iter().zip(want.data()) {
+                        assert_eq!(
+                            p.to_bits(),
+                            q.to_bits(),
+                            "mode {mode:?} threads {threads} plan {plan:?}"
+                        );
+                    }
+                    assert_eq!(
+                        e.census(),
+                        want_census,
+                        "census must not see the plan: mode {mode:?} threads {threads} plan {plan:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_counters_split_hits_and_misses_per_plan() {
+        use crate::config::VitConfig;
+        use crate::model::VitModel;
+        let cfg = VitConfig::tiny_test();
+        let model = VitModel::new_random(cfg, 23);
+        let x = model.synthetic_input(3);
+        let blocks = cfg.depth as u64;
+        let per_head = 2 * cfg.heads as u64; // scores + ctx per head
+
+        let mut fused = MixedEngine::new().with_vit_plan(CompiledVitPlan::fuse_all());
+        let _ = model.forward(&mut fused, &x);
+        assert_eq!(
+            fused.fusion_stats(),
+            (
+                CompiledVitPlan::fuse_all().fused_gemms_per_block() * blocks,
+                per_head * blocks
+            )
+        );
+
+        let mut unfused = MixedEngine::new().with_vit_plan(CompiledVitPlan::unfused());
+        let _ = model.forward(&mut unfused, &x);
+        // Every GEMM is a miss under the all-off plan: 6 projections plus
+        // the per-head pairs, per block.
+        assert_eq!(unfused.fusion_stats(), (0, (6 + per_head) * blocks));
+
+        let mut planless = MixedEngine::new();
+        let _ = model.forward(&mut planless, &x);
+        assert_eq!(planless.fusion_stats(), (0, 0));
+    }
+
+    #[test]
+    fn compiled_plan_handles_extreme_scales_bit_identically() {
+        // Satellite property: fused drains agree with the composed oracle
+        // under subnormal-range activations and near-overflow weights —
+        // the regimes where a quantize/requant shortcut would first drift.
+        use crate::config::VitConfig;
+        use crate::model::VitModel;
+        for (wscale, xscale) in [(1.0e3f32, 1.0f32), (1.0f32, 1.0e-38f32), (64.0, 1.0e-20)] {
+            let mut model = VitModel::new_random(VitConfig::tiny_test(), 41);
+            for blk in &mut model.blocks {
+                for v in blk.fc1.w.data_mut() {
+                    *v *= wscale;
+                }
+            }
+            let mut x = model.synthetic_input(5);
+            for v in x.data_mut() {
+                *v *= xscale;
+            }
+            for mode in [NonlinearMode::Exact, NonlinearMode::Fast] {
+                let mut oracle = MixedEngine::new().with_nonlinear(mode);
+                let want = model.forward(&mut oracle, &x);
+                let mut e = MixedEngine::new()
+                    .with_nonlinear(mode)
+                    .with_threads(2)
+                    .with_vit_plan(CompiledVitPlan::fuse_all());
+                let got = model.forward(&mut e, &x);
+                for (p, q) in got.data().iter().zip(want.data()) {
+                    assert_eq!(
+                        p.to_bits(),
+                        q.to_bits(),
+                        "wscale {wscale:e} xscale {xscale:e} mode {mode:?}"
+                    );
+                }
+                assert_eq!(e.census(), oracle.census());
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_plan_matches_hand_wired_on_nonfinite_fallbacks() {
+        // A non-finite weight makes every GEMM against it unquantizable:
+        // the planned path must replay the same counted fp32 fallbacks and
+        // produce the same bits as the hand-wired path.
+        use crate::config::VitConfig;
+        use crate::model::VitModel;
+        let mut model = VitModel::new_random(VitConfig::tiny_test(), 17);
+        model.blocks[0].fc2.w.set(0, 0, f32::INFINITY);
+        let x = model.synthetic_input(9);
+        let mut oracle = MixedEngine::new();
+        let want = model.forward(&mut oracle, &x);
+        let mut e = MixedEngine::new().with_vit_plan(CompiledVitPlan::fuse_all());
+        let got = model.forward(&mut e, &x);
+        for (p, q) in got.data().iter().zip(want.data()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        let (oc, pc) = (oracle.census(), e.census());
+        assert!(oc.fp32_fallbacks > 0, "the poisoned weight must fall back");
+        assert_eq!(pc, oc, "fallback accounting must match the oracle");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn compiled_plan_emits_node_spans_and_fusion_counters() {
+        use crate::config::VitConfig;
+        use crate::model::VitModel;
+        let cfg = VitConfig::tiny_test();
+        let model = VitModel::new_random(cfg, 7);
+        let x = model.synthetic_input(2);
+        let reg = Registry::new();
+        let tracer = Tracer::new();
+        let mut e = MixedEngine::new().with_vit_plan(CompiledVitPlan::fuse_all());
+        e.attach_telemetry(tracer.clone(), &reg);
+        let _ = model.forward(&mut e, &x);
+
+        let (hits, misses) = e.fusion_stats();
+        assert_eq!(reg.counter("engine_fusion_hits_total").get(), hits);
+        assert_eq!(reg.counter("engine_fusion_misses_total").get(), misses);
+
+        let events = tracer.drain();
+        let node_names: Vec<&str> = events
+            .iter()
+            .filter(|ev| ev.name.starts_with("plan.node."))
+            .map(|ev| ev.name.as_str())
+            .collect();
+        // Per block: ln1, wq, wk, wv, heads×(scores, softmax, ctx), wo,
+        // ln2, fc1+gelu, fc2.
+        let per_block = 8 + 3 * cfg.heads;
+        assert_eq!(node_names.len(), per_block * cfg.depth);
+        for want in ["plan.node.ln1", "plan.node.wq", "plan.node.fc1+gelu", "plan.node.fc2"] {
+            assert_eq!(
+                node_names.iter().filter(|n| **n == want).count(),
+                cfg.depth,
+                "{want} once per block"
+            );
+        }
+        assert_eq!(
+            node_names
+                .iter()
+                .filter(|n| n.ends_with(".softmax"))
+                .count(),
+            cfg.depth * cfg.heads
+        );
     }
 
     #[test]

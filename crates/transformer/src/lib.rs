@@ -24,6 +24,7 @@ pub mod engine;
 pub mod flops;
 pub mod layers;
 pub mod model;
+pub mod plan;
 pub mod reference;
 pub mod vpu;
 
@@ -39,4 +40,5 @@ pub use engine::EngineTelemetry;
 pub use flops::{analytical_census, analytical_census_mode};
 pub use layers::{LayerNormParams, Linear};
 pub use model::{Block, VitModel};
+pub use plan::CompiledVitPlan;
 pub use vpu::{NonlinearMode, OpCount, Vpu};

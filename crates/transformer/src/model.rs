@@ -46,7 +46,16 @@ impl Block {
     }
 
     /// Forward one block.
+    ///
+    /// An engine carrying a compiled plan (see
+    /// [`MixedEngine::install_vit_plan`](crate::MixedEngine::install_vit_plan))
+    /// intercepts the block here and runs it through the fused kernels;
+    /// the hand-wired sequence below is the bit-identity oracle and the
+    /// path every plan-less engine takes.
     pub fn forward<E: Engine>(&self, e: &mut E, x: &MatF32) -> MatF32 {
+        if let Some(y) = e.forward_block_planned(self, x) {
+            return y;
+        }
         // Attention branch.
         let mut h = x.clone();
         self.ln1.forward(e, &mut h);
@@ -64,7 +73,7 @@ impl Block {
 }
 
 /// Elementwise residual add (memory-side, not an array operation).
-fn residual_add(a: &MatF32, b: &MatF32) -> MatF32 {
+pub(crate) fn residual_add(a: &MatF32, b: &MatF32) -> MatF32 {
     assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
     MatF32::from_fn(a.rows(), a.cols(), |i, j| a.get(i, j) + b.get(i, j))
 }
