@@ -29,7 +29,15 @@
 //! (max ULP / max abs / SQNR). Both thread sweeps are gated monotone:
 //! more budget must never cost throughput beyond noise tolerance — the
 //! regression that flat-lined the PR-6 sweep. Results land in
-//! `BENCH_E2E.json` (schema `bench_e2e/v3`).
+//! `BENCH_E2E.json` (schema `bench_e2e/v4`).
+//!
+//! A dedicated **drift attribution** pass re-runs the compiled plan with
+//! per-node wall timing armed and calibrates the planner's cycle prices
+//! against measured host seconds ([`bfp_core::attribute_plan_drift`]):
+//! the JSON's `drift` block carries the calibration factor, every
+//! priced-and-measured node's drift ratio, and the top mispriced nodes.
+//! The bench gates coverage (every priced node measured) and the
+//! documented mispricing tolerance (see DESIGN.md "Observability").
 //!
 //! ```sh
 //! cargo run --release -p bfp-bench --bin e2e            # full run
@@ -50,10 +58,17 @@ use std::time::Instant;
 use bfp_arith::ulp::{EnvelopeStats, UlpEnvelope};
 use bfp_core::prelude::System;
 use bfp_core::{lower_vit, plan_fusion, FuseDecision, FuseKind, FusePlan, Table};
+use bfp_telemetry::PlanDriftReport;
 use bfp_transformer::{
     CompiledVitPlan, DeitConfig, DeitModel, Image, MixedEngine, NonlinearMode, OpCensus,
     PhaseTimes, VitConfig,
 };
+
+/// Cycle-price drift tolerance on the clean bench encoder: after
+/// calibration, every plan node's measured/predicted ratio must stay
+/// within this factor of 1 (cycle-weighted; see DESIGN.md
+/// "Observability" for the measured headroom behind the number).
+const DRIFT_TOLERANCE: f64 = 16.0;
 
 /// The bench model: a scaled-down DeiT (same shape family as the paper's
 /// DeiT-Small target, sized so the full sweep finishes in seconds).
@@ -395,6 +410,7 @@ fn to_json(
     plan: &FusePlan,
     compiled: &CompiledVitPlan,
     ab: &FusionAb,
+    drift: &PlanDriftReport,
     images: usize,
     host_threads: usize,
     quick: bool,
@@ -417,7 +433,7 @@ fn to_json(
         .unwrap_or("none");
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"bench_e2e/v3\",");
+    let _ = writeln!(s, "  \"schema\": \"bench_e2e/v4\",");
     let _ = writeln!(s, "  \"quick\": {quick},");
     let _ = writeln!(s, "  \"images\": {images},");
     let _ = writeln!(s, "  \"host_threads\": {host_threads},");
@@ -450,6 +466,9 @@ fn to_json(
     let _ = writeln!(s, "    \"largest_phase_fast\": \"{fast_largest}\",");
     let _ = writeln!(s, "    \"speedup_fast_vs_exact\": {speedup_fast:.2}");
     s.push_str("  },\n");
+    s.push_str("  \"drift\": ");
+    s.push_str(&drift.to_json(5));
+    s.push_str(",\n");
     let _ = writeln!(s, "  \"speedup_vs_baseline_at_4_threads\": {speedup4:.2}");
     s.push_str("}\n");
     s
@@ -656,6 +675,51 @@ fn main() {
         fastnl_fused: fnl_fused_row,
     };
 
+    // Drift attribution: arm per-node wall timing on a fresh compiled
+    // engine, run the image set once more (after a discarded warmup
+    // pass), and calibrate the planner's cycle prices against the
+    // measured seconds. Single-threaded so per-node wall time is the
+    // node's own cost, not a sharded slice of it.
+    let mut drift_engine = MixedEngine::new().with_threads(1).with_vit_plan(compiled);
+    drift_engine.enable_node_timing();
+    std::hint::black_box(model.forward(&mut drift_engine, &imgs[0]));
+    let _ = drift_engine.take_node_times(); // discard the cold-cache warmup
+    for img in &imgs {
+        std::hint::black_box(model.forward(&mut drift_engine, img));
+    }
+    let node_times = drift_engine.take_node_times();
+    let drift = bfp_core::attribute_plan_drift(&fuse_plan, &node_times);
+    print!("{}", drift.to_table().render());
+
+    // Coverage: every priced plan node must have been measured — a gap
+    // means the engine and the planner disagree about what ran.
+    assert!(
+        drift.unmeasured.is_empty(),
+        "priced plan nodes never measured: {:?}",
+        drift.unmeasured
+    );
+    assert!(
+        drift.unpriced.is_empty(),
+        "measured nodes the planner never priced: {:?}",
+        drift.unpriced
+    );
+    assert!(drift.calibration_hz > 0.0 && drift.nodes.len() >= 5);
+    // Documented mispricing tolerance (DESIGN.md "Observability"): on a
+    // clean encoder every node's calibrated drift ratio stays within
+    // DRIFT_TOLERANCE of 1, cycle-weighted. The model prices an FPGA
+    // datapath and the measurement is a host CPU, so the bar bounds
+    // *relative* mispricing after calibration, not absolute accuracy.
+    assert_eq!(
+        drift.fraction_within(DRIFT_TOLERANCE),
+        1.0,
+        "nodes outside the {DRIFT_TOLERANCE}x drift tolerance: {:?}",
+        drift
+            .top_mispriced(3)
+            .iter()
+            .map(|n| (n.sample.name.clone(), n.drift_ratio))
+            .collect::<Vec<_>>()
+    );
+
     let mut t = Table::new(
         "per-phase wall clock (ms, whole run)",
         &[
@@ -690,6 +754,7 @@ fn main() {
         &fuse_plan,
         &compiled,
         &ab,
+        &drift,
         images,
         host_threads,
         quick,

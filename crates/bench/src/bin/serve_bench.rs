@@ -13,12 +13,23 @@
 //! * `fault_storm` — 0.6x load with one latched-faulty array that heals
 //!   mid-run, exercising quarantine and re-admission under tenancy.
 //!
-//! Emits `BENCH_SERVE.json` (schema `bench_serve/v2`, per-tenant rows
-//! with p50/p99/p99.9) and hard-asserts the overload acceptance gates
-//! before exiting 0: goodput at 2x >= 70% of clean capacity, `Critical`
-//! p99 within 2x of the clean run, zero quota violations, zero
-//! `Critical` sheds, brownout transitions observed, and every sampled
-//! response bit-exact for the mode it actually ran in.
+//! Emits `BENCH_SERVE.json` (schema `bench_serve/v3`, per-tenant rows
+//! with p50/p99/p99.9 plus a per-scenario `observatory` block) and
+//! hard-asserts the overload acceptance gates before exiting 0: goodput
+//! at 2x >= 70% of clean capacity, `Critical` p99 within 2x of the
+//! clean run, zero quota violations, zero `Critical` sheds, brownout
+//! transitions observed, and every sampled response bit-exact for the
+//! mode it actually ran in.
+//!
+//! The serve-time observatory runs armed in every scenario: the shadow
+//! lane re-checks one in 16 clean fast-mode completions against the
+//! exact oracle (gated to **zero** envelope violations), SLO burn-rate
+//! trackers per tenant/priority stream feed the anomaly flight
+//! recorder, and the overload scenario must trip at least one
+//! flight-recorder dump. The richest dump is written beside the JSON as
+//! `<out>.flight.json` + `<out>.flight.trace.json` (Perfetto-loadable),
+//! and the overload scenario's observatory gauges as `<out>.prom`
+//! (Prometheus text).
 //!
 //! ```text
 //! cargo run --release -p bfp-bench --bin serve_bench            # full
@@ -36,9 +47,9 @@ use std::time::{Duration, Instant};
 use bfp_bench::smooth_matrix;
 use bfp_core::Table;
 use bfp_serve::{
-    reference_bits, ArrayFaultPlan, ArrayHealth, Backpressure, BrownoutPolicy, HealthPolicy,
-    NonlinearMode, Priority, ServeConfig, ServeOp, ServeRequest, Server, TenantId, TenantQuota,
-    Ticket,
+    reference_bits, ArrayFaultPlan, ArrayHealth, Backpressure, BrownoutPolicy, FlightDump,
+    HealthPolicy, NonlinearMode, ObservatoryConfig, Priority, Registry, ServeConfig, ServeOp,
+    ServeRequest, Server, TenantId, TenantQuota, Ticket,
 };
 
 const ARRAYS: usize = 4;
@@ -158,6 +169,16 @@ fn config(capacity_rps: f64) -> ServeConfig {
             probe_interval_cap: Duration::from_millis(50),
             probes_to_readmit: 2,
         },
+        observatory: ObservatoryConfig {
+            // Shadow-execute one in 16 clean fast-mode completions
+            // against the exact oracle; the bench gates the violation
+            // count at zero. Each sample costs a worker roughly one
+            // extra service time, so the rate is a deliberate ~6% tax
+            // on fast-mode throughput — sampling much denser visibly
+            // eats fleet capacity under overload.
+            shadow_every: 16,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -251,6 +272,14 @@ struct ScenarioResult {
     quarantine_entries: u64,
     span_s: f64,
     tenants: Vec<TenantRow>,
+    // Observatory: shadow-lane counters, recorder health, drained dumps,
+    // and the scenario's published gauges as Prometheus text.
+    shadow_samples: u64,
+    envelope_violations: u64,
+    records_pushed: u64,
+    records_dropped: u64,
+    dumps: Vec<FlightDump>,
+    prom_text: String,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -323,6 +352,13 @@ fn run_scenario(
     server.drain();
     let span_s = t0.elapsed().as_secs_f64();
     let st = server.stats();
+    let obs = server.observatory();
+    let (shadow_samples, envelope_violations) = (obs.shadow_samples(), obs.envelope_violations());
+    let (records_pushed, records_dropped) = (obs.records_pushed(), obs.records_dropped());
+    let reg = Registry::new();
+    server.publish_observatory(&reg);
+    let prom_text = reg.snapshot().to_prometheus_text();
+    let dumps = server.take_flight_dumps();
 
     // Per-tenant latency distributions (completed requests only) plus
     // mode accounting and a spread bit-exactness sample: each checked
@@ -411,6 +447,12 @@ fn run_scenario(
             .sum(),
         span_s,
         tenants,
+        shadow_samples,
+        envelope_violations,
+        records_pushed,
+        records_dropped,
+        dumps,
+        prom_text,
     }
 }
 
@@ -431,7 +473,7 @@ fn to_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"bench_serve/v2\",");
+    let _ = writeln!(s, "  \"schema\": \"bench_serve/v3\",");
     let _ = writeln!(s, "  \"quick\": {quick},");
     let _ = writeln!(s, "  \"arrays\": {ARRAYS},");
     let _ = writeln!(s, "  \"gemm_n\": {GEMM_N},");
@@ -500,6 +542,23 @@ fn to_json(
         let _ = writeln!(s, "      \"queue_high_water\": {},", r.queue_high_water);
         let _ = writeln!(s, "      \"quarantine_entries\": {},", r.quarantine_entries);
         let _ = writeln!(s, "      \"span_s\": {:.4},", r.span_s);
+        let reasons: Vec<String> = r
+            .dumps
+            .iter()
+            .map(|d| format!("\"{}\"", d.reason.as_str()))
+            .collect();
+        let _ = writeln!(
+            s,
+            "      \"observatory\": {{\"shadow_samples\": {}, \"envelope_violations\": {}, \
+             \"records_pushed\": {}, \"records_dropped\": {}, \"flight_dumps\": {}, \
+             \"dump_reasons\": [{}]}},",
+            r.shadow_samples,
+            r.envelope_violations,
+            r.records_pushed,
+            r.records_dropped,
+            r.dumps.len(),
+            reasons.join(", ")
+        );
         s.push_str("      \"tenants\": [\n");
         for (j, t) in r.tenants.iter().enumerate() {
             let _ = write!(
@@ -552,8 +611,18 @@ fn to_json(
     );
     let _ = writeln!(
         s,
-        "    \"bitexact_mismatches\": {}",
+        "    \"bitexact_mismatches\": {},",
         gates.bitexact_mismatches
+    );
+    let _ = writeln!(
+        s,
+        "    \"envelope_violations\": {},",
+        gates.envelope_violations
+    );
+    let _ = writeln!(
+        s,
+        "    \"overload_flight_dumps\": {}",
+        gates.overload_flight_dumps
     );
     s.push_str("  }\n}\n");
     s
@@ -569,6 +638,8 @@ struct Gates {
     quota_violations: u64,
     brownout_transitions: u64,
     bitexact_mismatches: u64,
+    envelope_violations: u64,
+    overload_flight_dumps: u64,
 }
 
 impl Gates {
@@ -722,11 +793,36 @@ fn main() {
         quota_violations,
         brownout_transitions: overload.brownout_transitions,
         bitexact_mismatches: rows.iter().map(|r| r.bitexact_mismatches).sum(),
+        envelope_violations: rows.iter().map(|r| r.envelope_violations).sum(),
+        overload_flight_dumps: overload.dumps.len() as u64,
     };
 
     let json = to_json(&rows, quick, service_s, capacity_rps, &gates);
     std::fs::write(&out_path, &json).expect("write BENCH_SERVE.json");
     println!("wrote {out_path}");
+
+    // Observatory artifacts: the richest flight dump across scenarios
+    // (JSON + Perfetto trace) and the overload scenario's published
+    // gauges as Prometheus text.
+    let stem = out_path.strip_suffix(".json").unwrap_or(&out_path);
+    if let Some(dump) = rows
+        .iter()
+        .flat_map(|r| r.dumps.iter())
+        .max_by_key(|d| d.records.len())
+    {
+        let dump_json = format!("{stem}.flight.json");
+        let dump_trace = format!("{stem}.flight.trace.json");
+        std::fs::write(&dump_json, dump.to_json()).expect("write flight dump JSON");
+        std::fs::write(&dump_trace, dump.to_chrome_trace()).expect("write flight dump trace");
+        println!(
+            "wrote {dump_json} + {dump_trace} (flight dump: {}, {} records)",
+            dump.reason.as_str(),
+            dump.records.len()
+        );
+    }
+    let prom_path = format!("{stem}.prom");
+    std::fs::write(&prom_path, &overload.prom_text).expect("write Prometheus text");
+    println!("wrote {prom_path} (overload observatory gauges)");
 
     // Acceptance gates — hard asserts so CI fails loudly, not quietly.
     assert_eq!(
@@ -773,6 +869,47 @@ fn main() {
     assert_eq!(
         gates.bitexact_mismatches, 0,
         "every sampled response must be bit-exact for its executed mode"
+    );
+    // Observatory gates: the shadow lane actually sampled the brownout's
+    // fast-mode completions and found every one inside the pinned
+    // envelope; the overload scenario tripped the flight recorder (burn
+    // rate over budget and/or brownout escalation); the richest dump is
+    // Perfetto-loadable and non-empty; the ring never dropped a record
+    // at these rates.
+    assert!(
+        overload.shadow_samples >= 1,
+        "overload ran fast-mode work, the shadow lane must have sampled it"
+    );
+    assert_eq!(
+        gates.envelope_violations, 0,
+        "shadow lane found fast-mode outputs outside the pinned envelope"
+    );
+    assert!(
+        gates.overload_flight_dumps >= 1,
+        "overload must trip the flight recorder (saw {} dumps)",
+        gates.overload_flight_dumps
+    );
+    let richest = rows
+        .iter()
+        .flat_map(|r| r.dumps.iter())
+        .max_by_key(|d| d.records.len())
+        .expect("at least one flight dump");
+    assert!(
+        !richest.records.is_empty(),
+        "the richest flight dump must carry request timelines"
+    );
+    assert!(richest.to_chrome_trace().contains("\"traceEvents\""));
+    for r in &rows {
+        assert_eq!(
+            r.records_dropped, 0,
+            "{}: flight-recorder ring dropped records under contention",
+            r.name
+        );
+    }
+    assert!(
+        overload.prom_text.contains("serve_slo_burn_rate{")
+            && overload.prom_text.contains("serve_shadow_samples_total"),
+        "observatory gauges missing from the Prometheus export"
     );
     assert!(storm.quarantine_entries >= 1, "storm must quarantine");
     assert_eq!(

@@ -5,6 +5,8 @@ use std::time::Duration;
 
 use bfp_platform::TenantId;
 
+use crate::observatory::ObservatoryConfig;
+
 /// What `submit` does when the admission queue is full. All three
 /// policies are priority-aware: shedding always picks a victim from the
 /// lowest non-`Critical` class at or below the incoming request's
@@ -179,6 +181,9 @@ pub struct ServeConfig {
     /// instead of queueing doomed work. Inactive until enough
     /// executions have calibrated the estimate.
     pub deadline_gate: bool,
+    /// Serve-time observatory: flight recorder, SLO burn tracking, and
+    /// the shadow-execution lane.
+    pub observatory: ObservatoryConfig,
 }
 
 impl Default for ServeConfig {
@@ -197,6 +202,7 @@ impl Default for ServeConfig {
             breaker: CircuitPolicy::default(),
             brownout: BrownoutPolicy::default(),
             deadline_gate: true,
+            observatory: ObservatoryConfig::default(),
         }
     }
 }

@@ -119,12 +119,14 @@
 mod backend;
 mod config;
 mod error;
+pub mod observatory;
 mod server;
 mod ticket;
 
 pub use backend::{reference_bits, ArrayBackend, ArrayFaultPlan, ServeOp, SimArrayBackend, Telemetry};
 pub use config::{Backpressure, BrownoutPolicy, CircuitPolicy, HealthPolicy, ServeConfig, TenantQuota};
 pub use error::ServeError;
+pub use observatory::{Observatory, ObservatoryConfig, SHADOW_ENVELOPE};
 pub use server::{ServeRequest, Server};
 pub use ticket::{AttemptRecord, RequestTimeline, ServeResponse, Ticket};
 
@@ -136,7 +138,9 @@ pub use bfp_platform::{
     ArrayHealth, ArrayServeStats, BrownoutStats, HealthEvent, Priority, PriorityServeStats,
     ServeStats, TenantId, TenantServeStats,
 };
-pub use bfp_telemetry::{Registry, Tracer};
+pub use bfp_telemetry::{
+    FlightAttempt, FlightDump, FlightRecord, Registry, ShadowSample, Tracer, TriggerReason,
+};
 
 #[cfg(test)]
 mod tests {
@@ -743,6 +747,203 @@ mod tests {
     }
 
     #[test]
+    fn timeline_records_cross_array_retry() {
+        // One healthy array plus one latched one: a request that first
+        // lands on the sick array is discarded and retried — on the
+        // *other* array — and the timeline records both attempts with
+        // monotone queue-wait/total accounting.
+        let (latched, _heal) = ArrayFaultPlan::latched();
+        let cfg = ServeConfig {
+            max_attempts: 8,
+            brownout: no_brownout(),
+            ..Default::default()
+        };
+        let server = Server::simulated(cfg, vec![ArrayFaultPlan::None, latched]);
+        let mut crossed = None;
+        for round in 0..10u64 {
+            let tickets: Vec<_> = (0..16)
+                .map(|s| server.submit(req(s + round * 16)).unwrap())
+                .collect();
+            for t in tickets {
+                let resp = t.wait().unwrap();
+                // Lifecycle invariants hold for every response.
+                assert!(resp.timeline.queue_wait_s >= 0.0);
+                assert!(resp.timeline.queue_wait_s <= resp.timeline.total_s + 1e-9);
+                assert!(resp.timeline.total_s <= resp.wall_s + 1e-9);
+                assert_eq!(resp.attempts as usize, resp.timeline.attempts.len());
+                assert!(resp.timeline.overhead_s() >= 0.0);
+                if resp.timeline.attempts.len() >= 2 {
+                    crossed.get_or_insert(resp);
+                }
+            }
+            if crossed.is_some() {
+                break;
+            }
+        }
+        let resp = crossed.expect("some request faulted on the latched array and retried");
+        let first = resp.timeline.attempts.first().unwrap();
+        let last = resp.timeline.attempts.last().unwrap();
+        assert!(first.faulted, "the discarded attempt is recorded as faulted");
+        assert!(!last.faulted, "the accepted attempt is clean");
+        assert_ne!(first.array, last.array, "the retry re-routed to a different array");
+        assert_eq!(last.array, resp.array);
+        server.drain();
+        assert!(server.stats().retries >= 1);
+    }
+
+    #[test]
+    fn timeline_attempts_record_dispatch_mode_across_tier_change() {
+        // The brownout tier at *dispatch* time is stamped on each
+        // attempt record: an opener dispatched at tier 0 records Exact,
+        // requests dispatched after queue pressure lifts the ladder to
+        // tier 1 record Fast. The escalation itself fires the flight
+        // recorder.
+        let (backends, gate, _order) = GateBackend::fleet(1);
+        let cfg = ServeConfig {
+            queue_capacity: 4,
+            brownout: BrownoutPolicy {
+                tier1_pressure: 0.3,
+                tier2_pressure: 1e9, // degrade only, never shed
+                min_dwell: Duration::from_secs(30),
+                latency_target: Duration::from_secs(30),
+            },
+            ..Default::default()
+        };
+        let server = Server::new(cfg, backends);
+        let gelu = |tag: u64| tagged(tag, Priority::Standard).with_op(ServeOp::GemmGelu);
+        let opener = server.submit(gelu(1)).unwrap();
+        wait_in_flight(&server, 1);
+        let q1 = server.submit(gelu(2)).unwrap();
+        let q2 = server.submit(gelu(3)).unwrap();
+        let q3 = server.submit(gelu(4)).unwrap();
+        assert_eq!(server.stats().brownout.tier, 1);
+        GateBackend::release(&gate, 100);
+        let r0 = opener.wait().unwrap();
+        let r1 = q1.wait().unwrap();
+        let r2 = q2.wait().unwrap();
+        let r3 = q3.wait().unwrap();
+        server.drain();
+
+        assert_eq!(r0.timeline.attempts.last().unwrap().mode, NonlinearMode::Exact);
+        for r in [&r1, &r2, &r3] {
+            let a = r.timeline.attempts.last().unwrap();
+            assert_eq!(a.mode, NonlinearMode::Fast, "dispatched under brownout");
+            assert_eq!(a.mode, r.mode, "response mode mirrors the accepted attempt");
+            assert_eq!(r.timeline.attempts.len(), r.attempts as usize);
+            assert!(r.timeline.queue_wait_s <= r.timeline.total_s + 1e-9);
+        }
+        let dumps = server.take_flight_dumps();
+        assert!(
+            dumps.iter().any(|d| d.reason == TriggerReason::BrownoutEscalation),
+            "tier escalation fired the flight recorder: {dumps:?}"
+        );
+    }
+
+    /// A backend that silently corrupts fast-mode outputs without any
+    /// fault detection — numeric rot only the shadow lane can see.
+    struct RotBackend {
+        gate: Gate,
+        delegate: SimArrayBackend,
+    }
+
+    impl ArrayBackend for RotBackend {
+        fn execute(
+            &mut self,
+            a: &MatF32,
+            b: &MatF32,
+            op: ServeOp,
+            mode: NonlinearMode,
+            cancel: &CancelToken,
+        ) -> Result<(MatF32, Telemetry), ArithError> {
+            let (m, cv) = &*self.gate;
+            let mut permits = m.lock().unwrap();
+            let mut patience = 500;
+            while *permits == 0 && patience > 0 {
+                permits = cv
+                    .wait_timeout(permits, Duration::from_millis(10))
+                    .unwrap()
+                    .0;
+                cancel.check()?;
+                patience -= 1;
+            }
+            *permits = permits.saturating_sub(1);
+            drop(permits);
+            let (mut out, t) = self.delegate.execute(a, b, op, mode, cancel)?;
+            if mode == NonlinearMode::Fast {
+                let v = out.get(0, 0);
+                out.set(0, 0, v + 0.5);
+            }
+            Ok((out, t))
+        }
+    }
+
+    #[test]
+    fn shadow_lane_catches_silent_fast_mode_corruption_and_dumps() {
+        // An array returns silently-wrong fast-mode bits (no ABFT
+        // signal). With the shadow lane on every fast completion, the
+        // exact-oracle re-run catches the envelope violation, strikes
+        // the array's health, and dumps the flight recorder with the
+        // offending request's timeline in it.
+        let gate: Gate = Arc::new((Mutex::new(0u64), Condvar::new()));
+        let backends: Vec<Box<dyn ArrayBackend>> = vec![Box::new(RotBackend {
+            gate: gate.clone(),
+            delegate: SimArrayBackend::new(100.0, ArrayFaultPlan::None),
+        })];
+        let cfg = ServeConfig {
+            queue_capacity: 4,
+            brownout: BrownoutPolicy {
+                tier1_pressure: 0.3,
+                tier2_pressure: 1e9,
+                min_dwell: Duration::from_secs(30),
+                latency_target: Duration::from_secs(30),
+            },
+            observatory: ObservatoryConfig {
+                shadow_every: 1,
+                dump_cooldown: Duration::ZERO,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let server = Server::new(cfg, backends);
+        let gelu = |tag: u64| tagged(tag, Priority::Standard).with_op(ServeOp::GemmGelu);
+        let opener = server.submit(gelu(1)).unwrap();
+        wait_in_flight(&server, 1);
+        let q1 = server.submit(gelu(2)).unwrap();
+        let q2 = server.submit(gelu(3)).unwrap();
+        GateBackend::release(&gate, 100);
+        opener.wait().unwrap();
+        let r1 = q1.wait().unwrap();
+        q2.wait().unwrap();
+        server.drain();
+
+        // The corrupted response still resolves Ok — the rot is silent —
+        // but the shadow lane saw it.
+        assert_eq!(r1.mode, NonlinearMode::Fast);
+        let obs = server.observatory();
+        assert!(obs.shadow_samples() >= 2);
+        assert!(obs.envelope_violations() >= 2, "both fast completions violated");
+        let dumps = server.take_flight_dumps();
+        let dump = dumps
+            .iter()
+            .find(|d| d.reason == TriggerReason::EnvelopeViolation)
+            .expect("an envelope violation dumped the flight recorder");
+        let offender = dump
+            .records
+            .iter()
+            .find(|r| r.id == q1.id())
+            .expect("the offending request's timeline is in the dump");
+        let shadow = offender.shadow.as_ref().expect("its shadow sample rode along");
+        assert!(shadow.violation);
+        assert!(!offender.attempts.is_empty());
+        assert_eq!(offender.attempts.last().unwrap().mode, "fast");
+        // The dump renders as JSON and as a Perfetto-loadable trace.
+        assert!(dump.to_json().contains("flight_recorder/v1"));
+        let trace = dump.to_chrome_trace();
+        assert!(trace.contains("traceEvents"), "{trace}");
+        assert!(trace.contains("envelope_violation"), "{trace}");
+    }
+
+    #[test]
     fn blocked_admission_is_capped_by_the_deadline() {
         let (backends, gate, _order) = GateBackend::fleet(1);
         let cfg = ServeConfig {
@@ -860,13 +1061,23 @@ mod tests {
             ..Default::default()
         };
         let server = Server::simulated(cfg, vec![ArrayFaultPlan::transient(1), latched]);
-        let tickets: Vec<_> = (0..8).map(|s| server.submit(req(s)).unwrap()).collect();
-        for t in tickets {
-            t.wait().unwrap();
+        // Batches until the latched array has eaten enough work to
+        // quarantine — one batch usually suffices, but worker scheduling
+        // under machine load can starve it of jobs for a while.
+        let mut submitted = 0u64;
+        for _round in 0..20 {
+            let tickets: Vec<_> = (0..8).map(|s| server.submit(req(s)).unwrap()).collect();
+            submitted += 8;
+            for t in tickets {
+                t.wait().unwrap();
+            }
+            if server.stats().serving_arrays() == 1 {
+                break;
+            }
         }
         server.drain();
         let s = server.stats();
-        assert_eq!(s.completed, 8, "no request starved");
+        assert_eq!(s.completed, submitted, "no request starved");
         assert!(s.retries >= 1, "faulted attempts were retried");
         assert_eq!(s.serving_arrays(), 1, "the latched array is quarantined");
     }

@@ -35,11 +35,13 @@ use bfp_platform::{
     ArrayHealth, ArrayServeStats, BrownoutStats, HealthEvent, Priority, PriorityServeStats,
     ServeStats, System, SystemStats, TenantId, TenantServeStats,
 };
-use bfp_telemetry::Tracer;
+use bfp_telemetry::recorder::{FlightAttempt, FlightDump, FlightRecord, TriggerReason};
+use bfp_telemetry::{Registry, ShadowSample, Tracer};
 
 use crate::backend::{ArrayBackend, ArrayFaultPlan, ServeOp, SimArrayBackend, Telemetry};
 use crate::config::{Backpressure, ServeConfig, TenantQuota};
 use crate::error::ServeError;
+use crate::observatory::Observatory;
 use crate::ticket::{AttemptRecord, RequestTimeline, ServeResponse, Ticket, TicketInner};
 
 /// Executions that calibrate the service estimate before the
@@ -128,6 +130,9 @@ struct Job {
     attempts: u32,
     attempt_log: Vec<AttemptRecord>,
     not_before: Instant,
+    /// Most recent shadow-lane sample for this request (fast-mode
+    /// completions re-run through the exact oracle by the observatory).
+    shadow: Option<ShadowSample>,
     /// Until this instant a retry prefers a *different* array than the
     /// one that faulted on it; after it, any serving array (including
     /// the faulting one) may run it — so a fleet of one, or a fleet
@@ -362,6 +367,9 @@ struct Shared {
     /// Optional span tracer ([`Server::attach_tracer`]); absent, every
     /// emission site is a branch on an unset `OnceLock` and nothing else.
     tracer: OnceLock<Tracer>,
+    /// The serve-time observatory: flight recorder, burn-rate trackers,
+    /// and the shadow-execution lane.
+    obs: Observatory,
 }
 
 /// The attached tracer, if any.
@@ -449,6 +457,7 @@ impl Server {
             work_cv: Condvar::new(),
             space_cv: Condvar::new(),
             idle_cv: Condvar::new(),
+            obs: Observatory::new(cfg.observatory.clone(), now),
             cfg,
             golden: Golden::build(),
             tracer: OnceLock::new(),
@@ -653,6 +662,7 @@ impl Server {
             attempts: 0,
             attempt_log: Vec::new(),
             not_before: now,
+            shadow: None,
             avoid_until: now,
             last_array: None,
             ticket: ticket_inner.clone(),
@@ -848,6 +858,27 @@ impl Server {
     pub fn config(&self) -> &ServeConfig {
         &self.shared.cfg
     }
+
+    /// The serve-time observatory (burn trackers, shadow lane, flight
+    /// recorder).
+    pub fn observatory(&self) -> &Observatory {
+        &self.shared.obs
+    }
+
+    /// Drain the flight-recorder dumps triggered so far (burn-rate over
+    /// budget, envelope violations, brownout escalations). Each dump
+    /// renders as JSON (`flight_recorder/v1`) and as a Perfetto-loadable
+    /// Chrome trace.
+    pub fn take_flight_dumps(&self) -> Vec<FlightDump> {
+        self.shared.obs.take_dumps()
+    }
+
+    /// Publish the observatory's gauges and counters through `reg`
+    /// (multi-window SLO burn rates per tenant/priority, shadow-lane
+    /// error statistics, recorder health).
+    pub fn publish_observatory(&self, reg: &Registry) {
+        self.shared.obs.publish(reg);
+    }
 }
 
 impl Drop for Server {
@@ -867,6 +898,7 @@ fn resolve(inner: &mut Inner, shared: &Shared, job: &Job, result: Result<ServeRe
     if !job.ticket.resolve(result) {
         return;
     }
+    observe_resolution(shared, job, &failure);
     let pi = job.priority.index();
     match failure {
         None => {
@@ -902,6 +934,59 @@ fn resolve(inner: &mut Inner, shared: &Shared, job: &Job, result: Result<ServeRe
                 _ => {}
             }
         }
+    }
+}
+
+/// Feed a resolved request into the observatory: one flight-recorder
+/// ring push plus its stream's SLO burn-rate update. Deadline misses,
+/// sheds, and fault exhaustion all consume error budget — shutdown
+/// doesn't (the operator chose it, the stream didn't fail). No-op when
+/// the observatory is disabled.
+fn observe_resolution(shared: &Shared, job: &Job, failure: &Option<ServeError>) {
+    if !shared.obs.enabled() {
+        return;
+    }
+    let missed = matches!(failure, Some(ServeError::DeadlineExceeded));
+    let bad = matches!(failure, Some(e) if !matches!(e, ServeError::Shutdown));
+    let outcome = match failure {
+        None => "ok",
+        Some(ServeError::DeadlineExceeded) => "deadline_miss",
+        Some(ServeError::Shed) => "shed",
+        Some(ServeError::FaultsExhausted { .. }) => "faults_exhausted",
+        Some(ServeError::Shutdown) => "shutdown",
+        Some(_) => "error",
+    };
+    let record = FlightRecord {
+        id: job.id,
+        tenant: job.tenant.0 as usize,
+        priority: job.priority.as_str().to_string(),
+        start_s: shared.obs.rel_s(job.submitted_at),
+        queue_wait_s: job
+            .first_dispatch
+            .map_or(0.0, |d| (d - job.submitted_at).as_secs_f64()),
+        total_s: job.submitted_at.elapsed().as_secs_f64(),
+        deadline_missed: missed,
+        outcome: outcome.to_string(),
+        attempts: job
+            .attempt_log
+            .iter()
+            .map(|a| FlightAttempt {
+                array: a.array,
+                modelled_s: a.modelled_s,
+                faulted: a.faulted,
+                mode: mode_str(a.mode).to_string(),
+            })
+            .collect(),
+        shadow: job.shadow.clone(),
+    };
+    shared.obs.record_completion(record, bad);
+}
+
+/// Stable lowercase label for a nonlinear mode.
+fn mode_str(mode: NonlinearMode) -> &'static str {
+    match mode {
+        NonlinearMode::Exact => "exact",
+        NonlinearMode::Fast => "fast",
     }
 }
 
@@ -975,6 +1060,12 @@ fn update_brownout(inner: &mut Inner, shared: &Shared, now: Instant) {
     inner.brownout.since = Some(now);
     inner.brownout.transitions += 1;
     inner.brownout.max_tier = inner.brownout.max_tier.max(next);
+    if next > tier {
+        shared.obs.trigger(
+            TriggerReason::BrownoutEscalation,
+            format!("tier {tier} -> {next} (pressure {:.0}%)", pressure * 100.0),
+        );
+    }
     if let Some(t) = tr(shared) {
         t.instant_with(
             "serve.brownout",
@@ -1307,6 +1398,20 @@ fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBack
         job.attempts += 1;
         let outcome = backend.execute(&job.a, &job.b, job.op, mode, &job.cancel);
         let finished = Instant::now();
+        // Shadow lane: off the lock, re-run a sampled clean fast-mode
+        // output through the exact oracle and bound it by the pinned
+        // fast-kernel envelope.
+        let shadow = match &outcome {
+            Ok((out, t))
+                if t.faults.uncorrected_detections() == 0 && shared.obs.should_shadow(mode) =>
+            {
+                Some(shared.obs.shadow_sample(&job.a, &job.b, job.op, out))
+            }
+            _ => None,
+        };
+        if let Some(s) = &shadow {
+            job.shadow = Some(s.clone());
+        }
         if let Some(t) = tr(&shared) {
             t.complete_between_with(
                 "serve.execute",
@@ -1360,6 +1465,24 @@ fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBack
                     }
                 }
                 note_execution(&mut inner, array, flagged, &shared);
+                // An envelope violation is numeric evidence against the
+                // array, fed into health exactly like an ABFT detection,
+                // and always worth a flight-recorder dump.
+                if shadow.as_ref().is_some_and(|s| s.violation) {
+                    let s = shadow.as_ref().unwrap();
+                    note_execution(&mut inner, array, true, &shared);
+                    if let Some(t) = tr(&shared) {
+                        t.instant_with(
+                            "serve.envelope_violation",
+                            "serve",
+                            vec![
+                                ("req", job.id),
+                                ("array", array as u64),
+                                ("max_ulp", s.max_ulp),
+                            ],
+                        );
+                    }
+                }
                 if !faulted {
                     // Clean execution: fold its wall time into the
                     // service estimate the deadline gate consults.
@@ -1380,13 +1503,25 @@ fn worker_loop(shared: Arc<Shared>, array: usize, mut backend: Box<dyn ArrayBack
                         attempts: job.attempts,
                         modelled_s,
                         wall_s,
+                        // Cloned, not taken: the observatory reads the
+                        // attempt log again when `resolve` books the
+                        // flight record.
                         timeline: RequestTimeline {
                             queue_wait_s,
-                            attempts: std::mem::take(&mut job.attempt_log),
+                            attempts: job.attempt_log.clone(),
                             total_s: wall_s,
                         },
                     };
                     resolve(&mut inner, &shared, &job, Ok(resp));
+                    // Trigger *after* resolve so the flight record of
+                    // the offending request is already in the ring and
+                    // lands in the dump.
+                    if let Some(s) = shadow.as_ref().filter(|s| s.violation) {
+                        shared.obs.trigger(
+                            TriggerReason::EnvelopeViolation,
+                            format!("req {} array {array} max_ulp {}", job.id, s.max_ulp),
+                        );
+                    }
                 } else if job.attempts >= shared.cfg.max_attempts {
                     resolve(
                         &mut inner,

@@ -26,6 +26,13 @@
 //!   systolic waveform in `bfp_pu::trace`) can land in the same
 //!   timeline as the software spans.
 //!
+//! On top of those sit three serve-time observatory modules:
+//! [`drift`] (predicted-vs-measured plan attribution with a calibrated
+//! cycles-per-second factor), [`slo`] (multi-window burn-rate tracking
+//! per tenant/priority stream), and [`recorder`] (a bounded
+//! non-blocking flight recorder that dumps recent request timelines as
+//! JSON + Perfetto trace when a trigger fires).
+//!
 //! The crate is dependency-free and always safe to link. Hot-path
 //! *instrumentation sites* in the rest of the workspace are gated
 //! behind their crates' `telemetry` cargo features and compile away
@@ -55,12 +62,20 @@
 //! ```
 
 pub mod chrome;
+pub mod drift;
 pub mod json;
+pub mod recorder;
 pub mod registry;
 pub mod report;
+pub mod slo;
 pub mod trace;
 
 pub use chrome::ChromeTraceBuilder;
+pub use drift::{NodeDrift, NodeSample, PlanDriftReport};
+pub use recorder::{
+    FlightAttempt, FlightDump, FlightRecord, FlightRecorder, ShadowSample, TriggerReason,
+};
 pub use registry::{series, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
 pub use report::{fmt_si, Table};
+pub use slo::BurnTracker;
 pub use trace::{EventKind, SpanGuard, TraceEvent, Tracer};

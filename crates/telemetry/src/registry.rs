@@ -185,22 +185,38 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// Upper bound of the bucket containing quantile `q` (0.0–1.0), or
-    /// 0 for an empty histogram. A log2 histogram can only answer to
-    /// bucket resolution; the upper bound is the conservative estimate.
+    /// Upper bound of the bucket containing quantile `q`, or 0 for an
+    /// empty histogram. A log2 histogram can only answer to bucket
+    /// resolution; the upper bound is the conservative estimate.
+    ///
+    /// Edge cases are pinned (not silent bucket-boundary accidents):
+    /// `q` outside `[0, 1]` (including NaN) is clamped; `q = 0.0`
+    /// answers the first non-empty bucket (the minimum's bucket);
+    /// `q = 1.0` answers the last non-empty bucket (the maximum's
+    /// bucket); a histogram whose observations all share one bucket
+    /// answers that bucket for every `q`.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        // NaN clamps to 0.0 (f64::clamp propagates NaN; guard it).
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
-            if seen >= rank {
+            if c > 0 && seen >= rank {
                 return bucket_upper(i);
             }
         }
-        bucket_upper(HIST_BUCKETS - 1)
+        // Unreachable when the bucket counts sum to `count`; answer the
+        // last non-empty bucket for snapshots with inconsistent totals.
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(HIST_BUCKETS - 1);
+        bucket_upper(last)
     }
 
     /// Mean observation (0 for an empty histogram).
@@ -230,6 +246,10 @@ fn bucket_upper(i: usize) -> u64 {
 /// the full string is the instrument key — so labeled families stay
 /// cheap (one map entry per combination actually used) and render
 /// correctly in `to_prometheus_text` without a schema change.
+///
+/// Label values are escaped per the exposition format: backslash,
+/// double quote, and newline (the three characters the format reserves
+/// inside quoted label values).
 pub fn series(name: &str, labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return name.to_string();
@@ -241,10 +261,20 @@ pub fn series(name: &str, labels: &[(&str, &str)]) -> String {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(out, "{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""));
+        let escaped = v
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
+        let _ = write!(out, "{k}=\"{escaped}\"");
     }
     out.push('}');
     out
+}
+
+/// The metric family of a (possibly labeled) series key: the name up to
+/// the label block. `depth{tenant="1"}` → `depth`.
+fn family(series_key: &str) -> &str {
+    series_key.split('{').next().unwrap_or(series_key)
 }
 
 #[derive(Default)]
@@ -339,29 +369,66 @@ pub struct Snapshot {
 impl Snapshot {
     /// Prometheus-style text exposition (counters, gauges, and
     /// cumulative histogram buckets with `le` labels).
+    ///
+    /// `# TYPE` lines are emitted once per metric *family* — the series
+    /// name stripped of its label block — immediately before the
+    /// family's first series, as the exposition format requires.
+    /// Labeled series of the same family (sorted adjacently by the
+    /// snapshot's BTreeMap ordering) share one TYPE line.
     pub fn to_prometheus_text(&self) -> String {
         let mut out = String::new();
+        let mut typed = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let fam = family(name);
+            if typed != fam {
+                let _ = writeln!(out, "# TYPE {fam} {kind}");
+                typed = fam.to_string();
+            }
+        };
         for (name, v) in &self.counters {
-            let _ = writeln!(out, "# TYPE {name} counter");
+            type_line(&mut out, name, "counter");
             let _ = writeln!(out, "{name} {v}");
         }
         for (name, v) in &self.gauges {
-            let _ = writeln!(out, "# TYPE {name} gauge");
+            type_line(&mut out, name, "gauge");
             let _ = writeln!(out, "{name} {v}");
         }
         for (name, h) in &self.histograms {
-            let _ = writeln!(out, "# TYPE {name} histogram");
+            type_line(&mut out, name, "histogram");
+            // A labeled histogram series folds its `le` bucket label
+            // into the existing label block: `lat{tenant="1"}` buckets
+            // render as `lat_bucket{tenant="1",le="..."}`.
+            let (base, labels) = match name.find('{') {
+                Some(i) => (&name[..i], &name[i + 1..name.len() - 1]),
+                None => (name.as_str(), ""),
+            };
+            let le_block = |le: &str| {
+                if labels.is_empty() {
+                    format!("{{le=\"{le}\"}}")
+                } else {
+                    format!("{{{labels},le=\"{le}\"}}")
+                }
+            };
+            let plain_block = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{labels}}}")
+            };
             let mut cum = 0u64;
             for (i, &c) in h.buckets.iter().enumerate() {
                 if c == 0 {
                     continue;
                 }
                 cum += c;
-                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", bucket_upper(i));
+                let _ = writeln!(
+                    out,
+                    "{base}_bucket{} {cum}",
+                    le_block(&bucket_upper(i).to_string())
+                );
             }
-            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
-            let _ = writeln!(out, "{name}_sum {}", h.sum);
-            let _ = writeln!(out, "{name}_count {}", h.count);
+            let _ = writeln!(out, "{base}_bucket{} {}", le_block("+Inf"), h.count);
+            let _ = writeln!(out, "{base}_sum{plain_block} {}", h.sum);
+            let _ = writeln!(out, "{base}_count{plain_block} {}", h.count);
         }
         out
     }
@@ -478,6 +545,149 @@ mod tests {
         assert!(text.contains("lat_ns_count 1"));
         assert!(text.contains("lat_ns_sum 1500"));
         assert!(text.contains("le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_pinned() {
+        // Empty histogram: every quantile answers 0.
+        let empty = HistogramSnapshot {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        };
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.quantile(q), 0);
+        }
+
+        // Single-bucket histogram: every quantile answers that bucket.
+        let h = Histogram::new();
+        for _ in 0..5 {
+            h.record(100); // bucket of 64..=127
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(s.quantile(q), 127, "q={q}");
+        }
+
+        // Multi-bucket: q=0 answers the minimum's bucket, q=1 the
+        // maximum's bucket, out-of-range q clamps to those.
+        let h = Histogram::new();
+        h.record(1);
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 1);
+        assert_eq!(s.quantile(-3.0), 1);
+        assert_eq!(s.quantile(f64::NAN), 1);
+        assert_eq!(s.quantile(1.0), 1023);
+        assert_eq!(s.quantile(7.0), 1023);
+
+        // A single zero observation lands in (and answers) bucket 0.
+        let h = Histogram::new();
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn series_escapes_newlines() {
+        assert_eq!(series("e", &[("k", "a\nb")]), "e{k=\"a\\nb\"}");
+        assert_eq!(series("e", &[("k", "a\\b")]), "e{k=\"a\\\\b\"}");
+    }
+
+    /// Unescape one Prometheus label value (the inverse of the escaping
+    /// `series` applies), for the round-trip assertion below.
+    fn unescape(v: &str) -> String {
+        let mut out = String::new();
+        let mut chars = v.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('n') => out.push('\n'),
+                    Some(other) => out.push(other),
+                    None => out.push('\\'),
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn prometheus_text_round_trips_labels_and_types() {
+        let reg = Registry::new();
+        let nasty = "a\\b\"c\nd";
+        reg.counter(&series("reqs_total", &[("tenant", "1")])).add(2);
+        reg.counter(&series("reqs_total", &[("tenant", nasty)])).add(3);
+        reg.gauge(&series("depth", &[("q", "hi")])).set(4.0);
+        reg.histogram(&series("lat_ns", &[("tenant", "1")]))
+            .record(1500);
+        let text = reg.snapshot().to_prometheus_text();
+
+        // Exactly one TYPE line per family, naming the bare family (no
+        // label block), before the family's first series.
+        let type_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE")).collect();
+        assert_eq!(
+            type_lines,
+            vec![
+                "# TYPE reqs_total counter",
+                "# TYPE depth gauge",
+                "# TYPE lat_ns histogram"
+            ],
+            "{text}"
+        );
+
+        // Histogram bucket lines fold `le` into the label block and the
+        // sum/count series keep the original labels.
+        assert!(text.contains("lat_ns_bucket{tenant=\"1\",le=\"+Inf\"} 1"), "{text}");
+        assert!(text.contains("lat_ns_sum{tenant=\"1\"} 1500"), "{text}");
+        assert!(text.contains("lat_ns_count{tenant=\"1\"} 1"), "{text}");
+
+        // Round trip: parse every sample line back and recover the
+        // escaped label value exactly.
+        let mut recovered = None;
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (key, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!value.is_empty(), "{line}");
+            if let Some(open) = key.find('{') {
+                assert!(key.ends_with('}'), "{line}");
+                let block = &key[open + 1..key.len() - 1];
+                for pair in split_label_pairs(block) {
+                    let (k, v) = pair.split_once('=').expect("label pair");
+                    assert!(v.starts_with('"') && v.ends_with('"'), "{line}");
+                    if k == "tenant" {
+                        let raw = unescape(&v[1..v.len() - 1]);
+                        if raw == nasty {
+                            recovered = Some(raw);
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(recovered.as_deref(), Some(nasty), "{text}");
+    }
+
+    /// Split a label block on commas that are outside quoted values.
+    fn split_label_pairs(block: &str) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut start = 0;
+        let mut in_quotes = false;
+        let mut escaped = false;
+        for (i, c) in block.char_indices() {
+            match c {
+                '\\' if in_quotes => escaped = !escaped,
+                '"' if !escaped => in_quotes = !in_quotes,
+                ',' if !in_quotes => {
+                    out.push(&block[start..i]);
+                    start = i + 1;
+                    escaped = false;
+                }
+                _ => escaped = false,
+            }
+        }
+        out.push(&block[start..]);
+        out
     }
 
     #[test]

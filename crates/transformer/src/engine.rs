@@ -343,6 +343,19 @@ impl PhaseTimes {
     }
 }
 
+/// Accumulated wall-clock for one named node of a compiled plan, the
+/// measured side of drift attribution (predictions come from
+/// `bfp_core::planner`). Collected only when node timing is enabled at
+/// runtime — the accumulator is independent of the `telemetry` feature
+/// so benches can attribute drift in default builds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NodeTime {
+    /// Total measured seconds across executions.
+    pub seconds: f64,
+    /// Number of executions folded into `seconds`.
+    pub samples: u64,
+}
+
 /// Below this many scalar MACs the engine's GEMM stays on one thread —
 /// fork/join costs more than the kernel (same rationale and value as
 /// `bfp_core::fastgemm::PARALLEL_MAC_THRESHOLD`).
@@ -411,6 +424,10 @@ pub struct MixedEngine {
     /// GEMMs, disabled patterns, and fused-kernel error replays).
     fusion_misses: u64,
     phase: PhaseTimes,
+    /// Per-node wall-clock accumulators for drift attribution; `None`
+    /// (the default) keeps the compiled-plan hot path free of clock
+    /// reads and map lookups.
+    node_times: Option<HashMap<String, NodeTime>>,
     /// Attached observability (spans + registered counters); `None`
     /// until [`Self::attach_telemetry`] is called.
     #[cfg(feature = "telemetry")]
@@ -447,6 +464,7 @@ impl MixedEngine {
             fusion_hits: 0,
             fusion_misses: 0,
             phase: PhaseTimes::default(),
+            node_times: None,
             #[cfg(feature = "telemetry")]
             tel: None,
         }
@@ -545,6 +563,29 @@ impl MixedEngine {
     /// Return and reset the accumulated per-phase wall-clock breakdown.
     pub fn take_phase_times(&mut self) -> PhaseTimes {
         std::mem::take(&mut self.phase)
+    }
+
+    /// Start accumulating per-node wall-clock on the compiled-plan path
+    /// (for drift attribution against the planner's cycle predictions).
+    /// Off by default; independent of the `telemetry` cargo feature.
+    pub fn enable_node_timing(&mut self) {
+        if self.node_times.is_none() {
+            self.node_times = Some(HashMap::new());
+        }
+    }
+
+    /// Whether per-node timing is currently accumulating.
+    pub fn node_timing_enabled(&self) -> bool {
+        self.node_times.is_some()
+    }
+
+    /// Drain the per-node wall-clock accumulators (empty when node
+    /// timing was never enabled). Timing stays enabled afterwards.
+    pub fn take_node_times(&mut self) -> HashMap<String, NodeTime> {
+        match &mut self.node_times {
+            Some(m) => std::mem::take(m),
+            None => HashMap::new(),
+        }
     }
 
     /// The per-phase wall-clock breakdown accumulated so far.
@@ -830,9 +871,15 @@ impl MixedEngine {
     }
 
     /// Record a completed `plan.node.<name>` span for one graph node of
-    /// the compiled plan (no-op unless telemetry is attached).
+    /// the compiled plan, and fold its wall-clock into the node-timing
+    /// accumulators when enabled (no-op otherwise).
     #[inline]
-    fn tel_node(&self, name: &str, t0: Instant) {
+    fn tel_node(&mut self, name: &str, t0: Instant) {
+        if let Some(times) = &mut self.node_times {
+            let entry = times.entry(name.to_string()).or_default();
+            entry.seconds += t0.elapsed().as_secs_f64();
+            entry.samples += 1;
+        }
         #[cfg(feature = "telemetry")]
         if let Some(tel) = &self.tel {
             tel.tracer
@@ -2209,6 +2256,36 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn node_timing_accumulates_only_when_enabled() {
+        use crate::config::VitConfig;
+        use crate::model::VitModel;
+        let cfg = VitConfig::tiny_test();
+        let model = VitModel::new_random(cfg, 31);
+        let x = model.synthetic_input(5);
+
+        // Off by default: the compiled path records nothing.
+        let mut e = MixedEngine::new().with_vit_plan(CompiledVitPlan::fuse_all());
+        assert!(!e.node_timing_enabled());
+        let _ = model.forward(&mut e, &x);
+        assert!(e.take_node_times().is_empty());
+
+        e.enable_node_timing();
+        let _ = model.forward(&mut e, &x);
+        let times = e.take_node_times();
+        for key in ["ln1", "wq", "wk", "wv", "h0.softmax", "wo", "ln2", "fc1+gelu", "fc2"] {
+            let t = times.get(key).unwrap_or_else(|| panic!("missing node {key}"));
+            assert_eq!(t.samples, cfg.depth as u64, "{key}");
+            assert!(t.seconds > 0.0, "{key}");
+        }
+        // The fused plan never runs a standalone gelu node.
+        assert!(!times.contains_key("gelu"));
+        // take_ drains but leaves timing armed.
+        assert!(e.node_timing_enabled());
+        let _ = model.forward(&mut e, &x);
+        assert!(!e.take_node_times().is_empty());
     }
 
     #[test]
